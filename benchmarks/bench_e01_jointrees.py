@@ -1,0 +1,38 @@
+"""E01/E03 — join-tree construction (Figs. 1 and 3).
+
+Times the GYO reduction on the paper's acyclic queries and on growing
+acyclic paths (the linear-ish regime of §2.1 property 2).
+"""
+
+import pytest
+
+from repro.core.acyclicity import is_acyclic, join_tree
+from repro.generators.families import path_query
+from repro.generators.paper_queries import q2, q3
+
+
+def test_join_tree_q2(benchmark):
+    q = q2()
+    jt = benchmark(join_tree, q)
+    assert jt is not None and jt.is_valid
+    benchmark.extra_info["nodes"] = len(jt)
+
+
+def test_join_tree_q3(benchmark):
+    q = q3()
+    jt = benchmark(join_tree, q)
+    assert jt is not None and jt.is_valid
+
+
+@pytest.mark.parametrize("n", [10, 20, 40, 80])
+def test_join_tree_paths(benchmark, n):
+    q = path_query(n)
+    jt = benchmark(join_tree, q)
+    assert jt is not None
+    benchmark.extra_info["atoms"] = n
+
+
+@pytest.mark.parametrize("n", [10, 40])
+def test_acyclicity_decision(benchmark, n):
+    q = path_query(n)
+    assert benchmark(is_acyclic, q)

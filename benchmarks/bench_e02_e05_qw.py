@@ -1,0 +1,39 @@
+"""E02/E04/E05 — exact query-width search (Figs. 2, 4, 5).
+
+Times both directions of the NP-hard search: finding the paper's width-2
+witnesses for Q1/Q4, and exhaustively refuting width 2 for Q5 (the §3.3
+claim behind qw(Q5) = 3).
+"""
+
+import pytest
+
+from repro.core.qwsearch import decompose_qw, query_width
+from repro.generators.paper_queries import q1, q4, q5
+
+
+def test_qw_q1(benchmark):
+    q = q1()
+    width, qd = benchmark(query_width, q)
+    assert width == 2 and qd.is_valid
+    benchmark.extra_info["qw"] = width
+
+
+def test_qw_q4(benchmark):
+    q = q4()
+    width, qd = benchmark(query_width, q)
+    assert width == 2
+    benchmark.extra_info["qw"] = width
+
+
+def test_qw_q5_refute_width_2(benchmark):
+    q = q5()
+    result = benchmark(decompose_qw, q, 2)
+    assert result is None
+    benchmark.extra_info["claim"] = "no width-2 query decomposition (§3.3)"
+
+
+def test_qw_q5_find_width_3(benchmark):
+    q = q5()
+    qd = benchmark(decompose_qw, q, 3)
+    assert qd is not None and qd.width <= 3 and qd.is_valid
+    benchmark.extra_info["qw"] = 3

@@ -1,0 +1,39 @@
+"""E06/E07 — hypertree-width computation (Fig. 6/7, Theorem 4.5).
+
+det-k-decomp on the paper corpus plus the cycle family scaling series
+(hw = 2 for every n, so the cost growth isolates the search overhead).
+"""
+
+import pytest
+
+from repro.core.detkdecomp import decompose_k, hypertree_width
+from repro.generators.families import cycle_query, grid_query
+from repro.generators.paper_queries import all_named_queries
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4", "Q5"])
+def test_hw_corpus(benchmark, name):
+    q = all_named_queries()[name]
+    width, hd = benchmark(hypertree_width, q)
+    assert hd.is_valid
+    benchmark.extra_info["hw"] = width
+
+
+@pytest.mark.parametrize("n", [4, 6, 8, 10, 12])
+def test_hw_cycles(benchmark, n):
+    q = cycle_query(n)
+    hd = benchmark(decompose_k, q, 2)
+    assert hd is not None
+    benchmark.extra_info["atoms"] = n
+
+
+def test_hw_grid3(benchmark):
+    q = grid_query(3)
+    hd = benchmark(decompose_k, q, 2)
+    assert hd is not None
+
+
+def test_hw_q5_atom_rendering(benchmark):
+    _, hd = hypertree_width(all_named_queries()["Q5"])
+    text = benchmark(hd.render_atoms)
+    assert "_" in text

@@ -1,0 +1,42 @@
+"""E09 — the Theorem 5.4 normal-form transformation (Fig. 9)."""
+
+import pytest
+
+from repro.core.acyclicity import join_tree
+from repro.core.detkdecomp import decomposition_from_join_tree, hypertree_width
+from repro.core.hypertree import HTNode, HypertreeDecomposition
+from repro.core.normalform import normalize
+from repro.generators.families import path_query
+from repro.generators.paper_queries import q3, q5
+
+
+def _bloated_q5():
+    _, hd = hypertree_width(q5())
+    copy = hd.root.copy_tree()
+    return HypertreeDecomposition(
+        hd.query, HTNode(copy.chi, copy.lam, (copy,))
+    )
+
+
+def test_normalize_bloated_q5(benchmark):
+    hd = _bloated_q5()
+    out = benchmark(normalize, hd)
+    assert out.is_normal_form and out.width <= hd.width
+    benchmark.extra_info["nodes_in"] = len(hd)
+    benchmark.extra_info["nodes_out"] = len(out)
+
+
+def test_normalize_raw_join_tree_q3(benchmark):
+    q = q3()
+    raw = decomposition_from_join_tree(q, join_tree(q))
+    out = benchmark(normalize, raw)
+    assert out.is_normal_form and out.width == 1
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_normalize_long_paths(benchmark, n):
+    q = path_query(n)
+    raw = decomposition_from_join_tree(q, join_tree(q))
+    out = benchmark(normalize, raw)
+    assert out.is_normal_form
+    assert len(out) <= len(q.variables)  # Lemma 5.7

@@ -1,0 +1,49 @@
+"""E10/E18 — the hw ≤ k recognisers.
+
+E10: the Appendix-B Datalog route (base-relation construction + WFS
+evaluation) vs the direct det-k-decomp search on the same inputs.
+E18: the candidate-pool ablation (strategies ``all`` vs ``relevant``).
+"""
+
+import pytest
+
+from repro.core.detkdecomp import decompose_k
+from repro.datalog.hw_program import build_hw_program, datalog_has_hw_at_most
+from repro.generators.paper_queries import all_named_queries
+
+
+@pytest.mark.parametrize("name,k", [("Q1", 2), ("Q4", 2), ("Q5", 2)])
+def test_datalog_recogniser(benchmark, name, k):
+    q = all_named_queries()[name]
+    verdict = benchmark(datalog_has_hw_at_most, q, k)
+    assert verdict is True
+    benchmark.extra_info["k"] = k
+
+
+@pytest.mark.parametrize("name,k", [("Q1", 2), ("Q4", 2), ("Q5", 2)])
+def test_detk_recogniser(benchmark, name, k):
+    q = all_named_queries()[name]
+    hd = benchmark(decompose_k, q, k)
+    assert hd is not None
+
+
+def test_datalog_base_relation_construction(benchmark):
+    q = all_named_queries()["Q5"]
+    inst = benchmark(build_hw_program, q, 2)
+    benchmark.extra_info["k_vertices"] = len(inst.edb["k_vertex"])
+    benchmark.extra_info["meets_rows"] = len(inst.edb["meets_condition"])
+
+
+@pytest.mark.parametrize("strategy", ["all", "relevant"])
+def test_strategy_ablation_q5(benchmark, strategy):
+    q = all_named_queries()["Q5"]
+    hd = benchmark(decompose_k, q, 2, strategy)
+    assert hd is not None
+    benchmark.extra_info["strategy"] = strategy
+
+
+@pytest.mark.parametrize("strategy", ["all", "relevant"])
+def test_strategy_ablation_refutation(benchmark, strategy):
+    q = all_named_queries()["Q5"]
+    result = benchmark(decompose_k, q, 1, strategy)
+    assert result is None

@@ -1,0 +1,56 @@
+"""E11/E14 — the §7 machinery.
+
+E14: the Lemma 7.3 strict-3PS construction across m (the O(m²+km) claim).
+E11: building the Theorem 3.4 reduction query, solving the XC3S instance,
+and validating the Fig.-11 decomposition built from the cover.
+"""
+
+import pytest
+
+from repro.reductions.qw_hardness import build_reduction, decomposition_from_cover
+from repro.reductions.three_ps import strict_3ps
+from repro.reductions.xc3s import paper_running_example, random_instance
+
+
+@pytest.mark.parametrize("m", [2, 4, 8, 16, 32])
+def test_strict_3ps_construction(benchmark, m):
+    system = benchmark(strict_3ps, m, 2)
+    assert system.is_mk(m, 2)
+    benchmark.extra_info["base_size"] = len(system.base)
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_strict_3ps_strictness_check(benchmark, m):
+    system = strict_3ps(m, 2)
+    assert benchmark(lambda: system.strictness_violations()) == []
+
+
+def test_build_reduction_running_example(benchmark):
+    instance = paper_running_example()
+    red = benchmark(build_reduction, instance)
+    benchmark.extra_info["atoms"] = len(red.query.atoms)
+
+
+def test_xc3s_solver_running_example(benchmark):
+    instance = paper_running_example()
+    cover = benchmark(instance.exact_cover)
+    assert cover == [1, 3]
+
+
+@pytest.mark.parametrize("s,extra", [(2, 3), (3, 4), (4, 5)])
+def test_xc3s_solver_random(benchmark, s, extra):
+    instance = random_instance(s=s, extra_triples=extra, seed=1, solvable=True)
+    cover = benchmark(instance.exact_cover)
+    assert cover is not None
+
+
+def test_fig11_decomposition_and_validation(benchmark):
+    instance = paper_running_example()
+    red = build_reduction(instance)
+    cover = instance.exact_cover()
+
+    def build_and_validate():
+        qd = decomposition_from_cover(red, cover)
+        return qd.validate()
+
+    assert benchmark(build_and_validate) == []

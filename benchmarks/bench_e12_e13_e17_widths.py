@@ -1,0 +1,49 @@
+"""E12/E13/E17 — width comparisons (§6).
+
+E12: exact hw and qw side by side on the separating witness Q5.
+E13: tw(VAIG(Qₙ)) — the unbounded-treewidth series of Theorem 6.2.
+E17: the structural-method width battery on one growing family point.
+"""
+
+import pytest
+
+from repro.core.detkdecomp import hypertree_width
+from repro.core.qwsearch import query_width
+from repro.csp.methods import all_method_widths
+from repro.generators.families import cycle_query, hyperwheel_query
+from repro.generators.paper_queries import q5, qn
+from repro.graphs.primal import variable_atom_incidence_graph
+from repro.graphs.treewidth import exact_treewidth
+
+
+def test_e12_hw_q5(benchmark):
+    width, _ = benchmark(hypertree_width, q5())
+    assert width == 2
+
+
+def test_e12_qw_q5(benchmark):
+    width, _ = benchmark(query_width, q5())
+    assert width == 3
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_e13_vaig_treewidth(benchmark, n):
+    graph = variable_atom_incidence_graph(qn(n))
+    tw = benchmark(exact_treewidth, graph)
+    assert tw == n
+    benchmark.extra_info["tw"] = tw
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_e17_method_battery_cycles(benchmark, n):
+    q = cycle_query(n)
+    widths = benchmark(all_method_widths, q)
+    assert widths.hypertree_width == 2
+    benchmark.extra_info.update(widths.as_row())
+
+
+def test_e17_method_battery_hyperwheel(benchmark):
+    q = hyperwheel_query(5, 4)
+    widths = benchmark(all_method_widths, q)
+    assert widths.hypertree_width == 2
+    benchmark.extra_info.update(widths.as_row())

@@ -1,0 +1,76 @@
+"""E15/E16 — the tractability headline (Thms. 4.7/4.8, Cor. 5.19/5.20).
+
+Benchmarks the three Boolean strategies on the 6-cycle at two database
+sizes (decomposition wins and its advantage widens — the paper's shape)
+and Yannakakis on acyclic queries including the output-polynomial
+enumeration path.
+"""
+
+import pytest
+
+from repro.core.atoms import Variable
+from repro.core.detkdecomp import hypertree_width
+from repro.db.evaluate import evaluate, evaluate_boolean
+from repro.db.stats import EvalStats
+from repro.generators.families import cycle_query, path_query
+from repro.generators.paper_queries import q2
+from repro.generators.workloads import random_database
+
+_CYCLE = cycle_query(6)
+_, _CYCLE_HD = hypertree_width(_CYCLE)
+
+
+def _cycle_db(tuples: int):
+    return random_database(
+        _CYCLE,
+        domain_size=max(4, tuples // 8),
+        tuples_per_relation=tuples,
+        seed=3,
+        plant_answer=True,
+    )
+
+
+@pytest.mark.parametrize("tuples", [40, 120])
+@pytest.mark.parametrize("method", ["decomposition", "naive", "backtracking"])
+def test_e15_boolean_cycle(benchmark, method, tuples):
+    db = _cycle_db(tuples)
+    hd = _CYCLE_HD if method == "decomposition" else None
+    stats = EvalStats()
+    result = benchmark(
+        evaluate_boolean, _CYCLE, db, method, hd, stats
+    )
+    assert result is True
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["tuples"] = tuples
+    benchmark.extra_info["max_intermediate"] = stats.max_intermediate
+
+
+@pytest.mark.parametrize("tuples", [100, 400])
+def test_e16_yannakakis_boolean(benchmark, tuples):
+    q = q2()
+    db = random_database(
+        q, domain_size=tuples // 5, tuples_per_relation=tuples, seed=2,
+        plant_answer=True,
+    )
+    assert benchmark(evaluate_boolean, q, db, "yannakakis")
+
+
+@pytest.mark.parametrize("n", [3, 6])
+def test_e16_output_polynomial_enumeration(benchmark, n):
+    q = path_query(n).with_head((Variable("X1"), Variable(f"X{n+1}")))
+    db = random_database(q, domain_size=12, tuples_per_relation=60, seed=4)
+    answers = benchmark(evaluate, q, db, "yannakakis")
+    benchmark.extra_info["answers"] = len(answers)
+
+
+def test_e16_unsat_backtracking_vs_decomposition(benchmark):
+    """On a 'no' instance backtracking cannot shortcut; decomposition
+    stays polynomial (the regime where the paper's result bites)."""
+    db = random_database(
+        _CYCLE, domain_size=40, tuples_per_relation=120, seed=9,
+        plant_answer=False,
+    )
+    result = benchmark(
+        evaluate_boolean, _CYCLE, db, "decomposition", _CYCLE_HD
+    )
+    benchmark.extra_info["answer"] = result

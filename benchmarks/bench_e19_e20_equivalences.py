@@ -1,0 +1,50 @@
+"""E19/E20 — equivalent problems and alternative characterisations."""
+
+import pytest
+
+from repro.core.containment import contains, homomorphism
+from repro.core.games import marshals_have_winning_strategy, marshals_width
+from repro.core.mcs import is_acyclic_mcs
+from repro.core.parser import parse_query
+from repro.generators.families import cycle_query, path_query
+from repro.generators.paper_queries import all_named_queries
+
+
+def test_containment_triangle_path(benchmark):
+    triangle = parse_query("e(X, Y), e(Y, Z), e(Z, X)")
+    path = parse_query("e(A, B), e(B, C)")
+    assert benchmark(contains, path, triangle) is True
+
+
+def test_containment_cycles(benchmark):
+    c3, c6 = cycle_query(3), cycle_query(6)
+    assert benchmark(contains, c6, c3) is True  # C3 ⊑ C6
+
+
+def test_homomorphism_search(benchmark):
+    c3, c6 = cycle_query(3), cycle_query(6)
+    witness = benchmark(homomorphism, c6, c3)
+    assert witness is not None
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q5"])
+def test_marshals_game(benchmark, name):
+    q = all_named_queries()[name]
+    strategy = benchmark(marshals_have_winning_strategy, q, 2)
+    assert strategy is not None
+
+
+def test_marshals_width_q5(benchmark):
+    q = all_named_queries()["Q5"]
+    assert benchmark(marshals_width, q) == 2
+
+
+@pytest.mark.parametrize("n", [10, 30])
+def test_mcs_acyclicity_paths(benchmark, n):
+    q = path_query(n)
+    assert benchmark(is_acyclic_mcs, q) is True
+
+
+def test_mcs_acyclicity_q5(benchmark):
+    q = all_named_queries()["Q5"]
+    assert benchmark(is_acyclic_mcs, q) is False

@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Every file ``bench_eXX_*.py`` regenerates one experiment of the paper (see
+DESIGN.md §2 and EXPERIMENTS.md) and times its computational core with
+pytest-benchmark.  The printed rows/series themselves come from
+``python -m repro.experiments <id>``; each benchmark stores the headline
+measured values in ``benchmark.extra_info`` so they appear in the saved
+benchmark JSON as well.
+"""
+
+collect_ignore_glob: list[str] = []

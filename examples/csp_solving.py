@@ -1,0 +1,88 @@
+"""CSP solving via hypertree decompositions (§6).
+
+Run with::
+
+    python examples/csp_solving.py
+
+The paper observes that CSP solving and BCQ evaluation are the same
+problem (Kolaitis–Vardi).  This example solves two CSPs through the
+decomposition pipeline and compares against plain backtracking:
+
+1. graph colouring on a wheel graph (cyclic constraint network);
+2. a crossword-style slot-filling CSP with wide (non-binary) constraints,
+   the regime where hypertree decompositions beat every primal-graph
+   method (§6 comparison).
+"""
+
+import time
+
+from repro.core.detkdecomp import hypertree_width
+from repro.csp.methods import all_method_widths
+from repro.csp.problem import CSPInstance, Constraint, graph_coloring
+from repro.csp.solver import solve_backtracking, solve_via_decomposition
+
+
+def timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, (time.perf_counter() - start) * 1000
+
+
+def wheel_coloring() -> None:
+    rim = [(f"v{i}", f"v{(i + 1) % 8}") for i in range(8)]
+    spokes = [("hub", f"v{i}") for i in range(8)]
+    csp = graph_coloring(rim + spokes, colors=4, name="wheel")
+    print("== 4-colouring the 8-wheel ==")
+    query = csp.to_query()
+    width, _ = hypertree_width(query)
+    print(f"constraint hypergraph: {len(csp.constraints)} constraints, hw = {width}")
+    for name, solver in (
+        ("backtracking", solve_backtracking),
+        ("decomposition", solve_via_decomposition),
+    ):
+        solution, ms = timed(solver, csp)
+        assert solution is not None and csp.check(solution)
+        print(f"  {name:13s}: solved in {ms:6.2f} ms, e.g. hub = {solution['hub']}")
+
+
+def crossword() -> None:
+    """Fill a 3-slot mini-crossword: two across words and one down word
+    crossing both — wide constraints (one per slot) over letter variables."""
+    words3 = ["cat", "car", "cot", "dog", "dot", "ran", "rat", "tar", "oat"]
+    across1 = Constraint(
+        ("a1", "a2", "a3"), frozenset(tuple(w) for w in words3), "across1"
+    )
+    across2 = Constraint(
+        ("b1", "b2", "b3"), frozenset(tuple(w) for w in words3), "across2"
+    )
+    # down word shares a3 (its first letter) and b3 (its last letter)
+    down = Constraint(
+        ("a3", "m", "b3"), frozenset(tuple(w) for w in words3), "down"
+    )
+    letters = tuple("abcdefghijklmnopqrstuvwxyz")
+    csp = CSPInstance.of(
+        {v: letters for v in ("a1", "a2", "a3", "b1", "b2", "b3", "m")},
+        [across1, across2, down],
+        name="crossword",
+    )
+    print("\n== mini-crossword ==")
+    widths = all_method_widths(csp.to_query())
+    print(
+        "width per method:",
+        {k: v for k, v in widths.as_row().items() if k != "query"},
+    )
+    solution = solve_via_decomposition(csp)
+    assert solution is not None
+    a = "".join(solution[v] for v in ("a1", "a2", "a3"))
+    b = "".join(solution[v] for v in ("b1", "b2", "b3"))
+    d = "".join(solution[v] for v in ("a3", "m", "b3"))
+    print(f"  across1 = {a}, across2 = {b}, down = {d}")
+
+
+def main() -> None:
+    wheel_coloring()
+    crossword()
+
+
+if __name__ == "__main__":
+    main()

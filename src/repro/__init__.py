@@ -1,0 +1,29 @@
+"""repro: Hypertree Decompositions and Tractable Queries.
+
+A from-scratch reproduction of Gottlob, Leone & Scarcello (PODS'99 /
+JCSS 2002).  See README.md for a tour and DESIGN.md for the system map.
+"""
+
+from ._errors import (
+    DatalogError,
+    DecompositionError,
+    EvaluationError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+from .core import *  # noqa: F401,F403 -- curated in core/__init__.py
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatalogError",
+    "DecompositionError",
+    "EvaluationError",
+    "ParseError",
+    "ReproError",
+    "SchemaError",
+    "__version__",
+    *_core_all,
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by library code derive from :class:`ReproError`, so
+applications can catch a single base class.  Subclasses are fine-grained
+enough that tests can assert on the exact failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class ParseError(ReproError):
+    """Raised when a conjunctive query / datalog string cannot be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position} in {text!r})"
+        super().__init__(message)
+
+
+class SchemaError(ReproError):
+    """Raised on arity/attribute mismatches in the relational engine."""
+
+
+class DecompositionError(ReproError):
+    """Raised when a decomposition object is structurally ill-formed.
+
+    Note that a decomposition which is well-formed but *invalid* (violates
+    one of the paper's conditions) is not an error: validity is reported by
+    ``validate()`` methods returning a list of violations.
+    """
+
+
+class EvaluationError(ReproError):
+    """Raised when query evaluation is invoked with inconsistent inputs."""
+
+
+class DatalogError(ReproError):
+    """Raised for ill-formed datalog programs (unsafe rules, bad arity)."""

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``width QUERY``
+    Print acyclicity, hypertree-width and (optionally) query-width.
+``decompose QUERY [-k K]``
+    Compute and render a hypertree decomposition (optimal, or width ≤ K).
+``evaluate QUERY FACTS [--method M]``
+    Evaluate a query against a facts file (one ground atom per line).
+``contains Q2 Q1``
+    Decide Q1 ⊑ Q2 (Chandra–Merlin through the decomposition pipeline).
+``experiments [ID ...]``
+    Run the reproduction experiments (same as ``python -m
+    repro.experiments``).
+
+``QUERY`` arguments are either inline rule text or a path to a file
+containing it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from ._errors import ReproError
+from .core.acyclicity import is_acyclic
+from .core.containment import contains
+from .core.detkdecomp import decompose_k, hypertree_width
+from .core.parser import parse_atom, parse_query
+from .core.query import ConjunctiveQuery
+from .core.qwsearch import query_width
+from .db.database import Database
+from .db.evaluate import evaluate, evaluate_boolean
+from .db.stats import EvalStats
+
+
+def _load_query(text_or_path: str, name: str = "Q") -> ConjunctiveQuery:
+    path = pathlib.Path(text_or_path)
+    if path.exists() and path.is_file():
+        return parse_query(path.read_text(), name=path.stem)
+    return parse_query(text_or_path, name=name)
+
+
+def _load_facts(path: str) -> Database:
+    db = Database()
+    for raw in pathlib.Path(path).read_text().splitlines():
+        line = raw.strip().rstrip(".")
+        if not line or line.startswith(("#", "%")):
+            continue
+        db.add_atom(parse_atom(line))
+    return db
+
+
+def _cmd_width(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    print(f"query: {query}")
+    print(f"atoms: {len(query.atoms)}  variables: {len(query.variables)}")
+    acyclic = is_acyclic(query)
+    print(f"acyclic: {acyclic}")
+    width, _ = hypertree_width(query)
+    print(f"hypertree-width: {width}")
+    if args.qw:
+        if len(query.atoms) > args.qw_limit:
+            print(
+                f"query-width: skipped (> {args.qw_limit} atoms; "
+                "NP-hard search — pass --qw-limit to force)"
+            )
+        else:
+            qw, _ = query_width(query)
+            print(f"query-width: {qw}")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    if args.k is not None:
+        hd = decompose_k(query, args.k)
+        if hd is None:
+            print(f"no hypertree decomposition of width <= {args.k}")
+            return 1
+        width = hd.width
+    else:
+        width, hd = hypertree_width(query)
+    print(f"width: {width}")
+    print(hd.render_atoms() if args.atoms else hd.render())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    db = _load_facts(args.facts)
+    stats = EvalStats()
+    if query.is_boolean:
+        answer = evaluate_boolean(query, db, method=args.method, stats=stats)
+        print(f"answer: {answer}")
+    else:
+        relation = evaluate(query, db, method=args.method, stats=stats)
+        print(f"answers ({len(relation)} rows over {relation.attributes}):")
+        for row in sorted(relation.rows, key=repr):
+            print("  " + ", ".join(map(str, row)))
+    if args.stats:
+        print(f"stats: {stats.as_row()}")
+    return 0
+
+
+def _cmd_contains(args: argparse.Namespace) -> int:
+    q2 = _load_query(args.q2, name="Q2")
+    q1 = _load_query(args.q1, name="Q1")
+    result = contains(q2, q1, method=args.method)
+    print(f"Q1 ⊑ Q2: {result}")
+    return 0 if result else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.ids or ["list"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hypertree decompositions and tractable queries "
+        "(Gottlob, Leone, Scarcello — PODS'99/JCSS 2002).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("width", help="acyclicity / hw / qw of a query")
+    p.add_argument("query", help="rule text or a file containing it")
+    p.add_argument("--qw", action="store_true", help="also compute query-width")
+    p.add_argument("--qw-limit", type=int, default=10, dest="qw_limit")
+    p.set_defaults(fn=_cmd_width)
+
+    p = sub.add_parser("decompose", help="compute a hypertree decomposition")
+    p.add_argument("query")
+    p.add_argument("-k", type=int, default=None, help="width bound (else optimal)")
+    p.add_argument(
+        "--atoms", action="store_true", help="Fig.-7 atom representation"
+    )
+    p.set_defaults(fn=_cmd_decompose)
+
+    p = sub.add_parser("evaluate", help="evaluate a query over a facts file")
+    p.add_argument("query")
+    p.add_argument("facts", help="file of ground atoms, one per line")
+    p.add_argument(
+        "--method",
+        default="decomposition",
+        choices=["decomposition", "yannakakis", "naive", "backtracking"],
+    )
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(fn=_cmd_evaluate)
+
+    p = sub.add_parser("contains", help="decide Q1 ⊑ Q2")
+    p.add_argument("q2", help="the containing query Q2")
+    p.add_argument("q1", help="the contained query Q1")
+    p.add_argument(
+        "--method",
+        default="decomposition",
+        choices=["decomposition", "naive", "backtracking"],
+    )
+    p.set_defaults(fn=_cmd_contains)
+
+    p = sub.add_parser("experiments", help="run reproduction experiments")
+    p.add_argument("ids", nargs="*", help="experiment ids, or 'all'")
+    p.set_defaults(fn=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""Core systems: queries, hypergraphs, and the paper's decomposition theory.
+
+Import surface re-exported at package top level; see ``repro/__init__.py``.
+"""
+
+from .acyclicity import gyo_reduction, is_acyclic, join_tree
+from .atoms import Atom, Constant, Term, Variable, atom, variables_of
+from .canonical import canonical_query, hypergraph_width
+from .containment import (
+    canonical_database,
+    contains,
+    equivalent,
+    homomorphism,
+    is_homomorphism,
+    tuple_of_query,
+)
+from .components import (
+    atoms_of_component,
+    components,
+    v_adjacent,
+    v_connected,
+    v_path,
+    vertex_components,
+)
+from .detkdecomp import (
+    SearchStats,
+    decompose_k,
+    decomposition_from_join_tree,
+    has_hypertree_width_at_most,
+    hypertree_width,
+)
+from .games import (
+    StrategyNode,
+    marshals_have_winning_strategy,
+    marshals_width,
+    strategy_to_decomposition,
+)
+from .hgio import (
+    format_hypergraph,
+    load_hypergraph,
+    parse_hypergraph,
+    save_hypergraph,
+)
+from .hypergraph import Hypergraph, query_hypergraph
+from .mcs import is_acyclic_mcs, is_chordal, mcs_order
+from .hypertree import HTNode, HypertreeDecomposition, node
+from .jointree import JoinTree, join_tree_from_edges
+from .normalform import is_normal_form, nf_vertex_bound_holds, normalize
+from .parser import parse_atom, parse_query
+from .query import ConjunctiveQuery, eliminate_constants
+from .querydecomp import QDNode, QueryDecomposition
+from .qwsearch import (
+    decompose_qw,
+    has_query_width_at_most,
+    query_width,
+    set_partitions,
+)
+
+__all__ = [
+    "format_hypergraph",
+    "load_hypergraph",
+    "parse_hypergraph",
+    "save_hypergraph",
+    "StrategyNode",
+    "canonical_database",
+    "contains",
+    "equivalent",
+    "homomorphism",
+    "is_acyclic_mcs",
+    "is_chordal",
+    "is_homomorphism",
+    "marshals_have_winning_strategy",
+    "marshals_width",
+    "mcs_order",
+    "strategy_to_decomposition",
+    "tuple_of_query",
+    "Atom",
+    "Constant",
+    "ConjunctiveQuery",
+    "HTNode",
+    "Hypergraph",
+    "HypertreeDecomposition",
+    "JoinTree",
+    "QDNode",
+    "QueryDecomposition",
+    "SearchStats",
+    "Term",
+    "Variable",
+    "atom",
+    "atoms_of_component",
+    "canonical_query",
+    "components",
+    "decompose_k",
+    "decompose_qw",
+    "decomposition_from_join_tree",
+    "eliminate_constants",
+    "gyo_reduction",
+    "has_hypertree_width_at_most",
+    "has_query_width_at_most",
+    "hypergraph_width",
+    "hypertree_width",
+    "is_acyclic",
+    "is_normal_form",
+    "join_tree",
+    "join_tree_from_edges",
+    "nf_vertex_bound_holds",
+    "node",
+    "normalize",
+    "parse_atom",
+    "parse_query",
+    "query_hypergraph",
+    "query_width",
+    "set_partitions",
+    "v_adjacent",
+    "v_connected",
+    "v_path",
+    "variables_of",
+    "vertex_components",
+]

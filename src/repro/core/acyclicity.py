@@ -1,0 +1,105 @@
+"""Acyclicity testing and join-tree construction via GYO reduction (§2.1).
+
+A conjunctive query is *acyclic* iff its hypergraph is acyclic in the
+standard database-theoretic sense, iff it admits a join tree [3, 4].  The
+classic Graham / Yu–Özsoyoğlu (GYO) reduction decides this:
+
+repeat until no rule applies
+    (a) *ear vertex*: delete a vertex that occurs in exactly one hyperedge;
+    (b) *contained edge*: delete a hyperedge whose (current) vertex set is
+        a subset of another surviving hyperedge.
+
+The query is acyclic iff the reduction erases every hyperedge but one.
+Recording, for each edge deleted by rule (b), the surviving edge that
+contained it yields a join tree (the deleted atom becomes a child of the
+containing atom).  Disconnected acyclic queries reduce fully as well: each
+isolated vertex is an ear, so edges shrink to ∅ and are absorbed by rule
+(b); the resulting tree simply joins the components at arbitrary points,
+which never violates the connectedness condition because distinct
+components share no variables.
+
+The linear-time algorithm of Tarjan–Yannakakis [39] exists; this O(n²·m)
+implementation is simpler and ample for the paper-scale inputs, and its
+output is validated by :meth:`JoinTree.validate` in the test suite.
+"""
+
+from __future__ import annotations
+
+from .atoms import Atom, Variable
+from .jointree import JoinTree
+from .query import ConjunctiveQuery
+
+
+def gyo_reduction(
+    query: ConjunctiveQuery,
+) -> tuple[bool, dict[Atom, Atom], list[str]]:
+    """Run the GYO reduction.
+
+    Returns a triple ``(acyclic, parent, trace)`` where *parent* maps each
+    atom deleted by the containment rule to its absorbing atom, and *trace*
+    is a human-readable log of reduction steps (used by the examples and
+    by debugging tests).
+    """
+    atoms = list(query.atoms)
+    live_vars: dict[Atom, set[Variable]] = {a: set(a.variables) for a in atoms}
+    alive: list[Atom] = list(atoms)
+    parent: dict[Atom, Atom] = {}
+    trace: list[str] = []
+
+    changed = True
+    while changed and len(alive) > 1:
+        changed = False
+        # Rule (a): remove ear vertices (vertices in exactly one live edge).
+        occurrence: dict[Variable, list[Atom]] = {}
+        for a in alive:
+            for v in live_vars[a]:
+                occurrence.setdefault(v, []).append(a)
+        for v, owners in occurrence.items():
+            if len(owners) == 1:
+                live_vars[owners[0]].discard(v)
+                trace.append(f"ear vertex {v} removed from {owners[0]}")
+                changed = True
+        # Rule (b): remove edges contained in another live edge.
+        for a in list(alive):
+            if len(alive) == 1:
+                break
+            for b in alive:
+                if a is b:
+                    continue
+                if live_vars[a] <= live_vars[b]:
+                    alive.remove(a)
+                    parent[a] = b
+                    trace.append(f"edge {a} absorbed into {b}")
+                    changed = True
+                    break
+    return len(alive) == 1, parent, trace
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """True iff *query* is acyclic (has a join tree).  Paper §2.1."""
+    if not query.atoms:
+        return True
+    acyclic, _, _ = gyo_reduction(query)
+    return acyclic
+
+
+def join_tree(query: ConjunctiveQuery) -> JoinTree | None:
+    """Compute a join tree of *query*, or ``None`` if the query is cyclic.
+
+    The tree is extracted from the GYO parent links: the last surviving
+    atom is the root, and every absorbed atom hangs below its absorber.
+    """
+    if not query.atoms:
+        return None
+    acyclic, parent, _ = gyo_reduction(query)
+    if not acyclic:
+        return None
+    children: dict[Atom, list[Atom]] = {}
+    root: Atom | None = None
+    for a in query.atoms:
+        if a in parent:
+            children.setdefault(parent[a], []).append(a)
+        else:
+            root = a
+    assert root is not None  # exactly one survivor when acyclic
+    return JoinTree(root, {k: tuple(v) for k, v in children.items()})

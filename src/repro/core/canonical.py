@@ -1,0 +1,105 @@
+"""Hypergraph-level decompositions via canonical queries (Appendix A).
+
+Appendix A lifts hypertree decompositions from queries to hypergraphs and
+relates the two settings:
+
+* the *canonical query* ``cq(H)`` of a hypergraph has one atom per edge,
+  with the edge's (lexicographically ordered) vertices as arguments
+  (Definition A.2);
+* every hypertree decomposition of ``H`` is one of ``cq(H)`` and vice
+  versa (Theorem A.3), hence ``hw(H) = hw(cq(H))`` (Corollary A.4);
+* the hypertree-width of a query equals that of its hypergraph ``H(Q)``
+  (Theorem A.7) — the proof maps λ-labels edge↔atom, choosing one witness
+  atom per edge in the query direction.
+
+This module implements the canonical query, hypergraph-level width, and
+the two label-translation maps of Theorem A.7.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .atoms import Atom, Variable
+from .detkdecomp import Strategy, hypertree_width
+from .hypergraph import Hypergraph
+from .hypertree import HypertreeDecomposition
+from .query import ConjunctiveQuery
+
+
+def _vertex_variable(vertex: Hashable) -> Variable:
+    """Identify a hypergraph vertex with a query variable (Appendix A
+    identifies the two settings; vertices that are already variables pass
+    through unchanged)."""
+    if isinstance(vertex, Variable):
+        return vertex
+    return Variable(str(vertex))
+
+
+def canonical_query(hypergraph: Hypergraph, name: str = "cq") -> ConjunctiveQuery:
+    """``cq(H)``: one atom per edge over the edge's sorted vertices
+    (Definition A.2).
+
+    Predicate names reuse the hypergraph's edge names (made unique by
+    construction), so the correspondence edge ↔ atom is a bijection.
+    """
+    body: list[Atom] = []
+    for edge_name, edge in hypergraph.edge_map:
+        ordered = sorted(edge, key=lambda v: str(v))
+        terms = tuple(_vertex_variable(v) for v in ordered)
+        body.append(Atom(_predicate_name(edge_name), terms))
+    return ConjunctiveQuery(tuple(body), (), name)
+
+
+def _predicate_name(edge_name: str) -> str:
+    """Edge names may embed atom renderings (``"0:r(X,Y)"``); sanitise to a
+    plain identifier so the canonical query is re-parseable."""
+    cleaned = "".join(ch if ch.isalnum() else "_" for ch in edge_name)
+    return f"e_{cleaned}" if cleaned and cleaned[0].isdigit() else cleaned or "e"
+
+
+def hypergraph_width(
+    hypergraph: Hypergraph,
+    max_k: int | None = None,
+    strategy: Strategy = "relevant",
+) -> tuple[int, HypertreeDecomposition]:
+    """``hw(H)`` computed through the canonical query (Corollary A.4)."""
+    return hypertree_width(canonical_query(hypergraph), max_k, strategy)
+
+
+def decomposition_to_hypergraph_labels(
+    hd: HypertreeDecomposition,
+) -> list[tuple[frozenset[Variable], frozenset[frozenset[Variable]]]]:
+    """The query→hypergraph direction of Theorem A.7.
+
+    Each node's λ-label of atoms is mapped to the set of their variable
+    sets ``{var(A) : A ∈ λ(p)}``; the result is the (χ, λ') label list of
+    an equal-or-smaller-width hypertree decomposition of ``H(Q)``.
+    """
+    result = []
+    for n in hd.nodes:
+        edges = frozenset(a.variables for a in n.lam)
+        result.append((n.chi, edges))
+    return result
+
+
+def hypergraph_decomposition_to_query(
+    query: ConjunctiveQuery, hd: HypertreeDecomposition
+) -> HypertreeDecomposition:
+    """The hypergraph→query direction of Theorem A.7.
+
+    Given a decomposition whose λ-labels are atoms of ``cq(H(Q))``, choose
+    for each hyperedge one witness atom of *query* with that variable set
+    and relabel.  Width is preserved exactly (one atom per edge).
+    """
+    witness: dict[frozenset[Variable], Atom] = {}
+    for a in query.atoms:
+        witness.setdefault(a.variables, a)
+
+    def relabel(node):
+        lam = frozenset(witness[a.variables] for a in node.lam)
+        return node.chi, lam
+
+    return HypertreeDecomposition(
+        query, hd.map_nodes(relabel).root
+    )

@@ -1,0 +1,181 @@
+"""``[V]``-paths, ``[V]``-connectedness and ``[V]``-components (paper §3.2).
+
+These definitions are the combinatorial heart of both query decompositions
+and hypertree decompositions:
+
+* ``X`` is *[V]-adjacent* to ``Y`` iff some atom ``A`` has
+  ``{X, Y} ⊆ var(A) − V``;
+* a *[V]-path* is a chain of [V]-adjacent variables;
+* a *[V]-component* is a maximal [V]-connected non-empty set of variables
+  ``W ⊆ var(Q) − V``.
+
+The functions here operate on plain collections of variable sets (one per
+atom / hyperedge), so the same code serves conjunctive queries (§3.2) and
+hypergraphs (Appendix A).
+
+Two structural facts used throughout the library (and checked by property
+tests) follow directly from the definitions:
+
+1. the [V]-components partition ``var(Q) − V``;
+2. for every [V]-component ``C``, ``var(atoms(C)) ⊆ C ∪ V`` — an atom that
+   touches ``C`` cannot reach any *other* component, since all its non-V
+   variables are pairwise [V]-adjacent and hence inside ``C``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Sequence, TypeVar
+
+from .atoms import Atom, Variable
+
+V = TypeVar("V", bound=Hashable)
+
+
+class _UnionFind:
+    """Minimal union-find over hashable items (path halving + union by size)."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+
+    def find(self, item: Hashable) -> Hashable:
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._size[item] = 1
+            return item
+        root = item
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+    def groups(self) -> list[set[Hashable]]:
+        result: dict[Hashable, set[Hashable]] = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), set()).add(item)
+        return list(result.values())
+
+
+def vertex_components(
+    edge_sets: Iterable[frozenset[V]], separator: frozenset[V] | set[V]
+) -> list[frozenset[V]]:
+    """Compute the [separator]-components of the given edge sets.
+
+    Each element of *edge_sets* is the variable set of one atom (or one
+    hyperedge).  Within a single edge, all vertices outside the separator
+    are pairwise [V]-adjacent, so a union-find pass over the edges suffices.
+
+    Returns the components as frozensets, sorted by their smallest element's
+    ``repr`` for determinism.
+    """
+    separator = frozenset(separator)
+    uf = _UnionFind()
+    for edge in edge_sets:
+        remaining = [v for v in edge if v not in separator]
+        if not remaining:
+            continue
+        first = remaining[0]
+        uf.find(first)
+        for other in remaining[1:]:
+            uf.union(first, other)
+    groups = [frozenset(g) for g in uf.groups()]
+    return sorted(groups, key=lambda g: sorted(repr(v) for v in g))
+
+
+def components(query, separator: Iterable[Variable]) -> list[frozenset[Variable]]:
+    """The [V]-components of a conjunctive query (paper §3.2).
+
+    *query* is a :class:`~repro.core.query.ConjunctiveQuery`;
+    *separator* is the variable set ``V``.
+    """
+    sep = frozenset(separator)
+    return vertex_components([a.variables for a in query.atoms], sep)
+
+
+def atoms_of_component(query, component: Iterable[Variable]) -> tuple[Atom, ...]:
+    """``atoms(C)``: the atoms whose variable set intersects *component*."""
+    comp = frozenset(component)
+    return tuple(a for a in query.atoms if a.variables & comp)
+
+
+def edges_of_component(
+    edge_sets: Sequence[frozenset[V]], component: frozenset[V]
+) -> list[int]:
+    """Indices of the edges whose vertex set intersects *component*."""
+    return [i for i, e in enumerate(edge_sets) if e & component]
+
+
+def v_adjacent(query, separator: Iterable[Variable], x: Variable, y: Variable) -> bool:
+    """True iff *x* is [V]-adjacent to *y* in *query* (paper §3.2)."""
+    sep = frozenset(separator)
+    if x in sep or y in sep:
+        return False
+    for a in query.atoms:
+        free = a.variables - sep
+        if x in free and y in free:
+            return True
+    return False
+
+
+def v_path(
+    query, separator: Iterable[Variable], x: Variable, y: Variable
+) -> list[Variable] | None:
+    """Return a [V]-path from *x* to *y* as a variable sequence, or ``None``.
+
+    A path of length 0 (``x == y``) is permitted, matching the paper's
+    ``h ≥ 0`` convention.  Implemented as a BFS over the [V]-adjacency
+    relation; the returned witness is checked in tests against
+    :func:`v_adjacent` link by link.
+    """
+    sep = frozenset(separator)
+    if x in sep or y in sep:
+        return None
+    if x == y:
+        return [x]
+    # Precompute adjacency lists: within each atom, all free variables are
+    # mutually adjacent.
+    adjacency: dict[Variable, set[Variable]] = {}
+    for a in query.atoms:
+        free = a.variables - sep
+        for u in free:
+            adjacency.setdefault(u, set()).update(free - {u})
+    if x not in adjacency or y not in adjacency:
+        return None
+    predecessor: dict[Variable, Variable] = {x: x}
+    queue: deque[Variable] = deque([x])
+    while queue:
+        current = queue.popleft()
+        for nxt in adjacency.get(current, ()):
+            if nxt in predecessor:
+                continue
+            predecessor[nxt] = current
+            if nxt == y:
+                path = [y]
+                while path[-1] != x:
+                    path.append(predecessor[path[-1]])
+                path.reverse()
+                return path
+            queue.append(nxt)
+    return None
+
+
+def v_connected(
+    query, separator: Iterable[Variable], variables: Iterable[Variable]
+) -> bool:
+    """True iff *variables* form a [V]-connected set (paper §3.2)."""
+    members = list(variables)
+    if not members:
+        return True
+    first = members[0]
+    return all(v_path(query, separator, first, other) is not None for other in members)

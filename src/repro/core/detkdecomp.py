@@ -1,0 +1,315 @@
+"""Deciding ``hw(Q) ≤ k`` and computing hypertree decompositions (§5.2).
+
+The paper presents ``k-decomp`` (Fig. 10) as an *alternating* logspace
+algorithm: existentially guess a λ-label ``S`` of at most ``k`` atoms for
+the current ``[var(R)]``-component ``C_R``, check two conditions, then
+universally recurse into every ``[var(S)]``-component contained in ``C_R``.
+Membership in LOGCFL follows from the polynomial bound on accepting
+computation trees (Lemma 5.15).
+
+Alternation is not a runnable artifact, so — exactly as the authors do in
+Appendix B and in their later det-k-decomp work — we realise the same
+search space deterministically with memoisation.  The key observation is
+that a subproblem is fully determined by the pair
+
+    ``(C, W)``  with  ``W = var(atoms(C)) ∩ var(R)``,
+
+because the paper's Step-2 check "for every ``P ∈ atoms(C_R)``:
+``var(P) ∩ var(R) ⊆ var(S)``" depends on ``R`` only through ``W``
+(take the union over ``P``).  The number of distinct pairs is polynomial
+(each ``C`` is a component of one of the ≤ ``m^k`` separators), which is
+the deterministic shadow of the LOGCFL tree-size bound.
+
+Two structural facts keep the recursion sound (both follow from §3.2 and
+are verified by property tests in ``tests/core/test_components.py``):
+
+* for a ``[var(R)]``-component ``C``: ``var(atoms(C)) ⊆ C ∪ var(R)`` —
+  hence every later ``[var(S)]``-component that intersects ``C`` is
+  contained in ``C`` whenever ``W ⊆ var(S)``;
+* the witness-tree labelling ``χ(s) = var(S) ∩ (W ∪ C)`` yields a valid,
+  normal-form decomposition (Lemma 5.13); dropping λ-variables outside
+  ``W ∪ C`` from χ is harmless since such variables cannot reappear in the
+  subtree.
+
+Candidate λ-labels
+------------------
+``strategy="all"`` enumerates every ≤ k-subset of ``atoms(Q)`` — the
+literal search space of Fig. 10.  ``strategy="relevant"`` (default)
+restricts the pool to atoms intersecting ``C ∪ W``: an atom disjoint from
+``C ∪ W`` contributes nothing to the two Step-2 checks, to χ, or to the
+component structure inside ``C`` (its variables cannot be [var(S)]-adjacent
+to ``C``), so removing it from any accepting guess leaves an accepting
+guess.  Experiment E18 cross-validates the two strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, Literal
+
+from .acyclicity import join_tree
+from .atoms import Atom, Variable, variables_of
+from .components import vertex_components
+from .hypertree import HTNode, HypertreeDecomposition
+from .query import ConjunctiveQuery
+
+Strategy = Literal["relevant", "all"]
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one ``decompose_k`` run.
+
+    ``subproblems`` is the number of distinct ``(C, W)`` pairs explored —
+    the deterministic analogue of the paper's accepting-computation-tree
+    size, reported by experiments E10/E18.
+    """
+
+    subproblems: int = 0
+    memo_hits: int = 0
+    candidates_tried: int = 0
+    k: int = 0
+    strategy: str = "relevant"
+
+    def as_row(self) -> dict[str, int | str]:
+        return {
+            "k": self.k,
+            "strategy": self.strategy,
+            "subproblems": self.subproblems,
+            "memo_hits": self.memo_hits,
+            "candidates": self.candidates_tried,
+        }
+
+
+class _Search:
+    """One memoised search for a width-≤k decomposition of a query."""
+
+    def __init__(self, query: ConjunctiveQuery, k: int, strategy: Strategy):
+        self.query = query
+        self.k = k
+        self.strategy = strategy
+        self.atoms: tuple[Atom, ...] = query.atoms
+        self.edge_sets = [a.variables for a in self.atoms]
+        self.memo: dict[
+            tuple[frozenset[Variable], frozenset[Variable]], HTNode | None
+        ] = {}
+        self.stats = SearchStats(k=k, strategy=strategy)
+
+    # -- candidate enumeration -------------------------------------------
+    def _pool(
+        self, component: frozenset[Variable], connector: frozenset[Variable]
+    ) -> list[Atom]:
+        if self.strategy == "all":
+            return list(self.atoms)
+        touched = component | connector
+        return [a for a in self.atoms if a.variables & touched]
+
+    def _candidates(
+        self, component: frozenset[Variable], connector: frozenset[Variable]
+    ) -> Iterator[tuple[Atom, ...]]:
+        """All ≤ k-subsets of the pool, smallest first.
+
+        Atoms covering connector variables are ordered first so that early
+        combinations are more likely to satisfy the cover check.
+        """
+        pool = self._pool(component, connector)
+        pool.sort(
+            key=lambda a: (-len(a.variables & connector), -len(a.variables & component), str(a))
+        )
+        for size in range(1, self.k + 1):
+            yield from combinations(pool, size)
+
+    # -- the recursion -----------------------------------------------------
+    def solve(
+        self, component: frozenset[Variable], connector: frozenset[Variable]
+    ) -> HTNode | None:
+        """Decide the subproblem (C, W); return a witness subtree or None.
+
+        The returned subtree is a private blueprint: callers must
+        ``copy_tree()`` before attaching it (node objects must stay unique
+        within a decomposition tree).
+        """
+        key = (component, connector)
+        if key in self.memo:
+            self.stats.memo_hits += 1
+            return self.memo[key]
+        self.memo[key] = None  # fail-closed while exploring (cycle guard)
+        self.stats.subproblems += 1
+
+        for label in self._candidates(component, connector):
+            self.stats.candidates_tried += 1
+            label_vars = variables_of(label)
+            # Step 2(a): connector coverage.
+            if not connector <= label_vars:
+                continue
+            # Step 2(b): progress into the component.
+            if not label_vars & component:
+                continue
+            # Step 4: recurse into the [var(S)]-components inside C.
+            sub_components = [
+                c
+                for c in vertex_components(self.edge_sets, label_vars)
+                if c & component
+            ]
+            # By the structural lemma these are contained in C; assert the
+            # invariant rather than silently mis-recursing.
+            assert all(c <= component for c in sub_components), (
+                "a [var(S)]-component escaped its parent component; "
+                "connector invariant violated"
+            )
+            children: list[HTNode] = []
+            for sub in sub_components:
+                sub_connector = self._component_frontier(sub) & label_vars
+                child = self.solve(sub, sub_connector)
+                if child is None:
+                    break
+                children.append(child)
+            else:
+                chi = label_vars & (connector | component)
+                result = HTNode(chi, label, children)
+                self.memo[key] = result
+                return result
+        return None
+
+    def _component_frontier(self, component: frozenset[Variable]) -> frozenset[Variable]:
+        """``var(atoms(C))`` for a component C."""
+        result: set[Variable] = set()
+        for edge in self.edge_sets:
+            if edge & component:
+                result.update(edge)
+        return frozenset(result)
+
+
+def decompose_k(
+    query: ConjunctiveQuery,
+    k: int,
+    strategy: Strategy = "relevant",
+    stats: SearchStats | None = None,
+) -> HypertreeDecomposition | None:
+    """Compute a width-≤k hypertree decomposition of *query*, or ``None``.
+
+    The returned decomposition is in normal form (Definition 5.1) by
+    construction (Lemma 5.13) — property tests assert both validity and
+    normal-formness of every tree produced here.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query (constants are treated as fresh variables by
+        the caller if desired; see :func:`repro.core.query.eliminate_constants`).
+    k:
+        The width bound (``k ≥ 1``).
+    strategy:
+        Candidate-pool strategy, ``"relevant"`` (default) or ``"all"``.
+    stats:
+        Optional :class:`SearchStats` that will be filled with search
+        instrumentation.
+    """
+    if k < 1:
+        raise ValueError("width bound k must be at least 1")
+    if not query.atoms:
+        return None
+    search = _Search(query, k, strategy)
+
+    roots: list[HTNode] = []
+    all_components = vertex_components(search.edge_sets, frozenset())
+    for component in all_components:
+        connector: frozenset[Variable] = frozenset()
+        subtree = search.solve(component, connector)
+        if subtree is None:
+            if stats is not None:
+                stats.__dict__.update(search.stats.__dict__)
+            return None
+        roots.append(subtree.copy_tree())
+
+    # Atoms without variables are covered by any node (var(A) = ∅ ⊆ χ);
+    # if the whole query is variable-free, emit a single trivial node.
+    if not roots:
+        first = query.atoms[0]
+        roots.append(HTNode(frozenset(), {first}))
+
+    root = roots[0]
+    if len(roots) > 1:
+        root.children = root.children + tuple(roots[1:])
+    _apply_witness_chi(root)
+    if stats is not None:
+        stats.__dict__.update(search.stats.__dict__)
+    return HypertreeDecomposition(query, root)
+
+
+def _apply_witness_chi(root: HTNode) -> None:
+    """Lift χ labels to the paper's witness-tree form (§5.2).
+
+    The memoised search labels a node with ``χ = var(λ) ∩ (W ∪ C)`` where
+    ``W ⊆ χ(parent)`` is the connector; the paper's witness trees use
+    ``χ(s) = var(λ(s)) ∩ (χ(r) ∪ C)``, which additionally keeps λ-variables
+    shared with the parent's χ beyond the connector.  This top-down pass
+    adds exactly those variables, which is what Normal-Form condition 3
+    (Definition 5.1) requires; each added variable occurs in the parent's
+    χ, so condition 2 connectivity is preserved, and it never reappears
+    outside the paths created here, so condition 4 is preserved too.
+    """
+    stack = [root]
+    while stack:
+        parent = stack.pop()
+        for child in parent.children:
+            child.chi = child.chi | (child.lambda_variables & parent.chi)
+            stack.append(child)
+
+
+def has_hypertree_width_at_most(
+    query: ConjunctiveQuery, k: int, strategy: Strategy = "relevant"
+) -> bool:
+    """Decide ``hw(Q) ≤ k`` (Theorem 5.14: k-decomp accepts iff hw ≤ k)."""
+    return decompose_k(query, k, strategy) is not None
+
+
+def hypertree_width(
+    query: ConjunctiveQuery,
+    max_k: int | None = None,
+    strategy: Strategy = "relevant",
+) -> tuple[int, HypertreeDecomposition]:
+    """Compute ``hw(Q)`` and an optimal-width decomposition.
+
+    Iterates ``k = 1, 2, ...`` (with the acyclic case short-circuited
+    through the GYO join tree, per Theorem 4.5) and returns the first
+    success.  ``max_k`` bounds the search; on exhaustion a ``ValueError``
+    is raised — ``hw(Q) ≤ |atoms(Q)|`` always holds, so the default bound
+    is the number of atoms.
+
+    >>> from repro.generators.paper_queries import q1
+    >>> width, hd = hypertree_width(q1())
+    >>> width
+    2
+    """
+    if not query.atoms:
+        raise ValueError("hypertree width of an empty query is undefined")
+    jt = join_tree(query)
+    if jt is not None:
+        from .normalform import normalize  # local import: avoids a cycle
+
+        hd = normalize(decomposition_from_join_tree(query, jt))
+        return 1, hd
+    limit = max_k if max_k is not None else len(query.atoms)
+    for k in range(2, limit + 1):
+        hd = decompose_k(query, k, strategy)
+        if hd is not None:
+            return k, hd
+    raise ValueError(f"no hypertree decomposition of width ≤ {limit} found")
+
+
+def decomposition_from_join_tree(
+    query: ConjunctiveQuery, jt
+) -> HypertreeDecomposition:
+    """The Theorem 4.5 (only-if) construction: a join tree is a width-1
+    hypertree decomposition with ``χ(p) = var(λ(p))``."""
+
+    def build(atom: Atom) -> HTNode:
+        return HTNode(
+            atom.variables,
+            {atom},
+            (build(c) for c in jt.children(atom)),
+        )
+
+    return HypertreeDecomposition(query, build(jt.root))

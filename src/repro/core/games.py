@@ -1,0 +1,183 @@
+"""The Robber-and-Marshals game characterisation of hypertree-width.
+
+Section 1.4 points to the authors' companion result ([23], "Robbers,
+marshals, and guards"): ``hw(Q) ≤ k`` iff ``k`` *marshals* have a
+monotone winning strategy against a robber on the query's hypergraph.
+
+Game rules (monotone variant):
+
+* a position is a pair ``(M, R)``: the marshals occupy a set ``M`` of at
+  most ``k`` hyperedges, the robber controls a space ``R`` — a
+  ``[var(M)]``-component;
+* marshals announce a move ``M → M'``; while they fly, the robber runs
+  along paths that avoid the *shield* ``var(M) ∩ var(M')``, reaching any
+  ``[var(M')]``-component connected to his space through non-shield
+  vertices;
+* the *monotone* game requires the robber's space never to grow: a move
+  is safe only if every component he can reach is contained in ``R``;
+* the marshals win when the robber has no component left
+  (``R ⊆ var(M')``).
+
+This module implements the game *directly from these rules* — it shares
+no logic with :mod:`repro.core.detkdecomp` — so the test-suite equality
+``marshals_width(Q) = hw(Q)`` on the corpus and on random queries is a
+genuine cross-validation of both implementations (and of the [23]
+theorem).  A winning strategy tree converts to a hypertree decomposition
+(:func:`strategy_to_decomposition`): marshal moves become λ-labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from .atoms import Atom, Variable, variables_of
+from .components import vertex_components
+from .hypertree import HTNode, HypertreeDecomposition
+from .query import ConjunctiveQuery
+
+
+@dataclass
+class StrategyNode:
+    """One marshal move and the robber options it leaves open."""
+
+    marshals: frozenset[Atom]
+    robber_space: frozenset[Variable]
+    children: tuple["StrategyNode", ...]
+
+    def max_marshals(self) -> int:
+        size = len(self.marshals)
+        for child in self.children:
+            size = max(size, child.max_marshals())
+        return size
+
+    def positions(self) -> int:
+        return 1 + sum(c.positions() for c in self.children)
+
+
+class _Game:
+    def __init__(self, query: ConjunctiveQuery, k: int):
+        self.query = query
+        self.k = k
+        self.atoms = query.atoms
+        self.edge_sets = [a.variables for a in self.atoms]
+        self.memo: dict[
+            tuple[frozenset[Variable], frozenset[Variable]], StrategyNode | None
+        ] = {}
+
+    def _reachable_space(
+        self, space: frozenset[Variable], shield: frozenset[Variable]
+    ) -> frozenset[Variable]:
+        """Vertices the robber can reach from *space* while the marshals
+        fly: the union of [shield]-components touching his space."""
+        region: set[Variable] = set(space - shield)
+        for component in vertex_components(self.edge_sets, shield):
+            if component & space:
+                region |= component
+        return frozenset(region)
+
+    def win(
+        self, space: frozenset[Variable], marshal_vars: frozenset[Variable]
+    ) -> StrategyNode | None:
+        key = (space, marshal_vars)
+        if key in self.memo:
+            cached = self.memo[key]
+            return cached if cached is None else cached
+        self.memo[key] = None
+
+        relevant = [a for a in self.atoms if a.variables & (space | marshal_vars)]
+        for size in range(1, self.k + 1):
+            for move in combinations(relevant, size):
+                move_vars = variables_of(move)
+                if not move_vars & space:
+                    continue  # the move never traps anything new
+                shield = marshal_vars & move_vars
+                region = self._reachable_space(space, shield)
+                new_spaces = [
+                    c
+                    for c in vertex_components(self.edge_sets, move_vars)
+                    if c & region
+                ]
+                if any(not c <= space for c in new_spaces):
+                    continue  # robber escapes (or the move is non-monotone)
+                children = []
+                for c in new_spaces:
+                    sub = self.win(c, move_vars)
+                    if sub is None:
+                        break
+                    children.append(sub)
+                else:
+                    node = StrategyNode(
+                        frozenset(move), space, tuple(children)
+                    )
+                    self.memo[key] = node
+                    return node
+        return None
+
+
+def marshals_have_winning_strategy(
+    query: ConjunctiveQuery, k: int
+) -> StrategyNode | None:
+    """A monotone winning strategy for k marshals, or ``None``.
+
+    Disconnected queries: the robber picks his component first, so the
+    marshals must win on every [∅]-component; the returned strategy trees
+    are joined under the first move (mirroring decompositions).
+    """
+    if k < 1:
+        raise ValueError("at least one marshal is required")
+    if not query.atoms:
+        return None
+    game = _Game(query, k)
+    roots: list[StrategyNode] = []
+    for component in vertex_components(game.edge_sets, frozenset()):
+        strategy = game.win(component, frozenset())
+        if strategy is None:
+            return None
+        roots.append(strategy)
+    if not roots:  # variable-free query: one trivial move wins
+        return StrategyNode(frozenset({query.atoms[0]}), frozenset(), ())
+    root = roots[0]
+    if len(roots) > 1:
+        root = StrategyNode(
+            root.marshals, root.robber_space, root.children + tuple(roots[1:])
+        )
+    return root
+
+
+def marshals_width(query: ConjunctiveQuery, max_k: int | None = None) -> int:
+    """The least k such that k marshals win the monotone game.
+
+    By [23] this equals ``hw(Q)`` — asserted against
+    :func:`repro.core.detkdecomp.hypertree_width` throughout the tests.
+    """
+    limit = max_k if max_k is not None else max(1, len(query.atoms))
+    for k in range(1, limit + 1):
+        if marshals_have_winning_strategy(query, k) is not None:
+            return k
+    raise ValueError(f"no winning strategy with ≤ {limit} marshals")
+
+
+def strategy_to_decomposition(
+    query: ConjunctiveQuery, strategy: StrategyNode
+) -> HypertreeDecomposition:
+    """Turn a monotone winning strategy into a hypertree decomposition.
+
+    λ(node) = the marshal move; χ(node) = its variables restricted to the
+    robber space plus the parent's χ (the witness-tree labelling of §5.2,
+    which monotone safety makes valid — see the game/connector remark in
+    the module docstring).
+    """
+
+    def build(node: StrategyNode, parent_chi: frozenset[Variable]) -> HTNode:
+        move_vars = variables_of(node.marshals)
+        chi = move_vars & (node.robber_space | parent_chi)
+        if not parent_chi:
+            chi = move_vars
+        return HTNode(
+            chi,
+            node.marshals,
+            tuple(build(c, chi) for c in node.children),
+        )
+
+    return HypertreeDecomposition(query, build(strategy, frozenset()))

@@ -1,0 +1,161 @@
+"""Hypergraphs and the query hypergraph ``H(Q)`` (paper §2.1, Appendix A).
+
+The hypergraph of a query has the query's variables as vertices and one
+hyperedge ``var(A)`` per body atom ``A``.  Appendix A defines hypertree
+decompositions directly on hypergraphs; Theorem A.3 shows the two settings
+coincide through the *canonical query* (see :mod:`repro.core.canonical`).
+
+Edges are *named*: two atoms with the same variable set give two distinct
+edges with different names, mirroring the paper's treatment where an edge of
+``H(Q)`` may correspond to several atoms (proof of Theorem A.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from .._errors import SchemaError
+from .components import vertex_components
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """An immutable hypergraph with named edges.
+
+    Attributes
+    ----------
+    edge_map:
+        Mapping from edge name to the frozenset of vertices of that edge.
+    extra_vertices:
+        Vertices not covered by any edge (allowed, though query hypergraphs
+        never produce them).
+    """
+
+    edge_map: tuple[tuple[str, frozenset[Hashable]], ...]
+    extra_vertices: frozenset[Hashable] = frozenset()
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.edge_map]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate edge names in hypergraph")
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def from_edges(
+        edges: Mapping[str, Iterable[Hashable]] | Iterable[Iterable[Hashable]],
+        extra_vertices: Iterable[Hashable] = (),
+    ) -> "Hypergraph":
+        """Build a hypergraph from named or anonymous edges.
+
+        Anonymous edges are auto-named ``e0, e1, ...`` in iteration order.
+        """
+        pairs: list[tuple[str, frozenset[Hashable]]] = []
+        if isinstance(edges, Mapping):
+            for name, vertices in edges.items():
+                pairs.append((str(name), frozenset(vertices)))
+        else:
+            for index, vertices in enumerate(edges):
+                pairs.append((f"e{index}", frozenset(vertices)))
+        names = [name for name, _ in pairs]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate edge names in hypergraph")
+        return Hypergraph(tuple(pairs), frozenset(extra_vertices))
+
+    @staticmethod
+    def of_query(query) -> "Hypergraph":
+        """``H(Q)``: one edge per body atom, named by atom position.
+
+        Edge names embed the atom's rendering for readability:
+        ``"0:r(X,Y)"``.
+        """
+        pairs = tuple(
+            (f"{index}:{atom}", atom.variables)
+            for index, atom in enumerate(query.atoms)
+        )
+        return Hypergraph(pairs)
+
+    # -- views -----------------------------------------------------------
+    @cached_property
+    def vertices(self) -> frozenset[Hashable]:
+        """``var(H)``: all vertices of the hypergraph."""
+        result: set[Hashable] = set(self.extra_vertices)
+        for _, edge in self.edge_map:
+            result.update(edge)
+        return frozenset(result)
+
+    @cached_property
+    def edges(self) -> tuple[frozenset[Hashable], ...]:
+        """``edges(H)``: the vertex sets, in declaration order."""
+        return tuple(edge for _, edge in self.edge_map)
+
+    @cached_property
+    def edge_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.edge_map)
+
+    def edge(self, name: str) -> frozenset[Hashable]:
+        for edge_name, edge in self.edge_map:
+            if edge_name == name:
+                return edge
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return len(self.edge_map)
+
+    def __iter__(self) -> Iterator[frozenset[Hashable]]:
+        return iter(self.edges)
+
+    def edges_with_vertex(self, vertex: Hashable) -> list[frozenset[Hashable]]:
+        return [edge for edge in self.edges if vertex in edge]
+
+    # -- connectivity ----------------------------------------------------
+    def v_components(
+        self, separator: Iterable[Hashable]
+    ) -> list[frozenset[Hashable]]:
+        """The [separator]-components of the hypergraph (Appendix A)."""
+        return vertex_components(self.edges, frozenset(separator))
+
+    @cached_property
+    def connected_components(self) -> list[frozenset[Hashable]]:
+        """Connected components of the hypergraph ([∅]-components plus
+        isolated extra vertices)."""
+        comps = self.v_components(frozenset())
+        comps.extend(frozenset({v}) for v in sorted(self.extra_vertices, key=repr))
+        return comps
+
+    @property
+    def is_connected(self) -> bool:
+        return len(self.connected_components) <= 1
+
+    # -- derived graphs ----------------------------------------------------
+    def primal_edges(self) -> set[frozenset[Hashable]]:
+        """Edges of the primal (Gaifman) graph: pairs co-occurring in a
+        hyperedge (paper §6)."""
+        result: set[frozenset[Hashable]] = set()
+        for edge in self.edges:
+            members = sorted(edge, key=repr)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    result.add(frozenset({u, v}))
+        return result
+
+    def restrict(self, vertices: Iterable[Hashable]) -> "Hypergraph":
+        """The subhypergraph induced by *vertices* (empty edges dropped)."""
+        keep = frozenset(vertices)
+        pairs = tuple(
+            (name, edge & keep) for name, edge in self.edge_map if edge & keep
+        )
+        return Hypergraph(pairs, self.extra_vertices & keep)
+
+    def __str__(self) -> str:
+        parts = []
+        for name, edge in self.edge_map:
+            vs = ",".join(sorted(str(v) for v in edge))
+            parts.append(f"{name}={{{vs}}}")
+        return f"Hypergraph({'; '.join(parts)})"
+
+
+def query_hypergraph(query) -> Hypergraph:
+    """Convenience alias for :meth:`Hypergraph.of_query`."""
+    return Hypergraph.of_query(query)

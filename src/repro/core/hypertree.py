@@ -1,0 +1,342 @@
+"""Hypertree decompositions and hypertree-width (paper §4.1, §5.1).
+
+A *hypertree* for a query ``Q`` is a triple ``⟨T, χ, λ⟩`` of a rooted tree
+and two labelling functions: ``χ(p) ⊆ var(Q)`` selects the variables a node
+is responsible for, and ``λ(p) ⊆ atoms(Q)`` is a set of atoms *covering*
+those variables.  A hypertree is a **hypertree decomposition** (Definition
+4.1) when:
+
+1. every atom ``A`` has a node with ``var(A) ⊆ χ(p)``            (coverage);
+2. for every variable ``Y``, ``{p : Y ∈ χ(p)}`` is connected     (connectedness);
+3. ``χ(p) ⊆ var(λ(p))`` for every node                           (χ covered by λ);
+4. ``var(λ(p)) ∩ χ(T_p) ⊆ χ(p)`` for every node                  (the "descent"
+   condition — variables of λ(p) that reappear below must be in χ(p)).
+
+The *width* is ``max_p |λ(p)|``; the hypertree-width ``hw(Q)`` is the
+minimum width over all hypertree decompositions (computed by
+:mod:`repro.core.detkdecomp`).
+
+This module provides the decomposition object with validation, the
+*complete decomposition* transformation (Definition 4.2 / Lemma 4.4), the
+``treecomp`` labelling and the normal-form condition checks of Definition
+5.1 (the normal-form *transformation* of Theorem 5.4 lives in
+:mod:`repro.core.normalform`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .._errors import DecompositionError
+from ..graphs import trees
+from .atoms import Atom, Variable, variables_of
+from .components import vertex_components
+from .query import ConjunctiveQuery
+
+
+class HTNode:
+    """One vertex of a hypertree: a (χ, λ) pair plus children.
+
+    Nodes compare by identity (two nodes may carry equal labels), which is
+    what the tree-connectivity checks require.
+    """
+
+    __slots__ = ("chi", "lam", "children")
+
+    def __init__(
+        self,
+        chi: Iterable[Variable],
+        lam: Iterable[Atom],
+        children: Iterable["HTNode"] = (),
+    ):
+        self.chi: frozenset[Variable] = frozenset(chi)
+        self.lam: frozenset[Atom] = frozenset(lam)
+        self.children: tuple[HTNode, ...] = tuple(children)
+
+    @property
+    def lambda_variables(self) -> frozenset[Variable]:
+        """``var(λ(p))``."""
+        return variables_of(self.lam)
+
+    def copy_tree(self) -> "HTNode":
+        """Deep copy of the subtree rooted here (labels are shared;
+        they are immutable)."""
+        return HTNode(self.chi, self.lam, (c.copy_tree() for c in self.children))
+
+    def label(self) -> str:
+        chi = "{" + ", ".join(sorted(v.name for v in self.chi)) + "}"
+        lam = "{" + ", ".join(sorted(str(a) for a in self.lam)) + "}"
+        return f"χ={chi}  λ={lam}"
+
+    def atom_label(self) -> str:
+        """The Fig.-7 *atom representation*: λ atoms with variables outside
+        χ replaced by the anonymous variable ``_``."""
+        parts = []
+        for a in sorted(self.lam, key=str):
+            rendered_terms = []
+            for t in a.terms:
+                if isinstance(t, Variable) and t not in self.chi:
+                    rendered_terms.append("_")
+                else:
+                    rendered_terms.append(str(t))
+            parts.append(f"{a.predicate}({', '.join(rendered_terms)})")
+        return ", ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<HTNode {self.label()} with {len(self.children)} children>"
+
+
+def node(
+    chi: Iterable[Variable | str],
+    lam: Iterable[Atom],
+    *children: "HTNode",
+) -> HTNode:
+    """Convenience builder: strings in *chi* become variables.
+
+    Lets tests and examples transcribe the paper's figures directly::
+
+        node({"S", "X", "C"}, {a_atom, b_atom}, child1, child2)
+    """
+    chi_vars = frozenset(
+        Variable(v) if isinstance(v, str) else v for v in chi
+    )
+    return HTNode(chi_vars, lam, children)
+
+
+class HypertreeDecomposition:
+    """A hypertree ``⟨T, χ, λ⟩`` for a conjunctive query (Definition 4.1).
+
+    The constructor does *not* check validity (tests deliberately build
+    invalid trees); call :meth:`validate` to obtain the list of violated
+    conditions, or use :attr:`is_valid`.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, root: HTNode):
+        self.query = query
+        self.root = root
+
+    # -- tree plumbing ---------------------------------------------------
+    @staticmethod
+    def _children(n: HTNode) -> tuple[HTNode, ...]:
+        return n.children
+
+    @property
+    def nodes(self) -> list[HTNode]:
+        return list(trees.preorder(self.root, self._children))
+
+    def parent_of(self) -> dict[HTNode, HTNode]:
+        return trees.parent_map(self.root, self._children)
+
+    def post_order(self) -> Iterator[HTNode]:
+        return trees.postorder(self.root, self._children)
+
+    def __len__(self) -> int:
+        return trees.count_nodes(self.root, self._children)
+
+    # -- measures ----------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """``max_p |λ(p)|`` — the width of the decomposition."""
+        return max(len(n.lam) for n in self.nodes)
+
+    def chi_subtree(self, n: HTNode) -> frozenset[Variable]:
+        """``χ(T_p)``: all variables appearing in χ labels of the subtree."""
+        result: set[Variable] = set()
+        for d in trees.preorder(n, self._children):
+            result.update(d.chi)
+        return frozenset(result)
+
+    # -- Definition 4.1 --------------------------------------------------
+    def validate(self) -> list[str]:
+        """Return violations of Definition 4.1 (empty list = valid)."""
+        violations: list[str] = []
+        all_nodes = self.nodes
+        query_vars = self.query.variables
+        query_atoms = set(self.query.atoms)
+
+        for n in all_nodes:
+            if not n.chi <= query_vars:
+                violations.append(f"χ of {n!r} contains non-query variables")
+            if not n.lam <= query_atoms:
+                violations.append(f"λ of {n!r} contains non-query atoms")
+            if not n.lam:
+                violations.append(f"node {n!r} has an empty λ label")
+
+        # Condition 1: every atom is covered by some χ.
+        for a in self.query.atoms:
+            if not any(a.variables <= n.chi for n in all_nodes):
+                violations.append(f"condition 1: atom {a} not covered by any χ")
+
+        # Condition 2: each variable's χ-occurrences form a connected subtree.
+        for v in sorted(query_vars, key=lambda x: x.name):
+            marked = [n for n in all_nodes if v in n.chi]
+            if not trees.induces_connected_subtree(
+                self.root, self._children, marked
+            ):
+                violations.append(
+                    f"condition 2: variable {v} has disconnected χ-occurrences"
+                )
+
+        # Condition 3: χ(p) ⊆ var(λ(p)).
+        for n in all_nodes:
+            uncovered = n.chi - n.lambda_variables
+            if uncovered:
+                names = ", ".join(sorted(v.name for v in uncovered))
+                violations.append(
+                    f"condition 3: χ variables {{{names}}} of {n!r} "
+                    "not covered by λ"
+                )
+
+        # Condition 4: var(λ(p)) ∩ χ(T_p) ⊆ χ(p).
+        for n in all_nodes:
+            leaked = (n.lambda_variables & self.chi_subtree(n)) - n.chi
+            if leaked:
+                names = ", ".join(sorted(v.name for v in leaked))
+                violations.append(
+                    f"condition 4: λ variables {{{names}}} of {n!r} "
+                    "reappear below without being in χ"
+                )
+        return violations
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+    # -- Definition 4.2 / Lemma 4.4 ---------------------------------------
+    @property
+    def is_complete(self) -> bool:
+        """True iff every atom ``A`` has a node with ``var(A) ⊆ χ(p)`` *and*
+        ``A ∈ λ(p)`` (Definition 4.2)."""
+        all_nodes = self.nodes
+        return all(
+            any(a.variables <= n.chi and a in n.lam for n in all_nodes)
+            for a in self.query.atoms
+        )
+
+    def complete(self) -> "HypertreeDecomposition":
+        """The Lemma 4.4 completion: for each atom lacking a witnessing
+        node, attach a fresh child ``⟨χ=var(A), λ={A}⟩`` below any node
+        whose χ covers ``var(A)``.
+
+        Width is preserved (new nodes have ``|λ| = 1``) and the result size
+        is ``O(‖Q‖ + ‖HD‖)``.
+        """
+        copied = self.root.copy_tree()
+        result = HypertreeDecomposition(self.query, copied)
+        all_nodes = result.nodes
+        for a in self.query.atoms:
+            if any(a.variables <= n.chi and a in n.lam for n in all_nodes):
+                continue
+            host = next(
+                (n for n in all_nodes if a.variables <= n.chi), None
+            )
+            if host is None:
+                raise DecompositionError(
+                    f"cannot complete: atom {a} covered by no χ "
+                    "(the decomposition violates condition 1)"
+                )
+            fresh = HTNode(a.variables, {a})
+            host.children = host.children + (fresh,)
+            all_nodes.append(fresh)
+        return result
+
+    # -- §5.1: treecomp and normal form ------------------------------------
+    def treecomp(self) -> dict[HTNode, frozenset[Variable]]:
+        """The ``treecomp`` labelling of §5.1 for NF decompositions.
+
+        ``treecomp(root) = var(Q)``; for a child ``s`` of ``r``,
+        ``treecomp(s)`` is the unique [r]-component ``C`` with
+        ``χ(T_s) = C ∪ (χ(s) ∩ χ(r))``.  For decompositions *not* in normal
+        form the defining component may not exist; such nodes are mapped to
+        the best-effort value ``χ(T_s) − χ(r)`` (the callers in
+        :mod:`repro.core.normalform` only rely on the NF case, which is
+        exercised separately by tests).
+        """
+        edge_sets = [a.variables for a in self.query.atoms]
+        labels: dict[HTNode, frozenset[Variable]] = {
+            self.root: self.query.variables
+        }
+        for r in trees.preorder(self.root, self._children):
+            comps = vertex_components(edge_sets, r.chi)
+            for s in r.children:
+                subtree_vars = self.chi_subtree(s)
+                match = next(
+                    (
+                        c
+                        for c in comps
+                        if subtree_vars == c | (s.chi & r.chi)
+                    ),
+                    None,
+                )
+                labels[s] = match if match is not None else subtree_vars - r.chi
+        return labels
+
+    def normal_form_violations(self) -> list[str]:
+        """Check Definition 5.1 for every (parent r, child s) pair.
+
+        1. there is exactly one [r]-component ``C_r`` with
+           ``χ(T_s) = C_r ∪ (χ(s) ∩ χ(r))``;
+        2. ``χ(s) ∩ C_r ≠ ∅``;
+        3. ``var(λ(s)) ∩ χ(r) ⊆ χ(s)``.
+        """
+        violations: list[str] = []
+        edge_sets = [a.variables for a in self.query.atoms]
+        for r in trees.preorder(self.root, self._children):
+            comps = vertex_components(edge_sets, r.chi)
+            for s in r.children:
+                subtree_vars = self.chi_subtree(s)
+                matching = [
+                    c for c in comps if subtree_vars == c | (s.chi & r.chi)
+                ]
+                if len(matching) != 1:
+                    violations.append(
+                        f"NF condition 1: child {s!r} of {r!r} matches "
+                        f"{len(matching)} [r]-components"
+                    )
+                    continue
+                component = matching[0]
+                if not (s.chi & component):
+                    violations.append(
+                        f"NF condition 2: χ of child {s!r} misses its "
+                        "[r]-component"
+                    )
+                if not (s.lambda_variables & r.chi) <= s.chi:
+                    violations.append(
+                        f"NF condition 3: λ variables of {s!r} from χ of "
+                        f"parent {r!r} missing in χ"
+                    )
+        return violations
+
+    @property
+    def is_normal_form(self) -> bool:
+        return not self.normal_form_violations()
+
+    # -- rendering -------------------------------------------------------
+    def render(self) -> str:
+        """ASCII tree with explicit χ / λ labels (Fig. 6 style)."""
+        return trees.render_tree(self.root, self._children, HTNode.label)
+
+    def render_atoms(self) -> str:
+        """ASCII tree in the *atom representation* of Fig. 7."""
+        return trees.render_tree(self.root, self._children, HTNode.atom_label)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return (
+            f"<HypertreeDecomposition of {self.query.name}: width {self.width}, "
+            f"{len(self)} nodes>"
+        )
+
+    def map_nodes(
+        self, fn: Callable[[HTNode], tuple[frozenset[Variable], frozenset[Atom]]]
+    ) -> "HypertreeDecomposition":
+        """Return a structurally identical decomposition with re-labelled
+        nodes (used by the hypergraph↔query bridges of Appendix A)."""
+
+        def rebuild(n: HTNode) -> HTNode:
+            chi, lam = fn(n)
+            return HTNode(chi, lam, (rebuild(c) for c in n.children))
+
+        return HypertreeDecomposition(self.query, rebuild(self.root))

@@ -1,0 +1,159 @@
+"""Join trees of conjunctive queries (paper §1.1, §2.1).
+
+A join tree ``JT(Q)`` is a tree whose vertices are the body atoms of ``Q``
+such that, for every variable ``X``, the atoms containing ``X`` induce a
+connected subtree (the *Connectedness Condition*).  A query is acyclic iff
+it has a join tree (Beeri–Fagin–Maier–Yannakakis / Bernstein–Goodman); the
+constructive test lives in :mod:`repro.core.acyclicity`.
+
+``JoinTree`` is also the target object of the Lemma 4.6 transformation,
+where the tree vertices are freshly constructed atoms over the χ-labels of
+a hypertree decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator
+
+from .._errors import DecompositionError
+from ..graphs import trees
+from .atoms import Atom, Variable
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A rooted join tree over atoms.
+
+    Attributes
+    ----------
+    root:
+        The root atom.
+    children_of:
+        Adjacency of the rooted tree, as an (atom -> tuple of child atoms)
+        mapping; atoms without an entry are leaves.
+    """
+
+    root: Atom
+    children_of: dict[Atom, tuple[Atom, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Structural sanity: every key/child reachable, no repeats.
+        seen: set[Atom] = set()
+        for node in trees.preorder(self.root, self.children):
+            if node in seen:
+                raise DecompositionError(f"atom {node} occurs twice in join tree")
+            seen.add(node)
+        for parent in self.children_of:
+            if parent not in seen:
+                raise DecompositionError(
+                    f"children map mentions unreachable atom {parent}"
+                )
+
+    # -- tree views ------------------------------------------------------
+    def children(self, node: Atom) -> tuple[Atom, ...]:
+        return self.children_of.get(node, ())
+
+    @cached_property
+    def nodes(self) -> tuple[Atom, ...]:
+        return tuple(trees.preorder(self.root, self.children))
+
+    @cached_property
+    def parent_of(self) -> dict[Atom, Atom]:
+        return trees.parent_map(self.root, self.children)
+
+    def post_order(self) -> Iterator[Atom]:
+        return trees.postorder(self.root, self.children)
+
+    def edges(self) -> Iterator[tuple[Atom, Atom]]:
+        return trees.tree_edges(self.root, self.children)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- semantics -------------------------------------------------------
+    @cached_property
+    def variables(self) -> frozenset[Variable]:
+        result: set[Variable] = set()
+        for node in self.nodes:
+            result.update(node.variables)
+        return frozenset(result)
+
+    def validate(self, query=None) -> list[str]:
+        """Check the join-tree conditions; return a list of violations.
+
+        * every variable's occurrence set induces a connected subtree
+          (the Connectedness Condition);
+        * if *query* is given: the tree vertices are exactly ``atoms(Q)``.
+
+        An empty list means the tree is a valid join tree.
+        """
+        violations: list[str] = []
+        node_set = set(self.nodes)
+        if query is not None:
+            missing = set(query.atoms) - node_set
+            extra = node_set - set(query.atoms)
+            if missing:
+                violations.append(
+                    "atoms missing from join tree: "
+                    + ", ".join(sorted(map(str, missing)))
+                )
+            if extra:
+                violations.append(
+                    "join tree contains atoms not in the query: "
+                    + ", ".join(sorted(map(str, extra)))
+                )
+        for variable in sorted(self.variables, key=lambda v: v.name):
+            marked = [n for n in self.nodes if variable in n.variables]
+            if not trees.induces_connected_subtree(self.root, self.children, marked):
+                violations.append(
+                    f"variable {variable} violates the connectedness condition"
+                )
+        return violations
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+    # -- rendering -------------------------------------------------------
+    def render(self) -> str:
+        """ASCII rendering in the style of the paper's Figs. 1, 3, 8."""
+        return trees.render_tree(self.root, self.children, str)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def join_tree_from_edges(
+    nodes: list[Atom], edges: list[tuple[Atom, Atom]], root: Atom | None = None
+) -> JoinTree:
+    """Build a rooted :class:`JoinTree` from an undirected edge list.
+
+    Used by the GYO construction and by tests that specify trees as edge
+    lists.  Raises :class:`DecompositionError` if the edges do not form a
+    tree over *nodes*.
+    """
+    if not nodes:
+        raise DecompositionError("cannot build a join tree with no atoms")
+    if root is None:
+        root = nodes[0]
+    adjacency: dict[Atom, list[Atom]] = {n: [] for n in nodes}
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    children: dict[Atom, tuple[Atom, ...]] = {}
+    seen = {root}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        kids = tuple(n for n in adjacency[node] if n not in seen)
+        if kids:
+            children[node] = kids
+            seen.update(kids)
+            stack.extend(kids)
+    if len(seen) != len(nodes):
+        raise DecompositionError("edge list does not span all atoms (forest?)")
+    if len(edges) != len(nodes) - 1:
+        raise DecompositionError("edge list does not form a tree")
+    return JoinTree(root, children)

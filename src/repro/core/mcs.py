@@ -1,0 +1,101 @@
+"""Maximum-cardinality-search acyclicity test (Tarjan–Yannakakis [39]).
+
+The paper cites [39] for the linear-time join-tree algorithm (§2.1,
+property 2).  This module implements the MCS route as an *independent*
+second acyclicity decision procedure, cross-validated against the GYO
+reduction of :mod:`repro.core.acyclicity` by property tests:
+
+a hypergraph ``H`` is α-acyclic iff
+
+1. its primal graph ``G`` is **chordal** — witnessed by a maximum
+   cardinality search order being a perfect elimination order, and
+2. ``H`` is **conformal** — every maximal clique of ``G`` is contained in
+   a hyperedge; for chordal ``G`` the maximal cliques all have the form
+   ``{v} ∪ (earlier neighbours of v)`` along the (reversed) PEO, so the
+   check is per-vertex.
+
+Both checks run in low polynomial time (the [39] versions are linear; we
+favour clarity).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .query import ConjunctiveQuery
+
+
+def mcs_order(graph: dict[Hashable, set[Hashable]]) -> list[Hashable]:
+    """A maximum-cardinality-search order of *graph*.
+
+    Repeatedly select an unnumbered vertex with the most numbered
+    neighbours (ties broken by ``repr`` for determinism).  The returned
+    list is in selection order; for chordal graphs its *reverse* is a
+    perfect elimination order.
+    """
+    weight = {v: 0 for v in graph}
+    order: list[Hashable] = []
+    remaining = set(graph)
+    while remaining:
+        chosen = max(remaining, key=lambda v: (weight[v], repr(v)))
+        remaining.discard(chosen)
+        order.append(chosen)
+        for nbr in graph[chosen]:
+            if nbr in remaining:
+                weight[nbr] += 1
+    return order
+
+
+def is_perfect_elimination(
+    graph: dict[Hashable, set[Hashable]], order: list[Hashable]
+) -> bool:
+    """Is the reverse of *order* a perfect elimination order?
+
+    Equivalently (the form used by MCS-based chordality tests): for every
+    vertex ``v``, its neighbours that precede it in *order* must form a
+    clique.  By Tarjan–Yannakakis, an MCS order passes this test iff the
+    graph is chordal.
+    """
+    position = {v: i for i, v in enumerate(order)}
+    for v in order:
+        earlier = [u for u in graph[v] if position[u] < position[v]]
+        for i, a in enumerate(earlier):
+            for b in earlier[i + 1 :]:
+                if b not in graph[a]:
+                    return False
+    return True
+
+
+def is_chordal(graph: dict[Hashable, set[Hashable]]) -> bool:
+    """Chordality via MCS + PEO check (Tarjan–Yannakakis)."""
+    return is_perfect_elimination(graph, mcs_order(graph))
+
+
+def is_conformal_along(
+    query: ConjunctiveQuery,
+    graph: dict[Hashable, set[Hashable]],
+    order: list[Hashable],
+) -> bool:
+    """Conformality check specialised to a chordal primal graph: every
+    ``{v} ∪ earlier-neighbours-of-v`` clique lies inside some atom."""
+    position = {v: i for i, v in enumerate(order)}
+    edge_sets = [frozenset(x.name for x in a.variables) for a in query.atoms]
+    for v in order:
+        clique = {u for u in graph[v] if position[u] < position[v]} | {v}
+        if not any(clique <= e for e in edge_sets):
+            return False
+    return True
+
+
+def is_acyclic_mcs(query: ConjunctiveQuery) -> bool:
+    """α-acyclicity via chordality + conformality ([39]; cf.
+    :func:`repro.core.acyclicity.is_acyclic` for the GYO route)."""
+    from ..graphs.primal import primal_graph
+
+    if not query.atoms:
+        return True
+    graph = primal_graph(query)
+    order = mcs_order(graph)
+    if not is_perfect_elimination(graph, order):
+        return False
+    return is_conformal_along(query, graph, order)

@@ -1,0 +1,156 @@
+"""Normal-form transformation for hypertree decompositions (Theorem 5.4).
+
+Definition 5.1 calls a hypertree decomposition *normal form* (NF) when for
+every vertex ``r`` and child ``s``:
+
+1. there is exactly one [r]-component ``C_r`` with
+   ``χ(T_s) = C_r ∪ (χ(s) ∩ χ(r))``;
+2. ``χ(s) ∩ C_r ≠ ∅``;
+3. ``var(λ(s)) ∩ χ(r) ⊆ χ(s)``.
+
+Theorem 5.4 proves every width-k decomposition can be transformed into a
+width-k NF decomposition.  This module implements the constructive proof:
+
+* a child whose subtree adds no component variables (``χ(T_s) ⊆ χ(r)``) is
+  spliced out — its children move up to ``r`` (Fig. 9); any atoms it
+  covered are already covered by ``r``;
+* a child whose subtree mixes several [r]-components ``C_1 … C_h`` is
+  *split*: for each ``C_i``, the nodes of ``T_s`` whose χ touches ``C_i``
+  (which induce a connected subtree by Lemmas 5.2/5.3) are copied with
+  ``χ := χ ∩ (C_i ∪ χ(r))`` and attached to ``r`` as a separate subtree;
+* a child with ``var(λ(s)) ∩ χ(r) ⊄ χ(s)`` has the missing variables added
+  to its χ (harmless: they occur in ``χ(r)`` and stay connected through
+  the parent edge).
+
+Processing is top-down; Lemma 5.7 (an NF decomposition has at most
+``|var(Q)|`` vertices) is verified for the output by tests and by
+experiment E09.
+"""
+
+from __future__ import annotations
+
+from .._errors import DecompositionError
+from ..graphs import trees
+from .atoms import Variable
+from .components import vertex_components
+from .hypertree import HTNode, HypertreeDecomposition
+
+
+def _subtree_chi(node: HTNode) -> frozenset[Variable]:
+    result: set[Variable] = set()
+    for n in trees.preorder(node, lambda x: x.children):
+        result.update(n.chi)
+    return frozenset(result)
+
+
+def _split_child(
+    parent: HTNode,
+    child: HTNode,
+    r_components: list[frozenset[Variable]],
+) -> list[HTNode]:
+    """Replace *child* by one projected copy per touched [r]-component.
+
+    Returns the replacement subtrees (possibly empty when the child's
+    subtree adds no component variables at all — its atoms are covered by
+    the parent already).
+    """
+    subtree_vars = _subtree_chi(child)
+    touched = [c for c in r_components if c & subtree_vars]
+    replacements: list[HTNode] = []
+    for component in touched:
+        keep = component | parent.chi
+        marked: set[int] = set()
+        for n in trees.preorder(child, lambda x: x.children):
+            if n.chi & component:
+                marked.add(id(n))
+
+        def build(n: HTNode) -> HTNode:
+            kids = tuple(
+                build(c) for c in n.children if id(c) in marked
+            )
+            return HTNode(n.chi & keep, n.lam, kids)
+
+        # The marked nodes induce a connected subtree of T_s (Lemma 5.3
+        # restricted via Lemma 5.2); its root is the shallowest marked node.
+        root = _shallowest_marked(child, marked)
+        replacements.append(build(root))
+    return replacements
+
+
+def _shallowest_marked(subtree_root: HTNode, marked: set[int]) -> HTNode:
+    for n in trees.preorder(subtree_root, lambda x: x.children):
+        if id(n) in marked:
+            return n
+    raise AssertionError("split invoked on a child with no marked nodes")
+
+
+def normalize(hd: HypertreeDecomposition) -> HypertreeDecomposition:
+    """Transform *hd* into an equal-or-smaller-width NF decomposition.
+
+    The input must be a valid hypertree decomposition (Definition 4.1);
+    the output satisfies Definition 5.1, remains valid, and never exceeds
+    the input's width (the split/splice steps only project χ labels and
+    reuse existing λ labels).
+    """
+    query = hd.query
+    edge_sets = [a.variables for a in query.atoms]
+    root = hd.root.copy_tree()
+
+    agenda: list[HTNode] = [root]
+    while agenda:
+        r = agenda.pop()
+        r_components = vertex_components(edge_sets, r.chi)
+        stable = False
+        sweeps = 0
+        while not stable:
+            sweeps += 1
+            if sweeps > 4 * (len(query.atoms) + len(query.variables) + 4):
+                raise DecompositionError(
+                    "normalisation did not converge; the input decomposition "
+                    "is not a valid hypertree decomposition"
+                )
+            stable = True
+            new_children: list[HTNode] = []
+            for s in r.children:
+                subtree_vars = _subtree_chi(s)
+                component_vars = subtree_vars - r.chi
+                if not component_vars:
+                    # Splice: subtree adds nothing beyond χ(r); its children
+                    # move up (they are re-examined in the next sweep).
+                    new_children.extend(s.children)
+                    stable = False
+                    continue
+                exact = [
+                    c
+                    for c in r_components
+                    if subtree_vars == c | (s.chi & r.chi)
+                ]
+                if len(exact) == 1 and (s.chi & exact[0]):
+                    new_children.append(s)
+                    continue
+                replacements = _split_child(r, s, r_components)
+                new_children.extend(replacements)
+                stable = False
+            r.children = tuple(new_children)
+        # NF condition 3: pull parent-χ variables of λ(s) into χ(s).
+        fixed_children: list[HTNode] = []
+        for s in r.children:
+            missing = (s.lambda_variables & r.chi) - s.chi
+            if missing:
+                s = HTNode(s.chi | missing, s.lam, s.children)
+            fixed_children.append(s)
+            agenda.append(s)
+        r.children = tuple(fixed_children)
+
+    return HypertreeDecomposition(query, root)
+
+
+def is_normal_form(hd: HypertreeDecomposition) -> bool:
+    """Convenience wrapper over
+    :meth:`HypertreeDecomposition.normal_form_violations`."""
+    return hd.is_normal_form
+
+
+def nf_vertex_bound_holds(hd: HypertreeDecomposition) -> bool:
+    """Lemma 5.7: an NF decomposition has at most ``|var(Q)|`` vertices."""
+    return len(hd) <= max(1, len(hd.query.variables))

@@ -1,0 +1,175 @@
+"""A small parser for conjunctive queries in datalog-rule syntax.
+
+Grammar (whitespace-insensitive)::
+
+    query    :=  [ head ":-" ] body [ "." ]
+    head     :=  name "(" termlist? ")"
+    body     :=  atom ( ("," | "∧") atom )*
+    atom     :=  name "(" termlist? ")"
+    termlist :=  term ( "," term )*
+    term     :=  VARIABLE | CONSTANT
+
+Identifiers starting with an uppercase letter or ``_`` are variables;
+identifiers starting with a lowercase letter, integers, and single-quoted
+strings are constants — the standard datalog convention.
+
+Examples
+--------
+>>> q = parse_query("ans() :- enrolled(S, C, R), teaches(P, C, A), parent(P, S).")
+>>> len(q.atoms)
+3
+>>> parse_query("r(X, Y), s(Y, Z)").is_boolean
+True
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from .._errors import ParseError
+from .atoms import Atom, Constant, Term, Variable
+from .query import ConjunctiveQuery
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>:-|<-|←)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<conj>∧|&&?)
+  | (?P<dot>\.(?!\d))
+  | (?P<int>-?\d+)
+  | (?P<quoted>'(?:[^'\\]|\\.)*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", text, pos)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            yield _Token(kind, match.group(), pos)
+        pos = match.end()
+    yield _Token("eof", "", len(text))
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        if self.current.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {self.current.value!r}",
+                self.text,
+                self.current.position,
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> _Token | None:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    # -- grammar ---------------------------------------------------------
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return Constant(int(token.value))
+        if token.kind == "quoted":
+            self.advance()
+            return Constant(token.value[1:-1].replace("\\'", "'"))
+        if token.kind == "ident":
+            self.advance()
+            first = token.value[0]
+            if first.isupper() or first == "_":
+                return Variable(token.value)
+            return Constant(token.value)
+        raise ParseError(
+            f"expected a term, found {token.value!r}", self.text, token.position
+        )
+
+    def parse_atom(self) -> Atom:
+        name = self.expect("ident").value
+        self.expect("lpar")
+        terms: list[Term] = []
+        if self.current.kind != "rpar":
+            terms.append(self.parse_term())
+            while self.accept("comma"):
+                terms.append(self.parse_term())
+        self.expect("rpar")
+        return Atom(name, tuple(terms))
+
+    def parse_query(self, name: str) -> ConjunctiveQuery:
+        first_atom = self.parse_atom()
+        head_terms: tuple[Term, ...] = ()
+        body: list[Atom] = []
+        if self.accept("arrow"):
+            head_terms = first_atom.terms
+            body.append(self.parse_atom())
+        else:
+            body.append(first_atom)
+        while self.accept("comma") or self.accept("conj"):
+            body.append(self.parse_atom())
+        self.accept("dot")
+        if self.current.kind != "eof":
+            raise ParseError(
+                f"trailing input {self.current.value!r}",
+                self.text,
+                self.current.position,
+            )
+        return ConjunctiveQuery(tuple(body), head_terms, name)
+
+
+def parse_query(text: str, name: str = "Q") -> ConjunctiveQuery:
+    """Parse a conjunctive query from rule syntax.
+
+    The head (``ans(...) :-``) is optional; without it the query is Boolean.
+
+    Raises
+    ------
+    ParseError
+        On any syntax error, with position information.
+    """
+    return _Parser(text).parse_query(name)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``"r(X, 'a', 3)"``."""
+    parser = _Parser(text)
+    result = parser.parse_atom()
+    if parser.current.kind != "eof":
+        raise ParseError(
+            f"trailing input {parser.current.value!r}",
+            text,
+            parser.current.position,
+        )
+    return result

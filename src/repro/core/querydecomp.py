@@ -1,0 +1,223 @@
+"""Query decompositions and query-width (paper §3.1, Definition 3.1).
+
+A query decomposition labels each tree vertex with a set of *atoms and/or
+variables* such that
+
+1. every atom occurs in at least one label;
+2. each atom's occurrence set induces a connected subtree;
+3. each variable's occurrence set — counting both explicit occurrences and
+   occurrences inside label atoms — induces a connected subtree
+   (the Connectedness Condition).
+
+The width is the maximum label cardinality; ``qw(Q)`` is the minimum width
+over all query decompositions.  A decomposition is *pure* when labels
+contain only atoms; Proposition 3.3 (proved in [19]) shows pure
+decompositions suffice: ``qw(Q) ≤ k`` iff a pure ≤ k-width decomposition
+exists.  The exact search in :mod:`repro.core.qwsearch` therefore works
+with pure decompositions directly.
+
+Theorem 6.1(a): every pure width-k query decomposition is a width-k
+hypertree decomposition with ``χ(p) = var(λ(p))`` — see
+:meth:`QueryDecomposition.to_hypertree`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from .._errors import DecompositionError
+from ..graphs import trees
+from .atoms import Atom, Variable
+from .hypertree import HTNode, HypertreeDecomposition
+from .query import ConjunctiveQuery
+
+LabelElement = Union[Atom, Variable]
+
+
+class QDNode:
+    """One vertex of a query decomposition: a mixed atom/variable label."""
+
+    __slots__ = ("label", "children")
+
+    def __init__(
+        self,
+        label: Iterable[LabelElement],
+        children: Iterable["QDNode"] = (),
+    ):
+        self.label: frozenset[LabelElement] = frozenset(label)
+        self.children: tuple[QDNode, ...] = tuple(children)
+
+    @property
+    def label_atoms(self) -> frozenset[Atom]:
+        return frozenset(e for e in self.label if isinstance(e, Atom))
+
+    @property
+    def label_variables(self) -> frozenset[Variable]:
+        return frozenset(e for e in self.label if isinstance(e, Variable))
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """``var(p)``: explicit label variables plus variables of label
+        atoms (used by Condition 3 and Proposition 3.6)."""
+        result: set[Variable] = set(self.label_variables)
+        for a in self.label_atoms:
+            result.update(a.variables)
+        return frozenset(result)
+
+    def copy_tree(self) -> "QDNode":
+        return QDNode(self.label, (c.copy_tree() for c in self.children))
+
+    def render_label(self) -> str:
+        parts = sorted(str(e) for e in self.label)
+        return "{" + ", ".join(parts) + "}"
+
+    def __repr__(self) -> str:
+        return f"<QDNode {self.render_label()} with {len(self.children)} children>"
+
+
+class QueryDecomposition:
+    """A query decomposition ``⟨T, λ⟩`` of a conjunctive query (Def. 3.1)."""
+
+    def __init__(self, query: ConjunctiveQuery, root: QDNode):
+        self.query = query
+        self.root = root
+
+    @staticmethod
+    def _children(n: QDNode) -> tuple[QDNode, ...]:
+        return n.children
+
+    @property
+    def nodes(self) -> list[QDNode]:
+        return list(trees.preorder(self.root, self._children))
+
+    def __len__(self) -> int:
+        return trees.count_nodes(self.root, self._children)
+
+    def post_order(self) -> Iterator[QDNode]:
+        return trees.postorder(self.root, self._children)
+
+    @property
+    def width(self) -> int:
+        """``max_p |l(p)|`` over atoms *and* explicit variables."""
+        return max(len(n.label) for n in self.nodes)
+
+    @property
+    def is_pure(self) -> bool:
+        """True iff every label contains only atoms (§3.1)."""
+        return all(not n.label_variables for n in self.nodes)
+
+    # -- Definition 3.1 ----------------------------------------------------
+    def validate(self) -> list[str]:
+        """Return the list of Definition 3.1 violations (empty = valid)."""
+        violations: list[str] = []
+        all_nodes = self.nodes
+        query_atoms = set(self.query.atoms)
+        query_vars = self.query.variables
+
+        for n in all_nodes:
+            foreign_atoms = n.label_atoms - query_atoms
+            if foreign_atoms:
+                violations.append(f"label of {n!r} has non-query atoms")
+            if not n.label_variables <= query_vars:
+                violations.append(f"label of {n!r} has non-query variables")
+
+        # Condition 1: each atom occurs in some label.
+        for a in self.query.atoms:
+            if not any(a in n.label for n in all_nodes):
+                violations.append(f"condition 1: atom {a} occurs in no label")
+
+        # Condition 2: each atom's occurrences are connected.
+        for a in self.query.atoms:
+            marked = [n for n in all_nodes if a in n.label]
+            if not trees.induces_connected_subtree(
+                self.root, self._children, marked
+            ):
+                violations.append(
+                    f"condition 2: atom {a} has disconnected occurrences"
+                )
+
+        # Condition 3: each variable's (explicit or in-atom) occurrences
+        # are connected.
+        for v in sorted(query_vars, key=lambda x: x.name):
+            marked = [n for n in all_nodes if v in n.variables]
+            if not trees.induces_connected_subtree(
+                self.root, self._children, marked
+            ):
+                violations.append(
+                    f"condition 3: variable {v} has disconnected occurrences"
+                )
+        return violations
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+    # -- Proposition 3.3 ----------------------------------------------------
+    def purify(self) -> "QueryDecomposition":
+        """Replace explicit variables by covering atoms (Proposition 3.3).
+
+        Each explicit label variable ``Y`` is replaced by one fixed atom
+        ``A_Y`` containing ``Y`` (label cardinality — and hence width —
+        never grows).  This is the [19] construction for the common case;
+        the result is re-validated and a :class:`DecompositionError` is
+        raised if the replacement broke a connectedness condition (tests
+        cover decompositions where the construction applies, including the
+        paper's Fig. 2).
+        """
+        chosen: dict[Variable, Atom] = {}
+        for v in self.query.variables:
+            for a in self.query.atoms:
+                if v in a.variables:
+                    chosen[v] = a
+                    break
+
+        def rebuild(n: QDNode) -> QDNode:
+            new_label: set[LabelElement] = set(n.label_atoms)
+            for v in n.label_variables:
+                if v not in chosen:
+                    raise DecompositionError(
+                        f"variable {v} occurs in no atom; cannot purify"
+                    )
+                new_label.add(chosen[v])
+            return QDNode(new_label, (rebuild(c) for c in n.children))
+
+        result = QueryDecomposition(self.query, rebuild(self.root))
+        problems = result.validate()
+        if problems:
+            raise DecompositionError(
+                "purification produced an invalid decomposition: "
+                + "; ".join(problems)
+            )
+        return result
+
+    # -- Theorem 6.1(a) ------------------------------------------------------
+    def to_hypertree(self) -> HypertreeDecomposition:
+        """View a *pure* query decomposition as a hypertree decomposition
+        with ``χ(p) = var(λ(p))`` (Theorem 6.1(a))."""
+        if not self.is_pure:
+            raise DecompositionError(
+                "only pure query decompositions convert directly; "
+                "call purify() first"
+            )
+
+        def rebuild(n: QDNode) -> HTNode:
+            atoms = n.label_atoms
+            return HTNode(
+                n.variables, atoms, (rebuild(c) for c in n.children)
+            )
+
+        return HypertreeDecomposition(self.query, rebuild(self.root))
+
+    # -- rendering -----------------------------------------------------------
+    def render(self) -> str:
+        """ASCII tree in the style of the paper's Figs. 2, 4, 5, 11."""
+        return trees.render_tree(self.root, self._children, QDNode.render_label)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryDecomposition of {self.query.name}: width {self.width}, "
+            f"{len(self)} nodes>"
+        )

@@ -1,0 +1,309 @@
+"""Exact query-width computation for small queries (§3.1, §3.3).
+
+Deciding ``qw(Q) ≤ k`` is NP-complete for ``k = 4`` (Theorem 3.4), so any
+exact algorithm is exponential; this module implements a memoised
+branch-and-bound search adequate for paper-scale queries (it certifies
+``qw(Q1) = 2``, ``qw(Q4) = 2``, ``qw(Q5) = 3`` — experiments E02/E04/E05).
+
+Search space
+------------
+By Proposition 3.3 we search *pure* decompositions.  The search builds the
+tree root-down.  A subproblem is a pair ``(T, V_R)`` where ``T`` is the
+*territory* — the union of the ``[V_R]``-components this subtree must cover
+— and ``V_R = var(R)`` for the parent label ``R``.  At the subtree root we
+choose a label ``S`` of at most ``k`` atoms subject to:
+
+* **territory discipline** — ``var(S) ⊆ V_R ∪ T``.  (By Proposition 3.6 a
+  subtree covers exactly ``var(p)`` plus its chosen components; an atom
+  with a variable outside ``V_R ∪ T`` would leak a foreign component's
+  variable into this subtree and break the Connectedness Condition, as in
+  the paper's §3.3 discussion of atom ``j``.)
+* **connector coverage** — ``V_R ∩ var(atoms(T)) ⊆ var(S)``: a parent
+  variable that recurs in the subtree must occur in every node on the
+  connecting path, in particular here.
+* **progress** — ``var(S) ∩ T ≠ ∅``.
+
+The remaining territory ``T − var(S)`` splits into ``[var(S)]``-components,
+each contained in a single old component; unlike the hypertree search we
+must branch over **partitions** of these components into child groups — a
+single child label may bridge several components (this is precisely the
+flexibility that makes query decompositions NP-hard to find; cf. §3.3).
+Every true pure decomposition maps onto this search space: ballast subtrees
+(whose atoms use only parent variables) can be flattened into parked
+singleton children, and each remaining child handles one component group.
+
+Atom-occurrence connectedness (condition 2 of Definition 3.1)
+-------------------------------------------------------------
+The recursion above enforces conditions 1 and 3 by construction but allows,
+in principle, the same *interface* atom (one whose variables all lie in
+``V_R``) to be picked in two unrelated branches, which would violate
+condition 2.  We therefore (a) order candidates so that atoms touching the
+territory or continuing the parent's label are preferred, and (b) validate
+the extracted witness with :meth:`QueryDecomposition.validate`; a failure
+triggers a retry that bans the offending reuse.  Negative answers are
+unconditional: the search space over-approximates the set of pure
+decompositions, so "no width-k tree found" certifies ``qw(Q) > k``.
+Positive answers are certified by the validated witness.  (On every query
+in this repository's corpus the first extraction already validates.)
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from .._errors import DecompositionError
+from .acyclicity import join_tree
+from .atoms import Atom, Variable, variables_of
+from .components import vertex_components
+from .query import ConjunctiveQuery
+from .querydecomp import QDNode, QueryDecomposition
+
+
+def set_partitions(items: Sequence) -> Iterator[list[list]]:
+    """All partitions of *items* into non-empty groups (Bell-number many).
+
+    >>> sorted(len(p) for p in set_partitions([1, 2, 3]))
+    [1, 2, 2, 2, 3]
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        for index in range(len(partition)):
+            yield (
+                partition[:index]
+                + [[first] + partition[index]]
+                + partition[index + 1 :]
+            )
+        yield [[first]] + partition
+
+
+class _QWSearch:
+    """Memoised search for a width-≤k pure query decomposition."""
+
+    def __init__(self, query: ConjunctiveQuery, k: int, banned: frozenset[Atom]):
+        self.query = query
+        self.k = k
+        self.banned = banned
+        self.atoms = query.atoms
+        self.edge_sets = [a.variables for a in self.atoms]
+        self.memo: dict[
+            tuple[frozenset[Variable], frozenset[Variable]], QDNode | None
+        ] = {}
+        self.subproblems = 0
+
+    def atoms_of(self, territory: frozenset[Variable]) -> list[Atom]:
+        return [a for a in self.atoms if a.variables & territory]
+
+    def _pool(
+        self,
+        territory: frozenset[Variable],
+        parent_vars: frozenset[Variable],
+        parent_label: frozenset[Atom],
+    ) -> list[Atom]:
+        """Atoms permitted in a label at this subproblem.
+
+        Territory discipline admits exactly: atoms touching the territory
+        (whose variables then lie in ``T ∪ V_R`` automatically — see
+        :mod:`repro.core.components`) and interface atoms with all
+        variables in ``V_R``.  Ordering implements the reuse preference
+        described in the module docstring.
+        """
+        territory_atoms = []
+        parent_atoms = []
+        interface_atoms = []
+        for a in self.atoms:
+            if a in self.banned:
+                continue
+            if a.variables & territory:
+                if a.variables <= territory | parent_vars:
+                    territory_atoms.append(a)
+            elif a in parent_label:
+                parent_atoms.append(a)
+            elif a.variables <= parent_vars:
+                interface_atoms.append(a)
+        return territory_atoms + parent_atoms + interface_atoms
+
+    def solve(
+        self,
+        territory: frozenset[Variable],
+        parent_vars: frozenset[Variable],
+        parent_label: frozenset[Atom],
+    ) -> QDNode | None:
+        key = (territory, parent_vars)
+        if key in self.memo:
+            cached = self.memo[key]
+            return cached.copy_tree() if cached is not None else None
+        self.subproblems += 1
+
+        territory_atoms = self.atoms_of(territory)
+        connector = parent_vars & variables_of(territory_atoms)
+        pool = self._pool(territory, parent_vars, parent_label)
+        result: QDNode | None = None
+
+        for size in range(1, self.k + 1):
+            if result is not None:
+                break
+            for label in combinations(pool, size):
+                label_set = frozenset(label)
+                label_vars = variables_of(label)
+                if not connector <= label_vars:
+                    continue
+                if not label_vars & territory:
+                    continue
+                built = self._expand(territory, label_set, label_vars)
+                if built is not None:
+                    result = built
+                    break
+
+        self.memo[key] = result.copy_tree() if result is not None else None
+        return result
+
+    def _expand(
+        self,
+        territory: frozenset[Variable],
+        label: frozenset[Atom],
+        label_vars: frozenset[Variable],
+    ) -> QDNode | None:
+        """Try to complete a node with the given label: recurse into every
+        grouping of the remaining components, then park exhausted atoms."""
+        remaining = [
+            c
+            for c in vertex_components(self.edge_sets, label_vars)
+            if c & territory
+        ]
+        assert all(c <= territory for c in remaining), (
+            "a [var(S)]-component escaped its territory; "
+            "territory discipline violated"
+        )
+        for grouping in set_partitions(remaining):
+            children: list[QDNode] = []
+            for group in grouping:
+                group_territory = frozenset().union(*group)
+                child = self.solve(group_territory, label_vars, label)
+                if child is None:
+                    break
+                children.append(child)
+            else:
+                parked = self._parked(territory, label, label_vars, remaining)
+                return QDNode(label, children + parked)
+        return None
+
+    def _parked(
+        self,
+        territory: frozenset[Variable],
+        label: frozenset[Atom],
+        label_vars: frozenset[Variable],
+        remaining: list[frozenset[Variable]],
+    ) -> list[QDNode]:
+        """Singleton children for atoms exhausted exactly at this node.
+
+        An atom of the territory whose territory variables are all consumed
+        by this label can no longer occur deeper; if it is not part of the
+        label itself it must occur *here* to satisfy condition 1, so it is
+        parked as a width-1 child (never increasing the decomposition
+        width for k ≥ 1).
+        """
+        still_open = frozenset().union(*remaining) if remaining else frozenset()
+        parked: list[QDNode] = []
+        for a in self.atoms_of(territory):
+            if a in label:
+                continue
+            if a.variables & still_open:
+                continue  # survives into a child's territory
+            # Exhausted here: territory part ⊆ var(S) and interface part ⊆
+            # connector ⊆ var(S), so the singleton attaches legally.
+            parked.append(QDNode({a}))
+        return parked
+
+
+def decompose_qw(
+    query: ConjunctiveQuery, k: int, _retries: int = 3
+) -> QueryDecomposition | None:
+    """Find a validated pure query decomposition of width ≤ k, or ``None``.
+
+    ``None`` certifies ``qw(Q) > k`` (the search space over-approximates
+    pure decompositions — see module docstring).  A returned decomposition
+    is always validated against Definition 3.1.
+    """
+    if k < 1:
+        raise ValueError("width bound k must be at least 1")
+    if not query.atoms:
+        return None
+    banned: frozenset[Atom] = frozenset()
+    for _ in range(_retries):
+        search = _QWSearch(query, k, banned)
+        root = search.solve(query.variables, frozenset(), frozenset())
+        if root is None:
+            return None if not banned else _fail_ambiguous(query, k)
+        qd = QueryDecomposition(query, root)
+        problems = qd.validate()
+        if not problems:
+            return qd
+        # Retry with the atoms involved in condition-2 violations banned
+        # from reuse (see module docstring).
+        reused = _disconnected_atoms(qd)
+        if not reused or reused <= banned:
+            return _fail_ambiguous(query, k)
+        banned = banned | reused
+    return _fail_ambiguous(query, k)
+
+
+def _fail_ambiguous(query: ConjunctiveQuery, k: int) -> None:
+    raise DecompositionError(
+        f"query-width search for {query.name} at k={k} found a candidate "
+        "tree but could not extract a valid witness; result is ambiguous"
+    )
+
+
+def _disconnected_atoms(qd: QueryDecomposition) -> frozenset[Atom]:
+    """Atoms whose occurrence sets violate condition 2 in *qd*."""
+    from ..graphs import trees
+
+    bad: set[Atom] = set()
+    all_nodes = qd.nodes
+    for a in qd.query.atoms:
+        marked = [n for n in all_nodes if a in n.label]
+        if len(marked) > 1 and not trees.induces_connected_subtree(
+            qd.root, qd._children, marked
+        ):
+            bad.add(a)
+    return frozenset(bad)
+
+
+def has_query_width_at_most(query: ConjunctiveQuery, k: int) -> bool:
+    """Decide ``qw(Q) ≤ k`` (exact; exponential — small queries only)."""
+    return decompose_qw(query, k) is not None
+
+
+def query_width(
+    query: ConjunctiveQuery, max_k: int | None = None
+) -> tuple[int, QueryDecomposition]:
+    """Compute ``qw(Q)`` with a validated optimal-width witness.
+
+    Acyclic queries short-circuit through the join tree (``qw = 1`` iff
+    acyclic, §3.1); otherwise widths 2, 3, ... are tried in order.
+    """
+    if not query.atoms:
+        raise ValueError("query width of an empty query is undefined")
+    jt = join_tree(query)
+    if jt is not None:
+        return 1, _qd_from_join_tree(query, jt)
+    limit = max_k if max_k is not None else len(query.atoms)
+    for k in range(2, limit + 1):
+        qd = decompose_qw(query, k)
+        if qd is not None:
+            return k, qd
+    raise ValueError(f"no query decomposition of width ≤ {limit} found")
+
+
+def _qd_from_join_tree(query: ConjunctiveQuery, jt) -> QueryDecomposition:
+    """A join tree is a width-1 pure query decomposition (§3.1)."""
+
+    def build(atom: Atom) -> QDNode:
+        return QDNode({atom}, (build(c) for c in jt.children(atom)))
+
+    return QueryDecomposition(query, build(jt.root))

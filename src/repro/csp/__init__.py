@@ -1,0 +1,41 @@
+"""CSP substrate and the structural decomposition baselines of §6."""
+
+from .hinges import HingeTree, degree_of_cyclicity, hinge_tree, is_hinge
+from .methods import (
+    MethodWidths,
+    all_method_widths,
+    biconnected_components,
+    biconnected_width,
+    cycle_cutset_size,
+    hinge_width,
+    tree_clustering_width,
+    treewidth_width,
+)
+from .problem import CSPInstance, Constraint, from_query, graph_coloring
+from .solver import (
+    count_solutions_backtracking,
+    solve_backtracking,
+    solve_via_decomposition,
+)
+
+__all__ = [
+    "CSPInstance",
+    "Constraint",
+    "HingeTree",
+    "MethodWidths",
+    "all_method_widths",
+    "biconnected_components",
+    "biconnected_width",
+    "count_solutions_backtracking",
+    "cycle_cutset_size",
+    "degree_of_cyclicity",
+    "from_query",
+    "graph_coloring",
+    "hinge_tree",
+    "hinge_width",
+    "is_hinge",
+    "solve_backtracking",
+    "solve_via_decomposition",
+    "tree_clustering_width",
+    "treewidth_width",
+]

@@ -1,0 +1,160 @@
+"""Hinge decompositions and the degree of cyclicity (§6; [25, 26]).
+
+Gyssens–Jeavons–Cohen decompose a hypergraph into a tree of *hinges*.  For
+a connected hypergraph ``H`` with edges ``E``, a set ``F ⊆ E`` with
+``|F| ≥ 2`` (or ``F = E``) is a **hinge** if, for every connected
+component ``Γ`` of the edges outside ``F`` (connectivity through vertices
+not covered by ``F``), the frontier ``var(Γ) ∩ var(F)`` is contained in a
+single edge of ``F``.  A minimal hinge-tree's largest node is the *degree
+of cyclicity*; acyclic hypergraphs have degree ≤ 2, an n-cycle has degree
+n (no proper subset of a cycle is a hinge).
+
+The construction here follows the splitting lemma: find a smallest proper
+hinge ``F`` (exhaustive search by increasing size — the recognition
+problem is polynomial, the minimisation exponential, which is fine at
+paper scale and guarded by ``max_edges``); each outside component ``Γ``
+hangs off ``F`` through its single frontier edge and is decomposed
+recursively together with that edge.
+
+Experiment E17 uses :func:`degree_of_cyclicity` as one of the §6 baseline
+width measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Sequence
+
+from ..core.components import _UnionFind
+from ..core.query import ConjunctiveQuery
+
+Edge = frozenset
+
+
+def _variables(edges: Sequence[Edge]) -> frozenset:
+    result: set[Hashable] = set()
+    for e in edges:
+        result |= e
+    return frozenset(result)
+
+
+def _outside_components(
+    edges: Sequence[Edge], hinge: Sequence[Edge]
+) -> list[list[Edge]]:
+    """Components of ``E − F``: edges grouped by connectivity through
+    vertices outside ``var(F)``."""
+    hinge_vars = _variables(hinge)
+    hinge_set = set(map(id, hinge))
+    outside = [e for e in edges if id(e) not in hinge_set]
+    uf = _UnionFind()
+    owner: dict[Hashable, int] = {}
+    for i, e in enumerate(outside):
+        uf.find(i)
+        for v in e - hinge_vars:
+            if v in owner:
+                uf.union(owner[v], i)
+            else:
+                owner[v] = i
+    groups: dict[Hashable, list[Edge]] = {}
+    for i, e in enumerate(outside):
+        groups.setdefault(uf.find(i), []).append(e)
+    return list(groups.values())
+
+
+def is_hinge(edges: Sequence[Edge], candidate: Sequence[Edge]) -> bool:
+    """Definition check: every outside component's frontier lies in a
+    single edge of the candidate."""
+    hinge_vars_edges = list(candidate)
+    for component in _outside_components(edges, candidate):
+        frontier = _variables(component) & _variables(candidate)
+        if not any(frontier <= e for e in hinge_vars_edges):
+            return False
+    return True
+
+
+@dataclass
+class HingeTree:
+    """A node of a hinge decomposition: a hinge plus child trees, each
+    sharing exactly one edge with this node."""
+
+    hinge: tuple[Edge, ...]
+    children: list["HingeTree"]
+
+    def max_node_size(self) -> int:
+        size = len(self.hinge)
+        for child in self.children:
+            size = max(size, child.max_node_size())
+        return size
+
+    def node_count(self) -> int:
+        return 1 + sum(c.node_count() for c in self.children)
+
+    def all_edges(self) -> set[int]:
+        result = {id(e) for e in self.hinge}
+        for c in self.children:
+            result |= c.all_edges()
+        return result
+
+
+def _smallest_proper_hinge(
+    edges: list[Edge], anchor: Edge | None
+) -> tuple[Edge, ...] | None:
+    """The smallest hinge ``F`` with ``2 ≤ |F| < |E|`` (containing the
+    *anchor* edge if given), found by exhaustive search in size order."""
+    others = [e for e in edges if e is not anchor]
+    for size in range(2, len(edges)):
+        pick = size - (1 if anchor is not None else 0)
+        if pick < 0 or pick > len(others):
+            continue
+        for chosen in combinations(others, pick):
+            candidate = ((anchor,) if anchor is not None else ()) + chosen
+            if is_hinge(edges, candidate):
+                return tuple(candidate)
+    return None
+
+
+def hinge_tree(
+    edges: Sequence[Edge], anchor: Edge | None = None, max_edges: int = 16
+) -> HingeTree:
+    """A minimal hinge decomposition of a *connected* edge set.
+
+    Exhaustive hinge minimisation is exponential; *max_edges* guards the
+    search (the §6/E17 families stay below it).
+    """
+    edges = list(edges)
+    if len(edges) > max_edges:
+        raise ValueError(
+            f"hinge decomposition limited to {max_edges} edges "
+            f"(got {len(edges)})"
+        )
+    if len(edges) <= 1:
+        return HingeTree(tuple(edges), [])
+    hinge = _smallest_proper_hinge(edges, anchor)
+    if hinge is None:
+        return HingeTree(tuple(edges), [])
+    children: list[HingeTree] = []
+    for component in _outside_components(edges, hinge):
+        frontier = _variables(component) & _variables(hinge)
+        connecting = next(e for e in hinge if frontier <= e)
+        children.append(
+            hinge_tree(list(component) + [connecting], connecting, max_edges)
+        )
+    return HingeTree(tuple(hinge), children)
+
+
+def degree_of_cyclicity(query: ConjunctiveQuery, max_edges: int = 16) -> int:
+    """The degree of cyclicity of a query's hypergraph [26, 25]:
+    the largest hinge in a minimal hinge decomposition, maximised over
+    connected components."""
+    from ..core.components import vertex_components
+
+    edge_sets = [a.variables for a in query.atoms]
+    if not edge_sets:
+        return 0
+    best = 1
+    for component in vertex_components(edge_sets, frozenset()):
+        edges = [e for e in edge_sets if e & component]
+        tree = hinge_tree(edges, max_edges=max_edges)
+        best = max(best, tree.max_node_size())
+    return best

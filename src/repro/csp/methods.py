@@ -1,0 +1,199 @@
+"""Structural CSP decomposition baselines compared in §6 (and [21]).
+
+Each method assigns a width to a query/CSP; a method is *applicable* to a
+class of instances when its width stays bounded across the class.  The
+paper's comparison (§6, detailed in [21]) shows bounded hypertree-width
+strictly generalises all of them; experiment E17 reproduces the
+applicability table on concrete families.
+
+Implemented measures (on the query's primal graph unless noted):
+
+* ``biconnected_width`` — size of the largest biconnected component
+  (Freuder [15]);
+* ``cycle_cutset_size`` — minimum feedback vertex set (Dechter [11]);
+  exact by subset search under a size guard, else greedy upper bound;
+* ``tree_clustering_width`` — largest clique of the min-fill
+  triangulation (Dechter–Pearl [12]) = heuristic treewidth + 1;
+* ``treewidth_width`` — treewidth + 1 (bag size; Robertson–Seymour [34],
+  Arnborg [2]);
+* ``hinge_width`` — degree of cyclicity (hypergraph-based; [25, 26]);
+* ``query_width`` / ``hypertree_width`` — the paper's notions (§3, §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..core.detkdecomp import hypertree_width as _hypertree_width
+from ..core.query import ConjunctiveQuery
+from ..core.qwsearch import query_width as _query_width
+from ..graphs.primal import Graph, connected_components, primal_graph, subgraph
+from ..graphs.treewidth import treewidth, triangulated_clique_number
+from .hinges import degree_of_cyclicity
+
+
+# ----------------------------------------------------------------------
+# Biconnected components (Tarjan–Hopcroft lowpoint algorithm).
+# ----------------------------------------------------------------------
+def biconnected_components(graph: Graph) -> list[set]:
+    """Vertex sets of the biconnected components of *graph*."""
+    index: dict = {}
+    low: dict = {}
+    counter = 0
+    stack: list[tuple] = []
+    result: list[set] = []
+
+    def dfs(root) -> None:
+        nonlocal counter
+        work = [(root, None, iter(sorted(graph[root], key=repr)))]
+        index[root] = low[root] = counter
+        counter += 1
+        while work:
+            v, parent, it = work[-1]
+            advanced = False
+            for w in it:
+                if w == parent:
+                    continue
+                if w not in index:
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append((v, w))
+                    work.append((w, v, iter(sorted(graph[w], key=repr))))
+                    advanced = True
+                    break
+                if index[w] < index[v]:
+                    stack.append((v, w))
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                u = work[-1][0]
+                low[u] = min(low[u], low[v])
+                if low[v] >= index[u]:
+                    component: set = set()
+                    while stack:
+                        a, b = stack.pop()
+                        component |= {a, b}
+                        if (a, b) == (u, v):
+                            break
+                    if component:
+                        result.append(component)
+
+    for v in sorted(graph, key=repr):
+        if v not in index:
+            dfs(v)
+            if not graph[v]:
+                result.append({v})
+    return result
+
+
+def biconnected_width(query: ConjunctiveQuery) -> int:
+    """Freuder [15]: the size of the largest biconnected component of the
+    primal graph (1 for edgeless graphs)."""
+    graph = primal_graph(query)
+    comps = biconnected_components(graph)
+    return max((len(c) for c in comps), default=1)
+
+
+# ----------------------------------------------------------------------
+# Cycle cutsets (feedback vertex sets).
+# ----------------------------------------------------------------------
+def _is_forest(graph: Graph) -> bool:
+    edges = sum(len(nbrs) for nbrs in graph.values()) // 2
+    return edges <= max(0, len(graph) - len(connected_components(graph)))
+
+
+def cycle_cutset_size(query: ConjunctiveQuery, exact_limit: int = 18) -> int:
+    """Dechter [11]: minimum vertices whose removal makes the primal graph
+    a forest.  Exact subset search below *exact_limit* vertices; greedy
+    (repeatedly drop the highest-degree vertex on a cycle) above."""
+    graph = primal_graph(query)
+    if _is_forest(graph):
+        return 0
+    vertices = sorted(graph, key=repr)
+    if len(vertices) <= exact_limit:
+        for size in range(1, len(vertices) + 1):
+            for cutset in combinations(vertices, size):
+                remaining = subgraph(
+                    graph, [v for v in vertices if v not in cutset]
+                )
+                if _is_forest(remaining):
+                    return size
+    # Greedy fallback.
+    work = {v: set(nbrs) for v, nbrs in graph.items()}
+    removed = 0
+    while not _is_forest(work):
+        v = max(work, key=lambda u: (len(work[u]), repr(u)))
+        for w in work[v]:
+            work[w].discard(v)
+        del work[v]
+        removed += 1
+    return removed
+
+
+# ----------------------------------------------------------------------
+# The remaining widths.
+# ----------------------------------------------------------------------
+def tree_clustering_width(query: ConjunctiveQuery) -> int:
+    """Dechter–Pearl [12]: max clique of the join-tree clustering obtained
+    by triangulation (= min-fill width + 1)."""
+    return max(1, triangulated_clique_number(primal_graph(query)))
+
+
+def treewidth_width(query: ConjunctiveQuery, exact_limit: int = 16) -> int:
+    """Primal-graph treewidth + 1 (bag size), as used for CSPs [2]."""
+    return treewidth(primal_graph(query), exact_limit) + 1
+
+
+def hinge_width(query: ConjunctiveQuery, max_edges: int = 16) -> int:
+    """Degree of cyclicity [25, 26]."""
+    return degree_of_cyclicity(query, max_edges)
+
+
+@dataclass(frozen=True)
+class MethodWidths:
+    """All §6 width measures of one query, for the E17 table."""
+
+    query_name: str
+    biconnected: int
+    cycle_cutset: int
+    tree_clustering: int
+    treewidth: int
+    hinge: int
+    query_width: int
+    hypertree_width: int
+
+    def as_row(self) -> dict[str, int | str]:
+        return {
+            "query": self.query_name,
+            "bicomp": self.biconnected,
+            "cutset": self.cycle_cutset,
+            "cluster": self.tree_clustering,
+            "tw+1": self.treewidth,
+            "hinge": self.hinge,
+            "qw": self.query_width,
+            "hw": self.hypertree_width,
+        }
+
+
+def all_method_widths(
+    query: ConjunctiveQuery,
+    compute_qw: bool = True,
+    hinge_max_edges: int = 16,
+) -> MethodWidths:
+    """Evaluate every baseline on one query (qw search optional: it is the
+    NP-hard one)."""
+    qw = _query_width(query)[0] if compute_qw else -1
+    hw = _hypertree_width(query)[0]
+    return MethodWidths(
+        query.name,
+        biconnected_width(query),
+        cycle_cutset_size(query),
+        tree_clustering_width(query),
+        treewidth_width(query),
+        hinge_width(query, hinge_max_edges),
+        qw,
+        hw,
+    )

@@ -1,0 +1,27 @@
+"""Datalog engine (semi-naive, stratified, well-founded) + Appendix B."""
+
+from .engine import (
+    Facts,
+    holds,
+    least_model,
+    stratified_model,
+    well_founded_model,
+)
+from .hw_program import HWProgramInstance, build_hw_program, datalog_has_hw_at_most
+from .program import Literal, Program, Rule, neg, rule
+
+__all__ = [
+    "Facts",
+    "HWProgramInstance",
+    "Literal",
+    "Program",
+    "Rule",
+    "build_hw_program",
+    "datalog_has_hw_at_most",
+    "holds",
+    "least_model",
+    "neg",
+    "rule",
+    "stratified_model",
+    "well_founded_model",
+]

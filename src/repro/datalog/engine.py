@@ -1,0 +1,206 @@
+"""Datalog evaluation: semi-naive least models, stratified negation, and
+the well-founded semantics (Appendix B substrate).
+
+Three layers:
+
+* :func:`least_model` — bottom-up semi-naive evaluation of the positive
+  part; negative literals are tested against a *frozen* interpretation
+  supplied by the caller (empty by default).  This is the operator
+  ``Γ_P(J)`` of the alternating-fixpoint characterisation of the
+  well-founded semantics.
+* :func:`stratified_model` — evaluates stratum by stratum when the
+  program is stratified.
+* :func:`well_founded_model` — Van Gelder–Ross–Schlipf alternating
+  fixpoint: ``U₀ = ∅``, ``V₀ = Γ(U₀)``, ``U_{i+1} = Γ(V_i)``,
+  ``V_{i+1} = Γ(U_{i+1})``; ``U`` converges to the true facts from below
+  and ``V`` from above; facts in ``V − U`` are undefined.  For weakly
+  stratified programs — e.g. the Appendix-B hw(Q) ≤ k program, whose
+  negation descends along the strict-subset order on components — the
+  model is total (``U = V``), matching the paper's remark that the program
+  has a total well-founded model computable in polynomial time.
+
+Facts are stored as ``dict[str, set[tuple]]`` (predicate → ground tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..core.atoms import Atom, Constant, Variable
+from .program import Program, Rule
+
+Facts = dict[str, set[tuple]]
+
+
+def _copy_facts(facts: Mapping[str, Iterable[tuple]]) -> Facts:
+    return {p: set(rows) for p, rows in facts.items()}
+
+
+def _match_atom(
+    atom: Atom, row: tuple, binding: dict[Variable, object]
+) -> dict[Variable, object] | None:
+    """Unify a ground *row* with *atom* under *binding*; return the
+    extended binding or ``None``."""
+    if len(row) != atom.arity:
+        return None
+    extended = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                extended[term] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+_UNBOUND = object()
+
+
+def _ground(atom: Atom, binding: dict[Variable, object]) -> tuple:
+    return tuple(
+        t.value if isinstance(t, Constant) else binding[t] for t in atom.terms
+    )
+
+
+def _rule_derivations(
+    rule: Rule,
+    facts: Facts,
+    frozen: Facts,
+    delta: Facts | None,
+    delta_index: int | None,
+) -> set[tuple]:
+    """All head tuples derivable by *rule* from *facts*.
+
+    With semi-naive arguments, the positive literal at *delta_index* must
+    match a tuple of *delta* (other literals use the full *facts*).
+    Negative literals succeed iff the ground tuple is absent from *frozen*.
+    """
+    results: set[tuple] = set()
+    positives = rule.positive_body
+
+    def source(i: int) -> set[tuple]:
+        predicate = positives[i].atom.predicate
+        if delta is not None and i == delta_index:
+            return delta.get(predicate, set())
+        return facts.get(predicate, set())
+
+    def extend(i: int, binding: dict[Variable, object]) -> None:
+        if i == len(positives):
+            for lit in rule.negative_body:
+                if _ground(lit.atom, binding) in frozen.get(
+                    lit.atom.predicate, set()
+                ):
+                    return
+            results.add(_ground(rule.head, binding))
+            return
+        atom = positives[i].atom
+        for row in source(i):
+            extended = _match_atom(atom, row, binding)
+            if extended is not None:
+                extend(i + 1, extended)
+
+    extend(0, {})
+    return results
+
+
+def least_model(
+    program: Program,
+    edb: Mapping[str, Iterable[tuple]],
+    frozen: Mapping[str, Iterable[tuple]] | None = None,
+) -> Facts:
+    """Semi-naive least fixpoint of the positive part of *program* over
+    *edb*, with negation evaluated against the fixed interpretation
+    *frozen* (i.e. the operator ``Γ_P(frozen)``).
+
+    Returns all facts (EDB ∪ derived IDB).
+    """
+    facts = _copy_facts(edb)
+    frozen_facts = _copy_facts(frozen) if frozen is not None else {}
+
+    # Initial round: full evaluation of every rule.
+    delta: Facts = {}
+    for rule in program.rules:
+        new = _rule_derivations(rule, facts, frozen_facts, None, None)
+        known = facts.setdefault(rule.head.predicate, set())
+        fresh = new - known
+        if fresh:
+            known.update(fresh)
+            delta.setdefault(rule.head.predicate, set()).update(fresh)
+
+    # Semi-naive iterations: at least one positive literal matches delta.
+    while delta:
+        next_delta: Facts = {}
+        for rule in program.rules:
+            positives = rule.positive_body
+            for i, lit in enumerate(positives):
+                if lit.atom.predicate not in delta:
+                    continue
+                new = _rule_derivations(rule, facts, frozen_facts, delta, i)
+                known = facts.setdefault(rule.head.predicate, set())
+                fresh = new - known
+                if fresh:
+                    known.update(fresh)
+                    next_delta.setdefault(
+                        rule.head.predicate, set()
+                    ).update(fresh)
+        delta = next_delta
+    return facts
+
+
+def stratified_model(
+    program: Program, edb: Mapping[str, Iterable[tuple]]
+) -> Facts:
+    """Evaluate a stratified program stratum by stratum (perfect model)."""
+    strata = program.stratification()
+    if strata is None:
+        raise ValueError("program is not stratified; use well_founded_model")
+    facts = _copy_facts(edb)
+    for stratum in strata:
+        layer = Program.of(
+            r for r in program.rules if r.head.predicate in stratum
+        )
+        facts = least_model(layer, facts, frozen=facts)
+    return facts
+
+
+def well_founded_model(
+    program: Program,
+    edb: Mapping[str, Iterable[tuple]],
+    max_rounds: int = 10_000,
+) -> tuple[Facts, Facts]:
+    """The well-founded model via the alternating fixpoint [42].
+
+    Returns ``(true, undefined)`` where *true* holds the well-founded true
+    facts and *undefined* the facts that are neither true nor false.  For
+    (weakly) stratified programs *undefined* is empty.
+    """
+
+    def gamma(j: Facts) -> Facts:
+        return least_model(program, edb, frozen=j)
+
+    under: Facts = _copy_facts(edb)
+    over: Facts = gamma(under)
+    for _ in range(max_rounds):
+        new_under = gamma(over)
+        new_over = gamma(new_under)
+        if new_under == under and new_over == over:
+            break
+        under, over = new_under, new_over
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("alternating fixpoint did not converge")
+
+    undefined: Facts = {}
+    for predicate, rows in over.items():
+        extra = rows - under.get(predicate, set())
+        if extra:
+            undefined[predicate] = extra
+    return under, undefined
+
+
+def holds(facts: Facts, predicate: str, *values) -> bool:
+    """Membership test helper: ``predicate(values...) ∈ facts``."""
+    return tuple(values) in facts.get(predicate, set())

@@ -1,0 +1,158 @@
+"""The Appendix-B Datalog program deciding ``hw(Q) ≤ k``.
+
+Appendix B reduces bounded-hypertree-width recognition to the evaluation
+of a two-rule weakly stratified Datalog program over precomputed base
+relations:
+
+* ``k_vertex(S)`` — one constant per non-empty set of at most k atoms;
+* ``component(C, S)`` — C is a [var(S)]-component, plus ``(varQ, root)``;
+* ``meets_condition(S, R, CR)`` — the Step-2 checks of k-decomp: S and R
+  are k-vertices, CR an [R]-component, ``var(S) ∩ CR ≠ ∅`` and every
+  ``P ∈ atoms(CR)`` has ``var(P) ∩ var(R) ⊆ var(S)``; plus
+  ``(S, root, varQ)`` for every k-vertex S;
+* ``subset(CS, CR)`` — proper inclusion between component variable sets
+  (every component is a subset of ``varQ``).
+
+The program::
+
+    k_decomposable(R, CR) :- k_vertex(S), meets_condition(S, R, CR),
+                             not undecomposable(S, CR).
+    undecomposable(S, CR) :- component(CS, S), subset(CS, CR),
+                             not k_decomposable(S, CS).
+
+is weakly stratified (the negation descends along the strict-subset order
+on components), so its well-founded model is total; ``hw(Q) ≤ k`` iff
+``k_decomposable(root, varQ)`` is true in it (Appendix B).  Experiment E10
+cross-validates this recogniser against :mod:`repro.core.detkdecomp` on a
+query corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..core.atoms import Atom, Variable, atom as make_atom, variables_of
+from ..core.components import vertex_components
+from ..core.query import ConjunctiveQuery
+from .engine import Facts, holds, well_founded_model
+from .program import Program, neg, rule
+
+ROOT = "root"
+VARQ = "varQ"
+
+
+@dataclass
+class HWProgramInstance:
+    """Base relations plus identifier tables for one (query, k) pair."""
+
+    query: ConjunctiveQuery
+    k: int
+    program: Program
+    edb: Facts
+    vertex_ids: dict[str, frozenset[Atom]]
+    component_ids: dict[str, frozenset[Variable]]
+
+    def decide(self) -> bool:
+        """Evaluate the program; True iff ``k_decomposable(root, varQ)``."""
+        true_facts, undefined = well_founded_model(self.program, self.edb)
+        if undefined:
+            raise AssertionError(
+                "Appendix-B program produced undefined facts; it should be "
+                "weakly stratified with a total well-founded model"
+            )
+        return holds(true_facts, "k_decomposable", ROOT, VARQ)
+
+
+def build_hw_program(query: ConjunctiveQuery, k: int) -> HWProgramInstance:
+    """Materialise the Appendix-B base relations and program for (Q, k)."""
+    if k < 1:
+        raise ValueError("width bound k must be at least 1")
+    atoms = list(query.atoms)
+    edge_sets = [a.variables for a in atoms]
+
+    vertex_ids: dict[str, frozenset[Atom]] = {}
+    vertex_vars: dict[str, frozenset[Variable]] = {}
+    for size in range(1, min(k, len(atoms)) + 1):
+        for subset in combinations(range(len(atoms)), size):
+            vid = "v" + "_".join(map(str, subset))
+            chosen = frozenset(atoms[i] for i in subset)
+            vertex_ids[vid] = chosen
+            vertex_vars[vid] = variables_of(chosen)
+
+    component_ids: dict[str, frozenset[Variable]] = {}
+
+    def component_id(component: frozenset[Variable]) -> str:
+        key = "c" + "_".join(sorted(v.name for v in component))
+        component_ids.setdefault(key, component)
+        return key
+
+    k_vertex_rows: set[tuple] = {(vid,) for vid in vertex_ids}
+    component_rows: set[tuple] = {(VARQ, ROOT)}
+    comps_of_vertex: dict[str, list[frozenset[Variable]]] = {}
+    for vid, vvars in vertex_vars.items():
+        comps = vertex_components(edge_sets, vvars)
+        comps_of_vertex[vid] = comps
+        for c in comps:
+            component_rows.add((component_id(c), vid))
+
+    def atoms_of(component: frozenset[Variable]) -> list[Atom]:
+        return [a for a in atoms if a.variables & component]
+
+    meets_rows: set[tuple] = set()
+    for svid, svars in vertex_vars.items():
+        # Root context: any k-vertex may start the decomposition.
+        meets_rows.add((svid, ROOT, VARQ))
+        for rvid, rvars in vertex_vars.items():
+            for c in comps_of_vertex[rvid]:
+                if not svars & c:
+                    continue
+                if all(
+                    (p.variables & rvars) <= svars for p in atoms_of(c)
+                ):
+                    meets_rows.add((svid, rvid, component_id(c)))
+
+    subset_rows: set[tuple] = set()
+    all_components = dict(component_ids)
+    for cid, cvars in all_components.items():
+        subset_rows.add((cid, VARQ))  # varQ "includes any subset of var(Q)"
+        for did, dvars in all_components.items():
+            if cid != did and cvars < dvars:
+                subset_rows.add((cid, did))
+
+    edb: Facts = {
+        "k_vertex": k_vertex_rows,
+        "component": component_rows,
+        "meets_condition": meets_rows,
+        "subset": subset_rows,
+    }
+
+    program = Program.of(
+        [
+            rule(
+                make_atom("k_decomposable", "R", "CR"),
+                make_atom("k_vertex", "S"),
+                make_atom("meets_condition", "S", "R", "CR"),
+                neg(make_atom("undecomposable", "S", "CR")),
+            ),
+            rule(
+                make_atom("undecomposable", "S", "CR"),
+                make_atom("component", "CS", "S"),
+                make_atom("subset", "CS", "CR"),
+                neg(make_atom("k_decomposable", "S", "CS")),
+            ),
+        ]
+    )
+    component_ids[VARQ] = query.variables
+    return HWProgramInstance(
+        query, k, program, edb, vertex_ids, component_ids
+    )
+
+
+def datalog_has_hw_at_most(query: ConjunctiveQuery, k: int) -> bool:
+    """Appendix-B recogniser: ``hw(Q) ≤ k`` via the well-founded model."""
+    if not query.atoms:
+        return False
+    if not query.variables:
+        return True  # a single variable-free node decomposes trivially
+    return build_hw_program(query, k).decide()

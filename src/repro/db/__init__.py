@@ -1,0 +1,38 @@
+"""Relational engine and the paper's evaluation strategies."""
+
+from .binding import BoundQuery, bind_atom
+from .database import Database
+from .evaluate import (
+    Lemma46Result,
+    evaluate,
+    evaluate_boolean,
+    lemma46_transform,
+)
+from .naive import (
+    backtracking_answers,
+    backtracking_eval,
+    naive_boolean_eval,
+    naive_join_eval,
+)
+from .relation import Relation
+from .stats import EvalStats
+from .yannakakis import boolean_eval, enumerate_answers, full_reduce
+
+__all__ = [
+    "BoundQuery",
+    "Database",
+    "EvalStats",
+    "Lemma46Result",
+    "Relation",
+    "backtracking_answers",
+    "backtracking_eval",
+    "bind_atom",
+    "boolean_eval",
+    "enumerate_answers",
+    "evaluate",
+    "evaluate_boolean",
+    "full_reduce",
+    "lemma46_transform",
+    "naive_boolean_eval",
+    "naive_join_eval",
+]

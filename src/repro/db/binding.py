@@ -1,0 +1,89 @@
+"""Binding query atoms to variable-attributed relations.
+
+Evaluating an atom ``r(X, 'a', Y, X)`` against a database means: select the
+rows of ``r`` whose second column equals ``'a'`` and whose first and fourth
+columns agree, then project to one column per *distinct variable*, named by
+the variable.  After binding, every relational operation joins purely on
+variable names — the convention all evaluation strategies share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._errors import EvaluationError
+from ..core.atoms import Atom, Constant, Variable
+from ..core.query import ConjunctiveQuery
+from .database import Database
+from .relation import Relation
+
+
+def bind_atom(atom: Atom, db: Database) -> Relation:
+    """The relation of rows of ``rel(atom.predicate)`` consistent with the
+    atom's constants and repeated variables, projected onto its variables.
+
+    The result schema lists the atom's distinct variables in order of first
+    occurrence.  An atom over an unknown predicate raises
+    :class:`EvaluationError` (the query references a relation the database
+    does not define).
+    """
+    if not db.has_predicate(atom.predicate):
+        raise EvaluationError(
+            f"query atom {atom} references unknown relation "
+            f"{atom.predicate!r}"
+        )
+    if db.arity(atom.predicate) != atom.arity:
+        raise EvaluationError(
+            f"atom {atom} has arity {atom.arity} but relation "
+            f"{atom.predicate!r} has arity {db.arity(atom.predicate)}"
+        )
+
+    first_position: dict[Variable, int] = {}
+    order: list[Variable] = []
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Variable) and term not in first_position:
+            first_position[term] = i
+            order.append(term)
+
+    rows: set[tuple] = set()
+    for row in db.rows(atom.predicate):
+        consistent = True
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                if row[i] != term.value:
+                    consistent = False
+                    break
+            else:
+                if row[i] != row[first_position[term]]:
+                    consistent = False
+                    break
+        if consistent:
+            rows.add(tuple(row[first_position[v]] for v in order))
+    return Relation(
+        tuple(v.name for v in order), frozenset(rows), str(atom)
+    )
+
+
+@dataclass
+class BoundQuery:
+    """A query with every body atom bound to its variable-relation."""
+
+    query: ConjunctiveQuery
+    relations: dict[Atom, Relation]
+
+    @staticmethod
+    def bind(query: ConjunctiveQuery, db: Database) -> "BoundQuery":
+        return BoundQuery(
+            query, {a: bind_atom(a, db) for a in query.atoms}
+        )
+
+    def head_attributes(self) -> tuple[str, ...]:
+        """Distinct head-variable names in first-occurrence order.
+
+        Repeated head variables collapse to one named column (the engine
+        is attribute-named; a duplicated column carries no information).
+        """
+        names = [
+            t.name for t in self.query.head_terms if isinstance(t, Variable)
+        ]
+        return tuple(dict.fromkeys(names))

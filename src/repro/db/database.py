@@ -1,0 +1,131 @@
+"""Database instances as sets of ground facts (paper §2.1).
+
+The paper identifies a relational database with a logical theory of ground
+atoms ``r(a1, ..., ak)``; :class:`Database` keeps both views available: a
+fact store (``add_fact`` / ``facts()``) and a relation store
+(``relation(name)``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .._errors import SchemaError
+from ..core.atoms import Atom, Constant
+from .relation import Relation, Value
+
+
+class Database:
+    """A mutable database instance over an implicit schema.
+
+    Relation schemas are fixed on first use (first ``add_fact`` or
+    ``set_relation`` for a name determines the arity); attribute names are
+    synthesised as ``$0, $1, ...`` since conjunctive-query evaluation binds
+    columns positionally through atoms.
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, set[tuple[Value, ...]]] = {}
+        self._arities: dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------
+    @staticmethod
+    def from_facts(facts: Iterable[tuple[str, tuple[Value, ...]]]) -> "Database":
+        db = Database()
+        for predicate, values in facts:
+            db.add_fact(predicate, *values)
+        return db
+
+    @staticmethod
+    def from_relations(relations: Mapping[str, Iterable[tuple]]) -> "Database":
+        db = Database()
+        for name, rows in relations.items():
+            for row in rows:
+                db.add_fact(name, *row)
+        return db
+
+    def add_fact(self, predicate: str, *values: Value) -> None:
+        """Assert the ground atom ``predicate(values...)``."""
+        arity = self._arities.setdefault(predicate, len(values))
+        if arity != len(values):
+            raise SchemaError(
+                f"fact {predicate}{values!r} does not match arity {arity}"
+            )
+        self._relations.setdefault(predicate, set()).add(tuple(values))
+
+    def add_atom(self, atom: Atom) -> None:
+        """Assert a ground :class:`Atom` (all terms must be constants)."""
+        values = []
+        for t in atom.terms:
+            if not isinstance(t, Constant):
+                raise SchemaError(f"atom {atom} is not ground")
+            values.append(t.value)
+        self.add_fact(atom.predicate, *values)
+
+    # -- views -------------------------------------------------------------
+    def predicates(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def arity(self, predicate: str) -> int:
+        if predicate not in self._arities:
+            raise SchemaError(f"unknown predicate {predicate!r}")
+        return self._arities[predicate]
+
+    def has_predicate(self, predicate: str) -> bool:
+        return predicate in self._relations
+
+    def rows(self, predicate: str) -> frozenset[tuple[Value, ...]]:
+        """All tuples of the given relation (empty for unknown names)."""
+        return frozenset(self._relations.get(predicate, ()))
+
+    def relation(self, predicate: str) -> Relation:
+        """The relation instance as a :class:`Relation` with positional
+        attribute names ``$0..$k``."""
+        if predicate not in self._relations:
+            raise SchemaError(f"unknown predicate {predicate!r}")
+        arity = self._arities[predicate]
+        attrs = tuple(f"${i}" for i in range(arity))
+        return Relation(attrs, frozenset(self._relations[predicate]), predicate)
+
+    def contains(self, predicate: str, *values: Value) -> bool:
+        """``r(a1..ak) ∈ DB``."""
+        return tuple(values) in self._relations.get(predicate, set())
+
+    def facts(self) -> Iterator[tuple[str, tuple[Value, ...]]]:
+        for predicate in sorted(self._relations):
+            for row in sorted(self._relations[predicate], key=repr):
+                yield predicate, row
+
+    @property
+    def universe(self) -> frozenset[Value]:
+        """The active domain: every value occurring in some tuple."""
+        result: set[Value] = set()
+        for rows in self._relations.values():
+            for row in rows:
+                result.update(row)
+        return frozenset(result)
+
+    def size(self) -> int:
+        """``‖DB‖`` measured as the total number of value occurrences."""
+        return sum(
+            len(row) for rows in self._relations.values() for row in rows
+        )
+
+    def tuple_count(self) -> int:
+        return sum(len(rows) for rows in self._relations.values())
+
+    def max_relation_size(self) -> int:
+        """``r`` in Lemma 4.6: the maximum relation cardinality."""
+        if not self._relations:
+            return 0
+        return max(len(rows) for rows in self._relations.values())
+
+    def __len__(self) -> int:
+        return self.tuple_count()
+
+    def __str__(self) -> str:
+        parts = [
+            f"{name}/{self._arities[name]}: {len(rows)} tuples"
+            for name, rows in sorted(self._relations.items())
+        ]
+        return "Database(" + "; ".join(parts) + ")"

@@ -1,0 +1,212 @@
+"""Decomposition-guided query evaluation (Lemma 4.6, Theorems 4.7/4.8).
+
+Lemma 4.6 turns a query ``Q`` with a width-k hypertree decomposition into
+an *acyclic* query ``Q′`` over a derived database ``DB′`` together with a
+join tree ``JT``:
+
+* complete the decomposition (Lemma 4.4);
+* for each node ``p``: join, for every ``A ∈ λ(p)``, the relation of ``A``
+  projected onto ``var(A) ∩ χ(p)``; project the result onto ``χ(p)``.
+  This is the fresh relation of a fresh atom over ``χ(p)``;
+* the tree of fresh atoms mirrors ``T`` and is a join tree of ``Q′``
+  (χ-connectedness becomes the join-tree connectedness condition).
+
+Each node relation is a join of ≤ k database relations, so
+``‖⟨Q′, DB′, JT⟩‖ = O((‖Q‖ + ‖HD‖) · r^k)`` — measured empirically by
+experiment E08.  Evaluation then runs Yannakakis on ``JT``: Boolean
+(Theorem 4.7 / Corollary 5.19) or output-polynomial enumeration
+(Theorem 4.8 / Corollary 5.20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from .._errors import EvaluationError
+from ..core.acyclicity import join_tree as build_join_tree
+from ..core.atoms import Atom, Variable
+from ..core.detkdecomp import hypertree_width
+from ..core.hypertree import HTNode, HypertreeDecomposition
+from ..core.jointree import JoinTree
+from ..core.query import ConjunctiveQuery
+from .binding import BoundQuery, bind_atom
+from .database import Database
+from .naive import backtracking_eval, naive_boolean_eval, naive_join_eval
+from .relation import Relation
+from .stats import EvalStats
+from .yannakakis import boolean_eval, enumerate_answers
+
+Method = Literal["decomposition", "yannakakis", "naive", "backtracking"]
+
+
+@dataclass
+class Lemma46Result:
+    """The transformed triple ``⟨Q′, DB′, JT⟩`` plus size accounting."""
+
+    qprime: ConjunctiveQuery
+    jt: JoinTree
+    relations: dict[Atom, Relation]
+    node_of_atom: dict[Atom, HTNode]
+    stats: EvalStats = field(default_factory=EvalStats)
+
+    def size(self) -> int:
+        """``‖⟨Q′, DB′, JT⟩‖``: value occurrences in DB′ plus atom sizes of
+        Q′ and JT (the units of the Lemma 4.6 bound)."""
+        db_size = sum(len(r) * max(1, r.arity) for r in self.relations.values())
+        query_size = sum(1 + a.arity for a in self.qprime.atoms)
+        tree_size = 2 * len(self.jt.nodes)
+        return db_size + query_size + tree_size
+
+    def database(self) -> Database:
+        """DB′ as a standalone :class:`Database` (one relation per node)."""
+        db = Database()
+        for atom, rel in self.relations.items():
+            for row in rel.rows:
+                db.add_fact(atom.predicate, *row)
+            if not rel.rows:
+                # Preserve the (empty) relation's existence and arity.
+                db._arities.setdefault(atom.predicate, rel.arity)
+                db._relations.setdefault(atom.predicate, set())
+        return db
+
+
+def lemma46_transform(
+    query: ConjunctiveQuery,
+    db: Database,
+    hd: HypertreeDecomposition,
+    stats: EvalStats | None = None,
+) -> Lemma46Result:
+    """Construct ``⟨Q′, DB′, JT⟩`` from ``⟨Q, DB, HD⟩`` (Lemma 4.6)."""
+    stats = stats if stats is not None else EvalStats()
+    complete = hd if hd.is_complete else hd.complete()
+
+    fresh_atoms: dict[int, Atom] = {}
+    relations: dict[Atom, Relation] = {}
+    node_of_atom: dict[Atom, HTNode] = {}
+    nodes = complete.nodes
+    node_ids = {id(n): i for i, n in enumerate(nodes)}
+
+    for i, p in enumerate(nodes):
+        chi_names = tuple(sorted(v.name for v in p.chi))
+        rel = Relation((), frozenset({()}), f"n{i}")
+        for a in sorted(p.lam, key=str):
+            overlap = a.variables & p.chi
+            if not overlap and a.variables:
+                continue  # contributes no χ(p) bindings (Lemma 4.6 case split)
+            part = bind_atom(a, db)
+            if not a.variables <= p.chi:
+                part = part.project(
+                    [v.name for v in sorted(overlap, key=lambda x: x.name)]
+                )
+                stats.projections += 1
+            rel = rel.join(part)
+            stats.joins += 1
+            stats.record(rel)
+        rel = stats.record(rel.project(chi_names, name=f"n{i}"))
+        stats.projections += 1
+        atom = Atom(f"n{i}", tuple(Variable(a) for a in chi_names))
+        fresh_atoms[i] = atom
+        relations[atom] = rel
+        node_of_atom[atom] = p
+
+    children_map: dict[Atom, tuple[Atom, ...]] = {}
+    for i, p in enumerate(nodes):
+        kids = tuple(fresh_atoms[node_ids[id(c)]] for c in p.children)
+        if kids:
+            children_map[fresh_atoms[i]] = kids
+    jt = JoinTree(fresh_atoms[0], children_map)
+
+    qprime = ConjunctiveQuery(
+        tuple(fresh_atoms[i] for i in range(len(nodes))),
+        query.head_terms,
+        f"{query.name}'",
+    )
+    return Lemma46Result(qprime, jt, relations, node_of_atom, stats)
+
+
+def evaluate_boolean(
+    query: ConjunctiveQuery,
+    db: Database,
+    method: Method = "decomposition",
+    hd: HypertreeDecomposition | None = None,
+    stats: EvalStats | None = None,
+) -> bool:
+    """Evaluate a Boolean conjunctive query.
+
+    Methods
+    -------
+    ``"decomposition"``
+        The paper's pipeline: hypertree decomposition (computed with
+        :func:`~repro.core.detkdecomp.hypertree_width` when *hd* is not
+        supplied) → Lemma 4.6 transformation → Boolean Yannakakis.
+    ``"yannakakis"``
+        Direct Yannakakis; requires the query to be acyclic.
+    ``"naive"`` / ``"backtracking"``
+        The baselines of :mod:`repro.db.naive`.
+    """
+    stats = stats if stats is not None else EvalStats()
+    query = query.as_boolean()
+    if not query.atoms:
+        return True
+    if method == "naive":
+        return naive_boolean_eval(query, db, stats)
+    if method == "backtracking":
+        return backtracking_eval(query, db, stats)
+    if method == "yannakakis":
+        jt = build_join_tree(query)
+        if jt is None:
+            raise EvaluationError(
+                "method 'yannakakis' requires an acyclic query; "
+                f"{query.name} is cyclic"
+            )
+        bound = BoundQuery.bind(query, db)
+        return boolean_eval(jt, bound.relations, stats)
+    if method == "decomposition":
+        if hd is None:
+            _, hd = hypertree_width(query)
+        transformed = lemma46_transform(query, db, hd, stats)
+        return boolean_eval(transformed.jt, transformed.relations, stats)
+    raise ValueError(f"unknown evaluation method {method!r}")
+
+
+def evaluate(
+    query: ConjunctiveQuery,
+    db: Database,
+    method: Method = "decomposition",
+    hd: HypertreeDecomposition | None = None,
+    stats: EvalStats | None = None,
+) -> Relation:
+    """Evaluate a (possibly non-Boolean) conjunctive query to its answer
+    relation (Theorem 4.8 for the decomposition method)."""
+    stats = stats if stats is not None else EvalStats()
+    head = tuple(
+        dict.fromkeys(
+            t.name for t in query.head_terms if isinstance(t, Variable)
+        )
+    )
+    if not query.atoms:
+        return Relation(head, frozenset({()} if not head else ()), "ans")
+    if method == "naive":
+        return naive_join_eval(query, db, stats)
+    if method == "backtracking":
+        from .naive import backtracking_answers
+
+        return backtracking_answers(query, db, stats)
+    if method == "yannakakis":
+        jt = build_join_tree(query)
+        if jt is None:
+            raise EvaluationError(
+                "method 'yannakakis' requires an acyclic query; "
+                f"{query.name} is cyclic"
+            )
+        bound = BoundQuery.bind(query, db)
+        return enumerate_answers(jt, bound.relations, head, stats)
+    if method == "decomposition":
+        if hd is None:
+            _, hd = hypertree_width(query.as_boolean())
+        transformed = lemma46_transform(query, db, hd, stats)
+        return enumerate_answers(
+            transformed.jt, transformed.relations, head, stats
+        )
+    raise ValueError(f"unknown evaluation method {method!r}")

@@ -1,0 +1,231 @@
+"""Relations and relational-algebra operations (paper §2.1).
+
+A relation instance is a finite set of tuples over a named schema.  For
+query evaluation the attribute names are query-variable names, so natural
+join / semijoin operate positionally on shared variables — exactly the
+"common variables acting as join attributes" convention of Lemma 4.6.
+
+The implementation is a straightforward set-of-tuples engine with hash
+joins.  It is deliberately simple and fully observable: the evaluation
+strategies in :mod:`repro.db.yannakakis` and :mod:`repro.db.evaluate`
+record intermediate sizes after every operation, which is how experiments
+E15/E16 reproduce the paper's "semijoins keep intermediates small" claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+
+from .._errors import SchemaError
+
+Row = tuple
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An immutable named relation: schema + set of rows.
+
+    Attributes
+    ----------
+    attributes:
+        Ordered attribute names; must be distinct.
+    rows:
+        The tuples, each of length ``len(attributes)``.
+    name:
+        Optional display name.
+    """
+
+    attributes: tuple[str, ...]
+    rows: frozenset[Row]
+    name: str = "r"
+
+    def __post_init__(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"relation {self.name!r} has duplicate attributes "
+                f"{self.attributes}"
+            )
+        width = len(self.attributes)
+        for row in self.rows:
+            if len(row) != width:
+                raise SchemaError(
+                    f"row {row!r} does not match schema {self.attributes} "
+                    f"of relation {self.name!r}"
+                )
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def from_rows(
+        attributes: Sequence[str], rows: Iterable[Sequence[Value]], name: str = "r"
+    ) -> "Relation":
+        return Relation(
+            tuple(attributes), frozenset(tuple(r) for r in rows), name
+        )
+
+    @staticmethod
+    def empty(attributes: Sequence[str], name: str = "r") -> "Relation":
+        return Relation(tuple(attributes), frozenset(), name)
+
+    # -- views --------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    @cached_property
+    def _index_of(self) -> dict[str, int]:
+        return {a: i for i, a in enumerate(self.attributes)}
+
+    def column(self, attribute: str) -> set[Value]:
+        i = self._position(attribute)
+        return {row[i] for row in self.rows}
+
+    def _position(self, attribute: str) -> int:
+        try:
+            return self._index_of[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema {self.attributes} "
+                f"of relation {self.name!r}"
+            ) from None
+
+    # -- relational algebra --------------------------------------------------
+    def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
+        """π over the given attributes (duplicates removed by the set)."""
+        positions = [self._position(a) for a in attributes]
+        rows = frozenset(tuple(row[p] for p in positions) for row in self.rows)
+        return Relation(tuple(attributes), rows, name or self.name)
+
+    def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
+        """ρ: rename attributes according to *mapping* (others unchanged)."""
+        new_attrs = tuple(mapping.get(a, a) for a in self.attributes)
+        return Relation(new_attrs, self.rows, name or self.name)
+
+    def select(
+        self, predicate: Callable[[dict[str, Value]], bool], name: str | None = None
+    ) -> "Relation":
+        """σ with an arbitrary row predicate over attribute→value dicts."""
+        attrs = self.attributes
+        rows = frozenset(
+            row for row in self.rows if predicate(dict(zip(attrs, row)))
+        )
+        return Relation(attrs, rows, name or self.name)
+
+    def select_eq(self, attribute: str, value: Value) -> "Relation":
+        """σ attribute = constant."""
+        i = self._position(attribute)
+        return Relation(
+            self.attributes,
+            frozenset(row for row in self.rows if row[i] == value),
+            self.name,
+        )
+
+    def join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Natural join ⋈ on shared attribute names (hash join).
+
+        The result schema is this relation's attributes followed by the
+        other's non-shared attributes, matching textbook natural join.
+        """
+        shared = [a for a in self.attributes if a in other._index_of]
+        left_pos = [self._position(a) for a in shared]
+        right_pos = [other._position(a) for a in shared]
+        extra = [a for a in other.attributes if a not in self._index_of]
+        extra_pos = [other._position(a) for a in extra]
+
+        # Build the hash table on the smaller side.
+        if len(self.rows) <= len(other.rows):
+            build, probe = self, other
+            build_key, probe_key = left_pos, right_pos
+            build_is_left = True
+        else:
+            build, probe = other, self
+            build_key, probe_key = right_pos, left_pos
+            build_is_left = False
+
+        table: dict[Row, list[Row]] = {}
+        for row in build.rows:
+            table.setdefault(tuple(row[p] for p in build_key), []).append(row)
+
+        out_rows: set[Row] = set()
+        for row in probe.rows:
+            key = tuple(row[p] for p in probe_key)
+            for match in table.get(key, ()):
+                left_row = match if build_is_left else row
+                right_row = row if build_is_left else match
+                out_rows.add(
+                    left_row + tuple(right_row[p] for p in extra_pos)
+                )
+        return Relation(
+            self.attributes + tuple(extra),
+            frozenset(out_rows),
+            name or f"({self.name}⋈{other.name})",
+        )
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Semijoin ⋉: keep rows with a join partner in *other*.
+
+        This is the workhorse of Yannakakis' algorithm — it never grows
+        the relation, which is why acyclic evaluation stays polynomial.
+        """
+        shared = [a for a in self.attributes if a in other._index_of]
+        if not shared:
+            return self if other.rows else Relation(self.attributes, frozenset(), self.name)
+        left_pos = [self._position(a) for a in shared]
+        right_pos = [other._position(a) for a in shared]
+        keys = {tuple(row[p] for p in right_pos) for row in other.rows}
+        rows = frozenset(
+            row for row in self.rows if tuple(row[p] for p in left_pos) in keys
+        )
+        return Relation(self.attributes, rows, self.name)
+
+    def union(self, other: "Relation") -> "Relation":
+        if self.attributes != other.attributes:
+            raise SchemaError(
+                f"union of incompatible schemas {self.attributes} and "
+                f"{other.attributes}"
+            )
+        return Relation(self.attributes, self.rows | other.rows, self.name)
+
+    def intersect(self, other: "Relation") -> "Relation":
+        if self.attributes != other.attributes:
+            raise SchemaError(
+                f"intersection of incompatible schemas {self.attributes} and "
+                f"{other.attributes}"
+            )
+        return Relation(self.attributes, self.rows & other.rows, self.name)
+
+    def difference(self, other: "Relation") -> "Relation":
+        if self.attributes != other.attributes:
+            raise SchemaError(
+                f"difference of incompatible schemas {self.attributes} and "
+                f"{other.attributes}"
+            )
+        return Relation(self.attributes, self.rows - other.rows, self.name)
+
+    def reorder(self, attributes: Sequence[str]) -> "Relation":
+        """Permute columns into the given attribute order (must be a
+        permutation of the schema)."""
+        if set(attributes) != set(self.attributes) or len(attributes) != self.arity:
+            raise SchemaError(
+                f"{attributes} is not a permutation of {self.attributes}"
+            )
+        return self.project(attributes)
+
+    # -- rendering -------------------------------------------------------------
+    def __str__(self) -> str:
+        header = ", ".join(self.attributes)
+        shown = sorted(self.rows)[:8]
+        body = "; ".join(str(r) for r in shown)
+        suffix = " ..." if len(self.rows) > 8 else ""
+        return f"{self.name}({header}) [{len(self.rows)} rows: {body}{suffix}]"

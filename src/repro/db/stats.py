@@ -1,0 +1,43 @@
+"""Instrumentation for evaluation strategies.
+
+The paper's tractability results are statements about *intermediate sizes*
+(semijoins never grow relations; decomposition node relations are bounded
+by ``r^k``), so every evaluation strategy threads an :class:`EvalStats`
+object through its operations.  Experiments E15/E16 report these counters
+alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .relation import Relation
+
+
+@dataclass
+class EvalStats:
+    """Counters recorded by one evaluation run."""
+
+    joins: int = 0
+    semijoins: int = 0
+    projections: int = 0
+    max_intermediate: int = 0
+    total_tuples_produced: int = 0
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def record(self, relation: Relation) -> Relation:
+        """Account for a freshly produced relation and pass it through."""
+        size = len(relation)
+        self.total_tuples_produced += size
+        if size > self.max_intermediate:
+            self.max_intermediate = size
+        return relation
+
+    def as_row(self) -> dict[str, int]:
+        return {
+            "joins": self.joins,
+            "semijoins": self.semijoins,
+            "projections": self.projections,
+            "max_intermediate": self.max_intermediate,
+            "tuples_produced": self.total_tuples_produced,
+        }

@@ -1,0 +1,23 @@
+"""Experiment registry: every reproduced figure/claim of the paper.
+
+Run ``python -m repro.experiments E06`` (or ``all``) to print the tables.
+"""
+
+from . import (  # noqa: F401
+    equivalences,
+    evaluation,
+    figures,
+    hardness,
+    recognizers,
+    widths,
+)
+from .harness import REGISTRY, Experiment, Table, register, run, run_all
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "Table",
+    "register",
+    "run",
+    "run_all",
+]

@@ -1,0 +1,26 @@
+"""CLI entry point: ``python -m repro.experiments [id ... | all | list]``."""
+
+import sys
+
+from .harness import REGISTRY, run, run_all
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv == ["list"]:
+        print("Available experiments:")
+        for exp_id in sorted(REGISTRY):
+            exp = REGISTRY[exp_id]
+            print(f"  {exp_id}: {exp.title}  [{exp.paper_ref}]")
+        print("\nUsage: python -m repro.experiments <id ...> | all")
+        return 0
+    if argv == ["all"]:
+        print(run_all())
+        return 0
+    for exp_id in argv:
+        print(run(exp_id))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,204 @@
+"""Experiments E08, E15, E16: evaluation complexity (§4.2, Lemma 4.6).
+
+E08 — the Lemma 4.6 transformation: answer equivalence of Q and Q′ and
+the ``O((‖Q‖+‖HD‖)·r^k)`` size bound measured against the database size.
+E15 — the tractability headline: decomposition-guided evaluation vs the
+naive join and backtracking baselines on cyclic queries as the database
+grows (time and max intermediate relation size).
+E16 — Yannakakis on acyclic queries: scaling and output-polynomial
+enumeration.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.detkdecomp import hypertree_width
+from ..db.evaluate import evaluate, evaluate_boolean, lemma46_transform
+from ..db.stats import EvalStats
+from ..generators.families import cycle_query, path_query
+from ..generators.paper_queries import q1, q2, q5
+from ..generators.workloads import random_database
+from .harness import Table, register
+
+
+@register("E08", "Lemma 4.6: ⟨Q′, DB′, JT⟩ equivalence and size bound", "Lemma 4.6, Fig. 8")
+def e08_lemma46() -> list[Table]:
+    equivalence = Table(
+        "Answer equivalence of Q and Q′ (random databases)",
+        ("query", "seed", "r", "answer_q", "answer_qprime", "agree"),
+    )
+    for q in (q1(), q5()):
+        width, hd = hypertree_width(q)
+        for seed in range(4):
+            db = random_database(
+                q, domain_size=4, tuples_per_relation=16, seed=seed,
+                plant_answer=seed % 2 == 0,
+            )
+            direct = evaluate_boolean(q, db, method="naive")
+            transformed = lemma46_transform(q, db, hd)
+            from ..db.yannakakis import boolean_eval
+
+            via = boolean_eval(transformed.jt, transformed.relations)
+            equivalence.add(
+                query=q.name,
+                seed=seed,
+                r=db.max_relation_size(),
+                answer_q=direct,
+                answer_qprime=via,
+                agree=direct == via,
+            )
+            assert direct == via
+
+    bound = Table(
+        "Size of ⟨Q′, DB′, JT⟩ vs the r^k bound (Q5, k = 2)",
+        ("r", "transformed_size", "bound_units", "ratio"),
+    )
+    q = q5()
+    width, hd = hypertree_width(q)
+    base = len(q.atoms) + len(hd)
+    for tuples in (8, 16, 32, 64, 128):
+        db = random_database(q, domain_size=8, tuples_per_relation=tuples, seed=1)
+        r = db.max_relation_size()
+        transformed = lemma46_transform(q, db, hd)
+        size = transformed.size()
+        cap = base * (r ** width)
+        bound.add(
+            r=r,
+            transformed_size=size,
+            bound_units=cap,
+            ratio=size / cap,
+        )
+        assert size <= 40 * cap  # generous constant; the shape is what matters
+    bound.note(
+        "paper: ‖⟨Q′,DB′,JT⟩‖ = O((‖Q‖+‖HD‖)·r^k); the measured/bound "
+        "ratio stays bounded (≈1) as r grows — linear in r^k units"
+    )
+    return [equivalence, bound]
+
+
+@register("E15", "Decomposition-guided vs naive evaluation on cyclic queries", "Thms. 4.7/4.8, Cor. 5.19")
+def e15_evaluation() -> list[Table]:
+    table = Table(
+        "Boolean evaluation of the 6-cycle (planted answer) as DB grows",
+        (
+            "tuples",
+            "t_decomp_ms",
+            "t_naive_ms",
+            "t_backtrack_ms",
+            "max_int_decomp",
+            "max_int_naive",
+        ),
+    )
+    q = cycle_query(6)
+    _, hd = hypertree_width(q)
+    for tuples in (20, 40, 80, 160):
+        db = random_database(
+            q, domain_size=max(4, tuples // 8), tuples_per_relation=tuples,
+            seed=3, plant_answer=True,
+        )
+        row: dict[str, float | int] = {"tuples": tuples}
+        for method, key in (
+            ("decomposition", "decomp"),
+            ("naive", "naive"),
+            ("backtracking", "backtrack"),
+        ):
+            stats = EvalStats()
+            start = time.perf_counter()
+            result = evaluate_boolean(
+                q, db, method=method, hd=hd if method == "decomposition" else None,
+                stats=stats,
+            )
+            elapsed = (time.perf_counter() - start) * 1000
+            assert result is True
+            row[f"t_{key}_ms"] = round(elapsed, 2)
+            if method in ("decomposition", "naive"):
+                row[f"max_int_{key}"] = stats.max_intermediate
+        table.add(**row)
+    table.note(
+        "the paper's shape: decomposition intermediates stay O(r^k) while "
+        "naive join intermediates grow much faster"
+    )
+
+    unsat = Table(
+        "The same comparison on sparse 'no' instances",
+        ("tuples", "t_decomp_ms", "t_naive_ms", "t_backtrack_ms", "answer"),
+    )
+    for tuples in (40, 80, 160):
+        db = random_database(
+            q,
+            domain_size=tuples * 4,  # sparse: almost surely no 6-cycle
+            tuples_per_relation=tuples,
+            seed=11,
+            plant_answer=False,
+        )
+        row: dict[str, float | int | bool] = {"tuples": tuples}
+        answers = set()
+        for method, key in (
+            ("decomposition", "decomp"),
+            ("naive", "naive"),
+            ("backtracking", "backtrack"),
+        ):
+            start = time.perf_counter()
+            result = evaluate_boolean(
+                q, db, method=method, hd=hd if method == "decomposition" else None
+            )
+            row[f"t_{key}_ms"] = round((time.perf_counter() - start) * 1000, 2)
+            answers.add(result)
+        assert len(answers) == 1
+        row["answer"] = answers.pop()
+        unsat.add(**row)
+    unsat.note(
+        "on sparse 'no' instances every strategy is fast (semijoins/joins "
+        "empty out immediately); backtracking degrades fastest with size, "
+        "while the dense planted instances above are where the paper's "
+        "polynomial guarantee separates decomposition from naive joins"
+    )
+    return [table, unsat]
+
+
+@register("E16", "Yannakakis on acyclic queries", "§2.1, [44]")
+def e16_yannakakis() -> list[Table]:
+    boolean = Table(
+        "Boolean Q2 as the university DB grows",
+        ("tuples", "t_yannakakis_ms", "t_naive_ms", "max_int_yk", "max_int_naive"),
+    )
+    q = q2()
+    for tuples in (50, 100, 200, 400):
+        db = random_database(q, domain_size=tuples // 5, tuples_per_relation=tuples, seed=2, plant_answer=True)
+        row: dict[str, float | int] = {"tuples": tuples}
+        for method, key in (("yannakakis", "yk"), ("naive", "naive")):
+            stats = EvalStats()
+            start = time.perf_counter()
+            result = evaluate_boolean(q, db, method=method, stats=stats)
+            column = "t_yannakakis_ms" if key == "yk" else "t_naive_ms"
+            row[column] = round((time.perf_counter() - start) * 1000, 2)
+            row[f"max_int_{key}"] = stats.max_intermediate
+            assert result is True
+        boolean.add(**row)
+
+    output_poly = Table(
+        "Output-polynomial enumeration on a path query (Theorem 4.8 machinery)",
+        ("path_len", "tuples", "answers", "max_intermediate", "t_ms"),
+    )
+    from ..core.atoms import Variable
+
+    for n in (3, 5, 7):
+        q = path_query(n)
+        q = q.with_head((Variable("X1"), Variable(f"X{n+1}")))
+        db = random_database(q, domain_size=12, tuples_per_relation=60, seed=4)
+        stats = EvalStats()
+        start = time.perf_counter()
+        answers = evaluate(q, db, method="yannakakis", stats=stats)
+        elapsed = (time.perf_counter() - start) * 1000
+        output_poly.add(
+            path_len=n,
+            tuples=60,
+            answers=len(answers),
+            max_intermediate=stats.max_intermediate,
+            t_ms=round(elapsed, 2),
+        )
+    output_poly.note(
+        "after full reduction, intermediates are bounded by node-size × answers"
+    )
+    return [boolean, output_poly]

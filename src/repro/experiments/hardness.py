@@ -1,0 +1,110 @@
+"""Experiments E11, E14: the §7 NP-hardness machinery.
+
+E14 — Lemma 7.3: strict (m,k)-3PS constructions, strictness verified
+exhaustively, with the O(m² + km) size scaling.
+E11 — Theorem 3.4 / Fig. 11: the XC3S reduction on the paper's running
+example and on random instances; a width-4 decomposition constructed from
+an exact cover validates, and the construction fails for every non-cover
+selection (reduction soundness).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..reductions.qw_hardness import build_reduction, decomposition_from_cover
+from ..reductions.three_ps import strict_3ps
+from ..reductions.xc3s import paper_running_example, random_instance
+from .harness import Table, register
+
+
+@register("E14", "Strict (m,k)-3-partitioning systems", "Lemma 7.3")
+def e14_three_ps() -> list[Table]:
+    table = Table(
+        "Lemma 7.3 construction",
+        ("m", "k", "base_size", "partitions", "valid", "strict", "min_class"),
+    )
+    for m, k in [(1, 1), (2, 2), (3, 2), (5, 2), (8, 2), (4, 3), (3, 5)]:
+        s = strict_3ps(m, k)
+        assert not s.validate()
+        assert s.is_mk(m, k)
+        assert s.is_strict
+        table.add(
+            m=m,
+            k=k,
+            base_size=len(s.base),
+            partitions=len(s.partitions),
+            valid=True,
+            strict=True,
+            min_class=min(len(c) for c in s.classes),
+        )
+    table.note("base size = 4k + 2m + 3 = O(m + k); strictness checked over all class triples")
+    return [table]
+
+
+@register("E11", "XC3S → qw ≤ 4 reduction (running example + soundness)", "Thm. 3.4, Fig. 11")
+def e11_reduction() -> list[Table]:
+    instance = paper_running_example()
+    reduction = build_reduction(instance)
+    table = Table(
+        "The running example Ie",
+        ("property", "value"),
+    )
+    table.add(property="elements |R|", value=len(instance.elements))
+    table.add(property="triples |D|", value=len(instance.triples))
+    table.add(property="query atoms", value=len(reduction.query.atoms))
+    table.add(property="query variables", value=len(reduction.query.variables))
+    covers = instance.all_exact_covers()
+    table.add(property="exact covers", value=str(covers))
+    assert covers == [[1, 3]], covers
+    table.note("paper: D2 and D4 form the unique partition of Re")
+
+    qd = decomposition_from_cover(reduction, covers[0])
+    assert qd.width == 4 and qd.is_valid
+    table.add(property="constructed decomposition width", value=qd.width)
+    table.add(property="constructed decomposition valid", value=qd.is_valid)
+
+    soundness = Table(
+        "Soundness: the Fig.-11 construction validates iff the selection is an exact cover",
+        ("selection", "is_cover", "decomposition_valid", "agree"),
+    )
+    s = instance.s
+    for selection in combinations(range(len(instance.triples)), s):
+        is_cover = instance.verify_cover(selection)
+        candidate = decomposition_from_cover(reduction, list(selection))
+        valid = candidate.is_valid and candidate.width <= 4
+        soundness.add(
+            selection=str(list(selection)),
+            is_cover=is_cover,
+            decomposition_valid=valid,
+            agree=is_cover == valid,
+        )
+        assert is_cover == valid
+
+    randoms = Table(
+        "Random instances: solvable ⟺ construction succeeds",
+        ("seed", "s", "triples", "solvable", "witness_valid"),
+    )
+    for seed in range(4):
+        inst = random_instance(s=2, extra_triples=3, seed=seed, solvable=seed % 2 == 0)
+        red = build_reduction(inst)
+        cover = inst.exact_cover()
+        if cover is None:
+            randoms.add(
+                seed=seed,
+                s=inst.s,
+                triples=len(inst.triples),
+                solvable=False,
+                witness_valid="-",
+            )
+            continue
+        witness = decomposition_from_cover(red, cover)
+        assert witness.is_valid and witness.width == 4
+        randoms.add(
+            seed=seed,
+            s=inst.s,
+            triples=len(inst.triples),
+            solvable=True,
+            witness_valid=True,
+        )
+    return [table, soundness, randoms]

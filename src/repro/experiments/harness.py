@@ -1,0 +1,97 @@
+"""Experiment registry and table rendering.
+
+Every reproduced figure/claim of the paper is an :class:`Experiment` that
+produces one or more :class:`Table` objects (plus optional rendered trees).
+``python -m repro.experiments <id>`` runs one; ``all`` runs the suite and
+prints the paper-vs-measured summary recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass
+class Table:
+    """A printable experiment result: aligned columns plus free-form notes."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **values) -> None:
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        widths = {c: len(c) for c in self.columns}
+        rendered_rows: list[list[str]] = []
+        for row in self.rows:
+            cells = []
+            for c in self.columns:
+                value = row.get(c, "")
+                text = f"{value:.4g}" if isinstance(value, float) else str(value)
+                widths[c] = max(widths[c], len(text))
+                cells.append(text)
+            rendered_rows.append(cells)
+        header = " | ".join(c.ljust(widths[c]) for c in self.columns)
+        rule = "-+-".join("-" * widths[c] for c in self.columns)
+        lines = [self.title, header, rule]
+        for cells in rendered_rows:
+            lines.append(
+                " | ".join(
+                    cell.ljust(widths[c]) for cell, c in zip(cells, self.columns)
+                )
+            )
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Experiment:
+    """One reproduced artifact of the paper."""
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    runner: Callable[[], list[Table]]
+
+    def run(self) -> list[Table]:
+        return self.runner()
+
+    def render(self) -> str:
+        tables = self.run()
+        head = f"== {self.exp_id}: {self.title}  [{self.paper_ref}] =="
+        return "\n\n".join([head] + [t.render() for t in tables])
+
+
+REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp_id: str, title: str, paper_ref: str):
+    """Decorator registering an experiment runner under *exp_id*."""
+
+    def wrap(fn: Callable[[], list[Table]]) -> Callable[[], list[Table]]:
+        REGISTRY[exp_id] = Experiment(exp_id, title, paper_ref, fn)
+        return fn
+
+    return wrap
+
+
+def run(exp_id: str) -> str:
+    """Render one experiment by id (``KeyError`` lists valid ids)."""
+    if exp_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[exp_id].render()
+
+
+def run_all(ids: Iterable[str] | None = None) -> str:
+    chosen = sorted(REGISTRY) if ids is None else list(ids)
+    return "\n\n\n".join(run(i) for i in chosen)

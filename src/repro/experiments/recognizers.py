@@ -1,0 +1,129 @@
+"""Experiments E10, E18: the hw ≤ k recognisers.
+
+E10 — the Appendix-B Datalog program (well-founded semantics) agrees with
+det-k-decomp on a corpus of (query, k) pairs; its base-relation sizes grow
+polynomially (the deterministic shadow of the LOGCFL bound).
+E18 — ablation of the det-k-decomp candidate-pool strategy: the complete
+``all`` enumeration and the pruned ``relevant`` pool give identical
+verdicts, with the pruned pool exploring fewer candidates.
+"""
+
+from __future__ import annotations
+
+from ..core.detkdecomp import SearchStats, decompose_k
+from ..datalog.hw_program import build_hw_program
+from ..generators.families import (
+    book_query,
+    cycle_query,
+    path_query,
+    random_query,
+)
+from ..generators.paper_queries import all_named_queries, qn
+from .harness import Table, register
+
+
+def _corpus() -> dict[str, object]:
+    corpus: dict[str, object] = dict(all_named_queries())
+    corpus["cycle_4"] = cycle_query(4)
+    corpus["cycle_5"] = cycle_query(5)
+    corpus["path_4"] = path_query(4)
+    corpus["book_2"] = book_query(2)
+    corpus["Q_2"] = qn(2)
+    for seed in range(6):
+        q = random_query(n_atoms=5, n_variables=6, seed=300 + seed)
+        corpus[q.name] = q
+    return corpus
+
+
+@register("E10", "Appendix-B Datalog recogniser ⟺ k-decomp", "App. B, Thm. 5.14")
+def e10_datalog() -> list[Table]:
+    table = Table(
+        "Agreement on the corpus (k = 1, 2, 3)",
+        ("query", "k", "datalog", "k_decomp", "agree", "k_vertices", "meets_rows"),
+    )
+    for name, q in _corpus().items():
+        for k in (1, 2, 3):
+            inst = build_hw_program(q, k)
+            datalog = inst.decide()
+            direct = decompose_k(q, k) is not None
+            assert datalog == direct, (name, k)
+            table.add(
+                query=name,
+                k=k,
+                datalog=datalog,
+                k_decomp=direct,
+                agree=True,
+                k_vertices=len(inst.edb["k_vertex"]),
+                meets_rows=len(inst.edb["meets_condition"]),
+            )
+    table.note(
+        "base relations grow as O(m^k) k-vertices — the polynomial witness "
+        "of the LOGCFL upper bound realised deterministically"
+    )
+    return [table]
+
+
+@register("E18", "Candidate-pool ablation: 'all' vs 'relevant'", "§5.2 (implementation)")
+def e18_ablation() -> list[Table]:
+    table = Table(
+        "det-k-decomp strategies on the corpus",
+        (
+            "query",
+            "k",
+            "verdict",
+            "agree",
+            "cand_all",
+            "cand_relevant",
+            "saving",
+        ),
+    )
+    for name, q in _corpus().items():
+        for k in (1, 2, 3):
+            stats_all, stats_rel = SearchStats(), SearchStats()
+            r_all = decompose_k(q, k, strategy="all", stats=stats_all)
+            r_rel = decompose_k(q, k, strategy="relevant", stats=stats_rel)
+            assert (r_all is None) == (r_rel is None), (name, k)
+            if r_all is not None:
+                assert r_all.is_valid and r_rel.is_valid
+            saving = (
+                1 - stats_rel.candidates_tried / stats_all.candidates_tried
+                if stats_all.candidates_tried
+                else 0.0
+            )
+            table.add(
+                query=name,
+                k=k,
+                verdict=r_all is not None,
+                agree=True,
+                cand_all=stats_all.candidates_tried,
+                cand_relevant=stats_rel.candidates_tried,
+                saving=f"{saving:.0%}",
+            )
+    table.note("identical verdicts everywhere; 'relevant' prunes the candidate space")
+
+    scaling = Table(
+        "Deterministic certificate growth on n-cycles at k = 2 "
+        "(the polynomial shadow of the LOGCFL tree-size bound, Lemma 5.15)",
+        ("n", "subproblems", "candidates", "subproblems_per_n"),
+    )
+    previous = None
+    for n in (4, 6, 8, 10, 12, 14):
+        stats = SearchStats()
+        result = decompose_k(cycle_query(n), 2, stats=stats)
+        assert result is not None
+        scaling.add(
+            n=n,
+            subproblems=stats.subproblems,
+            candidates=stats.candidates_tried,
+            subproblems_per_n=round(stats.subproblems / n, 2),
+        )
+        if previous is not None:
+            # polynomial, not exponential: doubling-ish n must not square
+            # the certificate count by more than a small power.
+            assert stats.subproblems <= 16 * previous
+        previous = stats.subproblems
+    scaling.note(
+        "subproblems grow polynomially with n (linear-ish per-n ratio), "
+        "matching the ≤ poly accepting-tree-size bound"
+    )
+    return [table, scaling]

@@ -1,0 +1,5 @@
+"""Query, hypergraph and database generators for tests and benchmarks."""
+
+from . import paper_queries
+
+__all__ = ["paper_queries"]

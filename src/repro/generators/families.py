@@ -1,0 +1,135 @@
+"""Parametric query families for scaling experiments (E13, E15, E17).
+
+Each family realises one regime of the §6 comparison:
+
+* :func:`cycle_query` — the n-cycle: hw = qw = 2 (n ≥ 4, constant) while
+  biconnected/hinge widths grow with n;
+* :func:`clique_query` — binary cliques: every structural measure grows;
+* :func:`grid_query` — n×n grids: treewidth n, hw ~ n/2 + 1, both grow;
+* :func:`hyperwheel_query` — wide atoms arranged in a cycle around a hub:
+  constant hw with unbounded arity (primal-graph methods degrade);
+* :func:`book_query` — triangle fan ("book"): cutset 1, constant hw;
+* :func:`random_query` — Erdős–Rényi-style random bodies for fuzzing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.atoms import Atom, Variable
+from ..core.query import ConjunctiveQuery
+
+
+def _q(body: list[Atom], name: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery(tuple(body), (), name)
+
+
+def cycle_query(n: int, predicate: str = "e") -> ConjunctiveQuery:
+    """The n-cycle ``e(X1,X2), e(X2,X3), ..., e(Xn,X1)`` (n ≥ 3)."""
+    if n < 3:
+        raise ValueError("cycles need at least 3 atoms")
+    body = [
+        Atom(predicate, (Variable(f"X{i}"), Variable(f"X{i % n + 1}")))
+        for i in range(1, n + 1)
+    ]
+    return _q(body, f"cycle_{n}")
+
+
+def path_query(n: int, predicate: str = "e") -> ConjunctiveQuery:
+    """The acyclic n-edge path."""
+    body = [
+        Atom(predicate, (Variable(f"X{i}"), Variable(f"X{i+1}")))
+        for i in range(1, n + 1)
+    ]
+    return _q(body, f"path_{n}")
+
+
+def clique_query(n: int, predicate: str = "e") -> ConjunctiveQuery:
+    """All ``n·(n−1)/2`` binary atoms over n variables."""
+    body = [
+        Atom(predicate, (Variable(f"X{i}"), Variable(f"X{j}")))
+        for i in range(1, n + 1)
+        for j in range(i + 1, n + 1)
+    ]
+    return _q(body, f"clique_{n}")
+
+
+def grid_query(n: int, predicate: str = "e") -> ConjunctiveQuery:
+    """The n×n grid of binary atoms (treewidth n)."""
+    body = []
+    for x in range(n):
+        for y in range(n):
+            if x + 1 < n:
+                body.append(
+                    Atom(predicate, (Variable(f"V{x}_{y}"), Variable(f"V{x+1}_{y}")))
+                )
+            if y + 1 < n:
+                body.append(
+                    Atom(predicate, (Variable(f"V{x}_{y}"), Variable(f"V{x}_{y+1}")))
+                )
+    return _q(body, f"grid_{n}")
+
+
+def hyperwheel_query(n: int, arity: int = 4) -> ConjunctiveQuery:
+    """n wide atoms around a hub: atom i covers the hub H plus a block of
+    ``arity−1`` rim variables shared with atom i+1.
+
+    Every pair of consecutive rim blocks overlaps, giving a cyclic primal
+    graph with large cliques (so primal-graph methods scale with *arity*)
+    while ``hw`` stays ≤ 2.
+    """
+    if n < 3 or arity < 2:
+        raise ValueError("need n ≥ 3 atoms of arity ≥ 2")
+    rim = arity - 1
+    body = []
+    for i in range(n):
+        block = [Variable(f"R{(i * (rim - 1) + j) % (n * (rim - 1))}") for j in range(rim)] \
+            if rim > 1 else [Variable(f"R{i}")]
+        body.append(Atom("w", tuple([Variable("H")] + block)))
+    return _q(body, f"hyperwheel_{n}_{arity}")
+
+
+def book_query(pages: int) -> ConjunctiveQuery:
+    """A "book": *pages* triangles sharing the spine edge (X, Y).
+
+    Cycle cutset 1 (cut X or Y), hw = qw = 2, biconnected width grows.
+    """
+    body = [Atom("spine", (Variable("X"), Variable("Y")))]
+    for i in range(pages):
+        p = Variable(f"P{i}")
+        body.append(Atom("e", (Variable("X"), p)))
+        body.append(Atom("e", (Variable("Y"), p)))
+    return _q(body, f"book_{pages}")
+
+
+def random_query(
+    n_atoms: int,
+    n_variables: int,
+    max_arity: int = 3,
+    seed: int = 0,
+    connected: bool = True,
+) -> ConjunctiveQuery:
+    """A random conjunctive query (used heavily by the property tests).
+
+    Predicates are all distinct (``p0..``), so any relation pattern can be
+    realised by a database.  With *connected*, each atom after the first
+    reuses at least one previously seen variable.
+    """
+    rng = random.Random(seed)
+    variables = [Variable(f"X{i}") for i in range(n_variables)]
+    body: list[Atom] = []
+    seen: list[Variable] = []
+    for i in range(n_atoms):
+        arity = rng.randint(1, max_arity)
+        chosen: list[Variable] = []
+        if connected and seen:
+            chosen.append(rng.choice(seen))
+        while len(chosen) < arity:
+            chosen.append(rng.choice(variables))
+        chosen = list(dict.fromkeys(chosen))
+        rng.shuffle(chosen)
+        body.append(Atom(f"p{i}", tuple(chosen)))
+        for v in chosen:
+            if v not in seen:
+                seen.append(v)
+    return _q(body, f"rand_{n_atoms}_{n_variables}_{seed}")

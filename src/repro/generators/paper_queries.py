@@ -1,0 +1,109 @@
+"""The paper's running-example queries, transcribed verbatim.
+
+Every query the paper analyses is available here as a zero-argument
+constructor, plus the parameterised family ``Qₙ`` of Theorem 6.2.  These
+are the ground truth for the reproduction experiments:
+
+========  =======================================  ==========================
+Function  Paper reference                          Known facts reproduced
+========  =======================================  ==========================
+``q1``    Example 1.1, Q1 (student/parent cycle)   cyclic; qw = 2; hw = 2
+``q2``    Example 1.1, Q2 (professor's child)      acyclic (Fig. 1 join tree)
+``q3``    Example 2.1, Q3                          acyclic (Fig. 3 join tree)
+``q4``    Example 3.2, Q4                          cyclic; qw = 2 (Fig. 4)
+``q5``    Example 3.5, Q5 (running example)        qw = 3 (Fig. 5); hw = 2
+                                                   (Fig. 6b) — Theorem 6.1(b)
+``qn``    Theorem 6.2, Qₙ                          qw = hw = 1; tw(VAIG) = n
+========  =======================================  ==========================
+"""
+
+from __future__ import annotations
+
+from ..core.parser import parse_query
+from ..core.query import ConjunctiveQuery
+
+
+def q1() -> ConjunctiveQuery:
+    """Q1 (Example 1.1): is some student enrolled in a course taught by a
+    parent?  Cyclic; the paper's first 2-width decompositions (Figs. 2, 6a).
+    """
+    return parse_query(
+        "ans() :- enrolled(S, C, R), teaches(P, C, A), parent(P, S).",
+        name="Q1",
+    )
+
+
+def q2() -> ConjunctiveQuery:
+    """Q2 (Example 1.1): is there a professor with a child enrolled in some
+    course?  Acyclic; its join tree is Fig. 1."""
+    return parse_query(
+        "ans() :- teaches(P, C, A), enrolled(S, C2, R), parent(P, S).",
+        name="Q2",
+    )
+
+
+def q3() -> ConjunctiveQuery:
+    """Q3 (Example 2.1); acyclic, join tree in Fig. 3."""
+    return parse_query(
+        "ans() :- r(Y, Z), g(X, Y), s1(Y, Z, U), s2(Z, U, W), t1(Y, Z), t2(Z, U).",
+        name="Q3",
+    )
+
+
+def q3_shared_predicates() -> ConjunctiveQuery:
+    """Q3 exactly as printed (both ``s`` atoms share a predicate name, as do
+    both ``t`` atoms) — exercises repeated predicates in one body."""
+    return parse_query(
+        "ans() :- r(Y, Z), g(X, Y), s(Y, Z, U), s(Z, U, W), t(Y, Z), t(Z, U).",
+        name="Q3",
+    )
+
+
+def q4() -> ConjunctiveQuery:
+    """Q4 (Example 3.2): cyclic with query-width 2 (pure decomposition in
+    Fig. 4)."""
+    return parse_query(
+        "ans() :- s1(Y, Z, U), g(X, Y), t1(Z, X), s2(Z, W, X), t2(Y, Z).",
+        name="Q4",
+    )
+
+
+def q5() -> ConjunctiveQuery:
+    """Q5 (Example 3.5) — the paper's running example.
+
+    ``qw(Q5) = 3`` (Fig. 5; no width-2 query decomposition exists, §3.3)
+    while ``hw(Q5) = 2`` (Fig. 6b) — the separating witness of
+    Theorem 6.1(b).
+    """
+    return parse_query(
+        "ans() :- a(S, X, X1, C, F), b(S, Y, Y1, C1, F1), c(C, C1, Z), "
+        "d(X, Z), e(Y, Z), f(F, F1, Z1), g(X1, Z1), h(Y1, Z1), "
+        "j(J, X, Y, X1, Y1).",
+        name="Q5",
+    )
+
+
+def qn(n: int) -> ConjunctiveQuery:
+    """The Theorem 6.2 family ``Qₙ``: ``n`` atoms
+    ``q(X1..Xn, Yi)`` sharing the ``X`` block.
+
+    Query-width and hypertree-width are 1 (star-shaped join tree rooted at
+    the first atom) while the treewidth of the variable-atom incidence
+    graph is ``n`` — unbounded treewidth at constant (hyper)width.
+    """
+    if n < 1:
+        raise ValueError("Qn is defined for n >= 1")
+    xs = ", ".join(f"X{i}" for i in range(1, n + 1))
+    body = ", ".join(f"q({xs}, Y{j})" for j in range(1, n + 1))
+    return parse_query(f"ans() :- {body}.", name=f"Q_{n}")
+
+
+def all_named_queries() -> dict[str, ConjunctiveQuery]:
+    """The fixed corpus used by cross-validation tests and experiments."""
+    return {
+        "Q1": q1(),
+        "Q2": q2(),
+        "Q3": q3(),
+        "Q4": q4(),
+        "Q5": q5(),
+    }

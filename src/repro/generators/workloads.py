@@ -1,0 +1,126 @@
+"""Database-instance generators for tests, examples and benchmarks.
+
+All generators are deterministic given a seed.  Two families matter:
+
+* :func:`random_database` — independent uniform tuples per relation; with
+  ``plant_answer=True`` a satisfying substitution is planted so Boolean
+  queries are guaranteed true (useful when measuring evaluation cost on
+  "yes" instances, where naive joins cannot shortcut).
+* :func:`university_database` — the Example 1.1 schema
+  (``enrolled``/``teaches``/``parent``) with controllable incidence of
+  students taught by their own parents, used by the quickstart example and
+  the Q1/Q2 experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from ..core.atoms import Variable
+from ..core.query import ConjunctiveQuery
+from ..db.database import Database
+
+
+def random_database(
+    query: ConjunctiveQuery,
+    domain_size: int,
+    tuples_per_relation: int,
+    seed: int = 0,
+    plant_answer: bool = False,
+) -> Database:
+    """A random database matching the query's schema.
+
+    Values are integers from ``range(domain_size)``.  With *plant_answer*,
+    one uniformly random substitution θ is chosen and the facts
+    ``{r_i(u_i θ)}`` are added, making the Boolean query true.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    arities = query.arities
+    for predicate in sorted(arities):
+        arity = arities[predicate]
+        for _ in range(tuples_per_relation):
+            db.add_fact(
+                predicate,
+                *(rng.randrange(domain_size) for _ in range(arity)),
+            )
+    if plant_answer:
+        theta = {
+            v: rng.randrange(domain_size)
+            for v in sorted(query.variables, key=lambda v: v.name)
+        }
+        for atom in query.atoms:
+            values = [
+                theta[t] if isinstance(t, Variable) else t.value
+                for t in atom.terms
+            ]
+            db.add_fact(atom.predicate, *values)
+    return db
+
+
+def university_database(
+    n_persons: int = 40,
+    n_courses: int = 12,
+    n_enrollments: int = 80,
+    n_teaching: int = 20,
+    parent_teacher_pairs: int = 2,
+    seed: int = 7,
+) -> Database:
+    """The Example 1.1 scenario.
+
+    Persons ``p0..``, courses ``c0..``; ``parent`` links consecutive
+    persons; *parent_teacher_pairs* plants situations where a student is
+    enrolled in a course taught by their own parent — the pattern Q1 asks
+    for.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    persons = [f"p{i}" for i in range(n_persons)]
+    courses = [f"c{i}" for i in range(n_courses)]
+    dates = [f"2026-0{m}-01" for m in range(1, 7)]
+
+    for i in range(1, n_persons):
+        if rng.random() < 0.6:
+            db.add_fact("parent", persons[rng.randrange(i)], persons[i])
+    for _ in range(n_enrollments):
+        db.add_fact(
+            "enrolled",
+            rng.choice(persons),
+            rng.choice(courses),
+            rng.choice(dates),
+        )
+    for _ in range(n_teaching):
+        db.add_fact(
+            "teaches", rng.choice(persons), rng.choice(courses), "yes"
+        )
+    for j in range(parent_teacher_pairs):
+        parent, child = f"prof{j}", f"kid{j}"
+        course = rng.choice(courses)
+        db.add_fact("parent", parent, child)
+        db.add_fact("teaches", parent, course, "yes")
+        db.add_fact("enrolled", child, course, rng.choice(dates))
+    return db
+
+
+def grid_database(
+    query: ConjunctiveQuery, side: int, seed: int = 0
+) -> Database:
+    """Binary relations forming a *side × side* grid graph, one per
+    predicate — dense enough that cyclic queries have many embeddings."""
+    rng = random.Random(seed)
+    db = Database()
+    nodes = [(x, y) for x in range(side) for y in range(side)]
+    ids = {node: i for i, node in enumerate(nodes)}
+    edges = []
+    for (x, y) in nodes:
+        if x + 1 < side:
+            edges.append((ids[(x, y)], ids[(x + 1, y)]))
+        if y + 1 < side:
+            edges.append((ids[(x, y)], ids[(x, y + 1)]))
+    for predicate, arity in sorted(query.arities.items()):
+        if arity != 2:
+            raise ValueError("grid_database serves binary predicates only")
+        for (u, v) in edges:
+            db.add_fact(predicate, u, v)
+            db.add_fact(predicate, v, u)
+        rng.shuffle(edges)
+    return db

@@ -1,0 +1,5 @@
+"""Graph substrate: rooted trees, primal/incidence graphs, treewidth."""
+
+from . import trees
+
+__all__ = ["trees"]

@@ -1,0 +1,100 @@
+"""Derived graphs of a query: primal (Gaifman) graph and VAIG (paper §6).
+
+Two graphs give two notions of query treewidth:
+
+* the *primal graph* ``G(Q)`` joins two variables iff they co-occur in an
+  atom;
+* the *variable-atom incidence graph* ``VAIG(Q)`` is bipartite between
+  variables and atoms, joined by occurrence.  The treewidth used by
+  Chekuri–Rajaraman (and by Theorem 6.2) is ``tw(VAIG(Q))``.
+
+Graphs are represented as adjacency dictionaries ``node → set of nodes``;
+nodes are arbitrary hashables (the VAIG uses tagged pairs to keep the two
+sides distinct).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.query import ConjunctiveQuery
+
+Graph = dict[Hashable, set[Hashable]]
+
+
+def graph_from_edges(edges, vertices=()) -> Graph:
+    """Build an adjacency dict from an edge iterable (plus isolated
+    vertices)."""
+    g: Graph = {v: set() for v in vertices}
+    for u, v in edges:
+        if u == v:
+            g.setdefault(u, set())
+            continue
+        g.setdefault(u, set()).add(v)
+        g.setdefault(v, set()).add(u)
+    return g
+
+
+def primal_graph(query: ConjunctiveQuery) -> Graph:
+    """``G(Q)``: variables joined iff they co-occur in some atom (§6)."""
+    g: Graph = {v.name: set() for v in query.variables}
+    for atom in query.atoms:
+        names = sorted(v.name for v in atom.variables)
+        for i, u in enumerate(names):
+            for w in names[i + 1 :]:
+                g[u].add(w)
+                g[w].add(u)
+    return g
+
+
+def variable_atom_incidence_graph(query: ConjunctiveQuery) -> Graph:
+    """``VAIG(Q)``: the bipartite variable/atom incidence graph (§6).
+
+    Variable nodes are ``("var", name)``; atom nodes ``("atom", index)``
+    (indices disambiguate repeated atoms in rendering; the query body is a
+    set, so indices are stable positions in ``query.atoms``).
+    """
+    g: Graph = {("var", v.name): set() for v in query.variables}
+    for index, atom in enumerate(query.atoms):
+        node = ("atom", index)
+        g[node] = set()
+        for v in atom.variables:
+            vn = ("var", v.name)
+            g[node].add(vn)
+            g[vn].add(node)
+    return g
+
+
+def subgraph(graph: Graph, vertices) -> Graph:
+    keep = set(vertices)
+    return {
+        v: {w for w in nbrs if w in keep}
+        for v, nbrs in graph.items()
+        if v in keep
+    }
+
+
+def connected_components(graph: Graph) -> list[set[Hashable]]:
+    seen: set[Hashable] = set()
+    result: list[set[Hashable]] = []
+    for start in graph:
+        if start in seen:
+            continue
+        comp = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nbr in graph[node]:
+                if nbr not in comp:
+                    comp.add(nbr)
+                    stack.append(nbr)
+        seen |= comp
+        result.append(comp)
+    return result
+
+
+def is_clique(graph: Graph, vertices) -> bool:
+    members = list(vertices)
+    return all(
+        v in graph and set(members) - {v} <= graph[v] for v in members
+    )

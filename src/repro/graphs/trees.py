@@ -1,0 +1,149 @@
+"""Generic rooted-tree helpers shared by join trees and decompositions.
+
+All decomposition objects in this library (join trees, query decompositions,
+hypertree decompositions) are rooted labelled trees.  Rather than each class
+re-implementing traversal, connectivity checks and ASCII rendering, they
+delegate to the generic functions here, parameterised by a ``children``
+callback.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator, TypeVar
+
+N = TypeVar("N")
+
+
+def preorder(root: N, children: Callable[[N], Iterable[N]]) -> Iterator[N]:
+    """Depth-first preorder traversal (parent before children)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        kids = list(children(node))
+        stack.extend(reversed(kids))
+
+
+def postorder(root: N, children: Callable[[N], Iterable[N]]) -> Iterator[N]:
+    """Depth-first postorder traversal (children before parent)."""
+    stack: list[tuple[N, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        stack.append((node, True))
+        for child in reversed(list(children(node))):
+            stack.append((child, False))
+
+
+def tree_edges(
+    root: N, children: Callable[[N], Iterable[N]]
+) -> Iterator[tuple[N, N]]:
+    """All (parent, child) pairs of the tree."""
+    for node in preorder(root, children):
+        for child in children(node):
+            yield node, child
+
+
+def parent_map(root: N, children: Callable[[N], Iterable[N]]) -> dict[N, N]:
+    """Map each non-root node to its parent."""
+    return {child: parent for parent, child in tree_edges(root, children)}
+
+
+def depth_map(root: N, children: Callable[[N], Iterable[N]]) -> dict[N, int]:
+    """Map each node to its depth (root = 0)."""
+    depths = {root: 0}
+    for parent, child in tree_edges(root, children):
+        depths[child] = depths[parent] + 1
+    return depths
+
+
+def subtree_nodes(root: N, children: Callable[[N], Iterable[N]]) -> set[N]:
+    """The node set of the subtree rooted at *root*."""
+    return set(preorder(root, children))
+
+
+def induces_connected_subtree(
+    root: N, children: Callable[[N], Iterable[N]], marked: Iterable[N]
+) -> bool:
+    """True iff the *marked* nodes induce a connected subtree.
+
+    This is the check behind every Connectedness Condition in the paper:
+    the marked set is connected in the tree iff it is empty or, rooting the
+    tree anywhere, exactly one marked node has no marked ancestor-side
+    neighbour.  We check it directly: BFS inside the marked set starting
+    from one marked node must reach all of them, where two marked nodes are
+    neighbours iff one is the tree-parent of the other.
+    """
+    marked_set = set(marked)
+    if len(marked_set) <= 1:
+        return True
+    parents = parent_map(root, children)
+    start = next(iter(marked_set))
+    seen = {start}
+    queue: deque[N] = deque([start])
+    while queue:
+        node = queue.popleft()
+        neighbours: list[N] = list(children(node))
+        if node in parents:
+            neighbours.append(parents[node])
+        for other in neighbours:
+            if other in marked_set and other not in seen:
+                seen.add(other)
+                queue.append(other)
+    return seen == marked_set
+
+
+def render_tree(
+    root: N,
+    children: Callable[[N], Iterable[N]],
+    label: Callable[[N], str],
+) -> str:
+    """Render a rooted tree as indented ASCII art.
+
+    >>> print(render_tree(1, lambda n: [2, 3] if n == 1 else [], str))
+    1
+    ├── 2
+    └── 3
+    """
+    lines: list[str] = [label(root)]
+
+    def walk(node: N, prefix: str) -> None:
+        kids = list(children(node))
+        for index, child in enumerate(kids):
+            last = index == len(kids) - 1
+            connector = "└── " if last else "├── "
+            lines.append(prefix + connector + label(child))
+            walk(child, prefix + ("    " if last else "│   "))
+
+    walk(root, "")
+    return "\n".join(lines)
+
+
+def count_nodes(root: N, children: Callable[[N], Iterable[N]]) -> int:
+    """Number of nodes in the tree."""
+    return sum(1 for _ in preorder(root, children))
+
+
+def tree_path(
+    root: N, children: Callable[[N], Iterable[N]], source: N, target: N
+) -> list[N]:
+    """The unique path between two nodes of the tree (inclusive)."""
+    parents = parent_map(root, children)
+
+    def ancestors(node: N) -> list[N]:
+        chain = [node]
+        while chain[-1] in parents:
+            chain.append(parents[chain[-1]])
+        return chain
+
+    up_source = ancestors(source)
+    up_target = ancestors(target)
+    target_index = {node: i for i, node in enumerate(up_target)}
+    for i, node in enumerate(up_source):
+        if node in target_index:
+            j = target_index[node]
+            return up_source[: i + 1] + list(reversed(up_target[:j]))
+    raise ValueError("nodes are not in the same tree")

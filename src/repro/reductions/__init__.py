@@ -1,0 +1,23 @@
+"""Section 7 NP-hardness machinery: XC3S, strict 3PS, and the reduction."""
+
+from .qw_hardness import (
+    QWHardnessReduction,
+    build_reduction,
+    decomposition_from_cover,
+    reduction_round_trip,
+)
+from .three_ps import ThreePartition, ThreePartitioningSystem, strict_3ps
+from .xc3s import XC3SInstance, paper_running_example, random_instance
+
+__all__ = [
+    "QWHardnessReduction",
+    "ThreePartition",
+    "ThreePartitioningSystem",
+    "XC3SInstance",
+    "build_reduction",
+    "decomposition_from_cover",
+    "paper_running_example",
+    "random_instance",
+    "reduction_round_trip",
+    "strict_3ps",
+]

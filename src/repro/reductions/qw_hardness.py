@@ -1,0 +1,209 @@
+"""The Theorem 3.4 reduction: XC3S → "query-width ≤ 4" (paper §7).
+
+Given an XC3S instance ``I = (R, D)`` with ``|R| = 3s`` and ``|D| = m``,
+the reduction builds a conjunctive query ``Q`` such that ``qw(Q) ≤ 4`` iff
+``I`` has an exact cover:
+
+* a strict (m+1, 2)-3PS ``𝒮 = {σ₀, …, σ_m}`` on a base set ``S``
+  (Lemma 7.3) supplies the variable blocks; σ₀'s classes ``A₀/B₀/C₀``
+  (with ``A₀`` split into ``A₀′ ∪ A₀″``) parameterise the BLOCK gadgets,
+  and σᵢ tags the atoms of the i-th triple ``Dᵢ``;
+* for each ``0 ≤ a ≤ s`` the Lemma 7.1 gadget variables
+  ``Cᵃ = {V[a]ij : 1 ≤ i < j ≤ 8}`` force two adjacent 4-element vertices
+  containing exactly ``BLOCKAₐ ∪ BLOCKBₐ`` in any width-4 decomposition;
+* ``LINKₐ = {link(Y_{a-1}, Zₐ)}`` chains consecutive blocks, and
+  ``W[Dᵢ] = {sa(Xᵢₐ, Sᵢₐ), sb(Xᵢᵦ, Sᵢᵦ), sc(Xᵢᶜ, Sᵢᶜ)}`` encodes Dᵢ.
+
+(The paper overloads the predicate name ``s`` for the three W-atoms of a
+triple; their class argument lists have different lengths, so we name them
+``sa/sb/sc`` — predicate names are irrelevant to decompositions, which see
+only variable sets.)
+
+:func:`decomposition_from_cover` transcribes the proof's "if" direction
+(and Fig. 11): from an exact cover it builds a width-4 query decomposition
+which is then *validated* against Definition 3.1.  Experiment E11 verifies
+reduction soundness: on small instances, the construction validates for
+exactly the index sets that are exact covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
+
+from ..core.atoms import Atom, Variable
+from ..core.query import ConjunctiveQuery
+from ..core.querydecomp import QDNode, QueryDecomposition
+from .three_ps import ThreePartitioningSystem, strict_3ps
+from .xc3s import XC3SInstance
+
+
+def _vars(names: Sequence[str]) -> tuple[Variable, ...]:
+    return tuple(Variable(n) for n in names)
+
+
+def _sorted_class(cls: frozenset[str]) -> tuple[Variable, ...]:
+    """A class rendered as an argument list under the fixed precedence
+    order ≺ of the proof (we use lexicographic order on names)."""
+    return _vars(sorted(cls))
+
+
+@dataclass(frozen=True)
+class QWHardnessReduction:
+    """The query ``Q`` built from an XC3S instance, with named parts."""
+
+    instance: XC3SInstance
+    system: ThreePartitioningSystem
+    query: ConjunctiveQuery
+    block_a: tuple[frozenset[Atom], ...]   # BLOCKA_0 .. BLOCKA_s
+    block_b: tuple[frozenset[Atom], ...]   # BLOCKB_0 .. BLOCKB_s
+    links: tuple[Atom, ...]                # link(Y_{a-1}, Z_a), a = 1..s
+    w_atoms: tuple[tuple[Atom, Atom, Atom], ...]  # W[D_i] per triple
+
+    @property
+    def s(self) -> int:
+        return self.instance.s
+
+    @cached_property
+    def w_by_element(self) -> dict[str, list[Atom]]:
+        """Element of R → the W-atoms in which it occurs (for W(Dᵢ))."""
+        table: dict[str, list[Atom]] = {str(e): [] for e in self.instance.elements}
+        for triple_atoms in self.w_atoms:
+            for atom in triple_atoms:
+                element = atom.terms[0]
+                assert isinstance(element, Variable)
+                table[element.name].append(atom)
+        return table
+
+    def w_of_triple_elements(self, index: int) -> list[Atom]:
+        """``W(Dᵢ)``: all W-atoms containing a variable of ``Dᵢ``."""
+        result: list[Atom] = []
+        for element in sorted(map(str, self.instance.triples[index])):
+            result.extend(self.w_by_element[element])
+        return list(dict.fromkeys(result))
+
+
+def build_reduction(instance: XC3SInstance) -> QWHardnessReduction:
+    """Construct ``Q`` from ``I = (R, D)`` exactly as in the §7 proof."""
+    s = instance.s
+    m = len(instance.triples)
+    system = strict_3ps(m + 1, 2)
+    sigma0 = system.partitions[0]
+    a0_sorted = sorted(sigma0.class_a)
+    a0_prime = frozenset(a0_sorted[: len(a0_sorted) // 2])
+    a0_second = frozenset(a0_sorted[len(a0_sorted) // 2 :])
+    b0, c0 = sigma0.class_b, sigma0.class_c
+
+    def gadget_vars(a: int, i: int) -> tuple[Variable, ...]:
+        """``Pᵃᵢ``: the 7 Lemma 7.1 connector variables paired with i."""
+        out = []
+        for other in range(1, 9):
+            if other == i:
+                continue
+            lo, hi = min(i, other), max(i, other)
+            out.append(Variable(f"V{a}_{lo}_{hi}"))
+        return tuple(out)
+
+    block_a: list[frozenset[Atom]] = []
+    block_b: list[frozenset[Atom]] = []
+    body: list[Atom] = []
+    for a in range(s + 1):
+        z_a, y_a = Variable(f"Z{a}"), Variable(f"Y{a}")
+        atoms_a = frozenset(
+            {
+                Atom("q", gadget_vars(a, 1) + _sorted_class(a0_prime) + (z_a,)),
+                Atom("pa", gadget_vars(a, 2) + _sorted_class(a0_second)),
+                Atom("pb", gadget_vars(a, 3) + _sorted_class(b0)),
+                Atom("pc", gadget_vars(a, 4) + _sorted_class(c0)),
+            }
+        )
+        atoms_b = frozenset(
+            {
+                Atom("q", gadget_vars(a, 5) + _sorted_class(a0_prime) + (y_a,)),
+                Atom("pa", gadget_vars(a, 6) + _sorted_class(a0_second)),
+                Atom("pb", gadget_vars(a, 7) + _sorted_class(b0)),
+                Atom("pc", gadget_vars(a, 8) + _sorted_class(c0)),
+            }
+        )
+        block_a.append(atoms_a)
+        block_b.append(atoms_b)
+        body.extend(sorted(atoms_a, key=str))
+        body.extend(sorted(atoms_b, key=str))
+
+    links: list[Atom] = []
+    for a in range(1, s + 1):
+        link = Atom("link", (Variable(f"Y{a-1}"), Variable(f"Z{a}")))
+        links.append(link)
+        body.append(link)
+
+    w_atoms: list[tuple[Atom, Atom, Atom]] = []
+    for i, triple in enumerate(instance.triples):
+        sigma = system.partitions[i + 1]
+        xa, xb, xc = sorted(map(str, triple))
+        triple_atoms = (
+            Atom("sa", (Variable(xa),) + _sorted_class(sigma.class_a)),
+            Atom("sb", (Variable(xb),) + _sorted_class(sigma.class_b)),
+            Atom("sc", (Variable(xc),) + _sorted_class(sigma.class_c)),
+        )
+        w_atoms.append(triple_atoms)
+        body.extend(triple_atoms)
+
+    query = ConjunctiveQuery(tuple(body), (), name=f"Q[{instance}]")
+    return QWHardnessReduction(
+        instance,
+        system,
+        query,
+        tuple(block_a),
+        tuple(block_b),
+        tuple(links),
+        tuple(w_atoms),
+    )
+
+
+def decomposition_from_cover(
+    reduction: QWHardnessReduction, cover: Sequence[int]
+) -> QueryDecomposition:
+    """The proof's "if" direction (and Fig. 11): a width-4 decomposition
+    built from an exact cover ``D¹ … Dˢ`` (given as triple indices).
+
+    The returned tree is *not* validated here — experiment E11 exploits
+    that: validation succeeds iff *cover* is an exact cover of ``R``.
+    """
+    s = reduction.s
+    if len(cover) != s:
+        raise ValueError(f"a cover must select exactly s={s} triples")
+
+    # Build bottom-up: vb_s is the deepest vertex.
+    def block_chain(a: int, below: list[QDNode]) -> QDNode:
+        vb = QDNode(reduction.block_b[a], below)
+        return QDNode(reduction.block_a[a], [vb])
+
+    subtree: list[QDNode] = []
+    for position in range(s, 0, -1):
+        triple_index = cover[position - 1]
+        own = list(reduction.w_atoms[triple_index])
+        others = [
+            atom
+            for atom in reduction.w_of_triple_elements(triple_index)
+            if atom not in own
+        ]
+        leaves = [QDNode({atom}) for atom in others]
+        va = block_chain(position, subtree)
+        vc = QDNode(
+            set(own) | {reduction.links[position - 1]}, leaves + [va]
+        )
+        subtree = [vc]
+    root = block_chain(0, subtree)
+    return QueryDecomposition(reduction.query, root)
+
+
+def reduction_round_trip(instance: XC3SInstance) -> tuple[bool, bool]:
+    """(solvable, constructed-decomposition-validates): the two should
+    coincide; used by tests and experiment E11."""
+    reduction = build_reduction(instance)
+    cover = instance.exact_cover()
+    if cover is None:
+        return False, False
+    qd = decomposition_from_cover(reduction, cover)
+    return True, (not qd.validate()) and qd.width <= 4

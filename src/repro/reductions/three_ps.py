@@ -1,0 +1,137 @@
+"""Strict 3-Partitioning-Systems (Definition 7.2, Lemma 7.3).
+
+A 3PS on a base set ``S`` is a family of 3-partitions of ``S`` with
+pairwise-disjoint class sets; it is *strict* when the only way to write
+``S`` as a union of three classes is to take the three classes of one of
+its partitions.  Lemma 7.3 constructs a strict (m, k)-3PS (at least m
+partitions, every class of size ≥ k) in ``O(m² + km)`` time; the
+Theorem 3.4 reduction consumes a strict (m+1, 2)-3PS.
+
+This module reproduces the Lemma 7.3 construction verbatim and provides
+exhaustive strictness checking (used by experiment E14 and the property
+tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from itertools import combinations
+
+@dataclass(frozen=True)
+class ThreePartition:
+    """One 3-partition ``{S_a, S_b, S_c}`` of the base set."""
+
+    class_a: frozenset[str]
+    class_b: frozenset[str]
+    class_c: frozenset[str]
+
+    @property
+    def classes(self) -> tuple[frozenset[str], ...]:
+        return (self.class_a, self.class_b, self.class_c)
+
+    def base(self) -> frozenset[str]:
+        return self.class_a | self.class_b | self.class_c
+
+    def is_partition_of(self, base: frozenset[str]) -> bool:
+        return (
+            self.base() == base
+            and bool(self.class_a)
+            and bool(self.class_b)
+            and bool(self.class_c)
+            and not self.class_a & self.class_b
+            and not self.class_a & self.class_c
+            and not self.class_b & self.class_c
+        )
+
+
+@dataclass(frozen=True)
+class ThreePartitioningSystem:
+    """A 3PS; see Definition 7.2."""
+
+    partitions: tuple[ThreePartition, ...]
+
+    @cached_property
+    def base(self) -> frozenset[str]:
+        result: set[str] = set()
+        for p in self.partitions:
+            result |= p.base()
+        return frozenset(result)
+
+    @cached_property
+    def classes(self) -> tuple[frozenset[str], ...]:
+        out: list[frozenset[str]] = []
+        for p in self.partitions:
+            out.extend(p.classes)
+        return tuple(out)
+
+    def validate(self) -> list[str]:
+        """Violations of Definition 7.2 (each partition partitions S; no
+        class shared between partitions)."""
+        problems: list[str] = []
+        for i, p in enumerate(self.partitions):
+            if not p.is_partition_of(self.base):
+                problems.append(f"element {i} is not a 3-partition of S")
+        class_set = set()
+        for c in self.classes:
+            if c in class_set:
+                problems.append(f"class {sorted(c)} occurs twice")
+            class_set.add(c)
+        for i, p in enumerate(self.partitions):
+            for j, q in enumerate(self.partitions):
+                if i < j and set(p.classes) & set(q.classes):
+                    problems.append(f"partitions {i} and {j} share a class")
+        return problems
+
+    def is_mk(self, m: int, k: int) -> bool:
+        """Is this an (m, k)-3PS: ≥ m partitions, all classes of size ≥ k?"""
+        return len(self.partitions) >= m and all(
+            len(c) >= k for c in self.classes
+        )
+
+    def strictness_violations(self) -> list[tuple[frozenset[str], ...]]:
+        """All triples of classes whose union is S but which are not one of
+        the designated partitions (empty = strict).  Exhaustive: O(c³) over
+        the class list — fine at reduction scale."""
+        designated = {frozenset(p.classes) for p in self.partitions}
+        bad: list[tuple[frozenset[str], ...]] = []
+        for trio in combinations(self.classes, 3):
+            if trio[0] | trio[1] | trio[2] == self.base:
+                if frozenset(trio) not in designated:
+                    bad.append(trio)
+        return bad
+
+    @property
+    def is_strict(self) -> bool:
+        return not self.strictness_violations()
+
+
+def strict_3ps(m: int, k: int, prefix: str = "G") -> ThreePartitioningSystem:
+    """The Lemma 7.3 construction of a strict (m, k)-3PS.
+
+    Base set ``S = T ∪ T' ∪ T''`` with ``T = {t_1..t_{3k+m}}``,
+    ``T' = {u_1..u_m}``, ``T'' = {w_a, w_b, w_c}``; for ``1 ≤ i ≤ m``::
+
+        S_a^i = {t_1..t_{k+i-1}}   ∪ {u_1..u_{m-i}}   ∪ {w_a}
+        S_b^i = {t_{k+i}..t_{2k+i-1}}                 ∪ {w_b}
+        S_c^i = {t_{2k+i}..t_{3k+m}} ∪ {u_{m-i+1}..u_m} ∪ {w_c}
+
+    Element names are prefixed so several systems can share a namespace.
+    """
+    if m < 1 or k < 1:
+        raise ValueError("m and k must be positive")
+    t = [f"{prefix}t{i}" for i in range(1, 3 * k + m + 1)]
+    u = [f"{prefix}u{i}" for i in range(1, m + 1)]
+    w_a, w_b, w_c = f"{prefix}wa", f"{prefix}wb", f"{prefix}wc"
+
+    partitions: list[ThreePartition] = []
+    for i in range(1, m + 1):
+        class_a = frozenset(t[0 : k + i - 1]) | frozenset(u[0 : m - i]) | {w_a}
+        class_b = frozenset(t[k + i - 1 : 2 * k + i - 1]) | {w_b}
+        class_c = (
+            frozenset(t[2 * k + i - 1 : 3 * k + m])
+            | frozenset(u[m - i : m])
+            | {w_c}
+        )
+        partitions.append(ThreePartition(class_a, class_b, class_c))
+    return ThreePartitioningSystem(tuple(partitions))

@@ -1,0 +1,172 @@
+"""EXACT COVER BY 3-SETS (XC3S) — instances and an Algorithm-X solver.
+
+XC3S (Garey & Johnson [16], problem SP2) is the NP-complete source problem
+of the paper's Theorem 3.4 reduction: given a set ``R`` of ``3s`` elements
+and a collection ``D`` of 3-element subsets, decide whether ``s`` subsets
+of ``D`` partition ``R``.
+
+The solver is Knuth's Algorithm X (exact cover by depth-first column
+branching); dancing links are unnecessary at reduction scale, so plain
+sets are used.  :func:`all_exact_covers` enumerates every cover — tests
+use it to verify reduction soundness exhaustively on small instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Hashable, Iterator, Sequence
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class XC3SInstance:
+    """An instance ``I = (R, D)``.
+
+    ``triples`` keeps declaration order so covers can be reported as index
+    sets; duplicate triples are permitted by the problem definition.
+    """
+
+    elements: tuple[Element, ...]
+    triples: tuple[frozenset[Element], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.elements) % 3 != 0:
+            raise ValueError(
+                f"|R| = {len(self.elements)} is not a multiple of 3"
+            )
+        if len(set(self.elements)) != len(self.elements):
+            raise ValueError("elements of R must be distinct")
+        universe = set(self.elements)
+        for t in self.triples:
+            if len(t) != 3:
+                raise ValueError(f"{sorted(map(repr, t))} is not a 3-set")
+            if not t <= universe:
+                raise ValueError(f"triple {sorted(map(repr, t))} leaves R")
+
+    @staticmethod
+    def of(
+        elements: Sequence[Element],
+        triples: Sequence[Sequence[Element]],
+    ) -> "XC3SInstance":
+        return XC3SInstance(
+            tuple(elements), tuple(frozenset(t) for t in triples)
+        )
+
+    @property
+    def s(self) -> int:
+        """The number of triples an exact cover must select (``|R|/3``)."""
+        return len(self.elements) // 3
+
+    @cached_property
+    def _triples_of_element(self) -> dict[Element, list[int]]:
+        table: dict[Element, list[int]] = {e: [] for e in self.elements}
+        for i, t in enumerate(self.triples):
+            for e in t:
+                table[e].append(i)
+        return table
+
+    # -- Algorithm X -----------------------------------------------------
+    def _search(self, uncovered: set[Element], banned: set[int]) -> Iterator[list[int]]:
+        if not uncovered:
+            yield []
+            return
+        # Branch on the element with fewest available triples (MRV).
+        element = min(
+            uncovered,
+            key=lambda e: (
+                sum(
+                    1
+                    for i in self._triples_of_element[e]
+                    if i not in banned and self.triples[i] <= uncovered
+                ),
+                repr(e),
+            ),
+        )
+        for i in self._triples_of_element[element]:
+            if i in banned or not self.triples[i] <= uncovered:
+                continue
+            remaining = uncovered - self.triples[i]
+            for rest in self._search(remaining, banned):
+                yield [i] + rest
+
+    def exact_cover(self) -> list[int] | None:
+        """Indices of a partitioning sub-collection, or ``None``."""
+        for cover in self._search(set(self.elements), set()):
+            return sorted(cover)
+        return None
+
+    def all_exact_covers(self) -> list[list[int]]:
+        """Every exact cover (as sorted index lists, deduplicated)."""
+        seen: set[tuple[int, ...]] = set()
+        for cover in self._search(set(self.elements), set()):
+            seen.add(tuple(sorted(cover)))
+        return [list(c) for c in sorted(seen)]
+
+    @property
+    def is_solvable(self) -> bool:
+        return self.exact_cover() is not None
+
+    def verify_cover(self, indices: Sequence[int]) -> bool:
+        """Check that the indexed triples partition R."""
+        chosen = [self.triples[i] for i in indices]
+        union: set[Element] = set()
+        total = 0
+        for t in chosen:
+            union |= t
+            total += len(t)
+        return total == len(self.elements) and union == set(self.elements)
+
+    def __str__(self) -> str:
+        triples = ", ".join(
+            "{" + ",".join(sorted(map(str, t))) + "}" for t in self.triples
+        )
+        return f"XC3S(|R|={len(self.elements)}, D=[{triples}])"
+
+
+def paper_running_example() -> XC3SInstance:
+    """The instance ``Ie`` of the Theorem 3.4 proof:
+    ``Re = {X1..X6}``, ``De = {D1..D4}``; solvable by ``{D2, D4}``."""
+    return XC3SInstance.of(
+        ["X1", "X2", "X3", "X4", "X5", "X6"],
+        [
+            ["X1", "X3", "X4"],
+            ["X1", "X2", "X4"],
+            ["X3", "X4", "X6"],
+            ["X3", "X5", "X6"],
+        ],
+    )
+
+
+def random_instance(
+    s: int, extra_triples: int, seed: int = 0, solvable: bool = True
+) -> XC3SInstance:
+    """A random instance with ``3s`` elements.
+
+    With *solvable* a partition is planted before adding distractors;
+    otherwise triples are sampled until :meth:`XC3SInstance.is_solvable`
+    is false (only attempted for small ``s``).
+    """
+    rng = random.Random(seed)
+    elements = [f"e{i}" for i in range(3 * s)]
+    for _ in range(200):
+        triples: list[frozenset[str]] = []
+        if solvable:
+            shuffled = elements[:]
+            rng.shuffle(shuffled)
+            triples.extend(
+                frozenset(shuffled[3 * i : 3 * i + 3]) for i in range(s)
+            )
+        for _ in range(extra_triples):
+            triples.append(frozenset(rng.sample(elements, 3)))
+        rng.shuffle(triples)
+        unique = list(dict.fromkeys(triples))
+        instance = XC3SInstance(tuple(elements), tuple(unique))
+        if instance.is_solvable == solvable:
+            return instance
+    raise RuntimeError(
+        f"could not sample a {'solvable' if solvable else 'unsolvable'} "
+        f"instance with s={s}"
+    )

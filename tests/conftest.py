@@ -1,0 +1,67 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.generators.families import random_query
+from repro.generators.paper_queries import all_named_queries, q1, q2, q3, q4, q5
+
+
+@pytest.fixture
+def paper_corpus():
+    return all_named_queries()
+
+
+@pytest.fixture
+def query_q1():
+    return q1()
+
+
+@pytest.fixture
+def query_q2():
+    return q2()
+
+
+@pytest.fixture
+def query_q3():
+    return q3()
+
+
+@pytest.fixture
+def query_q4():
+    return q4()
+
+
+@pytest.fixture
+def query_q5():
+    return q5()
+
+
+def small_queries():
+    """Hypothesis strategy: small random conjunctive queries.
+
+    Parametrised by (atoms, variables, arity, seed, connected); queries
+    stay small enough for the exponential exact searches.
+    """
+    return st.builds(
+        random_query,
+        n_atoms=st.integers(min_value=1, max_value=6),
+        n_variables=st.integers(min_value=2, max_value=7),
+        max_arity=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+        connected=st.booleans(),
+    )
+
+
+def tiny_queries():
+    """Even smaller queries for the doubly-exponential searches (qw)."""
+    return st.builds(
+        random_query,
+        n_atoms=st.integers(min_value=1, max_value=4),
+        n_variables=st.integers(min_value=2, max_value=5),
+        max_arity=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        connected=st.just(True),
+    )

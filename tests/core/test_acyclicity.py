@@ -1,0 +1,134 @@
+"""Tests for GYO reduction, acyclicity and join trees (§1.1, §2.1).
+
+Ground truth: the paper's classifications (Q1 cyclic; Q2, Q3 acyclic) and
+the equivalence "acyclic ⟺ has a join tree", cross-checked on random
+queries by validating every produced tree.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.acyclicity import gyo_reduction, is_acyclic, join_tree
+from repro.core.jointree import JoinTree, join_tree_from_edges
+from repro.core.parser import parse_query
+from repro.generators.families import (
+    clique_query,
+    cycle_query,
+    path_query,
+    random_query,
+)
+from tests.conftest import small_queries
+
+
+class TestPaperClassification:
+    def test_q1_cyclic(self, query_q1):
+        assert not is_acyclic(query_q1)
+        assert join_tree(query_q1) is None
+
+    def test_q2_acyclic_with_fig1_shape(self, query_q2):
+        jt = join_tree(query_q2)
+        assert jt is not None
+        assert not jt.validate(query_q2)
+        # Fig. 1: parent(P,S) connects teaches and enrolled.
+        parent = next(a for a in query_q2.atoms if a.predicate == "parent")
+        neighbours = set(jt.children(parent)) | (
+            {jt.parent_of[parent]} if parent in jt.parent_of else set()
+        )
+        assert {a.predicate for a in neighbours} == {"teaches", "enrolled"}
+
+    def test_q3_acyclic(self, query_q3):
+        jt = join_tree(query_q3)
+        assert jt is not None and not jt.validate(query_q3)
+
+    def test_q4_q5_cyclic(self, query_q4, query_q5):
+        assert not is_acyclic(query_q4)
+        assert not is_acyclic(query_q5)
+
+
+class TestFamilies:
+    def test_paths_acyclic(self):
+        assert is_acyclic(path_query(6))
+
+    def test_cycles_cyclic(self):
+        for n in (3, 4, 7):
+            assert not is_acyclic(cycle_query(n))
+
+    def test_cliques_cyclic(self):
+        assert not is_acyclic(clique_query(4))
+
+    def test_single_atom_acyclic(self):
+        assert is_acyclic(parse_query("r(X, Y, Z)"))
+
+    def test_empty_query_acyclic(self):
+        from repro.core.query import ConjunctiveQuery
+
+        assert is_acyclic(ConjunctiveQuery((), ()))
+
+    def test_disconnected_acyclic(self):
+        q = parse_query("r(X, Y), s(A, B)")
+        jt = join_tree(q)
+        assert jt is not None and not jt.validate(q)
+
+    def test_disconnected_with_cyclic_part(self):
+        q = parse_query("r(X, Y), e1(A, B), e2(B, C), e3(C, A)")
+        assert not is_acyclic(q)
+
+    def test_gamma_acyclicity_subtlety(self):
+        # alpha-acyclic even though it "looks" cyclic: a big atom covers the
+        # triangle (standard database-theoretic acyclicity).
+        q = parse_query("big(X, Y, Z), e1(X, Y), e2(Y, Z), e3(Z, X)")
+        assert is_acyclic(q)
+
+
+class TestGyoTrace:
+    def test_trace_mentions_operations(self, query_q2):
+        acyclic, parent, trace = gyo_reduction(query_q2)
+        assert acyclic
+        assert any("ear vertex" in line for line in trace)
+        assert any("absorbed" in line for line in trace)
+
+    def test_parent_links_cover_all_but_root(self, query_q3):
+        acyclic, parent, _ = gyo_reduction(query_q3)
+        assert acyclic
+        assert len(parent) == len(query_q3.atoms) - 1
+
+
+class TestJoinTreeObject:
+    def test_render_contains_all_atoms(self, query_q2):
+        jt = join_tree(query_q2)
+        text = jt.render()
+        for a in query_q2.atoms:
+            assert str(a) in text
+
+    def test_join_tree_from_edges_roundtrip(self, query_q2):
+        jt = join_tree(query_q2)
+        rebuilt = join_tree_from_edges(
+            list(jt.nodes), list(jt.edges()), root=jt.root
+        )
+        assert set(rebuilt.nodes) == set(jt.nodes)
+
+    def test_invalid_tree_detected(self):
+        q = parse_query("r(X, Y), s(Y, Z), t(X, Z)")
+        r, s, t = q.atoms
+        # Chain r - s - t: variable X occurs at both ends but not in s.
+        bad = JoinTree(r, {r: (s,), s: (t,)})
+        assert any("connectedness" in v for v in bad.validate(q))
+
+    def test_forest_edges_rejected(self):
+        from repro._errors import DecompositionError
+
+        import pytest
+
+        q = parse_query("r(X, Y), s(A, B)")
+        r, s = q.atoms
+        with pytest.raises(DecompositionError):
+            join_tree_from_edges([r, s], [])
+
+
+class TestRandomisedEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(query=small_queries())
+    def test_join_tree_exists_iff_acyclic_and_validates(self, query):
+        jt = join_tree(query)
+        assert (jt is not None) == is_acyclic(query)
+        if jt is not None:
+            assert jt.validate(query) == []

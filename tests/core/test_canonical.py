@@ -1,0 +1,76 @@
+"""Tests for Appendix A: canonical queries and hypergraph-width bridges."""
+
+from hypothesis import given, settings
+
+from repro.core.canonical import (
+    canonical_query,
+    decomposition_to_hypergraph_labels,
+    hypergraph_decomposition_to_query,
+    hypergraph_width,
+)
+from repro.core.detkdecomp import hypertree_width
+from repro.core.hypergraph import Hypergraph, query_hypergraph
+from repro.generators.paper_queries import all_named_queries
+from tests.conftest import small_queries
+
+
+class TestCanonicalQuery:
+    def test_one_atom_per_edge(self):
+        h = Hypergraph.from_edges({"e1": "ab", "e2": "bc"})
+        cq = canonical_query(h)
+        assert len(cq.atoms) == 2
+        assert cq.is_boolean
+
+    def test_variables_match_vertices(self):
+        h = Hypergraph.from_edges({"e1": "ab", "e2": "bc"})
+        cq = canonical_query(h)
+        assert {v.name for v in cq.variables} == {"a", "b", "c"}
+
+    def test_terms_sorted_lexicographically(self):
+        h = Hypergraph.from_edges({"e": ["z", "a", "m"]})
+        cq = canonical_query(h)
+        assert [t.name for t in cq.atoms[0].terms] == ["a", "m", "z"]
+
+    def test_predicate_names_sanitised(self):
+        h = Hypergraph.from_edges({"0:r(X,Y)": "XY"})
+        cq = canonical_query(h)
+        assert cq.atoms[0].predicate.isidentifier()
+
+
+class TestTheoremA7:
+    """hw(Q) = hw(H(Q)) via the canonical-query round trip."""
+
+    def test_corpus_widths_match(self):
+        for name, q in all_named_queries().items():
+            hw_q, _ = hypertree_width(q)
+            hw_h, _ = hypergraph_width(query_hypergraph(q))
+            assert hw_q == hw_h, name
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=small_queries())
+    def test_randomised_widths_match(self, query):
+        hw_q, _ = hypertree_width(query)
+        hw_h, _ = hypergraph_width(query_hypergraph(query))
+        assert hw_q == hw_h
+
+    def test_label_translation_query_to_hypergraph(self, query_q5):
+        _, hd = hypertree_width(query_q5)
+        labels = decomposition_to_hypergraph_labels(hd)
+        assert len(labels) == len(hd)
+        for chi, edges in labels:
+            assert all(isinstance(e, frozenset) for e in edges)
+            # the edge set never exceeds the atom count of the λ label
+            assert len(edges) <= hd.width
+
+    def test_label_translation_back(self, query_q5):
+        """Decompose the canonical query, map λ labels back to Q5 atoms,
+        and check the result is a valid decomposition of Q5."""
+        h = query_hypergraph(query_q5)
+        cq = canonical_query(h)
+        width, hd_cq = hypertree_width(cq)
+
+        # Build the variable-set → Q5-atom witness map through the shared
+        # variable names (H(Q) keeps Q's variables).
+        back = hypergraph_decomposition_to_query(query_q5, hd_cq)
+        assert back.width <= width
+        assert back.validate() == []

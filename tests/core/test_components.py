@@ -1,0 +1,144 @@
+"""Tests for [V]-components, [V]-paths and the structural lemmas (§3.2).
+
+Includes the property tests underpinning the det-k-decomp soundness
+argument: components partition ``var(Q) − V`` and every atom touching a
+component stays inside ``C ∪ V``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Variable, variables_of
+from repro.core.components import (
+    atoms_of_component,
+    components,
+    v_adjacent,
+    v_connected,
+    v_path,
+    vertex_components,
+)
+from repro.core.parser import parse_query
+from tests.conftest import small_queries
+
+
+def subsets_of_variables(query):
+    names = sorted(v.name for v in query.variables)
+    return st.sets(st.sampled_from(names) if names else st.nothing()).map(
+        lambda s: frozenset(Variable(n) for n in s)
+    )
+
+
+class TestPaperExample:
+    """§3.3: the [var(p0)]-components of Q5 at the root {a, b}."""
+
+    def test_q5_root_components(self, query_q5):
+        a = next(x for x in query_q5.atoms if x.predicate == "a")
+        b = next(x for x in query_q5.atoms if x.predicate == "b")
+        separator = a.variables | b.variables
+        comps = components(query_q5, separator)
+        expected = [["J"], ["Z"], ["Z1"]]
+        assert sorted(sorted(v.name for v in c) for c in comps) == expected
+
+    def test_atoms_of_z_component(self, query_q5):
+        a = next(x for x in query_q5.atoms if x.predicate == "a")
+        b = next(x for x in query_q5.atoms if x.predicate == "b")
+        comps = components(query_q5, a.variables | b.variables)
+        z_comp = next(c for c in comps if Variable("Z") in c)
+        preds = {x.predicate for x in atoms_of_component(query_q5, z_comp)}
+        assert preds == {"c", "d", "e"}
+
+
+class TestVertexComponents:
+    def test_empty_separator_gives_connected_components(self):
+        comps = vertex_components(
+            [frozenset("ab"), frozenset("bc"), frozenset("de")], frozenset()
+        )
+        assert sorted(sorted(c) for c in comps) == [["a", "b", "c"], ["d", "e"]]
+
+    def test_separator_splits(self):
+        comps = vertex_components(
+            [frozenset("ab"), frozenset("bc")], frozenset("b")
+        )
+        assert sorted(sorted(c) for c in comps) == [["a"], ["c"]]
+
+    def test_full_separator_gives_nothing(self):
+        assert vertex_components([frozenset("ab")], frozenset("ab")) == []
+
+    def test_deterministic_order(self):
+        edges = [frozenset("xy"), frozenset("ab")]
+        assert vertex_components(edges, frozenset()) == vertex_components(
+            edges, frozenset()
+        )
+
+
+class TestAdjacencyAndPaths:
+    def test_adjacent_in_same_atom(self):
+        q = parse_query("r(X, Y, Z)")
+        assert v_adjacent(q, [], Variable("X"), Variable("Y"))
+
+    def test_separator_blocks_adjacency(self):
+        q = parse_query("r(X, Y)")
+        assert not v_adjacent(q, [Variable("Y")], Variable("X"), Variable("Y"))
+
+    def test_path_through_intermediate(self):
+        q = parse_query("r(X, Y), s(Y, Z)")
+        path = v_path(q, [], Variable("X"), Variable("Z"))
+        assert path is not None and path[0] == Variable("X") and path[-1] == Variable("Z")
+
+    def test_path_blocked_by_separator(self):
+        q = parse_query("r(X, Y), s(Y, Z)")
+        assert v_path(q, [Variable("Y")], Variable("X"), Variable("Z")) is None
+
+    def test_trivial_path(self):
+        q = parse_query("r(X, Y)")
+        assert v_path(q, [], Variable("X"), Variable("X")) == [Variable("X")]
+
+    def test_path_witness_links_are_adjacent(self):
+        q = parse_query("r(X, Y), s(Y, Z), t(Z, W)")
+        path = v_path(q, [], Variable("X"), Variable("W"))
+        assert path is not None
+        for a, b in zip(path, path[1:]):
+            assert v_adjacent(q, [], a, b)
+
+    def test_v_connected_set(self):
+        q = parse_query("r(X, Y), s(Y, Z)")
+        assert v_connected(q, [], [Variable("X"), Variable("Z")])
+        assert not v_connected(q, [Variable("Y")], [Variable("X"), Variable("Z")])
+
+
+class TestStructuralProperties:
+    """The two facts the decomposition algorithms rely on (§3.2)."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(query=small_queries(), data=st.data())
+    def test_components_partition_remaining_variables(self, query, data):
+        separator = data.draw(subsets_of_variables(query))
+        comps = components(query, separator)
+        union: set = set()
+        for c in comps:
+            assert c, "components are non-empty"
+            assert not (c & separator), "components avoid the separator"
+            assert not (c & union), "components are disjoint"
+            union |= c
+        assert union == set(query.variables) - separator
+
+    @settings(max_examples=120, deadline=None)
+    @given(query=small_queries(), data=st.data())
+    def test_component_atoms_stay_inside(self, query, data):
+        separator = data.draw(subsets_of_variables(query))
+        for c in components(query, separator):
+            touched = atoms_of_component(query, c)
+            assert variables_of(touched) <= c | separator
+
+    @settings(max_examples=120, deadline=None)
+    @given(query=small_queries(), data=st.data())
+    def test_components_are_maximal_connected(self, query, data):
+        separator = data.draw(subsets_of_variables(query))
+        comps = components(query, separator)
+        for c in comps:
+            assert v_connected(query, separator, c)
+        # maximality: two distinct components are never [V]-connected
+        for i, c in enumerate(comps):
+            for d in comps[i + 1 :]:
+                x, y = next(iter(c)), next(iter(d))
+                assert v_path(query, separator, x, y) is None

@@ -1,0 +1,167 @@
+"""Tests for the k-decomp search (§5.2, Theorems 4.5, 5.13, 5.14).
+
+The central soundness property: every tree the search returns is a valid,
+normal-form hypertree decomposition of the requested width — checked on
+the paper corpus and on hypothesis-generated random queries, for both
+candidate strategies.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.acyclicity import is_acyclic
+from repro.core.detkdecomp import (
+    SearchStats,
+    decompose_k,
+    has_hypertree_width_at_most,
+    hypertree_width,
+)
+from repro.core.normalform import nf_vertex_bound_holds
+from repro.core.parser import parse_query
+from repro.generators.families import (
+    book_query,
+    clique_query,
+    cycle_query,
+    grid_query,
+    hyperwheel_query,
+    path_query,
+)
+from repro.generators.paper_queries import all_named_queries, qn
+from tests.conftest import small_queries
+
+
+class TestPaperWidths:
+    """Ground truth from the paper (Examples 1.1, 4.3; Theorem 6.1)."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("Q1", 2), ("Q2", 1), ("Q3", 1), ("Q4", 2), ("Q5", 2)],
+    )
+    def test_corpus_widths(self, name, expected):
+        q = all_named_queries()[name]
+        width, hd = hypertree_width(q)
+        assert width == expected
+        assert hd.validate() == []
+
+    def test_q5_not_width_1(self, query_q5):
+        assert decompose_k(query_q5, 1) is None
+
+    def test_qn_width_1(self):
+        for n in (1, 3, 5):
+            width, _ = hypertree_width(qn(n))
+            assert width == 1
+
+
+class TestFamilies:
+    def test_cycles_width_2(self):
+        for n in (3, 4, 6, 9):
+            assert hypertree_width(cycle_query(n))[0] == 2
+
+    def test_paths_width_1(self):
+        assert hypertree_width(path_query(5))[0] == 1
+
+    def test_books_width_2(self):
+        assert hypertree_width(book_query(4))[0] == 2
+
+    def test_hyperwheel_width_2(self):
+        assert hypertree_width(hyperwheel_query(5, 4))[0] == 2
+
+    def test_clique_k4_width_2(self):
+        assert hypertree_width(clique_query(4))[0] == 2
+
+    def test_grid3_width_2(self):
+        assert hypertree_width(grid_query(3))[0] == 2
+
+    def test_monotone_in_k(self, query_q5):
+        # decomposable at k implies decomposable at k+1
+        assert decompose_k(query_q5, 2) is not None
+        assert decompose_k(query_q5, 3) is not None
+        assert decompose_k(query_q5, 9) is not None
+
+
+class TestWitnessProperties:
+    def test_witness_is_normal_form(self, query_q5):
+        hd = decompose_k(query_q5, 2)
+        assert hd is not None
+        assert hd.is_normal_form, hd.normal_form_violations()
+
+    def test_witness_respects_vertex_bound(self, query_q5):
+        hd = decompose_k(query_q5, 2)
+        assert nf_vertex_bound_holds(hd)
+
+    def test_stats_populated(self, query_q5):
+        stats = SearchStats()
+        decompose_k(query_q5, 2, stats=stats)
+        assert stats.subproblems > 0
+        assert stats.candidates_tried > 0
+        assert stats.k == 2
+
+    def test_disconnected_query(self):
+        q = parse_query("r(X, Y), e1(A, B), e2(B, C), e3(C, A)")
+        width, hd = hypertree_width(q)
+        assert width == 2
+        assert hd.validate() == []
+
+    def test_variable_free_query(self):
+        q = parse_query("flag(), other()")
+        hd = decompose_k(q, 1)
+        assert hd is not None and hd.validate() == []
+
+    def test_invalid_k_rejected(self, query_q1):
+        with pytest.raises(ValueError):
+            decompose_k(query_q1, 0)
+
+    def test_empty_query_has_no_decomposition(self):
+        from repro.core.query import ConjunctiveQuery
+
+        assert decompose_k(ConjunctiveQuery((), ()), 2) is None
+        with pytest.raises(ValueError):
+            hypertree_width(ConjunctiveQuery((), ()))
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_strategies_agree_on_corpus(self, k):
+        for name, q in all_named_queries().items():
+            assert (decompose_k(q, k, "all") is None) == (
+                decompose_k(q, k, "relevant") is None
+            ), (name, k)
+
+    def test_relevant_tries_fewer_candidates(self, query_q5):
+        s_all, s_rel = SearchStats(), SearchStats()
+        decompose_k(query_q5, 2, "all", stats=s_all)
+        decompose_k(query_q5, 2, "relevant", stats=s_rel)
+        assert s_rel.candidates_tried <= s_all.candidates_tried
+
+
+class TestRandomised:
+    @settings(max_examples=60, deadline=None)
+    @given(query=small_queries())
+    def test_every_witness_is_valid_and_nf(self, query):
+        for k in (1, 2):
+            hd = decompose_k(query, k)
+            if hd is not None:
+                assert hd.validate() == []
+                assert hd.is_normal_form, hd.normal_form_violations()
+                assert hd.width <= k
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=small_queries())
+    def test_theorem_4_5(self, query):
+        """Acyclic ⟺ hw = 1, with the k = 1 search as the hw side."""
+        assert is_acyclic(query) == has_hypertree_width_at_most(query, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=small_queries())
+    def test_strategies_agree(self, query):
+        for k in (1, 2):
+            assert (decompose_k(query, k, "all") is None) == (
+                decompose_k(query, k, "relevant") is None
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=small_queries())
+    def test_hw_at_most_atom_count(self, query):
+        width, hd = hypertree_width(query)
+        assert 1 <= width <= len(query.atoms)
+        assert hd.validate() == []

@@ -1,0 +1,133 @@
+"""Tests for the robber-and-marshals game ([23] via §1.4) and the MCS
+acyclicity test ([39] via §2.1) — two independent characterisations
+cross-validated against det-k-decomp and GYO."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.acyclicity import is_acyclic
+from repro.core.detkdecomp import hypertree_width
+from repro.core.games import (
+    marshals_have_winning_strategy,
+    marshals_width,
+    strategy_to_decomposition,
+)
+from repro.core.mcs import is_acyclic_mcs, is_chordal, mcs_order
+from repro.core.parser import parse_query
+from repro.generators.families import (
+    book_query,
+    clique_query,
+    cycle_query,
+    path_query,
+)
+from repro.generators.paper_queries import all_named_queries, qn
+from repro.graphs.primal import graph_from_edges
+from tests.conftest import small_queries
+
+
+class TestMarshalsGame:
+    @pytest.mark.parametrize(
+        "name,expected", [("Q1", 2), ("Q2", 1), ("Q3", 1), ("Q4", 2), ("Q5", 2)]
+    )
+    def test_corpus_game_width(self, name, expected):
+        assert marshals_width(all_named_queries()[name]) == expected
+
+    def test_one_marshal_wins_iff_acyclic(self):
+        assert marshals_have_winning_strategy(path_query(4), 1) is not None
+        assert marshals_have_winning_strategy(cycle_query(4), 1) is None
+
+    def test_cycles_need_two_marshals(self):
+        for n in (3, 5, 7):
+            assert marshals_width(cycle_query(n)) == 2
+
+    def test_strategy_tree_respects_k(self, query_q5):
+        strategy = marshals_have_winning_strategy(query_q5, 2)
+        assert strategy is not None
+        assert strategy.max_marshals() <= 2
+
+    def test_strategy_converts_to_valid_decomposition(self, query_q5):
+        strategy = marshals_have_winning_strategy(query_q5, 2)
+        hd = strategy_to_decomposition(query_q5, strategy)
+        assert hd.validate() == []
+        assert hd.width <= 2
+
+    def test_monotonicity_of_spaces(self, query_q5):
+        """Robber spaces strictly shrink along every strategy branch."""
+        strategy = marshals_have_winning_strategy(query_q5, 2)
+
+        def walk(node):
+            for child in node.children:
+                assert child.robber_space < node.robber_space
+                walk(child)
+
+        walk(strategy)
+
+    def test_disconnected_query(self):
+        q = parse_query("r(X, Y), e1(A, B), e2(B, C), e3(C, A)")
+        assert marshals_width(q) == 2
+
+    def test_invalid_k(self, query_q1):
+        with pytest.raises(ValueError):
+            marshals_have_winning_strategy(query_q1, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=small_queries())
+    def test_game_width_equals_hypertree_width(self, query):
+        """The [23] theorem: monotone marshal number = hw."""
+        hw, _ = hypertree_width(query)
+        assert marshals_width(query) == hw
+
+    @settings(max_examples=30, deadline=None)
+    @given(query=small_queries())
+    def test_strategy_decompositions_validate(self, query):
+        k = marshals_width(query)
+        strategy = marshals_have_winning_strategy(query, k)
+        hd = strategy_to_decomposition(query, strategy)
+        assert hd.validate() == []
+        assert hd.width <= k
+
+
+class TestMCS:
+    def test_mcs_order_covers_vertices(self):
+        g = graph_from_edges([(1, 2), (2, 3), (3, 4)])
+        assert sorted(mcs_order(g)) == [1, 2, 3, 4]
+
+    def test_chordal_examples(self):
+        tree = graph_from_edges([(1, 2), (2, 3), (2, 4)])
+        assert is_chordal(tree)
+        triangle = graph_from_edges([(1, 2), (2, 3), (3, 1)])
+        assert is_chordal(triangle)
+        c4 = graph_from_edges([(1, 2), (2, 3), (3, 4), (4, 1)])
+        assert not is_chordal(c4)
+
+    def test_chordal_but_not_conformal(self):
+        # The triangle query over binary atoms: primal graph chordal
+        # (a triangle) yet the hypergraph is cyclic — conformality is what
+        # fails, and MCS must report cyclic.
+        q = cycle_query(3)
+        assert not is_acyclic_mcs(q)
+
+    def test_big_atom_makes_conformal(self):
+        q = parse_query("big(X, Y, Z), e1(X, Y), e2(Y, Z), e3(Z, X)")
+        assert is_acyclic_mcs(q)
+
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4", "Q5"])
+    def test_corpus_agrees_with_gyo(self, name):
+        q = all_named_queries()[name]
+        assert is_acyclic_mcs(q) == is_acyclic(q)
+
+    def test_families(self):
+        assert is_acyclic_mcs(path_query(5))
+        assert is_acyclic_mcs(qn(3))
+        assert not is_acyclic_mcs(clique_query(4))
+        assert not is_acyclic_mcs(book_query(2))
+
+    def test_empty_query(self):
+        from repro.core.query import ConjunctiveQuery
+
+        assert is_acyclic_mcs(ConjunctiveQuery((), ()))
+
+    @settings(max_examples=100, deadline=None)
+    @given(query=small_queries())
+    def test_randomised_agreement_with_gyo(self, query):
+        assert is_acyclic_mcs(query) == is_acyclic(query)

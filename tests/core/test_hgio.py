@@ -1,0 +1,77 @@
+"""Tests for the detkdecomp hypergraph-format I/O."""
+
+import pytest
+
+from repro._errors import ParseError
+from repro.core.canonical import hypergraph_width
+from repro.core.hgio import (
+    format_hypergraph,
+    load_hypergraph,
+    parse_hypergraph,
+    save_hypergraph,
+)
+from repro.core.hypergraph import Hypergraph, query_hypergraph
+from repro.generators.paper_queries import q5
+
+
+class TestParse:
+    def test_basic(self):
+        h = parse_hypergraph("e1(A, B), e2(B, C).")
+        assert len(h) == 2
+        assert h.edge("e1") == frozenset({"A", "B"})
+
+    def test_multiline_with_comments(self):
+        text = """
+        % a triangle
+        # alt comment style
+        e1(A, B),
+        e2(B, C),
+        e3(C, A).
+        """
+        h = parse_hypergraph(text)
+        assert len(h) == 3
+        assert sorted(h.vertices) == ["A", "B", "C"]
+
+    def test_no_trailing_dot(self):
+        assert len(parse_hypergraph("e1(A, B), e2(B, C)")) == 2
+
+    def test_empty_input(self):
+        assert len(parse_hypergraph("% nothing\n")) == 0
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_hypergraph("e(A), e(B)")
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_hypergraph("e1(A) e2(B)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_hypergraph("not a hypergraph!!")
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        h = Hypergraph.from_edges({"e1": "AB", "e2": "BC", "lonely": "D"})
+        again = parse_hypergraph(format_hypergraph(h, comment="round trip"))
+        assert {frozenset(e) for e in again.edges} == {
+            frozenset(e) for e in h.edges
+        }
+
+    def test_query_hypergraph_round_trip_width(self):
+        """Export Q5's hypergraph, reload it, and confirm hw is still 2 —
+        the Appendix-A pipeline over an external file."""
+        h = query_hypergraph(q5())
+        again = parse_hypergraph(format_hypergraph(h))
+        width, hd = hypergraph_width(again)
+        assert width == 2
+        assert hd.is_valid
+
+    def test_file_io(self, tmp_path):
+        h = Hypergraph.from_edges({"e1": "AB", "e2": "BC"})
+        path = tmp_path / "example.hg"
+        save_hypergraph(h, str(path), comment="from tests")
+        loaded = load_hypergraph(str(path))
+        assert loaded.edges == h.edges
+        assert path.read_text().startswith("% from tests")

@@ -1,0 +1,87 @@
+"""Unit tests for hypergraphs and H(Q) (paper §2.1, Appendix A)."""
+
+import pytest
+
+from repro._errors import SchemaError
+from repro.core.hypergraph import Hypergraph, query_hypergraph
+from repro.core.parser import parse_query
+
+
+class TestConstruction:
+    def test_from_named_edges(self):
+        h = Hypergraph.from_edges({"e1": "ab", "e2": "bc"})
+        assert h.edge("e1") == frozenset("ab")
+        assert len(h) == 2
+
+    def test_from_anonymous_edges(self):
+        h = Hypergraph.from_edges(["ab", "bc"])
+        assert h.edge_names == ("e0", "e1")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Hypergraph((("e", frozenset("a")), ("e", frozenset("b"))))
+
+    def test_of_query_one_edge_per_atom(self, query_q1):
+        h = query_hypergraph(query_q1)
+        assert len(h) == len(query_q1.atoms)
+        assert h.vertices == {v for v in query_q1.variables}
+
+    def test_duplicate_variable_sets_kept_separate(self):
+        q = parse_query("r(X, Y), s(X, Y)")
+        assert len(query_hypergraph(q)) == 2
+
+    def test_unknown_edge_raises(self):
+        with pytest.raises(KeyError):
+            Hypergraph.from_edges({"e": "ab"}).edge("missing")
+
+
+class TestViews:
+    def test_vertices_include_extra(self):
+        h = Hypergraph.from_edges({"e": "ab"}, extra_vertices="z")
+        assert "z" in h.vertices
+
+    def test_edges_with_vertex(self):
+        h = Hypergraph.from_edges({"e1": "ab", "e2": "bc"})
+        assert h.edges_with_vertex("b") == [frozenset("ab"), frozenset("bc")]
+
+    def test_iteration_yields_edges(self):
+        h = Hypergraph.from_edges(["ab"])
+        assert list(h) == [frozenset("ab")]
+
+    def test_restrict(self):
+        h = Hypergraph.from_edges({"e1": "ab", "e2": "cd"})
+        r = h.restrict("abc")
+        assert r.edges == (frozenset("ab"), frozenset("c"))
+
+
+class TestConnectivity:
+    def test_connected(self):
+        h = Hypergraph.from_edges(["ab", "bc"])
+        assert h.is_connected
+
+    def test_disconnected(self):
+        h = Hypergraph.from_edges(["ab", "cd"])
+        assert not h.is_connected
+        assert len(h.connected_components) == 2
+
+    def test_extra_vertices_are_isolated_components(self):
+        h = Hypergraph.from_edges(["ab"], extra_vertices="z")
+        assert frozenset("z") in h.connected_components
+
+    def test_v_components(self):
+        h = Hypergraph.from_edges(["ab", "bc"])
+        comps = h.v_components("b")
+        assert sorted(sorted(c) for c in comps) == [["a"], ["c"]]
+
+
+class TestPrimalEdges:
+    def test_triangle_from_ternary_edge(self):
+        h = Hypergraph.from_edges(["abc"])
+        assert h.primal_edges() == {
+            frozenset("ab"),
+            frozenset("ac"),
+            frozenset("bc"),
+        }
+
+    def test_singleton_edge_contributes_nothing(self):
+        assert Hypergraph.from_edges(["a"]).primal_edges() == set()

@@ -1,0 +1,167 @@
+"""Tests for hypertree decompositions (Definition 4.1, 4.2, Lemma 4.4).
+
+Each of the four conditions is exercised with a decomposition violating
+exactly that condition; the paper's Fig. 6 decompositions are transcribed
+and validated verbatim.
+"""
+
+import pytest
+
+from repro._errors import DecompositionError
+from repro.core.hypertree import HTNode, HypertreeDecomposition, node
+from repro.core.parser import parse_query
+from repro.generators.paper_queries import q1, q5
+
+
+def _atom(query, predicate):
+    return next(a for a in query.atoms if a.predicate == predicate)
+
+
+@pytest.fixture
+def fig6a():
+    """The paper's Fig. 6a: 2-width hypertree decomposition of Q1."""
+    query = q1()
+    enrolled = _atom(query, "enrolled")
+    teaches = _atom(query, "teaches")
+    parent = _atom(query, "parent")
+    root = node({"S", "C", "R"}, {enrolled})
+    child = node({"S", "C", "P", "A"}, {teaches, parent})
+    root.children = (child,)
+    return HypertreeDecomposition(query, root)
+
+
+@pytest.fixture
+def fig6b():
+    """Fig. 6b: the 2-width decomposition HD5 of the running example Q5."""
+    query = q5()
+    a = _atom(query, "a")
+    b = _atom(query, "b")
+    c = _atom(query, "c")
+    f = _atom(query, "f")
+    j = _atom(query, "j")
+    root = node({"S", "X", "X1", "C", "F", "Y", "Y1", "C1", "F1"}, {a, b})
+    j_child = node({"J", "X", "Y", "X1", "Y1"}, {j})
+    left = node({"C", "C1", "Z", "X", "Y"}, {c, j})
+    right = node({"F", "F1", "Z1", "X1", "Y1"}, {f, j})
+    root.children = (j_child, left, right)
+    return HypertreeDecomposition(query, root)
+
+
+class TestPaperFigures:
+    def test_fig6a_valid_width_2(self, fig6a):
+        assert fig6a.validate() == []
+        assert fig6a.width == 2
+
+    def test_fig6b_valid_width_2(self, fig6b):
+        assert fig6b.validate() == []
+        assert fig6b.width == 2
+
+    def test_fig6b_covers_e_and_h_via_chi(self, fig6b):
+        # e(Y,Z) and h(Y1,Z1) appear in no λ label but must be χ-covered.
+        query = fig6b.query
+        e = _atom(query, "e")
+        h = _atom(query, "h")
+        assert any(e.variables <= n.chi for n in fig6b.nodes)
+        assert any(h.variables <= n.chi for n in fig6b.nodes)
+
+    def test_atom_representation_uses_anonymous_variable(self, fig6b):
+        assert "_" in fig6b.render_atoms()
+
+
+class TestConditionViolations:
+    """One decomposition per violated condition of Definition 4.1."""
+
+    def setup_method(self):
+        self.query = parse_query("r(X, Y), s(Y, Z)")
+        self.r, self.s = self.query.atoms
+
+    def test_condition_1_uncovered_atom(self):
+        hd = HypertreeDecomposition(
+            self.query, node({"X", "Y"}, {self.r})
+        )
+        assert any("condition 1" in v for v in hd.validate())
+
+    def test_condition_2_disconnected_variable(self):
+        top = node({"X", "Y"}, {self.r})
+        middle = node({"Y", "Z"}, {self.s})
+        bottom = node({"X", "Y"}, {self.r})  # X reappears below a gap
+        middle.children = (bottom,)
+        top.children = (middle,)
+        hd = HypertreeDecomposition(self.query, top)
+        assert any("condition 2" in v for v in hd.validate())
+
+    def test_condition_3_chi_not_covered_by_lambda(self):
+        root = node({"X", "Y", "Z"}, {self.r})  # Z ∉ var(λ)
+        child = node({"Y", "Z"}, {self.s})
+        root.children = (child,)
+        hd = HypertreeDecomposition(self.query, root)
+        assert any("condition 3" in v for v in hd.validate())
+
+    def test_condition_4_lambda_variable_reappears(self):
+        # λ(root) contains s (with Z) but χ(root) omits Z while Z occurs below.
+        root = node({"X", "Y"}, {self.r, self.s})
+        child = node({"Y", "Z"}, {self.s})
+        root.children = (child,)
+        hd = HypertreeDecomposition(self.query, root)
+        assert any("condition 4" in v for v in hd.validate())
+
+    def test_empty_lambda_flagged(self):
+        root = node({"X", "Y"}, {self.r})
+        bad = HTNode(frozenset(), frozenset())
+        root.children = (bad,)
+        hd = HypertreeDecomposition(self.query, root)
+        assert any("empty λ" in v for v in hd.validate())
+
+    def test_foreign_atom_flagged(self):
+        from repro.core.atoms import atom as make_atom
+
+        root = node({"X", "Y"}, {self.r, make_atom("zzz", "X")})
+        hd = HypertreeDecomposition(self.query, root)
+        assert any("non-query atoms" in v for v in hd.validate())
+
+
+class TestCompletion:
+    def test_incomplete_then_completed(self, fig6b):
+        assert not fig6b.is_complete  # e and h are only χ-covered
+        completed = fig6b.complete()
+        assert completed.is_complete
+        assert completed.validate() == []
+        assert completed.width == fig6b.width
+
+    def test_completion_adds_singleton_nodes(self, fig6b):
+        completed = fig6b.complete()
+        assert len(completed) > len(fig6b)
+        new_nodes = [n for n in completed.nodes if len(n.lam) == 1]
+        assert any(next(iter(n.lam)).predicate in {"e", "h"} for n in new_nodes)
+
+    def test_completion_idempotent(self, fig6a):
+        once = fig6a.complete()
+        assert len(once.complete()) == len(once)
+
+    def test_completion_fails_without_condition_1(self):
+        query = parse_query("r(X, Y), s(Y, Z)")
+        r, _ = query.atoms
+        hd = HypertreeDecomposition(query, node({"X", "Y"}, {r}))
+        with pytest.raises(DecompositionError):
+            hd.complete()
+
+
+class TestMeasures:
+    def test_width_is_max_lambda(self, fig6b):
+        assert fig6b.width == max(len(n.lam) for n in fig6b.nodes)
+
+    def test_chi_subtree(self, fig6a):
+        assert fig6a.chi_subtree(fig6a.root) == fig6a.query.variables
+
+    def test_node_count(self, fig6b):
+        assert len(fig6b) == 4
+
+    def test_copy_tree_is_deep(self, fig6a):
+        copy = fig6a.root.copy_tree()
+        assert copy is not fig6a.root
+        assert copy.children[0] is not fig6a.root.children[0]
+        assert copy.chi == fig6a.root.chi
+
+    def test_render_mentions_chi_and_lambda(self, fig6a):
+        text = fig6a.render()
+        assert "χ=" in text and "λ=" in text

@@ -1,0 +1,133 @@
+"""Tests for Definition 5.1 and the Theorem 5.4 transformation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro._errors import DecompositionError
+from repro.core.detkdecomp import decomposition_from_join_tree, hypertree_width
+from repro.core.acyclicity import join_tree
+from repro.core.hypertree import HTNode, HypertreeDecomposition, node
+from repro.core.normalform import nf_vertex_bound_holds, normalize
+from repro.core.parser import parse_query
+from repro.generators.paper_queries import all_named_queries, q3, q5
+from tests.conftest import small_queries
+
+
+def _bloat(hd: HypertreeDecomposition) -> HypertreeDecomposition:
+    """Stack two copies of the root (valid, but redundant → not NF)."""
+    copy = hd.root.copy_tree()
+    return HypertreeDecomposition(
+        hd.query, HTNode(copy.chi, copy.lam, (copy,))
+    )
+
+
+class TestNormalFormConditions:
+    def test_detkdecomp_output_is_nf(self, query_q5):
+        _, hd = hypertree_width(query_q5)
+        assert hd.normal_form_violations() == []
+
+    def test_duplicated_root_violates_nf(self, query_q1):
+        _, hd = hypertree_width(query_q1)
+        assert _bloat(hd).normal_form_violations() != []
+
+    def test_raw_join_tree_decomposition_may_violate_nf(self):
+        q = q3()
+        jt = join_tree(q)
+        raw = decomposition_from_join_tree(q, jt)
+        # Q3's GYO tree hangs subset atoms below s1 — NF condition 2 fails.
+        assert raw.validate() == []
+        assert raw.normal_form_violations() != []
+
+    def test_condition_3_detected(self):
+        q = parse_query("r(X, Y), s(X, Y, Z)")
+        r, s = q.atoms
+        root = node({"X", "Y"}, {r})
+        child = node({"Z"}, {s})  # drops X,Y though λ carries them
+        root.children = (child,)
+        hd = HypertreeDecomposition(q, root)
+        assert any(
+            "NF condition" in v for v in hd.normal_form_violations()
+        )
+
+
+class TestNormalize:
+    def test_fixes_bloated_corpus(self):
+        for name, q in all_named_queries().items():
+            _, hd = hypertree_width(q)
+            bad = _bloat(hd)
+            fixed = normalize(bad)
+            assert fixed.validate() == []
+            assert fixed.normal_form_violations() == []
+            assert fixed.width <= bad.width
+            assert nf_vertex_bound_holds(fixed)
+
+    def test_fixes_raw_join_tree(self):
+        q = q3()
+        raw = decomposition_from_join_tree(q, join_tree(q))
+        fixed = normalize(raw)
+        assert fixed.validate() == []
+        assert fixed.normal_form_violations() == []
+        assert fixed.width == 1
+        assert len(fixed) <= len(q.variables)
+
+    def test_idempotent(self, query_q5):
+        _, hd = hypertree_width(query_q5)
+        once = normalize(hd)
+        twice = normalize(once)
+        assert len(twice) == len(once)
+        assert twice.width == once.width
+
+    def test_splits_multi_component_child(self):
+        # A single child whose subtree mixes two [root]-components.
+        q = parse_query("r(X, Y), s(Y, Z), t(Y, W)")
+        r, s, t = q.atoms
+        root = node({"X", "Y"}, {r})
+        mixed = node({"Y", "Z", "W"}, {s, t})  # Z and W are separate comps
+        root.children = (mixed,)
+        hd = HypertreeDecomposition(q, root)
+        assert hd.validate() == []
+        assert hd.normal_form_violations() != []
+        fixed = normalize(hd)
+        assert fixed.normal_form_violations() == []
+        assert fixed.validate() == []
+        assert len(fixed.root.children) == 2
+
+    def test_lemma_5_7_bound(self):
+        for name, q in all_named_queries().items():
+            _, hd = hypertree_width(q)
+            fixed = normalize(_bloat(hd))
+            assert len(fixed) <= max(1, len(q.variables))
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=small_queries())
+    def test_randomised_normalisation(self, query):
+        width, hd = hypertree_width(query)
+        fixed = normalize(_bloat(hd))
+        assert fixed.validate() == []
+        assert fixed.normal_form_violations() == []
+        assert fixed.width <= width
+        assert nf_vertex_bound_holds(fixed)
+
+
+class TestTreecomp:
+    def test_root_treecomp_is_all_variables(self, query_q5):
+        _, hd = hypertree_width(query_q5)
+        labels = hd.treecomp()
+        assert labels[hd.root] == query_q5.variables
+
+    def test_child_treecomps_are_parent_components(self, query_q5):
+        from repro.core.components import components
+
+        _, hd = hypertree_width(query_q5)
+        labels = hd.treecomp()
+        for r in hd.nodes:
+            comps = components(query_q5, r.chi)
+            for s in r.children:
+                assert labels[s] in comps
+
+    def test_treecomp_strictly_shrinks(self, query_q5):
+        _, hd = hypertree_width(query_q5)
+        labels = hd.treecomp()
+        for r in hd.nodes:
+            for s in r.children:
+                assert labels[s] < labels[r]

@@ -1,0 +1,89 @@
+"""Unit tests for the rule-syntax parser."""
+
+import pytest
+
+from repro._errors import ParseError
+from repro.core.atoms import Constant, Variable
+from repro.core.parser import parse_atom, parse_query
+
+
+class TestParseAtom:
+    def test_simple(self):
+        a = parse_atom("r(X, Y)")
+        assert a.predicate == "r"
+        assert a.terms == (Variable("X"), Variable("Y"))
+
+    def test_constants(self):
+        a = parse_atom("r(bob, 42, 'hello world')")
+        assert a.terms == (Constant("bob"), Constant(42), Constant("hello world"))
+
+    def test_negative_integer(self):
+        assert parse_atom("r(-3)").terms == (Constant(-3),)
+
+    def test_nullary(self):
+        assert parse_atom("done()").arity == 0
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("r(X) extra")
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("r(X")
+
+
+class TestParseQuery:
+    def test_boolean_without_head(self):
+        q = parse_query("r(X, Y), s(Y, Z)")
+        assert q.is_boolean
+        assert len(q.atoms) == 2
+
+    def test_head_with_variables(self):
+        q = parse_query("ans(X) :- r(X, Y).")
+        assert q.head_variables == {Variable("X")}
+        assert not q.is_boolean
+
+    def test_paper_q1(self):
+        q = parse_query(
+            "ans() :- enrolled(S, C, R), teaches(P, C, A), parent(P, S)."
+        )
+        assert q.is_boolean
+        assert {a.predicate for a in q.atoms} == {"enrolled", "teaches", "parent"}
+        assert len(q.variables) == 5
+
+    def test_conjunction_symbol(self):
+        q = parse_query("r(X, Y) ∧ s(Y, Z)")
+        assert len(q.atoms) == 2
+
+    def test_arrow_variants(self):
+        for arrow in (":-", "<-", "←"):
+            q = parse_query(f"ans(X) {arrow} r(X).")
+            assert q.head_variables == {Variable("X")}
+
+    def test_trailing_dot_optional(self):
+        assert len(parse_query("r(X)").atoms) == 1
+        assert len(parse_query("r(X).").atoms) == 1
+
+    def test_unsafe_head_rejected(self):
+        from repro._errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            parse_query("ans(Z) :- r(X, Y).")
+
+    def test_unknown_character_position_reported(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("r(X) ! s(Y)")
+        assert excinfo.value.position is not None
+
+    def test_duplicate_atoms_collapse(self):
+        q = parse_query("r(X, Y), r(X, Y), s(Y)")
+        assert len(q.atoms) == 2
+
+    def test_round_trip_through_str(self):
+        q = parse_query("ans(X) :- r(X, Y), s(Y, 3).")
+        again = parse_query(str(q))
+        assert again.body == q.body
+        assert again.head_terms == q.head_terms
+
+    def test_name_attached(self):
+        assert parse_query("r(X)", name="Q9").name == "Q9"

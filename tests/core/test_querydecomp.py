@@ -1,0 +1,156 @@
+"""Tests for query decompositions (Definition 3.1, Propositions 3.3/3.6)."""
+
+import pytest
+
+from repro._errors import DecompositionError
+from repro.core.atoms import Variable
+from repro.core.components import components
+from repro.core.parser import parse_query
+from repro.core.querydecomp import QDNode, QueryDecomposition
+from repro.generators.paper_queries import q1, q4
+
+
+def _atom(query, predicate):
+    return next(a for a in query.atoms if a.predicate == predicate)
+
+
+@pytest.fixture
+def fig2():
+    """Fig. 2: a 2-width query decomposition of Q1 (mixed label with an
+    explicit variable, as in the paper's figure)."""
+    query = q1()
+    enrolled = _atom(query, "enrolled")
+    teaches = _atom(query, "teaches")
+    parent = _atom(query, "parent")
+    root = QDNode({enrolled, Variable("P")})
+    child = QDNode({teaches, parent})
+    root.children = (child,)
+    return QueryDecomposition(query, root)
+
+
+@pytest.fixture
+def fig4():
+    """Fig. 4: the pure 2-width query decomposition of Q4."""
+    query = q4()
+    s1 = _atom(query, "s1")
+    s2 = _atom(query, "s2")
+    g = _atom(query, "g")
+    t1 = _atom(query, "t1")
+    t2 = _atom(query, "t2")
+    root = QDNode({s1, t1})
+    left = QDNode({g, t1})
+    right = QDNode({s2, t1})
+    root.children = (left, right)
+    left.children = (QDNode({t2}),)
+    return QueryDecomposition(query, root)
+
+
+class TestPaperFigures:
+    def test_fig2_valid_width_2(self, fig2):
+        assert fig2.validate() == []
+        assert fig2.width == 2
+        assert not fig2.is_pure
+
+    def test_fig4_valid_pure_width_2(self, fig4):
+        assert fig4.validate() == []
+        assert fig4.width == 2
+        assert fig4.is_pure
+
+    def test_fig2_purification(self, fig2):
+        pure = fig2.purify()
+        assert pure.is_pure
+        assert pure.width <= fig2.width
+        assert pure.validate() == []
+
+    def test_purify_pure_is_identity_shape(self, fig4):
+        pure = fig4.purify()
+        assert len(pure) == len(fig4)
+        assert pure.width == fig4.width
+
+
+class TestConditions:
+    def setup_method(self):
+        self.query = parse_query("r(X, Y), s(Y, Z), t(Z, W)")
+        self.r, self.s, self.t = self.query.atoms
+
+    def test_condition_1_missing_atom(self):
+        qd = QueryDecomposition(self.query, QDNode({self.r, self.s}))
+        assert any("condition 1" in v for v in qd.validate())
+
+    def test_condition_2_disconnected_atom(self):
+        top = QDNode({self.r})
+        mid = QDNode({self.s})
+        bot = QDNode({self.r, self.t})
+        mid.children = (bot,)
+        top.children = (mid,)
+        qd = QueryDecomposition(self.query, top)
+        assert any("condition 2" in v for v in qd.validate())
+
+    def test_condition_3_disconnected_variable(self):
+        # X occurs (inside atoms) at top and bottom but not in the middle.
+        top = QDNode({self.r})
+        mid = QDNode({self.t})
+        bot = QDNode({self.r})
+        qd_query = parse_query("r(X, Y), t(Z, W)")
+        r, t = qd_query.atoms
+        top = QDNode({r})
+        mid = QDNode({t})
+        bot = QDNode({r})
+        mid.children = (bot,)
+        top.children = (mid,)
+        qd = QueryDecomposition(qd_query, top)
+        violations = qd.validate()
+        assert any("condition 2" in v for v in violations) or any(
+            "condition 3" in v for v in violations
+        )
+
+    def test_explicit_variable_counts_for_connectedness(self):
+        # Variable Y bridges two nodes via an explicit occurrence.
+        top = QDNode({self.r})
+        mid = QDNode({Variable("Y"), self.t})
+        bot = QDNode({self.s})
+        mid.children = (bot,)
+        top.children = (mid,)
+        qd = QueryDecomposition(self.query, top)
+        assert qd.validate() == []
+
+    def test_width_counts_variables_and_atoms(self):
+        n = QDNode({self.r, Variable("Z"), Variable("W")})
+        qd = QueryDecomposition(self.query, n)
+        assert qd.width == 3
+
+
+class TestConversion:
+    def test_pure_to_hypertree(self, fig4):
+        hd = fig4.to_hypertree()
+        assert hd.validate() == []
+        assert hd.width == fig4.width
+
+    def test_mixed_to_hypertree_rejected(self, fig2):
+        with pytest.raises(DecompositionError):
+            fig2.to_hypertree()
+
+    def test_proposition_3_6(self, fig4):
+        """var(T_p) = var(p) ∪ (some [var(p)]-components) for pure QDs."""
+        query = fig4.query
+
+        def subtree_vars(n):
+            out = set(n.variables)
+            for c in n.children:
+                out |= subtree_vars(c)
+            return out
+
+        for p in fig4.nodes:
+            comps = components(query, p.variables)
+            extra = subtree_vars(p) - p.variables
+            covered = [c for c in comps if c <= extra]
+            assert frozenset(extra) == frozenset().union(*covered) if covered else not extra
+
+
+class TestRendering:
+    def test_render_contains_labels(self, fig4):
+        text = fig4.render()
+        assert "s1(Y, Z, U)" in text
+
+    def test_repr(self, fig4):
+        assert "width 2" in repr(fig4)

@@ -1,0 +1,108 @@
+"""Tests for the exact query-width search (§3.1, Theorem 6.1).
+
+Ground truth: qw(Q1) = qw(Q4) = 2, qw(Q5) = 3 (the paper's values), the
+acyclic ⟺ qw = 1 equivalence, and the hw ≤ qw inequality on random
+queries.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.acyclicity import is_acyclic
+from repro.core.detkdecomp import hypertree_width
+from repro.core.qwsearch import (
+    decompose_qw,
+    has_query_width_at_most,
+    query_width,
+    set_partitions,
+)
+from repro.generators.families import book_query, cycle_query, path_query
+from repro.generators.paper_queries import all_named_queries, qn
+from tests.conftest import tiny_queries
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        for n, bell in [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15)]:
+            assert len(list(set_partitions(list(range(n))))) == bell
+
+    def test_each_partition_covers(self):
+        for partition in set_partitions([1, 2, 3]):
+            flattened = sorted(x for group in partition for x in group)
+            assert flattened == [1, 2, 3]
+
+    def test_groups_nonempty(self):
+        assert all(
+            all(group for group in partition)
+            for partition in set_partitions([1, 2, 3, 4])
+        )
+
+
+class TestPaperValues:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("Q1", 2), ("Q2", 1), ("Q3", 1), ("Q4", 2), ("Q5", 3)],
+    )
+    def test_corpus(self, name, expected):
+        q = all_named_queries()[name]
+        width, qd = query_width(q)
+        assert width == expected
+        assert qd.validate() == []
+        assert qd.is_pure
+
+    def test_q5_has_no_width_2_decomposition(self, query_q5):
+        """The §3.3 claim: exhaustive search certifies qw(Q5) > 2."""
+        assert decompose_qw(query_q5, 2) is None
+
+    def test_q1_has_no_width_1_decomposition(self, query_q1):
+        assert decompose_qw(query_q1, 1) is None
+
+    def test_qn_width_1(self):
+        for n in (1, 2, 4):
+            assert query_width(qn(n))[0] == 1
+
+
+class TestFamilies:
+    def test_cycles_width_2(self):
+        for n in (3, 4, 6):
+            assert query_width(cycle_query(n))[0] == 2
+
+    def test_paths_width_1(self):
+        assert query_width(path_query(4))[0] == 1
+
+    def test_book_width_2(self):
+        assert query_width(book_query(3))[0] == 2
+
+    def test_invalid_k_rejected(self, query_q1):
+        with pytest.raises(ValueError):
+            decompose_qw(query_q1, 0)
+
+
+class TestRandomised:
+    @settings(max_examples=50, deadline=None)
+    @given(query=tiny_queries())
+    def test_witnesses_validate(self, query):
+        width, qd = query_width(query)
+        assert qd.validate() == []
+        assert qd.is_pure
+        assert qd.width <= width
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=tiny_queries())
+    def test_qw_1_iff_acyclic(self, query):
+        """§3.1: acyclic queries are exactly the queries of query-width 1."""
+        assert is_acyclic(query) == has_query_width_at_most(query, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=tiny_queries())
+    def test_theorem_6_1_hw_leq_qw(self, query):
+        hw, _ = hypertree_width(query)
+        qw, _ = query_width(query)
+        assert hw <= qw
+
+    @settings(max_examples=30, deadline=None)
+    @given(query=tiny_queries())
+    def test_monotone_in_k(self, query):
+        width, _ = query_width(query)
+        assert decompose_qw(query, width) is not None
+        assert decompose_qw(query, width + 1) is not None

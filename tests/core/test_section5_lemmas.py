@@ -1,0 +1,154 @@
+"""Property tests for the §5 structural lemmas.
+
+Each lemma of Section 5 makes a checkable claim about (normal-form)
+hypertree decompositions; we verify them on the NF witnesses produced by
+det-k-decomp for the paper corpus and for hypothesis-generated queries.
+
+* Lemma 5.2 — for a child ``s`` of ``r`` and an [r]-component ``C`` with
+  ``C ∩ χ(T_s) ≠ ∅``: every vertex whose χ touches ``C`` lies in ``T_s``;
+* Lemma 5.3 — for any [r]-connected variable set ``V`` disjoint from
+  ``χ(r)``, the vertices touching ``V`` induce a connected subtree;
+* Lemma 5.5 — the [v]-components inside ``treecomp(v)`` partition
+  ``treecomp(v) − χ(v)``;
+* Lemma 5.6 — ``{treecomp(s) : s child of r}`` = the [r]-components
+  contained in ``treecomp(r)``;
+* Lemma 5.7 — ``|vertices(T)| ≤ |var(Q)|`` (also asserted elsewhere);
+* Lemma 5.8 — within ``treecomp(s)``, [s]-components coincide with
+  [var(λ(s))]-components.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.components import v_connected, vertex_components
+from repro.core.detkdecomp import hypertree_width
+from repro.core.hypertree import HTNode
+from repro.generators.paper_queries import all_named_queries
+from repro.graphs import trees
+from tests.conftest import small_queries
+
+
+def _nf_decompositions():
+    for name, q in all_named_queries().items():
+        width, hd = hypertree_width(q)
+        yield q, hd
+
+
+def _subtree_nodes(node: HTNode) -> set[int]:
+    return {id(n) for n in trees.preorder(node, lambda x: x.children)}
+
+
+def _vertices_touching(hd, variables) -> list[HTNode]:
+    return [n for n in hd.nodes if n.chi & variables]
+
+
+class TestLemma52:
+    def _check(self, query, hd):
+        edge_sets = [a.variables for a in query.atoms]
+        for r in hd.nodes:
+            comps = vertex_components(edge_sets, r.chi)
+            for s in r.children:
+                subtree = _subtree_nodes(s)
+                subtree_chi = hd.chi_subtree(s)
+                for component in comps:
+                    if not component & subtree_chi:
+                        continue
+                    touching = _vertices_touching(hd, component)
+                    assert all(id(n) in subtree for n in touching), (
+                        "Lemma 5.2 violated"
+                    )
+
+    def test_corpus(self):
+        for query, hd in _nf_decompositions():
+            self._check(query, hd)
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=small_queries())
+    def test_randomised(self, query):
+        _, hd = hypertree_width(query)
+        self._check(query, hd)
+
+
+class TestLemma53:
+    def _check(self, query, hd):
+        edge_sets = [a.variables for a in query.atoms]
+        for r in hd.nodes:
+            for component in vertex_components(edge_sets, r.chi):
+                assert v_connected(query, r.chi, component)
+                touching = _vertices_touching(hd, component)
+                assert trees.induces_connected_subtree(
+                    hd.root, lambda n: n.children, touching
+                ), "Lemma 5.3 violated"
+
+    def test_corpus(self):
+        for query, hd in _nf_decompositions():
+            self._check(query, hd)
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=small_queries())
+    def test_randomised(self, query):
+        _, hd = hypertree_width(query)
+        self._check(query, hd)
+
+
+class TestLemma55and56:
+    def _check(self, query, hd):
+        edge_sets = [a.variables for a in query.atoms]
+        treecomp = hd.treecomp()
+        for r in hd.nodes:
+            comps = vertex_components(edge_sets, r.chi)
+            inside = [c for c in comps if c <= treecomp[r]]
+            # Lemma 5.5: they partition treecomp(r) − χ(r).
+            union: set = set()
+            for c in inside:
+                assert not c & union
+                union |= c
+            assert union == set(treecomp[r]) - set(r.chi)
+            # Lemma 5.6: children's treecomps are exactly those components.
+            child_comps = {treecomp[s] for s in r.children}
+            assert child_comps == set(inside), "Lemma 5.6 violated"
+
+    def test_corpus(self):
+        for query, hd in _nf_decompositions():
+            self._check(query, hd)
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=small_queries())
+    def test_randomised(self, query):
+        _, hd = hypertree_width(query)
+        self._check(query, hd)
+
+
+class TestLemma58:
+    def _check(self, query, hd):
+        edge_sets = [a.variables for a in query.atoms]
+        treecomp = hd.treecomp()
+        for s in hd.nodes:
+            chi_comps = {
+                c
+                for c in vertex_components(edge_sets, s.chi)
+                if c <= treecomp[s]
+            }
+            lambda_comps = {
+                c
+                for c in vertex_components(edge_sets, s.lambda_variables)
+                if c <= treecomp[s]
+            }
+            assert chi_comps == lambda_comps, "Lemma 5.8 violated"
+
+    def test_corpus(self):
+        for query, hd in _nf_decompositions():
+            self._check(query, hd)
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=small_queries())
+    def test_randomised(self, query):
+        _, hd = hypertree_width(query)
+        self._check(query, hd)
+
+
+class TestLemma57:
+    @settings(max_examples=60, deadline=None)
+    @given(query=small_queries())
+    def test_vertex_bound(self, query):
+        _, hd = hypertree_width(query)
+        assert len(hd) <= max(1, len(query.variables))

@@ -1,0 +1,126 @@
+"""Tests for the §6 structural baselines: hinges and width measures."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.csp.hinges import degree_of_cyclicity, hinge_tree, is_hinge
+from repro.csp.methods import (
+    all_method_widths,
+    biconnected_components,
+    biconnected_width,
+    cycle_cutset_size,
+    hinge_width,
+    tree_clustering_width,
+    treewidth_width,
+)
+from repro.generators.families import (
+    book_query,
+    clique_query,
+    cycle_query,
+    path_query,
+)
+from repro.generators.paper_queries import q2, qn
+from repro.graphs.primal import graph_from_edges
+
+
+class TestIsHinge:
+    def test_whole_edge_set_is_hinge(self):
+        edges = [a.variables for a in cycle_query(5).atoms]
+        assert is_hinge(edges, edges)
+
+    def test_cycle_has_no_proper_hinge(self):
+        edges = [a.variables for a in cycle_query(5).atoms]
+        from itertools import combinations
+
+        for size in range(2, len(edges)):
+            for cand in combinations(edges, size):
+                assert not is_hinge(edges, cand)
+
+    def test_path_pairs_are_hinges(self):
+        edges = [a.variables for a in path_query(3).atoms]
+        assert is_hinge(edges, edges[0:2])
+
+
+class TestDegreeOfCyclicity:
+    @pytest.mark.parametrize("n,expected", [(3, 3), (5, 5), (8, 8)])
+    def test_cycles(self, n, expected):
+        assert degree_of_cyclicity(cycle_query(n)) == expected
+
+    def test_acyclic_at_most_2(self):
+        for q in (path_query(5), q2(), qn(3)):
+            assert degree_of_cyclicity(q) <= 2
+
+    def test_book_is_3(self):
+        # each triangle page is a minimal hinge of size 3
+        assert degree_of_cyclicity(book_query(4)) == 3
+
+    def test_single_atom(self):
+        assert degree_of_cyclicity(parse_query("r(X, Y)")) == 1
+
+    def test_disconnected_takes_max(self):
+        q = parse_query("r(A, B), e1(X, Y), e2(Y, Z), e3(Z, X)")
+        assert degree_of_cyclicity(q) == 3
+
+    def test_guard_on_large_inputs(self):
+        with pytest.raises(ValueError):
+            degree_of_cyclicity(cycle_query(20), max_edges=10)
+
+    def test_hinge_tree_covers_all_edges(self):
+        q = book_query(3)
+        edges = [a.variables for a in q.atoms]
+        tree = hinge_tree(edges)
+        assert tree.all_edges() >= {id(e) for e in edges}
+
+
+class TestBiconnected:
+    def test_cycle_is_one_block(self):
+        g = graph_from_edges([(i, (i + 1) % 5) for i in range(5)])
+        comps = biconnected_components(g)
+        assert max(len(c) for c in comps) == 5
+
+    def test_bridge_separates(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        comps = biconnected_components(g)
+        assert sorted(sorted(c) for c in comps) == [[1, 2], [2, 3]]
+
+    def test_two_triangles_sharing_vertex(self):
+        g = graph_from_edges(
+            [(1, 2), (2, 3), (3, 1), (3, 4), (4, 5), (5, 3)]
+        )
+        comps = biconnected_components(g)
+        assert sorted(len(c) for c in comps) == [3, 3]
+
+    def test_width_measures(self):
+        assert biconnected_width(cycle_query(6)) == 6
+        assert biconnected_width(path_query(4)) == 2
+
+
+class TestOtherWidths:
+    def test_cutset_of_cycle_is_1(self):
+        assert cycle_cutset_size(cycle_query(7)) == 1
+
+    def test_cutset_of_tree_is_0(self):
+        assert cycle_cutset_size(path_query(4)) == 0
+
+    def test_cutset_of_clique(self):
+        assert cycle_cutset_size(clique_query(4)) == 2
+
+    def test_tree_clustering_cycle(self):
+        assert tree_clustering_width(cycle_query(6)) == 3
+
+    def test_treewidth_width_cycle(self):
+        assert treewidth_width(cycle_query(6)) == 3
+
+    def test_all_method_widths_row(self):
+        row = all_method_widths(cycle_query(4)).as_row()
+        assert row["hw"] == 2 and row["qw"] == 2 and row["cutset"] == 1
+
+    def test_qn_shows_separation(self):
+        """§6: Qₙ is where hw=1 beats every primal-graph method."""
+        widths = all_method_widths(qn(4))
+        assert widths.hypertree_width == 1
+        assert widths.query_width == 1
+        assert widths.treewidth == 5      # tw + 1 = n + 1
+        assert widths.tree_clustering == 5
+        assert widths.biconnected == 8
+        assert widths.hinge <= 2

@@ -1,0 +1,108 @@
+"""Tests for the CSP substrate and both solvers (§6 equivalence)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._errors import EvaluationError
+from repro.csp.problem import CSPInstance, Constraint, from_query, graph_coloring
+from repro.csp.solver import (
+    count_solutions_backtracking,
+    solve_backtracking,
+    solve_via_decomposition,
+)
+from repro.generators.families import random_query
+from repro.generators.paper_queries import q1
+from repro.generators.workloads import random_database
+
+
+@pytest.fixture
+def triangle():
+    return graph_coloring([("a", "b"), ("b", "c"), ("c", "a")], 3)
+
+
+class TestProblem:
+    def test_constraint_scope_validation(self):
+        with pytest.raises(EvaluationError):
+            Constraint(("x", "x"), frozenset())
+
+    def test_constraint_arity_validation(self):
+        with pytest.raises(EvaluationError):
+            Constraint(("x", "y"), frozenset({(1,)}))
+
+    def test_check_solution(self, triangle):
+        assert triangle.check({"a": 0, "b": 1, "c": 2})
+        assert not triangle.check({"a": 0, "b": 0, "c": 1})
+        assert not triangle.check({"a": 0, "b": 1, "c": 9})  # out of domain
+
+    def test_to_query_shape(self, triangle):
+        q = triangle.to_query()
+        assert len(q.atoms) == 3
+        assert q.is_boolean
+
+    def test_hypergraph_matches_scopes(self, triangle):
+        h = triangle.hypergraph()
+        assert len(h) == 3
+        assert h.vertices == {"a", "b", "c"}
+
+    def test_from_query_roundtrip(self):
+        query = q1()
+        db = random_database(query, 3, 8, seed=1, plant_answer=True)
+        csp = from_query(query, db)
+        solution = solve_backtracking(csp)
+        assert solution is not None
+        assert csp.check(solution)
+
+
+class TestSolvers:
+    def test_triangle_3_colorable(self, triangle):
+        for solver in (solve_backtracking, solve_via_decomposition):
+            solution = solver(triangle)
+            assert solution is not None and triangle.check(solution)
+
+    def test_triangle_not_2_colorable(self):
+        csp = graph_coloring([("a", "b"), ("b", "c"), ("c", "a")], 2)
+        assert solve_backtracking(csp) is None
+        assert solve_via_decomposition(csp) is None
+
+    def test_even_cycle_2_colorable(self):
+        csp = graph_coloring(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")], 2
+        )
+        assert solve_via_decomposition(csp) is not None
+
+    def test_empty_constraint_unsat(self):
+        csp = CSPInstance.of(
+            {"x": (1, 2)},
+            [Constraint(("x",), frozenset())],
+        )
+        assert solve_backtracking(csp) is None
+        assert solve_via_decomposition(csp) is None
+
+    def test_unconstrained_variable_assigned(self):
+        csp = CSPInstance.of(
+            {"x": (1,), "free": (7, 8)},
+            [Constraint(("x",), frozenset({(1,)}))],
+        )
+        for solver in (solve_backtracking, solve_via_decomposition):
+            solution = solver(csp)
+            assert solution is not None and solution["free"] in (7, 8)
+
+    def test_no_constraints_at_all(self):
+        csp = CSPInstance.of({"x": (1, 2)}, [])
+        assert solve_via_decomposition(csp) is not None
+
+    def test_count_solutions(self, triangle):
+        assert count_solutions_backtracking(triangle) == 6  # 3! proper colourings
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 3_000), dbseed=st.integers(0, 50))
+    def test_solvers_agree_on_random_csps(self, seed, dbseed):
+        query = random_query(n_atoms=4, n_variables=4, max_arity=3, seed=seed)
+        db = random_database(query, 3, 6, seed=dbseed)
+        csp = from_query(query, db)
+        bt = solve_backtracking(csp)
+        dec = solve_via_decomposition(csp)
+        assert (bt is None) == (dec is None)
+        if dec is not None:
+            assert csp.check(dec)

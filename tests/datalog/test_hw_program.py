@@ -1,0 +1,69 @@
+"""Tests for the Appendix-B recogniser (cross-validated against k-decomp)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detkdecomp import has_hypertree_width_at_most
+from repro.datalog.hw_program import build_hw_program, datalog_has_hw_at_most
+from repro.generators.families import cycle_query, path_query, random_query
+from repro.generators.paper_queries import all_named_queries
+
+
+class TestBaseRelations:
+    def test_k_vertices_counted(self, query_q1):
+        inst = build_hw_program(query_q1, 2)
+        # C(3,1) + C(3,2) = 6 non-empty ≤2-subsets of 3 atoms
+        assert len(inst.edb["k_vertex"]) == 6
+
+    def test_root_rows_present(self, query_q1):
+        inst = build_hw_program(query_q1, 1)
+        assert ("varQ", "root") in inst.edb["component"]
+        assert all(
+            (vid, "root", "varQ") in inst.edb["meets_condition"]
+            for vid in inst.vertex_ids
+        )
+
+    def test_subset_is_strict(self, query_q1):
+        inst = build_hw_program(query_q1, 2)
+        for cs, cr in inst.edb["subset"]:
+            if cr == "varQ":
+                continue
+            assert inst.component_ids[cs] < inst.component_ids[cr]
+
+    def test_program_weakly_stratified_total_model(self, query_q5):
+        inst = build_hw_program(query_q5, 2)
+        from repro.datalog.engine import well_founded_model
+
+        _, undefined = well_founded_model(inst.program, inst.edb)
+        assert not undefined
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_corpus(self, k):
+        for name, q in all_named_queries().items():
+            assert datalog_has_hw_at_most(q, k) == has_hypertree_width_at_most(
+                q, k
+            ), (name, k)
+
+    def test_cycle(self):
+        q = cycle_query(4)
+        assert not datalog_has_hw_at_most(q, 1)
+        assert datalog_has_hw_at_most(q, 2)
+
+    def test_path(self):
+        assert datalog_has_hw_at_most(path_query(3), 1)
+
+    def test_invalid_k(self, query_q1):
+        with pytest.raises(ValueError):
+            datalog_has_hw_at_most(query_q1, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 3_000),
+        k=st.integers(1, 2),
+    )
+    def test_randomised_agreement(self, seed, k):
+        q = random_query(n_atoms=4, n_variables=5, max_arity=3, seed=seed)
+        assert datalog_has_hw_at_most(q, k) == has_hypertree_width_at_most(q, k)

@@ -1,0 +1,157 @@
+"""Integration tests: Lemma 4.6 and the evaluation strategies agree.
+
+The core property (Theorems 4.7/4.8): for any query and database, the
+decomposition-guided pipeline computes the same answers as the naive join
+and the backtracking search — checked on the paper corpus and on random
+query/database pairs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._errors import EvaluationError
+from repro.core.detkdecomp import hypertree_width
+from repro.core.parser import parse_query
+from repro.db.evaluate import evaluate, evaluate_boolean, lemma46_transform
+from repro.db.stats import EvalStats
+from repro.generators.families import cycle_query, random_query
+from repro.generators.paper_queries import all_named_queries, q1, q2, q5
+from repro.generators.workloads import random_database, university_database
+
+
+class TestLemma46:
+    def test_jt_is_valid_join_tree(self, query_q5):
+        db = random_database(query_q5, 4, 10, seed=0)
+        _, hd = hypertree_width(query_q5)
+        out = lemma46_transform(query_q5, db, hd)
+        assert out.jt.validate(out.qprime) == []
+
+    def test_qprime_is_acyclic(self, query_q5):
+        from repro.core.acyclicity import is_acyclic
+
+        db = random_database(query_q5, 4, 10, seed=0)
+        _, hd = hypertree_width(query_q5)
+        out = lemma46_transform(query_q5, db, hd)
+        assert is_acyclic(out.qprime)
+
+    def test_node_relations_bounded_by_r_to_k(self, query_q5):
+        db = random_database(query_q5, 5, 30, seed=1)
+        width, hd = hypertree_width(query_q5)
+        out = lemma46_transform(query_q5, db, hd)
+        r = db.max_relation_size()
+        for rel in out.relations.values():
+            assert len(rel) <= r**width
+
+    def test_size_accounting_positive(self, query_q1):
+        db = random_database(query_q1, 4, 8, seed=2)
+        _, hd = hypertree_width(query_q1)
+        out = lemma46_transform(query_q1, db, hd)
+        assert out.size() > 0
+        assert out.database().tuple_count() == sum(
+            len(r) for r in out.relations.values()
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivalence_on_corpus(self, seed):
+        for name, q in all_named_queries().items():
+            db = random_database(
+                q, domain_size=4, tuples_per_relation=12, seed=seed,
+                plant_answer=seed % 2 == 0,
+            )
+            _, hd = hypertree_width(q)
+            out = lemma46_transform(q, db, hd)
+            from repro.db.yannakakis import boolean_eval
+
+            assert boolean_eval(out.jt, out.relations) == evaluate_boolean(
+                q, db, method="naive"
+            )
+
+
+class TestEvaluateBoolean:
+    def test_university_q1_true(self):
+        db = university_database(parent_teacher_pairs=1)
+        assert evaluate_boolean(q1(), db, method="decomposition")
+
+    def test_university_q1_false_without_planted_pairs(self):
+        db = university_database(parent_teacher_pairs=0, seed=11)
+        expected = evaluate_boolean(q1(), db, method="naive")
+        assert evaluate_boolean(q1(), db, method="decomposition") == expected
+
+    def test_yannakakis_requires_acyclic(self):
+        db = random_database(q1(), 3, 5, seed=0)
+        with pytest.raises(EvaluationError):
+            evaluate_boolean(q1(), db, method="yannakakis")
+
+    def test_unknown_method(self):
+        db = random_database(q2(), 3, 5, seed=0)
+        with pytest.raises(ValueError):
+            evaluate_boolean(q2(), db, method="magic")  # type: ignore[arg-type]
+
+    def test_empty_query_true(self):
+        from repro.core.query import ConjunctiveQuery
+
+        assert evaluate_boolean(ConjunctiveQuery((), ()), random_database(q2(), 2, 2))
+
+    @pytest.mark.parametrize("method", ["naive", "backtracking", "decomposition"])
+    def test_methods_on_cycle(self, method):
+        q = cycle_query(4)
+        db = random_database(q, 3, 10, seed=4, plant_answer=True)
+        assert evaluate_boolean(q, db, method=method)
+
+
+class TestEvaluateAnswers:
+    def test_non_boolean_corpus_equivalence(self):
+        q = parse_query(
+            "ans(S, C) :- enrolled(S, C, R), teaches(P, C, A), parent(P, S).",
+            name="Q1h",
+        )
+        db = university_database()
+        answers = {
+            m: evaluate(q, db, method=m).rows
+            for m in ("naive", "backtracking", "decomposition")
+        }
+        assert answers["naive"] == answers["backtracking"] == answers["decomposition"]
+
+    def test_acyclic_answers_with_yannakakis(self):
+        q = parse_query("ans(P, S) :- teaches(P, C, A), parent(P, S).")
+        db = university_database()
+        got = evaluate(q, db, method="yannakakis")
+        assert got.rows == evaluate(q, db, method="naive").rows
+
+    def test_stats_recorded(self, query_q5):
+        db = random_database(query_q5, 4, 10, seed=5)
+        stats = EvalStats()
+        evaluate_boolean(query_q5, db, method="decomposition", stats=stats)
+        assert stats.joins > 0 and stats.semijoins > 0
+
+
+class TestRandomisedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 5_000),
+        dbseed=st.integers(0, 100),
+        plant=st.booleans(),
+    )
+    def test_boolean_methods_agree(self, seed, dbseed, plant):
+        query = random_query(n_atoms=4, n_variables=5, max_arity=3, seed=seed)
+        db = random_database(
+            query, domain_size=3, tuples_per_relation=8, seed=dbseed,
+            plant_answer=plant,
+        )
+        naive = evaluate_boolean(query, db, method="naive")
+        assert evaluate_boolean(query, db, method="backtracking") == naive
+        assert evaluate_boolean(query, db, method="decomposition") == naive
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5_000), dbseed=st.integers(0, 100))
+    def test_answer_methods_agree(self, seed, dbseed):
+        from repro.core.atoms import Variable
+
+        query = random_query(n_atoms=3, n_variables=4, max_arity=3, seed=seed)
+        head = tuple(sorted(query.variables, key=lambda v: v.name))[:2]
+        query = query.with_head(head)
+        db = random_database(query, domain_size=3, tuples_per_relation=8, seed=dbseed)
+        naive = evaluate(query, db, method="naive").rows
+        assert evaluate(query, db, method="decomposition").rows == naive
+        assert evaluate(query, db, method="backtracking").rows == naive

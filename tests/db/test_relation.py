@@ -1,0 +1,168 @@
+"""Unit tests for the relational algebra engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._errors import SchemaError
+from repro.db.relation import Relation
+
+
+@pytest.fixture
+def r():
+    return Relation.from_rows(("a", "b"), [(1, 2), (1, 3), (2, 3)], "r")
+
+
+@pytest.fixture
+def s():
+    return Relation.from_rows(("b", "c"), [(2, 10), (3, 11), (4, 12)], "s")
+
+
+class TestConstruction:
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "a"), frozenset())
+
+    def test_row_width_checked(self):
+        with pytest.raises(SchemaError):
+            Relation(("a",), frozenset({(1, 2)}))
+
+    def test_rows_deduplicated(self):
+        rel = Relation.from_rows(("a",), [(1,), (1,)])
+        assert len(rel) == 1
+
+    def test_empty(self):
+        rel = Relation.empty(("a", "b"))
+        assert not rel and rel.arity == 2
+
+
+class TestProject:
+    def test_basic(self, r):
+        p = r.project(["a"])
+        assert p.rows == {(1,), (2,)}
+
+    def test_reorder_columns(self, r):
+        p = r.project(["b", "a"])
+        assert (2, 1) in p.rows
+
+    def test_duplicate_removal(self, r):
+        assert len(r.project(["a"])) == 2
+
+    def test_empty_projection_keeps_existence(self, r):
+        p = r.project([])
+        assert p.rows == {()}
+
+    def test_unknown_attribute(self, r):
+        with pytest.raises(SchemaError):
+            r.project(["zzz"])
+
+
+class TestSelect:
+    def test_select_eq(self, r):
+        assert r.select_eq("a", 1).rows == {(1, 2), (1, 3)}
+
+    def test_select_predicate(self, r):
+        out = r.select(lambda row: row["b"] > row["a"] + 1)
+        assert out.rows == {(1, 3)}
+
+    def test_rename(self, r):
+        renamed = r.rename({"a": "x"})
+        assert renamed.attributes == ("x", "b")
+        assert renamed.rows == r.rows
+
+
+class TestJoin:
+    def test_natural_join(self, r, s):
+        out = r.join(s)
+        assert out.attributes == ("a", "b", "c")
+        assert out.rows == {(1, 2, 10), (1, 3, 11), (2, 3, 11)}
+
+    def test_join_no_shared_attributes_is_product(self):
+        a = Relation.from_rows(("x",), [(1,), (2,)])
+        b = Relation.from_rows(("y",), [(5,)])
+        assert a.join(b).rows == {(1, 5), (2, 5)}
+
+    def test_join_with_empty_is_empty(self, r):
+        assert not r.join(Relation.empty(("b",)))
+
+    def test_join_commutative_up_to_columns(self, r, s):
+        left = r.join(s)
+        right = s.join(r)
+        assert left.rows == {
+            tuple(dict(zip(right.attributes, row))[a] for a in left.attributes)
+            for row in right.rows
+        }
+
+    def test_self_join_identity(self, r):
+        assert r.join(r).rows == r.rows
+
+
+class TestSemijoin:
+    def test_filters_left(self, r, s):
+        out = r.semijoin(s)
+        assert out.rows == r.rows  # every b value matches
+
+    def test_removes_unmatched(self, r):
+        small = Relation.from_rows(("b",), [(2,)])
+        assert r.semijoin(small).rows == {(1, 2)}
+
+    def test_never_grows(self, r, s):
+        assert len(r.semijoin(s)) <= len(r)
+
+    def test_no_shared_attributes_depends_on_emptiness(self, r):
+        nonempty = Relation.from_rows(("z",), [(0,)])
+        empty = Relation.empty(("z",))
+        assert r.semijoin(nonempty).rows == r.rows
+        assert not r.semijoin(empty)
+
+    def test_equals_project_of_join(self, r, s):
+        assert r.semijoin(s).rows == r.join(s).project(list(r.attributes)).rows
+
+
+class TestSetOperations:
+    def test_union(self, r):
+        extra = Relation.from_rows(("a", "b"), [(9, 9)])
+        assert len(r.union(extra)) == 4
+
+    def test_union_schema_mismatch(self, r, s):
+        with pytest.raises(SchemaError):
+            r.union(s)
+
+    def test_intersect_difference(self, r):
+        other = Relation.from_rows(("a", "b"), [(1, 2), (9, 9)])
+        assert r.intersect(other).rows == {(1, 2)}
+        assert (9, 9) not in r.difference(other).rows
+
+    def test_reorder(self, r):
+        out = r.reorder(("b", "a"))
+        assert out.attributes == ("b", "a")
+        with pytest.raises(SchemaError):
+            r.reorder(("a",))
+
+
+class TestAlgebraicLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows_r=st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12),
+        rows_s=st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12),
+    )
+    def test_semijoin_idempotent_and_monotone(self, rows_r, rows_s):
+        r = Relation.from_rows(("a", "b"), rows_r)
+        s = Relation.from_rows(("b", "c"), rows_s)
+        once = r.semijoin(s)
+        assert once.semijoin(s).rows == once.rows
+        assert once.rows <= r.rows
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows_r=st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=10),
+        rows_s=st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=10),
+        rows_t=st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=10),
+    )
+    def test_join_associative(self, rows_r, rows_s, rows_t):
+        r = Relation.from_rows(("a", "b"), rows_r)
+        s = Relation.from_rows(("b", "c"), rows_s)
+        t = Relation.from_rows(("c", "d"), rows_t)
+        left = r.join(s).join(t)
+        right = r.join(s.join(t))
+        assert left.rows == right.rows

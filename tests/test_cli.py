@@ -1,0 +1,114 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def facts_file(tmp_path: pathlib.Path) -> str:
+    path = tmp_path / "facts.txt"
+    path.write_text(
+        "# a triangle\n"
+        "e(1, 2).\n"
+        "e(2, 3).\n"
+        "e(3, 1).\n"
+        "\n"
+        "label(1, 'start').\n"
+    )
+    return str(path)
+
+
+class TestWidth:
+    def test_inline_query(self, capsys):
+        assert main(["width", "e(X,Y), e(Y,Z), e(Z,X)"]) == 0
+        out = capsys.readouterr().out
+        assert "hypertree-width: 2" in out
+        assert "acyclic: False" in out
+
+    def test_with_qw(self, capsys):
+        assert main(["width", "e(X,Y), e(Y,Z), e(Z,X)", "--qw"]) == 0
+        assert "query-width: 2" in capsys.readouterr().out
+
+    def test_qw_guard(self, capsys):
+        query = ", ".join(f"p{i}(X{i}, X{i+1})" for i in range(12))
+        assert main(["width", query, "--qw", "--qw-limit", "5"]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_query_from_file(self, tmp_path, capsys):
+        f = tmp_path / "q.cq"
+        f.write_text("ans() :- r(X, Y), s(Y, Z).")
+        assert main(["width", str(f)]) == 0
+        assert "acyclic: True" in capsys.readouterr().out
+
+
+class TestDecompose:
+    def test_optimal(self, capsys):
+        assert main(["decompose", "e(X,Y), e(Y,Z), e(Z,X)"]) == 0
+        assert "width: 2" in capsys.readouterr().out
+
+    def test_bounded_failure(self, capsys):
+        assert main(["decompose", "e(X,Y), e(Y,Z), e(Z,X)", "-k", "1"]) == 1
+        assert "no hypertree decomposition" in capsys.readouterr().out
+
+    def test_atom_representation(self, capsys):
+        assert main(["decompose", "r(X,Y,Q), s(Y,Z), t(Z,X)", "--atoms"]) == 0
+        out = capsys.readouterr().out
+        assert "width:" in out
+
+
+class TestEvaluate:
+    def test_boolean_true(self, facts_file, capsys):
+        assert main(["evaluate", "e(X,Y), e(Y,Z), e(Z,X)", facts_file]) == 0
+        assert "answer: True" in capsys.readouterr().out
+
+    def test_boolean_false(self, facts_file, capsys):
+        assert (
+            main(["evaluate", "e(X,X)", facts_file, "--method", "naive"]) == 0
+        )
+        assert "answer: False" in capsys.readouterr().out
+
+    def test_non_boolean(self, facts_file, capsys):
+        assert main(["evaluate", "ans(X) :- e(X, Y), e(Y, Z).", facts_file]) == 0
+        out = capsys.readouterr().out
+        assert "answers (3 rows" in out
+
+    def test_stats_flag(self, facts_file, capsys):
+        assert (
+            main(
+                ["evaluate", "e(X,Y), e(Y,Z)", facts_file, "--stats"]
+            )
+            == 0
+        )
+        assert "stats:" in capsys.readouterr().out
+
+    def test_quoted_constants_loaded(self, facts_file, capsys):
+        assert main(["evaluate", "label(X, 'start')", facts_file]) == 0
+        assert "answer: True" in capsys.readouterr().out
+
+
+class TestContains:
+    def test_contained(self, capsys):
+        code = main(
+            ["contains", "e(A,B), e(B,C)", "e(X,Y), e(Y,Z), e(Z,X)"]
+        )
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_not_contained(self, capsys):
+        code = main(
+            ["contains", "e(X,Y), e(Y,Z), e(Z,X)", "e(A,B), e(B,C)"]
+        )
+        assert code == 1
+
+
+class TestErrors:
+    def test_parse_error_reported(self, capsys):
+        assert main(["width", "this is not a query !!"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments"]) == 0
+        assert "E06" in capsys.readouterr().out

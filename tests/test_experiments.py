@@ -1,0 +1,44 @@
+"""Integration smoke tests: every registered experiment runs and asserts
+its paper-vs-measured claims internally (the runners raise on mismatch)."""
+
+import pytest
+
+from repro.experiments import REGISTRY, run
+
+
+ALL_IDS = sorted(REGISTRY)
+
+
+def test_registry_covers_design_document():
+    expected = {
+        "E01", "E02", "E05", "E06", "E07", "E08", "E09", "E10",
+        "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20",
+    }
+    assert set(ALL_IDS) == expected
+
+
+@pytest.mark.parametrize("exp_id", ALL_IDS)
+def test_experiment_runs_and_renders(exp_id):
+    text = run(exp_id)
+    assert exp_id in text
+    assert "|" in text  # at least one table rendered
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        run("E99")
+
+
+def test_cli_list(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "E06" in out and "Usage" in out
+
+
+def test_cli_single(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["E01"]) == 0
+    assert "join tree" in capsys.readouterr().out.lower()

@@ -1,0 +1,98 @@
+"""Tests for the query/database generators."""
+
+import pytest
+
+from repro.core.acyclicity import is_acyclic
+from repro.db.evaluate import evaluate_boolean
+from repro.generators.families import (
+    book_query,
+    clique_query,
+    cycle_query,
+    grid_query,
+    hyperwheel_query,
+    path_query,
+    random_query,
+)
+from repro.generators.paper_queries import all_named_queries, qn
+from repro.generators.workloads import (
+    grid_database,
+    random_database,
+    university_database,
+)
+
+
+class TestFamilies:
+    def test_cycle_shape(self):
+        q = cycle_query(5)
+        assert len(q.atoms) == 5 and len(q.variables) == 5
+        assert not is_acyclic(q)
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_query(2)
+
+    def test_path_acyclic(self):
+        assert is_acyclic(path_query(6))
+
+    def test_clique_atom_count(self):
+        assert len(clique_query(5).atoms) == 10
+
+    def test_grid_variable_count(self):
+        assert len(grid_query(3).variables) == 9
+
+    def test_hyperwheel_arity(self):
+        q = hyperwheel_query(4, arity=5)
+        assert all(a.arity == 5 for a in q.atoms)
+
+    def test_book_pages(self):
+        q = book_query(3)
+        assert len(q.atoms) == 7  # spine + 2 per page
+
+    def test_random_query_deterministic(self):
+        assert random_query(5, 6, seed=3) == random_query(5, 6, seed=3)
+        assert random_query(5, 6, seed=3) != random_query(5, 6, seed=4)
+
+    def test_random_query_connected(self):
+        from repro.core.components import components
+
+        q = random_query(6, 6, seed=11, connected=True)
+        assert len(components(q, [])) == 1
+
+    def test_qn_shape(self):
+        q = qn(4)
+        assert len(q.atoms) == 4
+        assert all(a.arity == 5 for a in q.atoms)
+
+    def test_paper_corpus_names(self):
+        assert set(all_named_queries()) == {"Q1", "Q2", "Q3", "Q4", "Q5"}
+
+
+class TestWorkloads:
+    def test_random_database_schema(self, query_q1):
+        db = random_database(query_q1, 5, 10, seed=0)
+        assert db.arity("enrolled") == 3
+        assert db.arity("parent") == 2
+
+    def test_planted_answer_makes_query_true(self, query_q5):
+        db = random_database(query_q5, 3, 5, seed=1, plant_answer=True)
+        assert evaluate_boolean(query_q5, db, method="naive")
+
+    def test_deterministic(self, query_q1):
+        a = random_database(query_q1, 4, 6, seed=5)
+        b = random_database(query_q1, 4, 6, seed=5)
+        assert sorted(a.facts()) == sorted(b.facts())
+
+    def test_university_planted_pairs(self):
+        from repro.generators.paper_queries import q1
+
+        db = university_database(parent_teacher_pairs=2)
+        assert evaluate_boolean(q1(), db, method="naive")
+
+    def test_grid_database_binary_only(self, query_q1):
+        with pytest.raises(ValueError):
+            grid_database(query_q1, 3)
+
+    def test_grid_database_size(self):
+        q = cycle_query(3)
+        db = grid_database(q, 3)
+        assert db.tuple_count() == 2 * 12  # 12 grid edges, both directions

@@ -1,0 +1,59 @@
+"""Unit tests for the experiment harness (tables, registry)."""
+
+import pytest
+
+from repro.experiments.harness import Experiment, Table, register, run
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("demo", ("name", "value"))
+        t.add(name="a", value=1)
+        t.add(name="longer", value=22)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        header_width = len(lines[1])
+        assert all(len(line) <= header_width + 2 for line in lines[2:])
+
+    def test_float_formatting(self):
+        t = Table("floats", ("x",))
+        t.add(x=3.14159265)
+        assert "3.142" in t.render()
+
+    def test_missing_cell_blank(self):
+        t = Table("gaps", ("a", "b"))
+        t.add(a=1)
+        assert t.render().splitlines()[-1].strip().endswith("|") or "1" in t.render()
+
+    def test_notes_rendered(self):
+        t = Table("notes", ("a",))
+        t.note("important remark")
+        assert "* important remark" in t.render()
+
+
+class TestRegistry:
+    def test_register_and_run(self):
+        from repro.experiments.harness import REGISTRY
+
+        def runner():
+            t = Table("tiny", ("ok",))
+            t.add(ok=True)
+            return [t]
+
+        register("E99TEST", "temporary", "nowhere")(runner)
+        try:
+            text = run("E99TEST")
+            assert "E99TEST" in text and "tiny" in text
+        finally:
+            del REGISTRY["E99TEST"]
+
+    def test_experiment_render_includes_reference(self):
+        exp = Experiment("EX", "title", "§0", lambda: [Table("t", ("a",))])
+        assert "[§0]" in exp.render()
+
+    def test_unknown_id_lists_known(self):
+        with pytest.raises(KeyError) as excinfo:
+            run("ENOPE")
+        assert "E06" in str(excinfo.value)
