@@ -5,6 +5,7 @@ JCSS 2002).  See README.md for a tour and DESIGN.md for the system map.
 """
 
 from ._errors import (
+    BudgetExceeded,
     DatalogError,
     DecompositionError,
     EvaluationError,
@@ -14,16 +15,27 @@ from ._errors import (
 )
 from .core import *  # noqa: F401,F403 -- curated in core/__init__.py
 from .core import __all__ as _core_all
+from .heuristics import (
+    PortfolioResult,
+    decompose,
+    greedy_upper_bound,
+    lower_bound,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BudgetExceeded",
     "DatalogError",
     "DecompositionError",
     "EvaluationError",
     "ParseError",
+    "PortfolioResult",
     "ReproError",
     "SchemaError",
     "__version__",
+    "decompose",
+    "greedy_upper_bound",
+    "lower_bound",
     *_core_all,
 ]

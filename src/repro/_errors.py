@@ -36,6 +36,15 @@ class DecompositionError(ReproError):
     """
 
 
+class BudgetExceeded(ReproError):
+    """Raised when a decomposition search runs past its time budget.
+
+    The message names the interrupted search phase, so callers (the
+    portfolio, the CLI) can report what gave up before falling back to a
+    heuristic result.
+    """
+
+
 class EvaluationError(ReproError):
     """Raised when query evaluation is invoked with inconsistent inputs."""
 

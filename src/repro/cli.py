@@ -2,10 +2,26 @@
 
 Commands
 --------
-``width QUERY``
-    Print acyclicity, hypertree-width and (optionally) query-width.
-``decompose QUERY [-k K]``
-    Compute and render a hypertree decomposition (optimal, or width ≤ K).
+``width QUERY [--upper-bound] [--qw]``
+    Print acyclicity, hypertree-width and (optionally) query-width.  With
+    ``--upper-bound`` the exponential exact search is skipped: the fast
+    heuristic bracket ``[lower bound, greedy upper bound]`` is printed
+    instead, which is the right tool for large queries.
+``decompose QUERY [-k K] [--strategy S] [--budget SECONDS]``
+    Compute and render a hypertree decomposition.  ``--strategy`` selects
+    the portfolio mode:
+
+    * ``exact`` (default) — the paper's ``k-decomp`` search, optimal
+      width, exponential time;
+    * ``heuristic`` — polynomial-time ordering-based GHTD construction
+      (checker-validated, width may exceed the optimum);
+    * ``auto`` — heuristics first, their width seeding the exact search;
+      falls back to the heuristic result if ``--budget`` runs out.
+
+    ``--budget SECONDS`` bounds the exact search; when the budget is
+    exhausted (or no width ≤ K decomposition exists under ``-k``) the
+    command exits with status 1 and a one-line message — never a
+    traceback.
 ``evaluate QUERY FACTS [--method M]``
     Evaluate a query against a facts file (one ground atom per line).
 ``contains Q2 Q1``
@@ -23,8 +39,9 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 
-from ._errors import ReproError
+from ._errors import BudgetExceeded, ReproError
 from .core.acyclicity import is_acyclic
 from .core.containment import contains
 from .core.detkdecomp import decompose_k, hypertree_width
@@ -34,6 +51,8 @@ from .core.qwsearch import query_width
 from .db.database import Database
 from .db.evaluate import evaluate, evaluate_boolean
 from .db.stats import EvalStats
+from .heuristics import decompose as portfolio_decompose
+from .heuristics import greedy_upper_bound, lower_bound
 
 
 def _load_query(text_or_path: str, name: str = "Q") -> ConjunctiveQuery:
@@ -59,8 +78,13 @@ def _cmd_width(args: argparse.Namespace) -> int:
     print(f"atoms: {len(query.atoms)}  variables: {len(query.variables)}")
     acyclic = is_acyclic(query)
     print(f"acyclic: {acyclic}")
-    width, _ = hypertree_width(query)
-    print(f"hypertree-width: {width}")
+    if args.upper_bound:
+        ub = greedy_upper_bound(query)
+        print(f"hw lower bound: {lower_bound(query)}")
+        print(f"hw upper bound (heuristic, {ub.method}): {ub.width}")
+    else:
+        width, _ = hypertree_width(query)
+        print(f"hypertree-width: {width}")
     if args.qw:
         if len(query.atoms) > args.qw_limit:
             print(
@@ -75,15 +99,48 @@ def _cmd_width(args: argparse.Namespace) -> int:
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
     query = _load_query(args.query)
-    if args.k is not None:
-        hd = decompose_k(query, args.k)
-        if hd is None:
-            print(f"no hypertree decomposition of width <= {args.k}")
-            return 1
-        width = hd.width
-    else:
-        width, hd = hypertree_width(query)
-    print(f"width: {width}")
+    deadline = (
+        time.monotonic() + args.budget if args.budget is not None else None
+    )
+    try:
+        if args.strategy == "exact" and args.k is not None:
+            hd = decompose_k(query, args.k, deadline=deadline)
+            if hd is None:
+                print(f"no hypertree decomposition of width <= {args.k}")
+                return 1
+            width, provenance = hd.width, "exact"
+        elif args.strategy == "exact":
+            width, hd = hypertree_width(query, deadline=deadline)
+            provenance = "exact"
+        else:
+            result = portfolio_decompose(
+                query, mode=args.strategy, budget=args.budget, seed=args.seed
+            )
+            width, hd = result.width, result.decomposition
+            provenance = result.method + (
+                " — optimal"
+                if result.optimal
+                else f" — bounds [{result.lower}, {result.width}]"
+            )
+            if args.k is not None and width > args.k:
+                # Only an optimal portfolio result proves nonexistence;
+                # otherwise the bound may simply not have been found yet.
+                if result.optimal:
+                    print(
+                        f"no decomposition of width <= {args.k} exists "
+                        f"(optimal width: {width})"
+                    )
+                else:
+                    print(
+                        f"no decomposition of width <= {args.k} found "
+                        f"(best {args.strategy} width so far: {width}; "
+                        "existence not determined)"
+                    )
+                return 1
+    except BudgetExceeded as error:
+        print(f"budget exhausted ({args.budget}s): {error}")
+        return 1
+    print(f"width: {width}  [{provenance}]")
     print(hd.render_atoms() if args.atoms else hd.render())
     return 0
 
@@ -131,6 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query", help="rule text or a file containing it")
     p.add_argument("--qw", action="store_true", help="also compute query-width")
     p.add_argument("--qw-limit", type=int, default=10, dest="qw_limit")
+    p.add_argument(
+        "--upper-bound",
+        action="store_true",
+        dest="upper_bound",
+        help="print the fast heuristic width bracket instead of running "
+        "the exponential exact search",
+    )
     p.set_defaults(fn=_cmd_width)
 
     p = sub.add_parser("decompose", help="compute a hypertree decomposition")
@@ -138,6 +202,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=None, help="width bound (else optimal)")
     p.add_argument(
         "--atoms", action="store_true", help="Fig.-7 atom representation"
+    )
+    p.add_argument(
+        "--strategy",
+        default="exact",
+        choices=["exact", "heuristic", "auto"],
+        help="decomposition strategy (default: exact)",
+    )
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="wall-clock seconds for the exact search; on exhaustion "
+        "'auto' falls back to the heuristic result, 'exact' exits 1",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="ordering local-search seed"
     )
     p.set_defaults(fn=_cmd_decompose)
 

@@ -24,6 +24,7 @@ from .components import (
 )
 from .detkdecomp import (
     SearchStats,
+    Strategy,
     decompose_k,
     decomposition_from_join_tree,
     has_hypertree_width_at_most,
@@ -84,6 +85,7 @@ __all__ = [
     "QDNode",
     "QueryDecomposition",
     "SearchStats",
+    "Strategy",
     "Term",
     "Variable",
     "atom",

@@ -44,10 +44,12 @@ guess.  Experiment E18 cross-validates the two strategies.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterator, Literal
 
+from .._errors import BudgetExceeded
 from .acyclicity import join_tree
 from .atoms import Atom, Variable, variables_of
 from .components import vertex_components
@@ -85,10 +87,17 @@ class SearchStats:
 class _Search:
     """One memoised search for a width-≤k decomposition of a query."""
 
-    def __init__(self, query: ConjunctiveQuery, k: int, strategy: Strategy):
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        k: int,
+        strategy: Strategy,
+        deadline: float | None = None,
+    ):
         self.query = query
         self.k = k
         self.strategy = strategy
+        self.deadline = deadline
         self.atoms: tuple[Atom, ...] = query.atoms
         self.edge_sets = [a.variables for a in self.atoms]
         self.memo: dict[
@@ -136,9 +145,14 @@ class _Search:
             return self.memo[key]
         self.memo[key] = None  # fail-closed while exploring (cycle guard)
         self.stats.subproblems += 1
+        self._check_deadline()
 
         for label in self._candidates(component, connector):
             self.stats.candidates_tried += 1
+            # A single subproblem can enumerate millions of candidates, so
+            # the deadline must also be polled inside this loop (cheaply).
+            if self.stats.candidates_tried % 256 == 0:
+                self._check_deadline()
             label_vars = variables_of(label)
             # Step 2(a): connector coverage.
             if not connector <= label_vars:
@@ -172,6 +186,14 @@ class _Search:
                 return result
         return None
 
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise BudgetExceeded(
+                f"k-decomp search (k={self.k}) exceeded its time budget "
+                f"after {self.stats.subproblems} subproblems and "
+                f"{self.stats.candidates_tried} candidates"
+            )
+
     def _component_frontier(self, component: frozenset[Variable]) -> frozenset[Variable]:
         """``var(atoms(C))`` for a component C."""
         result: set[Variable] = set()
@@ -186,6 +208,7 @@ def decompose_k(
     k: int,
     strategy: Strategy = "relevant",
     stats: SearchStats | None = None,
+    deadline: float | None = None,
 ) -> HypertreeDecomposition | None:
     """Compute a width-≤k hypertree decomposition of *query*, or ``None``.
 
@@ -205,12 +228,17 @@ def decompose_k(
     stats:
         Optional :class:`SearchStats` that will be filled with search
         instrumentation.
+    deadline:
+        Optional ``time.monotonic()`` timestamp after which the search
+        raises :class:`repro._errors.BudgetExceeded` (checked once per
+        subproblem).  Used by :mod:`repro.heuristics.portfolio` to bound
+        exact-search time.
     """
     if k < 1:
         raise ValueError("width bound k must be at least 1")
     if not query.atoms:
         return None
-    search = _Search(query, k, strategy)
+    search = _Search(query, k, strategy, deadline)
 
     roots: list[HTNode] = []
     all_components = vertex_components(search.edge_sets, frozenset())
@@ -269,6 +297,7 @@ def hypertree_width(
     query: ConjunctiveQuery,
     max_k: int | None = None,
     strategy: Strategy = "relevant",
+    deadline: float | None = None,
 ) -> tuple[int, HypertreeDecomposition]:
     """Compute ``hw(Q)`` and an optimal-width decomposition.
 
@@ -293,7 +322,7 @@ def hypertree_width(
         return 1, hd
     limit = max_k if max_k is not None else len(query.atoms)
     for k in range(2, limit + 1):
-        hd = decompose_k(query, k, strategy)
+        hd = decompose_k(query, k, strategy, deadline=deadline)
         if hd is not None:
             return k, hd
     raise ValueError(f"no hypertree decomposition of width ≤ {limit} found")

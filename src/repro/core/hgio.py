@@ -80,23 +80,56 @@ def parse_hypergraph(text: str) -> Hypergraph:
     return Hypergraph.from_edges(edges)
 
 
+def _sanitise(
+    raw: str, used: set[str], fallback: str, identifier: bool = True
+) -> str:
+    """An ASCII token for *raw*, unique within *used*.
+
+    ASCII-only because the format's grammar is ``[A-Za-z_][\\w']*`` for
+    edge names (re's ``\\W`` would keep unicode word characters, which do
+    not re-parse).  With ``identifier=False`` (vertex tokens) a leading
+    digit is fine, so names like ``1`` pass through unchanged.
+    Collisions — distinct inputs sanitising identically, e.g. ``e-1``
+    and ``e_1`` — are resolved deterministically by appending ``_2``,
+    ``_3``, ... in declaration order.  The chosen name is recorded in
+    *used*.
+    """
+    clean = re.sub(r"[^A-Za-z0-9_]", "_", raw)
+    if not clean or (identifier and clean[0].isdigit()):
+        clean = f"{fallback}_{clean}" if clean else fallback
+    if clean in used:
+        suffix = 2
+        while f"{clean}_{suffix}" in used:
+            suffix += 1
+        clean = f"{clean}_{suffix}"
+    used.add(clean)
+    return clean
+
+
 def format_hypergraph(hypergraph: Hypergraph, comment: str = "") -> str:
     """Render a hypergraph in the detkdecomp edge-list format.
 
-    Edge names are sanitised to identifiers; a round trip through
-    :func:`parse_hypergraph` preserves the edge structure (vertex names
-    are stringified).
+    Edge *and* vertex names are sanitised to ASCII identifiers (see
+    :func:`_sanitise`), each injectively — distinct inputs never merge —
+    so a round trip through :func:`parse_hypergraph` preserves the edge
+    structure exactly, up to the deterministic renaming.  Names that are
+    already plain identifiers pass through unchanged.
     """
     lines = []
     if comment:
         for row in comment.splitlines():
             lines.append(f"% {row}")
+    vertex_names: dict = {}
+    used_vertices: set[str] = set()
+    for vertex in sorted(hypergraph.vertices, key=str):
+        vertex_names[vertex] = _sanitise(
+            str(vertex), used_vertices, "v", identifier=False
+        )
     rendered = []
+    used_edges: set[str] = set()
     for name, edge in hypergraph.edge_map:
-        clean = re.sub(r"\W", "_", name)
-        if not clean or clean[0].isdigit():
-            clean = f"e_{clean}"
-        vertices = ", ".join(sorted(str(v) for v in edge))
+        clean = _sanitise(name, used_edges, "e")
+        vertices = ", ".join(sorted(vertex_names[v] for v in edge))
         rendered.append(f"{clean}({vertices})")
     lines.append(",\n".join(rendered) + ("." if rendered else ""))
     return "\n".join(lines) + "\n"

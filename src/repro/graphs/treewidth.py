@@ -110,6 +110,27 @@ def _exact_component(graph: Graph, max_vertices: int) -> int:
     return dp[full]
 
 
+def eliminate_vertex(
+    work: dict[Hashable, set[Hashable]], v: Hashable
+) -> list[Hashable]:
+    """Eliminate *v* from the working adjacency *work* in place: turn its
+    neighbourhood into a clique (fill), then remove *v*.  Returns the
+    neighbours of *v* at elimination time (its elimination bag minus *v*).
+
+    Shared by the greedy treewidth heuristics here and the ordering→bag
+    pipeline of :mod:`repro.heuristics.ordering_decomp`.
+    """
+    nbrs = list(work[v])
+    for i, a in enumerate(nbrs):
+        for b in nbrs[i + 1 :]:
+            work[a].add(b)
+            work[b].add(a)
+    for a in nbrs:
+        work[a].discard(v)
+    del work[v]
+    return nbrs
+
+
 def greedy_order(
     graph: Graph, heuristic: HeuristicName = "min_fill"
 ) -> list[Hashable]:
@@ -135,14 +156,7 @@ def greedy_order(
             chosen = min(work, key=lambda v: (fill(v), len(work[v]), repr(v)))
         else:  # pragma: no cover - guarded by Literal type
             raise ValueError(f"unknown heuristic {heuristic!r}")
-        nbrs = list(work[chosen])
-        for i, a in enumerate(nbrs):
-            for b in nbrs[i + 1 :]:
-                work[a].add(b)
-                work[b].add(a)
-        for a in nbrs:
-            work[a].discard(chosen)
-        del work[chosen]
+        eliminate_vertex(work, chosen)
         order.append(chosen)
     return order
 
@@ -154,15 +168,7 @@ def width_of_order(graph: Graph, order: Sequence[Hashable]) -> int:
     }
     width = 0
     for v in order:
-        nbrs = list(work[v])
-        width = max(width, len(nbrs))
-        for i, a in enumerate(nbrs):
-            for b in nbrs[i + 1 :]:
-                work[a].add(b)
-                work[b].add(a)
-        for a in nbrs:
-            work[a].discard(v)
-        del work[v]
+        width = max(width, len(eliminate_vertex(work, v)))
     return width
 
 

@@ -1,0 +1,57 @@
+"""Vertex elimination orderings of the primal graph.
+
+Every ordering-based decomposition heuristic starts from a linear order of
+the query's variables; eliminating the variables in that order yields a
+tree decomposition of the primal graph (see
+:mod:`repro.heuristics.ordering_decomp`), whose bags are then λ-covered by
+atoms.  Three classic ordering heuristics are provided:
+
+* ``min_degree`` — eliminate a vertex of minimum current degree;
+* ``min_fill``   — eliminate a vertex adding the fewest fill edges;
+* ``mcs``        — the reverse of a maximum-cardinality-search order
+  (for chordal primal graphs — e.g. acyclic queries — this is a perfect
+  elimination order, so the heuristic is *exact* there).
+
+The first two reuse :func:`repro.graphs.treewidth.greedy_order`; MCS
+reuses :func:`repro.core.mcs.mcs_order`.  All orderings are deterministic
+(ties broken by ``repr``), so heuristic widths are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.mcs import mcs_order
+from ..core.query import ConjunctiveQuery
+from ..graphs.primal import Graph, primal_graph
+from ..graphs.treewidth import greedy_order
+
+#: The ordering heuristics offered by the subsystem, in portfolio order.
+ORDERING_METHODS: tuple[str, ...] = ("min_degree", "min_fill", "mcs")
+
+
+def elimination_ordering(graph: Graph, method: str) -> list[Hashable]:
+    """A full elimination ordering of *graph* by the named heuristic."""
+    if method in ("min_degree", "min_fill"):
+        return greedy_order(graph, method)  # type: ignore[arg-type]
+    if method == "mcs":
+        # MCS numbers vertices 1..n; the *reverse* of that numbering is the
+        # elimination order (a PEO whenever the graph is chordal).
+        return list(reversed(mcs_order(graph)))
+    raise ValueError(
+        f"unknown ordering method {method!r}; known: {ORDERING_METHODS}"
+    )
+
+
+def all_orderings(graph: Graph) -> dict[str, list[Hashable]]:
+    """All portfolio orderings of *graph*, keyed by method name."""
+    return {m: elimination_ordering(graph, m) for m in ORDERING_METHODS}
+
+
+def query_orderings(query: ConjunctiveQuery) -> dict[str, list[Hashable]]:
+    """All portfolio orderings of the query's primal graph.
+
+    Vertices are variable *names* (the primal-graph convention of
+    :mod:`repro.graphs.primal`).
+    """
+    return all_orderings(primal_graph(query))

@@ -1,0 +1,89 @@
+"""Standalone decomposition checker used by tests and the portfolio.
+
+The heuristic pipeline produces *generalized* hypertree decompositions
+(GHTDs): conditions 1–3 of Definition 4.1 hold, but the descent condition
+4 — which makes ``hw`` recognisable in polynomial time — is deliberately
+not required (dropping it can only shrink width, and Yannakakis-style
+evaluation over the bags needs only conditions 1–3).
+
+This module re-checks those guarantees from scratch — independently of the
+construction code — so every heuristic result can be certified before it
+is returned:
+
+1. **edge coverage** — every atom ``A`` has a node with
+   ``var(A) ⊆ χ(p)``;
+2. **connectedness** — for every variable, the nodes whose χ contains it
+   induce a connected subtree;
+3. **λ covers χ** — ``χ(p) ⊆ var(λ(p))``, λ nonempty and drawn from the
+   query's atoms;
+
+plus basic sanity (χ drawn from ``var(Q)``, claimed width consistent).
+
+:func:`check_decomposition` returns the violation list (empty = valid);
+:func:`assert_valid` raises :class:`DecompositionError` instead, which is
+what :func:`repro.heuristics.portfolio.decompose` uses as its final gate.
+"""
+
+from __future__ import annotations
+
+from .._errors import DecompositionError
+from ..core.hypertree import HypertreeDecomposition
+from ..graphs import trees
+
+
+def check_decomposition(hd: HypertreeDecomposition) -> list[str]:
+    """Violations of the GHTD conditions (empty list = valid GHTD)."""
+    violations: list[str] = []
+    all_nodes = hd.nodes
+    query = hd.query
+    query_atoms = set(query.atoms)
+
+    for n in all_nodes:
+        if not n.chi <= query.variables:
+            extra = ", ".join(
+                sorted(v.name for v in n.chi - query.variables)
+            )
+            violations.append(
+                f"χ of {n!r} contains non-query variables {{{extra}}}"
+            )
+        if not n.lam:
+            violations.append(f"node {n!r} has an empty λ label")
+        elif not n.lam <= query_atoms:
+            violations.append(f"λ of {n!r} contains non-query atoms")
+        uncovered = n.chi - n.lambda_variables
+        if uncovered:
+            names = ", ".join(sorted(v.name for v in uncovered))
+            violations.append(
+                f"λ-cover: χ variables {{{names}}} of {n!r} not covered by λ"
+            )
+
+    for a in query.atoms:
+        if not any(a.variables <= n.chi for n in all_nodes):
+            violations.append(f"coverage: atom {a} not covered by any χ")
+
+    for v in sorted(query.variables, key=lambda x: x.name):
+        marked = [n for n in all_nodes if v in n.chi]
+        if not trees.induces_connected_subtree(
+            hd.root, hd._children, marked
+        ):
+            violations.append(
+                f"connectedness: variable {v} has disconnected χ-occurrences"
+            )
+    return violations
+
+
+def is_valid_ghtd(hd: HypertreeDecomposition) -> bool:
+    """True iff *hd* is a valid generalized hypertree decomposition."""
+    return not check_decomposition(hd)
+
+
+def assert_valid(hd: HypertreeDecomposition, context: str = "") -> HypertreeDecomposition:
+    """Raise :class:`DecompositionError` listing all violations, or return
+    *hd* unchanged when it checks out (enables fluent use)."""
+    violations = check_decomposition(hd)
+    if violations:
+        where = f" ({context})" if context else ""
+        raise DecompositionError(
+            f"invalid decomposition{where}: " + "; ".join(violations)
+        )
+    return hd

@@ -1,6 +1,8 @@
 """Tests for the detkdecomp hypergraph-format I/O."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro._errors import ParseError
 from repro.core.canonical import hypergraph_width
@@ -75,3 +77,103 @@ class TestRoundTrip:
         loaded = load_hypergraph(str(path))
         assert loaded.edges == h.edges
         assert path.read_text().startswith("% from tests")
+
+
+class TestSanitisationCollisions:
+    """Distinct edge names that sanitise to the same identifier must not
+    make the rendered file unparseable (regression: ``e-1`` and ``e_1``
+    both became ``e_1`` and the round trip raised ParseError)."""
+
+    def test_dash_underscore_collision(self):
+        h = Hypergraph.from_edges({"e-1": "AB", "e_1": "BC"})
+        again = parse_hypergraph(format_hypergraph(h))
+        assert len(again) == 2
+        assert {frozenset(e) for e in again.edges} == {
+            frozenset("AB"),
+            frozenset("BC"),
+        }
+
+    def test_collision_rename_is_deterministic(self):
+        h = Hypergraph.from_edges({"e-1": "AB", "e_1": "BC", "e.1": "CD"})
+        first = format_hypergraph(h)
+        assert first == format_hypergraph(h)
+        names = sorted(parse_hypergraph(first).edge_names)
+        assert names == ["e_1", "e_1_2", "e_1_3"]
+
+    def test_suffixed_name_already_taken(self):
+        """The deduplication suffix itself can collide with a later name."""
+        h = Hypergraph.from_edges({"e-1": "AB", "e_1": "BC", "e_1_2": "CD"})
+        again = parse_hypergraph(format_hypergraph(h))
+        assert len(again) == 3
+
+    def test_atom_rendering_names_round_trip(self):
+        """``H(Q)`` edge names embed atom renderings (``0:r(X,Y)``) which
+        all sanitise aggressively; duplicates of var(A) must survive."""
+        h = query_hypergraph(q5())
+        again = parse_hypergraph(format_hypergraph(h))
+        assert len(again) == len(h)
+
+
+_SAFE_VERTEX = st.from_regex(r"[A-Za-z0-9_]{1,8}", fullmatch=True)
+_HOSTILE_VERTEX = st.text(min_size=1, max_size=8)
+_EDGE_NAME = st.text(min_size=1, max_size=12)
+
+
+def _hypergraphs(vertex_strategy):
+    return st.dictionaries(
+        _EDGE_NAME,
+        st.frozensets(vertex_strategy, min_size=0, max_size=5),
+        min_size=0,
+        max_size=8,
+    ).map(Hypergraph.from_edges)
+
+
+def _degree_profiles(h):
+    """Isomorphism invariant: per vertex, the sorted sizes of its edges."""
+    return sorted(
+        sorted(len(e) for e in h.edges if v in e) for v in h.vertices
+    )
+
+
+class TestRoundTripProperties:
+    """Property: parse ∘ format = id on the edge structure — exactly for
+    grammar-safe vertex names, up to injective renaming for hostile ones
+    (arbitrary edge names are always fair game)."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(_hypergraphs(_SAFE_VERTEX))
+    def test_edge_structure_preserved(self, h):
+        again = parse_hypergraph(format_hypergraph(h))
+        assert len(again) == len(h)
+        assert sorted(map(sorted, again.edges)) == sorted(
+            map(sorted, h.edges)
+        )
+
+    @settings(max_examples=120, deadline=None)
+    @given(_hypergraphs(_HOSTILE_VERTEX))
+    def test_hostile_vertices_renamed_injectively(self, h):
+        """Hostile vertex names (commas, parens, unicode, whitespace) are
+        renamed, never merged: the incidence structure survives."""
+        again = parse_hypergraph(format_hypergraph(h))
+        assert len(again) == len(h)
+        assert len(again.vertices) == len(h.vertices)
+        assert sorted(len(e) for e in again.edges) == sorted(
+            len(e) for e in h.edges
+        )
+        assert _degree_profiles(again) == _degree_profiles(h)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_hypergraphs(_HOSTILE_VERTEX))
+    def test_format_is_stable(self, h):
+        """Formatting is deterministic and idempotent up to naming: a
+        second round trip renders byte-identically."""
+        once = format_hypergraph(h)
+        twice = format_hypergraph(parse_hypergraph(once))
+        assert parse_hypergraph(once).edges == parse_hypergraph(twice).edges
+
+    def test_comma_vertex_not_split(self):
+        """Regression: a vertex containing ',' must not silently become
+        two vertices on re-parse."""
+        h = Hypergraph.from_edges({"e": ["a,b"]})
+        again = parse_hypergraph(format_hypergraph(h))
+        assert [len(e) for e in again.edges] == [1]

@@ -43,6 +43,13 @@ class TestWidth:
         assert main(["width", str(f)]) == 0
         assert "acyclic: True" in capsys.readouterr().out
 
+    def test_upper_bound_skips_exact(self, capsys):
+        assert main(["width", "e(X,Y), e(Y,Z), e(Z,X)", "--upper-bound"]) == 0
+        out = capsys.readouterr().out
+        assert "hw lower bound: 2" in out
+        assert "hw upper bound (heuristic" in out
+        assert "hypertree-width:" not in out
+
 
 class TestDecompose:
     def test_optimal(self, capsys):
@@ -57,6 +64,65 @@ class TestDecompose:
         assert main(["decompose", "r(X,Y,Q), s(Y,Z), t(Z,X)", "--atoms"]) == 0
         out = capsys.readouterr().out
         assert "width:" in out
+
+    def test_strategy_heuristic(self, capsys):
+        assert (
+            main(
+                ["decompose", "e(X,Y), e(Y,Z), e(Z,X)", "--strategy", "heuristic"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "width: 2" in out
+        assert "heuristic" in out
+
+    def test_strategy_auto(self, capsys):
+        assert (
+            main(["decompose", "e(X,Y), e(Y,Z), e(Z,X)", "--strategy", "auto"])
+            == 0
+        )
+        assert "width: 2" in capsys.readouterr().out
+
+    def test_heuristic_bounded_failure_is_clean(self, capsys):
+        # the triangle's lower bound (2) meets the heuristic width, so the
+        # portfolio *proves* no width-1 decomposition exists
+        code = main(
+            ["decompose", "e(X,Y), e(Y,Z), e(Z,X)", "--strategy", "heuristic", "-k", "1"]
+        )
+        assert code == 1
+        assert "no decomposition of width <= 1 exists" in capsys.readouterr().out
+
+    def test_heuristic_bounded_failure_without_proof(self, capsys):
+        """A non-optimal (budget-fallback) result must not claim
+        nonexistence.  This query's bracket is [3, 4] and budget 0 forces
+        the fallback, so the outcome is deterministic."""
+        query = ", ".join(
+            f"e{i}(X{i},X{(i+1) % 10},X{(i+4) % 10})" for i in range(10)
+        )
+        code = main(
+            ["decompose", query, "--strategy", "auto", "--budget", "0", "-k", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "existence not determined" in out
+        assert "exists" not in out
+
+    def test_budget_exhausted_is_clean(self, capsys):
+        """An exhausted budget exits 1 with a message, never a traceback."""
+        query = ", ".join(
+            f"e{i}(X{i},X{(i+1) % 14},X{(i+3) % 14})" for i in range(14)
+        )
+        code = main(["decompose", query, "--strategy", "exact", "--budget", "0.05"])
+        assert code == 1
+        assert "budget exhausted" in capsys.readouterr().out
+
+    def test_auto_budget_falls_back(self, capsys):
+        query = ", ".join(
+            f"e{i}(X{i},X{(i+1) % 14},X{(i+3) % 14})" for i in range(14)
+        )
+        code = main(["decompose", query, "--strategy", "auto", "--budget", "0.05"])
+        assert code == 0
+        assert "width:" in capsys.readouterr().out
 
 
 class TestEvaluate:

@@ -13,6 +13,7 @@ def test_registry_covers_design_document():
     expected = {
         "E01", "E02", "E05", "E06", "E07", "E08", "E09", "E10",
         "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20",
+        "E21",  # heuristic portfolio vs exact widths (post-paper subsystem)
     }
     assert set(ALL_IDS) == expected
 
