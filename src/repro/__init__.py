@@ -15,6 +15,7 @@ from ._errors import (
 )
 from .core import *  # noqa: F401,F403 -- curated in core/__init__.py
 from .core import __all__ as _core_all
+from .engine import BatchResult, Engine, EvalResult, PlanCache, fingerprint
 from .heuristics import (
     PortfolioResult,
     decompose,
@@ -22,19 +23,24 @@ from .heuristics import (
     lower_bound,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "BatchResult",
     "BudgetExceeded",
     "DatalogError",
     "DecompositionError",
+    "Engine",
+    "EvalResult",
     "EvaluationError",
     "ParseError",
+    "PlanCache",
     "PortfolioResult",
     "ReproError",
     "SchemaError",
     "__version__",
     "decompose",
+    "fingerprint",
     "greedy_upper_bound",
     "lower_bound",
     *_core_all,

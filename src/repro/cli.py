@@ -24,6 +24,17 @@ Commands
     traceback.
 ``evaluate QUERY FACTS [--method M]``
     Evaluate a query against a facts file (one ground atom per line).
+``run FACTS QUERY [QUERY ...] [--repeat N] [--budget S] [--workers N]``
+    Evaluate one or more queries through the :class:`repro.engine.Engine`
+    pipeline (fingerprint → plan cache → physical plan → Yannakakis).
+    Structurally identical queries share one cached decomposition;
+    ``--repeat`` re-runs the batch to demonstrate warm-cache
+    amortisation, and ``--stats`` prints the merged counters plus the
+    cache's hit/miss/eviction numbers.
+``explain QUERY [FACTS]``
+    Render the physical plan the engine would execute: cached-or-fresh
+    decomposition provenance, per-bag join order with cardinality
+    estimates (when FACTS is given), and the rooted join tree.
 ``contains Q2 Q1``
     Decide Q1 ⊑ Q2 (Chandra–Merlin through the decomposition pipeline).
 ``experiments [ID ...]``
@@ -51,6 +62,7 @@ from .core.qwsearch import query_width
 from .db.database import Database
 from .db.evaluate import evaluate, evaluate_boolean
 from .db.stats import EvalStats
+from .engine import Engine
 from .heuristics import decompose as portfolio_decompose
 from .heuristics import greedy_upper_bound, lower_bound
 
@@ -162,6 +174,46 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    db = _load_facts(args.facts)
+    queries = [
+        _load_query(text, name=f"Q{i}") for i, text in enumerate(args.queries)
+    ]
+    engine = Engine(mode=args.strategy, budget=args.budget, workers=args.workers)
+    batch = None
+    for _ in range(max(1, args.repeat)):
+        batch = engine.execute_many(queries, db=db)
+    for result in batch:
+        if not result.ok:
+            print(f"{result.query.name}: ERROR {result.error}")
+            continue
+        tag = "cached plan" if result.cache_hit else result.method
+        if result.query.is_boolean:
+            print(f"{result.query.name}: {result.boolean}  [{tag}]")
+        else:
+            print(
+                f"{result.query.name}: {len(result.answer)} answers over "
+                f"{result.answer.attributes}  [{tag}]"
+            )
+    print(
+        f"batch: {len(batch)} queries in {batch.elapsed:.4f}s "
+        f"({batch.throughput:.1f} q/s), "
+        f"{batch.cache_hits} cache hits / {batch.cache_misses} misses"
+    )
+    if args.stats:
+        print(f"stats: {batch.stats.as_row()}")
+        print(f"cache: {engine.cache.info()}")
+    return 1 if batch.failures else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    db = _load_facts(args.facts) if args.facts else None
+    engine = Engine(mode=args.strategy)
+    print(engine.explain(query, db))
+    return 0
+
+
 def _cmd_contains(args: argparse.Namespace) -> int:
     q2 = _load_query(args.q2, name="Q2")
     q1 = _load_query(args.q1, name="Q1")
@@ -231,6 +283,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--stats", action="store_true")
     p.set_defaults(fn=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "run", help="evaluate queries through the plan-caching engine"
+    )
+    p.add_argument("facts", help="file of ground atoms, one per line")
+    p.add_argument(
+        "queries", nargs="+", help="rule texts or files containing them"
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the batch N times (N>1 shows warm-cache amortisation)",
+    )
+    p.add_argument(
+        "--budget", type=float, default=None, help="per-query seconds"
+    )
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
+    )
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("explain", help="render the engine's physical plan")
+    p.add_argument("query")
+    p.add_argument(
+        "facts",
+        nargs="?",
+        default=None,
+        help="optional facts file for cardinality estimates",
+    )
+    p.add_argument(
+        "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
+    )
+    p.set_defaults(fn=_cmd_explain)
 
     p = sub.add_parser("contains", help="decide Q1 ⊑ Q2")
     p.add_argument("q2", help="the containing query Q2")

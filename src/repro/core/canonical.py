@@ -22,6 +22,7 @@ from typing import Hashable
 
 from .atoms import Atom, Variable
 from .detkdecomp import Strategy, hypertree_width
+from .hgio import _sanitise
 from .hypergraph import Hypergraph
 from .hypertree import HypertreeDecomposition
 from .query import ConjunctiveQuery
@@ -40,22 +41,29 @@ def canonical_query(hypergraph: Hypergraph, name: str = "cq") -> ConjunctiveQuer
     """``cq(H)``: one atom per edge over the edge's sorted vertices
     (Definition A.2).
 
-    Predicate names reuse the hypergraph's edge names (made unique by
-    construction), so the correspondence edge ↔ atom is a bijection.
+    Predicate names are sanitised edge names, deduplicated so distinct
+    edges never merge; the correspondence edge ↔ atom stays a bijection.
     """
     body: list[Atom] = []
+    used: set[str] = set()
     for edge_name, edge in hypergraph.edge_map:
         ordered = sorted(edge, key=lambda v: str(v))
         terms = tuple(_vertex_variable(v) for v in ordered)
-        body.append(Atom(_predicate_name(edge_name), terms))
+        body.append(Atom(_predicate_name(edge_name, used), terms))
     return ConjunctiveQuery(tuple(body), (), name)
 
 
-def _predicate_name(edge_name: str) -> str:
+def _predicate_name(edge_name: str, used: set[str]) -> str:
     """Edge names may embed atom renderings (``"0:r(X,Y)"``); sanitise to a
-    plain identifier so the canonical query is re-parseable."""
-    cleaned = "".join(ch if ch.isalnum() else "_" for ch in edge_name)
-    return f"e_{cleaned}" if cleaned and cleaned[0].isdigit() else cleaned or "e"
+    plain identifier so the canonical query is re-parseable.
+
+    Sanitisation is injective within one canonical query: distinct edge
+    names that clean to the same identifier (``"e-1"`` vs ``"e_1"``) get
+    deterministic ``_2``, ``_3``, ... suffixes in declaration order — the
+    same scheme as :func:`repro.core.hgio._sanitise` — so the edge ↔ atom
+    bijection documented by :func:`canonical_query` survives collisions.
+    """
+    return _sanitise(edge_name, used, "e")
 
 
 def hypergraph_width(

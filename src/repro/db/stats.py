@@ -1,17 +1,29 @@
-"""Instrumentation for evaluation strategies.
+"""Instrumentation and cardinality estimates for evaluation strategies.
 
 The paper's tractability results are statements about *intermediate sizes*
 (semijoins never grow relations; decomposition node relations are bounded
 by ``r^k``), so every evaluation strategy threads an :class:`EvalStats`
 object through its operations.  Experiments E15/E16 report these counters
-alongside wall-clock time.
+alongside wall-clock time, and the engine's batch executor aggregates them
+across requests with :meth:`EvalStats.merge`.
+
+:class:`CardinalityEstimator` supplies the cheap textbook estimates
+(relation sizes scaled by independence-assumption selectivities) that
+:mod:`repro.engine.plan` uses to pick join orders and the join-tree root.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
+from ..core.atoms import Atom, Constant, Variable
 from .relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (database imports relation)
+    from .database import Database
 
 
 @dataclass
@@ -23,6 +35,7 @@ class EvalStats:
     projections: int = 0
     max_intermediate: int = 0
     total_tuples_produced: int = 0
+    wall_time: float = 0.0
     notes: dict[str, float] = field(default_factory=dict)
 
     def record(self, relation: Relation) -> Relation:
@@ -33,11 +46,126 @@ class EvalStats:
             self.max_intermediate = size
         return relation
 
-    def as_row(self) -> dict[str, int]:
+    @contextmanager
+    def timed(self) -> Iterator["EvalStats"]:
+        """Context manager adding the enclosed wall-clock time to
+        :attr:`wall_time` (used by the engine around each request)."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.wall_time += time.perf_counter() - started
+
+    def merge(self, other: "EvalStats") -> "EvalStats":
+        """Fold *other*'s counters into this object (and return it).
+
+        Additive counters sum, :attr:`max_intermediate` takes the maximum
+        (it is a high-water mark, not a volume), wall times add, and notes
+        merge additively.  The batch executor uses this to aggregate
+        per-query stats into one workload-level row.
+        """
+        self.joins += other.joins
+        self.semijoins += other.semijoins
+        self.projections += other.projections
+        self.max_intermediate = max(self.max_intermediate, other.max_intermediate)
+        self.total_tuples_produced += other.total_tuples_produced
+        self.wall_time += other.wall_time
+        for key, value in other.notes.items():
+            self.notes[key] = self.notes.get(key, 0.0) + value
+        return self
+
+    def as_row(self) -> dict[str, int | float]:
         return {
             "joins": self.joins,
             "semijoins": self.semijoins,
             "projections": self.projections,
             "max_intermediate": self.max_intermediate,
             "tuples_produced": self.total_tuples_produced,
+            "wall_time": round(self.wall_time, 6),
         }
+
+
+class CardinalityEstimator:
+    """Cheap per-database cardinality estimates for physical planning.
+
+    Uses the classic System-R independence assumptions: a bound atom's
+    cardinality is its relation size scaled by ``1/distinct(column)`` per
+    constant selection and per repeated-variable equality.  Distinct
+    counts are memoised, so estimating a whole plan touches each needed
+    column once.
+    """
+
+    def __init__(self, db: "Database | None"):
+        self.db = db
+        self._distinct: dict[tuple[str, int], int] = {}
+        self._sizes: dict[str, int] = {}
+        self._atom_memo: dict[Atom, float] = {}
+        self._domain: int | None = None
+
+    def _relation_size(self, predicate: str) -> int:
+        """Memoised tuple count (``Database.rows`` copies the relation,
+        so the planner must not call it per candidate atom)."""
+        if predicate not in self._sizes:
+            self._sizes[predicate] = (
+                len(self.db.rows(predicate)) if self.db is not None else 0
+            )
+        return self._sizes[predicate]
+
+    def distinct(self, predicate: str, column: int) -> int:
+        """Number of distinct values in one column (≥ 1 for estimates)."""
+        key = (predicate, column)
+        if key not in self._distinct:
+            rows = self.db.rows(predicate) if self.db is not None else ()
+            self._distinct[key] = max(1, len({row[column] for row in rows}))
+        return self._distinct[key]
+
+    def atom_rows(self, atom: Atom) -> float:
+        """Estimated row count of ``bind_atom(atom, db)``, memoised per
+        atom (the greedy join-order search evaluates each candidate many
+        times).
+
+        Unknown predicates (or no database at all, as in ``explain``
+        without facts) estimate to 1.0 so planning still produces a
+        deterministic order.
+        """
+        if atom not in self._atom_memo:
+            self._atom_memo[atom] = self._atom_rows_uncached(atom)
+        return self._atom_memo[atom]
+
+    def _atom_rows_uncached(self, atom: Atom) -> float:
+        if self.db is None or not self.db.has_predicate(atom.predicate):
+            return 1.0
+        if self.db.arity(atom.predicate) != atom.arity:
+            return 1.0
+        estimate = float(self._relation_size(atom.predicate))
+        first_position: dict[Variable, int] = {}
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                estimate /= self.distinct(atom.predicate, i)
+            elif term in first_position:
+                estimate /= max(
+                    self.distinct(atom.predicate, i),
+                    self.distinct(atom.predicate, first_position[term]),
+                )
+            else:
+                first_position[term] = i
+        return estimate
+
+    def join_rows(self, left_rows: float, left_vars: frozenset[Variable],
+                  right_rows: float, right_vars: frozenset[Variable],
+                  domain: int) -> float:
+        """Estimated size of a natural join given both sides' variable
+        sets, assuming each shared variable cuts the cross product by the
+        active-domain size."""
+        shared = len(left_vars & right_vars)
+        estimate = left_rows * right_rows
+        for _ in range(shared):
+            estimate /= max(1, domain)
+        return estimate
+
+    @property
+    def domain_size(self) -> int:
+        """Active-domain size, memoised (1 when no database is attached)."""
+        if self._domain is None:
+            self._domain = 1 if self.db is None else max(1, len(self.db.universe))
+        return self._domain

@@ -1,0 +1,179 @@
+"""A thread-safe LRU plan cache keyed on structural fingerprints.
+
+The cache stores hypertree decompositions under the fingerprint of the
+query that produced them.  A lookup for a structurally identical query —
+same hypergraph shape, arbitrary variable/predicate renaming — finds the
+entry, certifies it with an explicit isomorphism, and *transports* the
+decomposition onto the incoming query's atoms:
+
+1. rename every χ variable and λ-atom through the isomorphism, giving a
+   decomposition over the incoming query's variables;
+2. swap each λ atom for a witness atom of the incoming query with the
+   same variable set via the Theorem A.7 map
+   (:func:`repro.core.canonical.hypergraph_decomposition_to_query`).
+
+Validity is preserved because Definition 4.1's conditions see atoms only
+through their variable sets; the independent GHTD checker re-certifies
+every transported plan anyway, so a bug in the isomorphism search can
+cost a cache miss but never a wrong answer.
+
+Because 1-WL fingerprints can (rarely) collide for non-isomorphic
+shapes, each fingerprint maps to a *bucket* of entries; lookups try each
+entry's isomorphism in turn and fall through to a miss.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..core.canonical import hypergraph_decomposition_to_query
+from ..core.hypertree import HypertreeDecomposition
+from ..core.query import ConjunctiveQuery
+from ..heuristics.validate import check_decomposition
+from .fingerprint import fingerprint, shape_isomorphism
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One stored shape: the representative query it was planned for,
+    its decomposition, and provenance from the planner."""
+
+    query: ConjunctiveQuery
+    decomposition: HypertreeDecomposition
+    width: int
+    method: str
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """A successful lookup: the decomposition transported onto the
+    incoming query, plus the stored provenance."""
+
+    decomposition: HypertreeDecomposition
+    width: int
+    method: str
+
+
+def transport_plan(
+    entry: CachedPlan, query: ConjunctiveQuery
+) -> HypertreeDecomposition | None:
+    """Carry *entry*'s decomposition onto *query*, or ``None`` if the two
+    are not actually isomorphic (fingerprint collision or step cap)."""
+    varmap = shape_isomorphism(entry.query, query)
+    if varmap is None:
+        return None
+    renamed = entry.decomposition.map_nodes(
+        lambda n: (
+            frozenset(varmap[v] for v in n.chi),
+            frozenset(a.rename(varmap) for a in n.lam),
+        )
+    )
+    transported = hypergraph_decomposition_to_query(
+        query, HypertreeDecomposition(query, renamed.root)
+    )
+    # Independent certification: a transported plan must be a valid GHTD
+    # of the *incoming* query, not just of the representative.
+    if check_decomposition(transported):
+        return None
+    return transported
+
+
+class PlanCache:
+    """Thread-safe LRU cache: fingerprint → bucket of :class:`CachedPlan`.
+
+    ``maxsize`` bounds the number of stored plans (0 disables caching
+    entirely: every lookup is a miss and stores are dropped).  Counters:
+
+    * :attr:`hits` — lookups answered from the cache;
+    * :attr:`misses` — lookups that fell through (unknown fingerprint,
+      failed certification, or caching disabled);
+    * :attr:`evictions` — plans dropped to respect ``maxsize``.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._lock = threading.RLock()
+        self._buckets: OrderedDict[str, list[CachedPlan]] = OrderedDict()
+        self._size = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, query: ConjunctiveQuery) -> CacheHit | None:
+        """Find and transport a plan for *query*'s shape (None = miss)."""
+        key = fingerprint(query)
+        with self._lock:
+            bucket = list(self._buckets.get(key, ()))
+            if bucket:
+                self._buckets.move_to_end(key)
+        # The isomorphism search and transport run outside the lock: they
+        # only read immutable entries, so concurrent lookups proceed in
+        # parallel and the lock guards bookkeeping alone.
+        for entry in bucket:
+            transported = transport_plan(entry, query)
+            if transported is not None:
+                with self._lock:
+                    self.hits += 1
+                return CacheHit(transported, entry.width, entry.method)
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def store(
+        self,
+        query: ConjunctiveQuery,
+        decomposition: HypertreeDecomposition,
+        width: int,
+        method: str,
+    ) -> None:
+        """Insert a freshly computed plan under *query*'s fingerprint."""
+        if self.maxsize <= 0:
+            return
+        key = fingerprint(query)
+        entry = CachedPlan(query.as_boolean(), decomposition, width, method)
+        with self._lock:
+            # Concurrent misses of one shape race to store it; dedup
+            # against isomorphic entries under the lock (check-then-act
+            # must be atomic) so the bucket never accumulates copies.
+            # Stores are rare — cold misses only — so holding the lock
+            # through the small isomorphism search is fine.
+            bucket = self._buckets.setdefault(key, [])
+            if any(
+                shape_isomorphism(e.query, entry.query) is not None
+                for e in bucket
+            ):
+                return
+            bucket.append(entry)
+            self._buckets.move_to_end(key)
+            self._size += 1
+            # Evict least-recently-used buckets, but never the one just
+            # written: a single bucket of colliding shapes may therefore
+            # exceed maxsize slightly rather than self-destruct.
+            while self._size > self.maxsize and len(self._buckets) > 1:
+                _, evicted = self._buckets.popitem(last=False)
+                self._size -= len(evicted)
+                self.evictions += len(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+            self._size = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def info(self) -> dict[str, int | float]:
+        """Counter snapshot plus the derived hit rate."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": self._size,
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }

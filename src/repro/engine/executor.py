@@ -1,0 +1,269 @@
+"""The ``Engine`` facade: decompose once, execute many.
+
+One object ties the repo's pieces into a pipeline callers no longer
+hand-wire per query::
+
+    fingerprint → plan cache → (portfolio decompose on miss) →
+    physical plan (join orders, root) → Yannakakis passes
+
+* :meth:`Engine.execute` answers one query against one database,
+  returning an :class:`EvalResult` with the answer relation, per-request
+  :class:`~repro.db.stats.EvalStats`, and cache provenance.
+* :meth:`Engine.execute_many` runs a batch over a thread pool (plan
+  transport and bag joins release no locks; the cache itself is
+  thread-safe), aggregating stats with ``EvalStats.merge``.
+* :meth:`Engine.explain` renders the chosen physical plan without
+  executing it.
+
+Per-request time *budgets* (wall-clock seconds) bound both the
+decomposition search — via the portfolio's own budget handling, which
+degrades to a certified heuristic plan in ``"auto"`` mode — and plan
+execution, where the deadline is checked between operators and raises
+:class:`repro._errors.BudgetExceeded`.  ``execute`` propagates the
+exception; ``execute_many`` records it on the failed request's result
+and keeps going.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable
+
+from .._errors import BudgetExceeded, ReproError
+from ..core.atoms import Variable
+from ..core.hypertree import HypertreeDecomposition
+from ..core.query import ConjunctiveQuery
+from ..db.database import Database
+from ..db.relation import Relation
+from ..db.stats import EvalStats
+from ..heuristics.portfolio import Mode, decompose
+from .cache import PlanCache
+from .plan import QueryPlan, compile_plan, execute_plan
+
+
+@dataclass
+class EvalResult:
+    """Outcome of one engine request."""
+
+    query: ConjunctiveQuery
+    answer: Relation | None
+    stats: EvalStats
+    cache_hit: bool
+    width: int
+    method: str
+    elapsed: float
+    error: str | None = None
+
+    @property
+    def boolean(self) -> bool:
+        """The Boolean reading of the answer (non-empty = true)."""
+        return bool(self.answer)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :meth:`Engine.execute_many`, in request order."""
+
+    results: list[EvalResult]
+    stats: EvalStats
+    elapsed: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    failures: int = 0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of batch wall-clock."""
+        return len(self.results) / self.elapsed if self.elapsed > 0 else 0.0
+
+    def summary(self) -> dict[str, float | int]:
+        return {
+            "requests": len(self.results),
+            "failures": self.failures,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "elapsed": round(self.elapsed, 6),
+            "throughput_qps": round(self.throughput, 2),
+            **self.stats.as_row(),
+        }
+
+
+class Engine:
+    """A decompose-once, execute-many conjunctive-query engine.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum number of cached plans (0 disables the cache — every
+        request decomposes from scratch, the baseline configuration the
+        E22 experiment measures against).
+    mode:
+        Planner strategy forwarded to the heuristics portfolio
+        (``"exact"``, ``"heuristic"``, or ``"auto"``).
+    budget:
+        Default per-request wall-clock budget in seconds (``None`` =
+        unbounded); individual calls may override it.
+    workers:
+        Default thread-pool width for :meth:`execute_many`.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 256,
+        mode: Mode = "auto",
+        budget: float | None = None,
+        workers: int = 4,
+    ):
+        self.cache = PlanCache(cache_size)
+        self.mode: Mode = mode
+        self.budget = budget
+        self.workers = workers
+        self.decompositions = 0  # fresh planner searches performed
+
+    # -- planning ---------------------------------------------------------
+    def _decomposition_for(
+        self, query: ConjunctiveQuery, deadline: float | None
+    ) -> tuple[HypertreeDecomposition, bool, str, int]:
+        """Cached-or-fresh decomposition: (hd, cache_hit, method, width)."""
+        hit = self.cache.lookup(query)
+        if hit is not None:
+            return hit.decomposition, True, hit.method, hit.width
+        remaining = (
+            max(0.0, deadline - time.monotonic()) if deadline is not None else None
+        )
+        result = decompose(query, mode=self.mode, budget=remaining)
+        self.decompositions += 1
+        self.cache.store(
+            query, result.decomposition, result.width, result.method
+        )
+        return result.decomposition, False, result.method, result.width
+
+    def plan(
+        self, query: ConjunctiveQuery, db: Database | None = None
+    ) -> QueryPlan:
+        """The physical plan the engine would execute (used by explain)."""
+        hd, hit, method, width = self._decomposition_for(query, None)
+        return compile_plan(query, db, hd, provenance=method, cache_hit=hit)
+
+    def explain(
+        self, query: ConjunctiveQuery, db: Database | None = None
+    ) -> str:
+        """Render the chosen plan (cache provenance, join orders, root)."""
+        return self.plan(query, db).render()
+
+    # -- execution --------------------------------------------------------
+    def execute(
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        budget: float | None = None,
+        stats: EvalStats | None = None,
+    ) -> EvalResult:
+        """Evaluate one query, raising :class:`BudgetExceeded` on timeout."""
+        budget = budget if budget is not None else self.budget
+        started = time.monotonic()
+        deadline = started + budget if budget is not None else None
+        stats = stats if stats is not None else EvalStats()
+        with stats.timed():
+            if not query.atoms:
+                head = tuple(
+                    dict.fromkeys(
+                        t.name
+                        for t in query.head_terms
+                        if isinstance(t, Variable)
+                    )
+                )
+                answer = Relation(
+                    head, frozenset({()} if not head else ()), "ans"
+                )
+                return EvalResult(
+                    query, answer, stats, False, 0, "empty",
+                    time.monotonic() - started,
+                )
+            hd, hit, method, width = self._decomposition_for(query, deadline)
+            plan = compile_plan(
+                query, db, hd, provenance=method, cache_hit=hit
+            )
+            answer = execute_plan(plan, db, stats=stats, deadline=deadline)
+        return EvalResult(
+            query, answer, stats, hit, width, method,
+            time.monotonic() - started,
+        )
+
+    def execute_many(
+        self,
+        requests: Iterable[tuple[ConjunctiveQuery, Database] | ConjunctiveQuery],
+        db: Database | None = None,
+        workers: int | None = None,
+        budget: float | None = None,
+    ) -> BatchResult:
+        """Evaluate a batch of requests over a worker pool.
+
+        *requests* is an iterable of ``(query, database)`` pairs, or of
+        bare queries when a shared *db* is given.  Results come back in
+        request order; a request whose budget runs out yields an
+        :class:`EvalResult` with ``error`` set instead of aborting the
+        batch.  The merged :class:`EvalStats` (including summed per-query
+        wall times, which exceed batch wall-clock under parallelism) ride
+        on the returned :class:`BatchResult`.
+        """
+        pairs: list[tuple[ConjunctiveQuery, Database]] = []
+        for request in requests:
+            if isinstance(request, ConjunctiveQuery):
+                if db is None:
+                    raise ValueError(
+                        "bare queries in execute_many need the shared "
+                        "db= argument"
+                    )
+                pairs.append((request, db))
+            else:
+                query, request_db = request
+                pairs.append((query, request_db))
+
+        def run_one(pair: tuple[ConjunctiveQuery, Database]) -> EvalResult:
+            query, request_db = pair
+            try:
+                return self.execute(query, request_db, budget=budget)
+            except ReproError as error:
+                # Per-request fault isolation: a blown budget, a schema
+                # mismatch, or an undecomposable query fails that request
+                # alone, not the batch.  Non-library exceptions still
+                # propagate — those are bugs, not request outcomes.
+                method = "budget" if isinstance(error, BudgetExceeded) else "error"
+                return EvalResult(
+                    query, None, EvalStats(), False, 0, method,
+                    0.0, error=str(error),
+                )
+
+        started = time.monotonic()
+        pool_width = workers if workers is not None else self.workers
+        if pool_width <= 1 or len(pairs) <= 1:
+            results = [run_one(p) for p in pairs]
+        else:
+            with ThreadPoolExecutor(max_workers=pool_width) as pool:
+                results = list(pool.map(run_one, pairs))
+        elapsed = time.monotonic() - started
+
+        merged = EvalStats()
+        for r in results:
+            merged.merge(r.stats)
+        return BatchResult(
+            results=results,
+            stats=merged,
+            elapsed=elapsed,
+            cache_hits=sum(1 for r in results if r.cache_hit),
+            cache_misses=sum(1 for r in results if r.ok and not r.cache_hit),
+            failures=sum(1 for r in results if not r.ok),
+        )

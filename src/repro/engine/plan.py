@@ -1,0 +1,230 @@
+"""Physical plans: a decomposition compiled against a concrete database.
+
+A cached (or freshly computed) hypertree decomposition fixes only the
+*structure* of evaluation.  This module adds the database-dependent
+choices — cheap, polynomial-time, recomputed per request — on top of the
+Lemma 4.6 pipeline:
+
+* **per-node join order** — each node's bag relation joins its λ atoms
+  smallest-estimate first, preferring atoms sharing variables with the
+  part already joined (System-R-style greedy, driven by
+  :class:`repro.db.stats.CardinalityEstimator`);
+* **root choice** — the join tree over the materialised bags is re-rooted
+  at the bag with the largest estimated cardinality, so the full
+  reducer's bottom-up sweep filters the biggest relation with every
+  child before enumeration starts.  (Join trees, unlike hypertree
+  decompositions, may be re-rooted freely: the connectedness condition
+  is symmetric.)
+
+Execution materialises the bags in plan order, then runs the Yannakakis
+passes of :mod:`repro.db.yannakakis` — semijoin reduction for Boolean
+queries, the output-polynomial enumeration for answer queries.  A
+deadline is checked between operators so per-request budgets interrupt
+long plans with :class:`repro._errors.BudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .._errors import BudgetExceeded
+from ..core.atoms import Atom, Variable
+from ..core.hypertree import HTNode, HypertreeDecomposition
+from ..core.jointree import JoinTree, join_tree_from_edges
+from ..core.query import ConjunctiveQuery
+from ..db.binding import bind_atom
+from ..db.database import Database
+from ..db.relation import Relation
+from ..db.stats import CardinalityEstimator, EvalStats
+from ..db.yannakakis import boolean_eval, enumerate_answers
+
+
+def _check_deadline(deadline: float | None, phase: str) -> None:
+    if deadline is not None and time.monotonic() > deadline:
+        raise BudgetExceeded(f"engine budget exhausted during {phase}")
+
+
+@dataclass(frozen=True)
+class NodePlan:
+    """Compiled evaluation of one decomposition node's bag relation."""
+
+    bag: Atom
+    chi_names: tuple[str, ...]
+    join_order: tuple[Atom, ...]
+    estimated_rows: float
+    atom_estimates: tuple[float, ...]
+
+    def describe(self) -> str:
+        steps = " ⋈ ".join(
+            f"{a}[≈{int(est)}]"
+            for a, est in zip(self.join_order, self.atom_estimates)
+        )
+        chi = ", ".join(self.chi_names)
+        return f"{self.bag.predicate}: π[{chi}]({steps or 'unit'}) ≈{int(self.estimated_rows)} rows"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A fully compiled physical plan for one (query, database) pair."""
+
+    query: ConjunctiveQuery
+    decomposition: HypertreeDecomposition
+    node_plans: tuple[NodePlan, ...]
+    join_tree: JoinTree
+    output: tuple[str, ...]
+    width: int
+    provenance: str = "exact"
+    cache_hit: bool = field(default=False)
+
+    def render(self) -> str:
+        """The ``explain`` rendering: provenance, per-node pipelines, and
+        the rooted join tree the Yannakakis passes will run over."""
+        lines = [
+            f"plan for {self.query.name}: width {self.width} "
+            f"[{self.provenance}{', cached' if self.cache_hit else ''}]",
+            f"output: ({', '.join(self.output)})" if self.output else "output: boolean",
+            "bag materialisation (cardinality-ascending joins):",
+        ]
+        for np in self.node_plans:
+            marker = " <- root" if np.bag == self.join_tree.root else ""
+            lines.append(f"  {np.describe()}{marker}")
+        lines.append("join tree (semijoin + enumeration passes):")
+        lines.append(self.join_tree.render())
+        return "\n".join(lines)
+
+
+def _order_atoms(
+    atoms: list[Atom], estimator: CardinalityEstimator
+) -> tuple[list[Atom], list[float]]:
+    """Greedy join order: start from the smallest estimated atom, then
+    repeatedly take the atom sharing most variables with what is already
+    joined (ties: smaller estimate, stable by rendering)."""
+    remaining = sorted(atoms, key=lambda a: (estimator.atom_rows(a), str(a)))
+    order: list[Atom] = []
+    estimates: list[float] = []
+    seen_vars: set[Variable] = set()
+    while remaining:
+        chosen = min(
+            remaining,
+            key=lambda a: (
+                -len(a.variables & seen_vars),
+                estimator.atom_rows(a),
+                str(a),
+            ),
+        ) if order else remaining[0]
+        remaining.remove(chosen)
+        order.append(chosen)
+        estimates.append(estimator.atom_rows(chosen))
+        seen_vars.update(chosen.variables)
+    return order, estimates
+
+
+def compile_plan(
+    query: ConjunctiveQuery,
+    db: Database | None,
+    hd: HypertreeDecomposition,
+    provenance: str = "exact",
+    cache_hit: bool = False,
+) -> QueryPlan:
+    """Compile *hd* into a physical plan against *db*.
+
+    The decomposition is completed (Lemma 4.4) if necessary, each node's
+    bag pipeline is ordered by the database's cardinality estimates, and
+    the mirrored join tree is re-rooted at the largest estimated bag.
+    With ``db=None`` (an ``explain`` without facts) all estimates are 1
+    and the plan falls back to deterministic syntactic order.
+    """
+    complete = hd if hd.is_complete else hd.complete()
+    estimator = CardinalityEstimator(db)
+    domain = estimator.domain_size
+
+    nodes = complete.nodes
+    node_ids = {id(n): i for i, n in enumerate(nodes)}
+    fresh: dict[int, Atom] = {}
+    plans: list[NodePlan] = []
+    for i, p in enumerate(nodes):
+        chi_names = tuple(sorted(v.name for v in p.chi))
+        contributing = [
+            a
+            for a in p.lam
+            if (a.variables & p.chi) or not a.variables
+        ]
+        order, estimates = _order_atoms(contributing, estimator)
+        bag_rows = 1.0
+        joined_vars: frozenset[Variable] = frozenset()
+        for a, est in zip(order, estimates):
+            bag_rows = estimator.join_rows(
+                bag_rows, joined_vars, est, a.variables, domain
+            )
+            joined_vars = joined_vars | a.variables
+        bag = Atom(f"n{i}", tuple(Variable(v) for v in chi_names))
+        fresh[i] = bag
+        plans.append(
+            NodePlan(bag, chi_names, tuple(order), bag_rows, tuple(estimates))
+        )
+
+    edges = [
+        (fresh[i], fresh[node_ids[id(c)]])
+        for i, p in enumerate(nodes)
+        for c in p.children
+    ]
+    root = max(plans, key=lambda np: (np.estimated_rows, np.bag.predicate)).bag
+    jt = join_tree_from_edges([fresh[i] for i in range(len(nodes))], edges, root)
+
+    head = tuple(
+        dict.fromkeys(
+            t.name for t in query.head_terms if isinstance(t, Variable)
+        )
+    )
+    return QueryPlan(
+        query=query,
+        decomposition=complete,
+        node_plans=tuple(plans),
+        join_tree=jt,
+        output=head,
+        width=hd.width,
+        provenance=provenance,
+        cache_hit=cache_hit,
+    )
+
+
+def execute_plan(
+    plan: QueryPlan,
+    db: Database,
+    stats: EvalStats | None = None,
+    deadline: float | None = None,
+) -> Relation:
+    """Run a compiled plan: materialise bags, then Yannakakis.
+
+    Returns the answer relation; for a Boolean query the result has an
+    empty schema and is non-empty iff the query is true.  Raises
+    :class:`BudgetExceeded` when *deadline* (monotonic seconds) passes
+    between operators.
+    """
+    stats = stats if stats is not None else EvalStats()
+    relations: dict[Atom, Relation] = {}
+    for np, p in zip(plan.node_plans, plan.decomposition.nodes):
+        _check_deadline(deadline, f"bag materialisation of {np.bag.predicate}")
+        rel = Relation((), frozenset({()}), np.bag.predicate)
+        for a in np.join_order:
+            part = bind_atom(a, db)
+            if not a.variables <= p.chi:
+                overlap = sorted(
+                    (v.name for v in a.variables & p.chi)
+                )
+                part = part.project(overlap)
+                stats.projections += 1
+            rel = rel.join(part)
+            stats.joins += 1
+            stats.record(rel)
+            _check_deadline(deadline, f"joins of {np.bag.predicate}")
+        rel = stats.record(rel.project(list(np.chi_names), name=np.bag.predicate))
+        stats.projections += 1
+        relations[np.bag] = rel
+
+    _check_deadline(deadline, "Yannakakis passes")
+    if not plan.output:
+        true = boolean_eval(plan.join_tree, relations, stats)
+        return Relation((), frozenset({()} if true else ()), "ans")
+    return enumerate_answers(plan.join_tree, relations, plan.output, stats)

@@ -4,6 +4,7 @@ Run ``python -m repro.experiments E06`` (or ``all``) to print the tables.
 """
 
 from . import (  # noqa: F401
+    engine,
     equivalences,
     evaluation,
     figures,

@@ -1,6 +1,6 @@
-"""Database-instance generators for tests, examples and benchmarks.
+"""Database and workload generators for tests, examples and benchmarks.
 
-All generators are deterministic given a seed.  Two families matter:
+All generators are deterministic given a seed.  Three families matter:
 
 * :func:`random_database` — independent uniform tuples per relation; with
   ``plant_answer=True`` a satisfying substitution is planted so Boolean
@@ -10,12 +10,15 @@ All generators are deterministic given a seed.  Two families matter:
   (``enrolled``/``teaches``/``parent``) with controllable incidence of
   students taught by their own parents, used by the quickstart example and
   the Q1/Q2 experiments.
+* :func:`query_workload` — many queries sharing few structural *shapes*
+  (each an independent renaming of a base query), the repeated-traffic
+  regime that the engine's plan cache amortises (experiment E22).
 """
 
 from __future__ import annotations
 
 import random
-from ..core.atoms import Variable
+from ..core.atoms import Atom, Variable
 from ..core.query import ConjunctiveQuery
 from ..db.database import Database
 
@@ -99,6 +102,93 @@ def university_database(
         db.add_fact("teaches", parent, course, "yes")
         db.add_fact("enrolled", child, course, rng.choice(dates))
     return db
+
+
+def renamed_variant(
+    query: ConjunctiveQuery,
+    seed: int = 0,
+    rename_predicates: bool = True,
+) -> ConjunctiveQuery:
+    """A structurally identical copy of *query* under random renaming.
+
+    Variables and (optionally) predicates are renamed by fresh bijections
+    and the body atoms are permuted, so the result is isomorphic to
+    *query* — same hypergraph shape, different surface syntax.  Head terms
+    are renamed consistently.  This is the engine's cache-hit scenario:
+    :func:`repro.engine.fingerprint.fingerprint` maps both queries to the
+    same key.
+    """
+    rng = random.Random(seed)
+    variables = sorted(query.variables, key=lambda v: v.name)
+    targets = list(range(len(variables)))
+    rng.shuffle(targets)
+    var_map: dict[Variable, Variable] = {
+        v: Variable(f"W{t}") for v, t in zip(variables, targets)
+    }
+    predicates = sorted(query.predicates)
+    pred_targets = list(range(len(predicates)))
+    rng.shuffle(pred_targets)
+    pred_map = {
+        p: (f"r{t}_{seed}" if rename_predicates else p)
+        for p, t in zip(predicates, pred_targets)
+    }
+    body = [
+        Atom(pred_map[a.predicate], a.rename(var_map).terms)
+        for a in query.atoms
+    ]
+    rng.shuffle(body)
+    head = tuple(
+        var_map.get(t, t) if isinstance(t, Variable) else t
+        for t in query.head_terms
+    )
+    return ConjunctiveQuery(tuple(body), head, f"{query.name}~{seed}")
+
+
+def query_workload(
+    n_queries: int,
+    n_shapes: int,
+    seed: int = 0,
+    shapes: list[ConjunctiveQuery] | None = None,
+    with_heads: bool = True,
+) -> list[ConjunctiveQuery]:
+    """*n_queries* queries drawn from *n_shapes* structural shapes.
+
+    Each query is an independent random renaming (variables, predicates,
+    atom order) of one of the base shapes, cycled round-robin — so a
+    shape-keyed plan cache sees at most *n_shapes* distinct fingerprints
+    no matter how large the workload.  With *with_heads*, every query
+    projects onto its two lexicographically first variables (one for
+    single-variable shapes), making answers non-trivial relations.
+    """
+    from .families import book_query, cycle_query, path_query, random_query
+
+    n_shapes = max(1, n_shapes)
+    if shapes is None:
+        catalogue = [
+            cycle_query(4),
+            path_query(3),
+            book_query(2),
+            cycle_query(5),
+            path_query(5),
+            book_query(3),
+            cycle_query(6),
+            random_query(n_atoms=4, n_variables=5, seed=11),
+            random_query(n_atoms=5, n_variables=5, seed=23),
+            random_query(n_atoms=4, n_variables=6, seed=37),
+        ]
+        shapes = catalogue
+    shapes = shapes[:n_shapes]
+    if not shapes:
+        raise ValueError("query_workload needs at least one base shape")
+    workload: list[ConjunctiveQuery] = []
+    for i in range(n_queries):
+        base = shapes[i % len(shapes)]
+        variant = renamed_variant(base, seed=seed * 10_000 + i)
+        if with_heads:
+            head = sorted(variant.variables, key=lambda v: v.name)[:2]
+            variant = variant.with_head(tuple(head))
+        workload.append(variant)
+    return workload
 
 
 def grid_database(

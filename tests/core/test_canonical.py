@@ -36,6 +36,18 @@ class TestCanonicalQuery:
         cq = canonical_query(h)
         assert cq.atoms[0].predicate.isidentifier()
 
+    def test_sanitisation_collisions_stay_injective(self):
+        """Distinct edge names that clean identically ("e-1" vs "e_1")
+        must map to distinct predicates — the edge ↔ atom bijection the
+        docstring promises."""
+        h = Hypergraph.from_edges({"e-1": "ab", "e_1": "bc", "e.1": "cd"})
+        cq = canonical_query(h)
+        predicates = [a.predicate for a in cq.atoms]
+        assert len(set(predicates)) == 3
+        assert all(p.isidentifier() for p in predicates)
+        # one atom per edge survives the collision
+        assert len(cq.atoms) == 3
+
 
 class TestTheoremA7:
     """hw(Q) = hw(H(Q)) via the canonical-query round trip."""

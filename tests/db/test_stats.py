@@ -1,0 +1,86 @@
+"""EvalStats aggregation and the planner's cardinality estimates."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.db.stats import CardinalityEstimator, EvalStats
+
+
+class TestMerge:
+    def test_counters_sum_and_high_water_maxes(self):
+        a = EvalStats(joins=2, semijoins=3, projections=1,
+                      max_intermediate=10, total_tuples_produced=40,
+                      wall_time=0.5, notes={"x": 1.0})
+        b = EvalStats(joins=1, semijoins=4, projections=2,
+                      max_intermediate=7, total_tuples_produced=5,
+                      wall_time=0.25, notes={"x": 2.0, "y": 3.0})
+        merged = a.merge(b)
+        assert merged is a
+        assert a.joins == 3 and a.semijoins == 7 and a.projections == 3
+        assert a.max_intermediate == 10  # max, not sum
+        assert a.total_tuples_produced == 45
+        assert a.wall_time == pytest.approx(0.75)
+        assert a.notes == {"x": 3.0, "y": 3.0}
+
+    def test_merge_empty_is_identity(self):
+        a = EvalStats(joins=5, max_intermediate=3)
+        before = dict(a.as_row())
+        a.merge(EvalStats())
+        after = {k: v for k, v in a.as_row().items()}
+        assert before == after
+
+    def test_timed_captures_wall_time(self):
+        stats = EvalStats()
+        with stats.timed():
+            sum(range(1000))
+        assert stats.wall_time > 0
+        first = stats.wall_time
+        with stats.timed():
+            pass
+        assert stats.wall_time >= first
+
+    def test_as_row_includes_wall_time(self):
+        row = EvalStats(wall_time=1.25).as_row()
+        assert row["wall_time"] == 1.25
+
+    def test_record_still_tracks_high_water(self):
+        stats = EvalStats()
+        stats.record(Relation(("a",), frozenset({(1,), (2,)})))
+        stats.record(Relation(("a",), frozenset({(1,)})))
+        assert stats.max_intermediate == 2
+        assert stats.total_tuples_produced == 3
+
+
+class TestCardinalityEstimator:
+    @pytest.fixture
+    def db(self):
+        return Database.from_relations(
+            {"e": [(1, 2), (2, 3), (3, 1), (1, 1)], "u": [(5,)]}
+        )
+
+    def test_plain_atom_is_relation_size(self, db):
+        est = CardinalityEstimator(db)
+        assert est.atom_rows(atom("e", "X", "Y")) == 4.0
+
+    def test_constant_applies_selectivity(self, db):
+        est = CardinalityEstimator(db)
+        assert est.atom_rows(atom("e", "X", 2)) < 4.0
+
+    def test_repeated_variable_applies_selectivity(self, db):
+        est = CardinalityEstimator(db)
+        assert est.atom_rows(atom("e", "X", "X")) < 4.0
+
+    def test_unknown_predicate_estimates_one(self, db):
+        est = CardinalityEstimator(db)
+        assert est.atom_rows(atom("ghost", "X")) == 1.0
+
+    def test_no_database_estimates_one(self):
+        est = CardinalityEstimator(None)
+        assert est.atom_rows(atom("e", "X", "Y")) == 1.0
+        assert est.domain_size == 1
+
+    def test_domain_size_memoised(self, db):
+        est = CardinalityEstimator(db)
+        assert est.domain_size == est.domain_size == len(db.universe)

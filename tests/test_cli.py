@@ -155,6 +155,64 @@ class TestEvaluate:
         assert "answer: True" in capsys.readouterr().out
 
 
+class TestRun:
+    def test_single_query(self, facts_file, capsys):
+        assert main(["run", facts_file, "e(X,Y), e(Y,Z), e(Z,X)"]) == 0
+        out = capsys.readouterr().out
+        assert "Q0: True" in out
+        assert "batch: 1 queries" in out
+
+    def test_shared_plan_across_renamed_queries(self, facts_file, capsys):
+        # workers=1 keeps the miss-then-hit sequence deterministic; with a
+        # pool the two same-shape queries could race and both miss.
+        code = main(
+            [
+                "run",
+                facts_file,
+                "e(X,Y), e(Y,Z), e(Z,X)",
+                "e(A,B), e(B,C), e(C,A)",
+                "--workers",
+                "1",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 cache hits" in out or "cache hits" in out
+        assert "'hits': 1" in out
+
+    def test_repeat_warms_cache(self, facts_file, capsys):
+        code = main(
+            ["run", facts_file, "e(X,Y), e(Y,Z), e(Z,X)", "--repeat", "2"]
+        )
+        assert code == 0
+        assert "[cached plan]" in capsys.readouterr().out
+
+    def test_non_boolean_answers(self, facts_file, capsys):
+        assert main(["run", facts_file, "ans(X) :- e(X, Y)."]) == 0
+        assert "3 answers" in capsys.readouterr().out
+
+    def test_budget_failure_exits_one(self, facts_file, capsys):
+        code = main(
+            ["run", facts_file, "e(X,Y), e(Y,Z), e(Z,X)", "--budget", "0"]
+        )
+        assert code == 1
+        assert "ERROR" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_with_facts(self, facts_file, capsys):
+        assert main(["explain", "e(X,Y), e(Y,Z), e(Z,X)", facts_file]) == 0
+        out = capsys.readouterr().out
+        assert "width 2" in out
+        assert "join tree" in out
+        assert "root" in out
+
+    def test_explain_without_facts(self, capsys):
+        assert main(["explain", "e(X,Y), e(Y,Z)"]) == 0
+        assert "boolean" in capsys.readouterr().out
+
+
 class TestContains:
     def test_contained(self, capsys):
         code = main(

@@ -14,6 +14,7 @@ def test_registry_covers_design_document():
         "E01", "E02", "E05", "E06", "E07", "E08", "E09", "E10",
         "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20",
         "E21",  # heuristic portfolio vs exact widths (post-paper subsystem)
+        "E22",  # engine plan-cache amortisation (post-paper subsystem)
     }
     assert set(ALL_IDS) == expected
 

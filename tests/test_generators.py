@@ -96,3 +96,49 @@ class TestWorkloads:
         q = cycle_query(3)
         db = grid_database(q, 3)
         assert db.tuple_count() == 2 * 12  # 12 grid edges, both directions
+
+
+class TestQueryWorkload:
+    def test_shape_budget_respected(self):
+        from repro.engine import fingerprint
+        from repro.generators.workloads import query_workload
+
+        workload = query_workload(50, 5, seed=2)
+        assert len(workload) == 50
+        assert len({fingerprint(q) for q in workload}) <= 5
+
+    def test_variants_are_isomorphic_but_distinct(self):
+        from repro.engine import fingerprint, shape_isomorphism
+        from repro.generators.families import cycle_query
+        from repro.generators.workloads import renamed_variant
+
+        base = cycle_query(5)
+        variant = renamed_variant(base, seed=4)
+        assert variant.predicates != base.predicates
+        assert variant.variables != base.variables
+        assert fingerprint(base) == fingerprint(variant)
+        assert shape_isomorphism(base, variant) is not None
+
+    def test_heads_project_onto_first_variables(self):
+        from repro.generators.workloads import query_workload
+
+        for q in query_workload(6, 3, seed=8):
+            assert q.head_terms
+            assert q.head_variables <= q.variables
+
+    def test_renamed_variant_preserves_head_consistency(self):
+        from repro.core.atoms import Variable
+        from repro.generators.families import path_query
+        from repro.generators.workloads import renamed_variant
+
+        base = path_query(3).with_head((Variable("X1"),))
+        variant = renamed_variant(base, seed=6)
+        # the renamed head variable still occurs in the renamed body
+        assert variant.head_variables <= variant.variables
+
+    def test_deterministic_workload(self):
+        from repro.generators.workloads import query_workload
+
+        a = query_workload(10, 4, seed=12)
+        b = query_workload(10, 4, seed=12)
+        assert [str(q) for q in a] == [str(q) for q in b]
