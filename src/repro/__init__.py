@@ -22,22 +22,34 @@ from .heuristics import (
     greedy_upper_bound,
     lower_bound,
 )
+from .incremental import (
+    AnswerDelta,
+    Delta,
+    LiveEngine,
+    MaterializedView,
+    ViewHandle,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "AnswerDelta",
     "BatchResult",
     "BudgetExceeded",
     "DatalogError",
     "DecompositionError",
+    "Delta",
     "Engine",
     "EvalResult",
     "EvaluationError",
+    "LiveEngine",
+    "MaterializedView",
     "ParseError",
     "PlanCache",
     "PortfolioResult",
     "ReproError",
     "SchemaError",
+    "ViewHandle",
     "__version__",
     "decompose",
     "fingerprint",

@@ -35,6 +35,15 @@ Commands
     Render the physical plan the engine would execute: cached-or-fresh
     decomposition provenance, per-bag join order with cardinality
     estimates (when FACTS is given), and the rooted join tree.
+``watch QUERY [FACTS] [--deltas FILE]``
+    Register the query as a live materialized view and stream updates
+    through it.  Each update line is a ground atom with an optional
+    sign — ``+e(1, 2).`` inserts, ``-e(1, 2).`` deletes, an unsigned
+    atom inserts — read from ``--deltas FILE`` (default: stdin, one
+    batch per line).  After every batch the *answer delta* is printed
+    (``+ (..)`` rows appeared, ``- (..)`` rows vanished), which is the
+    incremental subsystem's headline: maintenance cost scales with the
+    delta, not the database.
 ``contains Q2 Q1``
     Decide Q1 ⊑ Q2 (Chandra–Merlin through the decomposition pipeline).
 ``experiments [ID ...]``
@@ -214,6 +223,62 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_delta_line(line: str):
+    """``+atom.`` / ``-atom.`` / ``atom.`` -> (predicate, row, sign)."""
+    from .core.atoms import Constant
+
+    sign = 1
+    if line[0] in "+-":
+        sign = 1 if line[0] == "+" else -1
+        line = line[1:].lstrip()
+    atom = parse_atom(line.rstrip("."))
+    row = []
+    for term in atom.terms:
+        if not isinstance(term, Constant):
+            raise ReproError(f"update atom {atom} is not ground")
+        row.append(term.value)
+    return atom.predicate, tuple(row), sign
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .incremental import Delta, LiveEngine
+
+    query = _load_query(args.query)
+    db = _load_facts(args.facts) if args.facts else Database()
+    live = LiveEngine(db=db, engine=Engine(mode=args.strategy))
+    handle = live.register(query)
+    print(
+        f"registered {query.name}: width {handle.width} [{handle.method}], "
+        f"{len(handle.answers())} initial answers"
+    )
+
+    if args.deltas and args.deltas != "-":
+        lines = pathlib.Path(args.deltas).read_text().splitlines()
+    else:
+        lines = sys.stdin
+    applied = 0
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        predicate, row, sign = _parse_delta_line(line)
+        changes = live.apply(Delta({predicate: {row: sign}}))
+        applied += 1
+        answer_delta = changes.get(handle.view_id)
+        if answer_delta:
+            for inserted in sorted(answer_delta.inserted, key=repr):
+                print("+ (" + ", ".join(map(str, inserted)) + ")")
+            for deleted in sorted(answer_delta.deleted, key=repr):
+                print("- (" + ", ".join(map(str, deleted)) + ")")
+    print(
+        f"final: {len(handle.answers())} answers after {applied} updates"
+    )
+    if args.stats:
+        print(f"stats: {handle.stats.as_row()}")
+        print(f"notes: {handle.stats.notes}")
+    return 0
+
+
 def _cmd_contains(args: argparse.Namespace) -> int:
     q2 = _load_query(args.q2, name="Q2")
     q1 = _load_query(args.q1, name="Q1")
@@ -319,6 +384,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
     )
     p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser(
+        "watch", help="maintain a live view under an update stream"
+    )
+    p.add_argument("query", help="rule text or a file containing it")
+    p.add_argument(
+        "facts",
+        nargs="?",
+        default=None,
+        help="optional initial facts file (default: start empty)",
+    )
+    p.add_argument(
+        "--deltas",
+        default="-",
+        help="file of signed ground atoms, one per line "
+        "('+e(1,2).' inserts, '-e(1,2).' deletes); '-' reads stdin",
+    )
+    p.add_argument(
+        "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
+    )
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(fn=_cmd_watch)
 
     p = sub.add_parser("contains", help="decide Q1 ⊑ Q2")
     p.add_argument("q2", help="the containing query Q2")

@@ -59,7 +59,9 @@ def bind_atom(atom: Atom, db: Database) -> Relation:
                     break
         if consistent:
             rows.add(tuple(row[first_position[v]] for v in order))
-    return Relation(
+    # Rows are projections of arity-checked database tuples, so the
+    # trusted constructor skips the per-row width re-validation.
+    return Relation.trusted(
         tuple(v.name for v in order), frozenset(rows), str(atom)
     )
 

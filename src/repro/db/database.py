@@ -8,11 +8,14 @@ fact store (``add_fact`` / ``facts()``) and a relation store
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from .._errors import SchemaError
 from ..core.atoms import Atom, Constant
 from .relation import Relation, Value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incremental imports db)
+    from ..incremental.delta import Delta
 
 
 class Database:
@@ -27,6 +30,7 @@ class Database:
     def __init__(self) -> None:
         self._relations: dict[str, set[tuple[Value, ...]]] = {}
         self._arities: dict[str, int] = {}
+        self._version = 0
 
     # -- construction -----------------------------------------------------
     @staticmethod
@@ -44,14 +48,82 @@ class Database:
                 db.add_fact(name, *row)
         return db
 
-    def add_fact(self, predicate: str, *values: Value) -> None:
-        """Assert the ground atom ``predicate(values...)``."""
+    def add_fact(self, predicate: str, *values: Value) -> bool:
+        """Assert the ground atom ``predicate(values...)``.
+
+        Returns ``True`` iff the fact was not already present (set
+        semantics: re-asserting is a no-op).
+        """
         arity = self._arities.setdefault(predicate, len(values))
         if arity != len(values):
             raise SchemaError(
                 f"fact {predicate}{values!r} does not match arity {arity}"
             )
-        self._relations.setdefault(predicate, set()).add(tuple(values))
+        rows = self._relations.setdefault(predicate, set())
+        row = tuple(values)
+        if row in rows:
+            return False
+        rows.add(row)
+        self._version += 1
+        return True
+
+    def remove_fact(self, predicate: str, *values: Value) -> bool:
+        """Retract the ground atom; ``True`` iff it was present."""
+        rows = self._relations.get(predicate)
+        if rows is None:
+            return False
+        row = tuple(values)
+        if row not in rows:
+            return False
+        rows.remove(row)
+        self._version += 1
+        return True
+
+    def declare(self, predicate: str, arity: int) -> None:
+        """Fix a relation's schema without asserting any facts.
+
+        Lets update streams reference a relation that starts empty (the
+        implicit first-``add_fact`` schema fixing cannot express that).
+        """
+        known = self._arities.setdefault(predicate, arity)
+        if known != arity:
+            raise SchemaError(
+                f"predicate {predicate!r} already declared with arity {known}"
+            )
+        self._relations.setdefault(predicate, set())
+
+    def apply(self, delta: "Delta") -> "Delta":
+        """Apply a signed :class:`repro.incremental.Delta` in place.
+
+        Inserts add missing rows, deletes drop present ones; everything
+        else is a no-op under set semantics.  Returns the *effective*
+        delta — exactly the changes that altered the instance — which is
+        what :class:`repro.incremental.LiveEngine` fans out to views.
+        Inserting into an unknown predicate declares it (first-use arity,
+        as with :meth:`add_fact`); deleting from one is a no-op.
+        """
+        # Imported here: the incremental layer sits above db and imports
+        # this module at load time.
+        from ..incremental.delta import Delta
+
+        delta.check_schema(self)
+        effective: dict[str, dict[tuple[Value, ...], int]] = {}
+        for predicate in sorted(delta.changes):
+            changed: dict[tuple[Value, ...], int] = {}
+            for row, sign in delta.changes[predicate].items():
+                if sign > 0:
+                    if self.add_fact(predicate, *row):
+                        changed[row] = 1
+                elif self.remove_fact(predicate, *row):
+                    changed[row] = -1
+            if changed:
+                effective[predicate] = changed
+        return Delta(effective)
+
+    @property
+    def version(self) -> int:
+        """Monotonic change counter, bumped on every effective mutation."""
+        return self._version
 
     def add_atom(self, atom: Atom) -> None:
         """Assert a ground :class:`Atom` (all terms must be constants)."""

@@ -58,6 +58,26 @@ class Relation:
 
     # -- constructors -----------------------------------------------------
     @staticmethod
+    def trusted(
+        attributes: tuple[str, ...], rows: frozenset[Row], name: str = "r"
+    ) -> "Relation":
+        """Construct without re-validating rows (hot-path constructor).
+
+        Every relational-algebra operation below produces rows that match
+        its output schema *by construction*, so re-running the
+        ``__post_init__`` width check over each result row — once per
+        join/semijoin/projection in a Yannakakis pass — is pure overhead.
+        Arguments must already be a ``tuple`` and a ``frozenset`` of
+        correctly sized tuples; external data should keep entering through
+        :meth:`from_rows`, which validates.
+        """
+        rel = object.__new__(Relation)
+        object.__setattr__(rel, "attributes", attributes)
+        object.__setattr__(rel, "rows", rows)
+        object.__setattr__(rel, "name", name)
+        return rel
+
+    @staticmethod
     def from_rows(
         attributes: Sequence[str], rows: Iterable[Sequence[Value]], name: str = "r"
     ) -> "Relation":
@@ -103,13 +123,22 @@ class Relation:
     # -- relational algebra --------------------------------------------------
     def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
         """π over the given attributes (duplicates removed by the set)."""
+        # The attribute list is caller-supplied, so the schema check of
+        # the validating constructor must not be skipped (rows, however,
+        # are correct by construction).
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(
+                f"projection onto duplicate attributes {tuple(attributes)}"
+            )
         positions = [self._position(a) for a in attributes]
         rows = frozenset(tuple(row[p] for p in positions) for row in self.rows)
-        return Relation(tuple(attributes), rows, name or self.name)
+        return Relation.trusted(tuple(attributes), rows, name or self.name)
 
     def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
         """ρ: rename attributes according to *mapping* (others unchanged)."""
         new_attrs = tuple(mapping.get(a, a) for a in self.attributes)
+        # Validating constructor on purpose: a non-injective mapping can
+        # collapse two attributes into one, which must raise.
         return Relation(new_attrs, self.rows, name or self.name)
 
     def select(
@@ -120,12 +149,12 @@ class Relation:
         rows = frozenset(
             row for row in self.rows if predicate(dict(zip(attrs, row)))
         )
-        return Relation(attrs, rows, name or self.name)
+        return Relation.trusted(attrs, rows, name or self.name)
 
     def select_eq(self, attribute: str, value: Value) -> "Relation":
         """σ attribute = constant."""
         i = self._position(attribute)
-        return Relation(
+        return Relation.trusted(
             self.attributes,
             frozenset(row for row in self.rows if row[i] == value),
             self.name,
@@ -166,7 +195,7 @@ class Relation:
                 out_rows.add(
                     left_row + tuple(right_row[p] for p in extra_pos)
                 )
-        return Relation(
+        return Relation.trusted(
             self.attributes + tuple(extra),
             frozenset(out_rows),
             name or f"({self.name}⋈{other.name})",
@@ -180,14 +209,16 @@ class Relation:
         """
         shared = [a for a in self.attributes if a in other._index_of]
         if not shared:
-            return self if other.rows else Relation(self.attributes, frozenset(), self.name)
+            return self if other.rows else Relation.trusted(
+                self.attributes, frozenset(), self.name
+            )
         left_pos = [self._position(a) for a in shared]
         right_pos = [other._position(a) for a in shared]
         keys = {tuple(row[p] for p in right_pos) for row in other.rows}
         rows = frozenset(
             row for row in self.rows if tuple(row[p] for p in left_pos) in keys
         )
-        return Relation(self.attributes, rows, self.name)
+        return Relation.trusted(self.attributes, rows, self.name)
 
     def union(self, other: "Relation") -> "Relation":
         if self.attributes != other.attributes:
@@ -195,7 +226,7 @@ class Relation:
                 f"union of incompatible schemas {self.attributes} and "
                 f"{other.attributes}"
             )
-        return Relation(self.attributes, self.rows | other.rows, self.name)
+        return Relation.trusted(self.attributes, self.rows | other.rows, self.name)
 
     def intersect(self, other: "Relation") -> "Relation":
         if self.attributes != other.attributes:
@@ -203,7 +234,7 @@ class Relation:
                 f"intersection of incompatible schemas {self.attributes} and "
                 f"{other.attributes}"
             )
-        return Relation(self.attributes, self.rows & other.rows, self.name)
+        return Relation.trusted(self.attributes, self.rows & other.rows, self.name)
 
     def difference(self, other: "Relation") -> "Relation":
         if self.attributes != other.attributes:
@@ -211,7 +242,7 @@ class Relation:
                 f"difference of incompatible schemas {self.attributes} and "
                 f"{other.attributes}"
             )
-        return Relation(self.attributes, self.rows - other.rows, self.name)
+        return Relation.trusted(self.attributes, self.rows - other.rows, self.name)
 
     def reorder(self, attributes: Sequence[str]) -> "Relation":
         """Permute columns into the given attribute order (must be a

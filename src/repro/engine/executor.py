@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from .._errors import BudgetExceeded, ReproError
 from ..core.atoms import Variable
@@ -41,6 +41,9 @@ from ..db.stats import EvalStats
 from ..heuristics.portfolio import Mode, decompose
 from .cache import PlanCache
 from .plan import QueryPlan, compile_plan, execute_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incremental imports engine)
+    from ..incremental.live import LiveEngine
 
 
 @dataclass
@@ -153,9 +156,19 @@ class Engine:
     def plan(
         self, query: ConjunctiveQuery, db: Database | None = None
     ) -> QueryPlan:
-        """The physical plan the engine would execute (used by explain)."""
+        """The physical plan the engine would execute (used by explain,
+        and by live views registering through the shared cache)."""
         hd, hit, method, width = self._decomposition_for(query, None)
         return compile_plan(query, db, hd, provenance=method, cache_hit=hit)
+
+    def live(self, db: Database | None = None) -> "LiveEngine":
+        """A :class:`repro.incremental.LiveEngine` planning through this
+        engine — registered views share this plan cache, so a view of an
+        already-seen shape costs a transport, not a search."""
+        # Imported here: the incremental layer sits above the engine.
+        from ..incremental.live import LiveEngine
+
+        return LiveEngine(db=db, engine=self)
 
     def explain(
         self, query: ConjunctiveQuery, db: Database | None = None

@@ -10,6 +10,7 @@ from . import (  # noqa: F401
     figures,
     hardness,
     recognizers,
+    streaming,
     widths,
 )
 from .harness import REGISTRY, Experiment, Table, register, run, run_all

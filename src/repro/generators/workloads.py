@@ -13,6 +13,10 @@ All generators are deterministic given a seed.  Three families matter:
 * :func:`query_workload` — many queries sharing few structural *shapes*
   (each an independent renaming of a base query), the repeated-traffic
   regime that the engine's plan cache amortises (experiment E22).
+* :func:`update_workload` — seeded streams of mixed insert/delete
+  :class:`repro.incremental.Delta` batches (configurable batch size,
+  delete ratio, value skew, re-insertion pressure), the streaming regime
+  the incremental subsystem maintains (experiment E23).
 """
 
 from __future__ import annotations
@@ -189,6 +193,99 @@ def query_workload(
             variant = variant.with_head(tuple(head))
         workload.append(variant)
     return workload
+
+
+def update_workload(
+    db: Database,
+    n_batches: int,
+    batch_size: int = 8,
+    delete_ratio: float = 0.3,
+    skew: float = 0.0,
+    reinsert_ratio: float = 0.2,
+    seed: int = 0,
+) -> list:
+    """A seeded stream of mixed insert/delete batches against *db*'s schema.
+
+    Returns ``n_batches`` :class:`repro.incremental.Delta` batches of (up
+    to) *batch_size* changes each, simulated against a shadow of the
+    database so the stream stays meaningful: deletes always target rows
+    that exist at that point of the stream, and with probability
+    *reinsert_ratio* an insert resurrects a recently deleted row — the
+    re-insertion pressure that drives support counters through zero and
+    back.  Inserted values are drawn from the active domain; *skew* in
+    ``[0, 1)`` biases the draw towards a small hot set of values
+    (``0`` = uniform).  *db* itself is never mutated.
+    """
+    from ..incremental.delta import Delta
+
+    if not 0.0 <= delete_ratio <= 1.0:
+        raise ValueError("delete_ratio must be within [0, 1]")
+    rng = random.Random(seed)
+    shadow: dict[str, list[tuple]] = {
+        p: sorted(db.rows(p), key=repr) for p in db.predicates()
+    }
+    membership: dict[str, set[tuple]] = {p: set(r) for p, r in shadow.items()}
+    arities = {p: db.arity(p) for p in db.predicates()}
+    if not arities:
+        raise ValueError("update_workload needs at least one declared relation")
+    domain = sorted(db.universe, key=repr) or list(range(10))
+    graveyard: list[tuple[str, tuple]] = []
+    predicates = sorted(arities)
+
+    def pick_value():
+        # skew > 0 concentrates picks near the front of the domain list.
+        index = int(len(domain) * rng.random() ** (1.0 + 4.0 * skew))
+        return domain[min(index, len(domain) - 1)]
+
+    batches: list[Delta] = []
+    for _ in range(n_batches):
+        ops: list[tuple[str, tuple, int]] = []
+        # Each row is touched at most once per batch, so the batch's
+        # normalised Delta is exactly its op sequence and replays
+        # effectively against the batch-start state.
+        touched: set[tuple[str, tuple]] = set()
+        for _ in range(batch_size):
+            deletable = [p for p in predicates if shadow[p]]
+            if deletable and rng.random() < delete_ratio:
+                predicate = rng.choice(deletable)
+                rows = shadow[predicate]
+                i = rng.randrange(len(rows))
+                row = rows[i]
+                if (predicate, row) in touched:
+                    continue
+                rows[i] = rows[-1]
+                rows.pop()
+                membership[predicate].discard(row)
+                graveyard.append((predicate, row))
+                touched.add((predicate, row))
+                ops.append((predicate, row, -1))
+                continue
+            if graveyard and rng.random() < reinsert_ratio:
+                i = rng.randrange(len(graveyard))
+                predicate, row = graveyard[i]
+                if (predicate, row) in touched:
+                    continue
+                graveyard[i] = graveyard[-1]
+                graveyard.pop()
+            else:
+                predicate = rng.choice(predicates)
+                row = tuple(
+                    pick_value() for _ in range(arities[predicate])
+                )
+                if (predicate, row) in touched:
+                    continue
+                # A fresh draw may resurrect a buried row by accident;
+                # purge it from the graveyard so a later "reinsert" pick
+                # cannot emit an ineffective duplicate insert.
+                if (predicate, row) in graveyard:
+                    graveyard.remove((predicate, row))
+            if row not in membership[predicate]:
+                membership[predicate].add(row)
+                shadow[predicate].append(row)
+            touched.add((predicate, row))
+            ops.append((predicate, row, 1))
+        batches.append(Delta.from_changes(ops))
+    return batches
 
 
 def grid_database(

@@ -1,0 +1,33 @@
+"""Incremental view maintenance: live query answers under update streams.
+
+The one-shot pipeline (decompose → full reducer → enumerate) answers a
+query for the database *as it is now*.  This package keeps registered
+queries' answers fresh as the database changes, by counting-based delta
+propagation along the same join tree that makes batch evaluation
+polynomial:
+
+* :mod:`~repro.incremental.delta` — signed, normalised update batches;
+* :mod:`~repro.incremental.counting` — support counters and the
+  sequential delta-join rule (the counting algorithm);
+* :mod:`~repro.incremental.view` — :class:`MaterializedView`, per-node
+  maintained state plus answer-change subscriptions;
+* :mod:`~repro.incremental.live` — :class:`LiveEngine`, the thread-safe
+  facade owning the database and the registered views, planning through
+  the engine's fingerprint-keyed plan cache.
+"""
+
+from .counting import DeltaJoin, JoinInput, SupportCounter
+from .delta import Delta
+from .live import LiveEngine, ViewHandle
+from .view import AnswerDelta, MaterializedView
+
+__all__ = [
+    "AnswerDelta",
+    "Delta",
+    "DeltaJoin",
+    "JoinInput",
+    "LiveEngine",
+    "MaterializedView",
+    "SupportCounter",
+    "ViewHandle",
+]

@@ -1,0 +1,255 @@
+"""Support counting for delta propagation (the counting algorithm).
+
+The classic counting algorithm for view maintenance (Gupta, Mumick &
+Subrahmanian) keeps, for every derived tuple, the number of derivations
+that *support* it.  An insertion surfaces exactly the tuples whose
+support rises from zero; a deletion retracts exactly the tuples whose
+support drops to zero; every other change is invisible one level up —
+which is why propagation along a join tree touches only the paths a
+delta actually affects.
+
+This module provides the three machine parts, all join-tree agnostic:
+
+* :class:`SupportCounter` — a multiset of rows that folds signed weight
+  updates and reports only the zero crossings (the set-level delta);
+* :class:`JoinInput` — one operand of a join: a row set plus
+  incrementally maintained hash indexes on the key attributes the delta
+  rules need;
+* :class:`DeltaJoin` — a compiled ``π_keep(I_0 ⋈ ... ⋈ I_k)`` operator
+  maintained under per-input set deltas via the sequential delta rule
+  ``Δ(I⋈J) = ΔI⋈J ∪ I'⋈ΔJ``, generalised to k inputs.
+
+:class:`repro.incremental.view.MaterializedView` instantiates one
+:class:`DeltaJoin` per join-tree node; the set-level output delta of a
+child node is the input delta of its parent's child slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..db.stats import EvalStats
+
+Row = tuple
+#: row -> non-zero signed weight (a sparse delta of a counted relation).
+SignedRows = dict[Row, int]
+
+
+class SupportCounter:
+    """Rows with strictly positive derivation counts.
+
+    :meth:`apply` folds a signed weight update into the counts and
+    returns the *set-level* delta: ``+1`` for rows whose support rose
+    from zero (appeared), ``-1`` for rows whose support hit zero
+    (vanished).  Support never goes negative — if it would, the caller
+    fed a delta that was not effective against the maintained state,
+    which is an internal invariant violation, not a user error.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: dict[Row, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self.counts
+
+    def support(self, row: Row) -> int:
+        return self.counts.get(row, 0)
+
+    def rows(self) -> frozenset[Row]:
+        return frozenset(self.counts)
+
+    def apply(self, signed: Mapping[Row, int]) -> SignedRows:
+        out: SignedRows = {}
+        counts = self.counts
+        for row, weight in signed.items():
+            if not weight:
+                continue
+            old = counts.get(row, 0)
+            new = old + weight
+            if new < 0:
+                raise RuntimeError(
+                    f"support underflow for {row!r}: {old} + {weight} "
+                    "(delta not effective against maintained state)"
+                )
+            if new == 0:
+                del counts[row]
+                out[row] = -1
+            else:
+                counts[row] = new
+                if old == 0:
+                    out[row] = 1
+        return out
+
+
+class JoinInput:
+    """One operand of a :class:`DeltaJoin`: a row set plus key indexes.
+
+    Indexes are created lazily the first time a key position tuple is
+    requested (at plan compile time) and maintained incrementally on
+    every :meth:`apply`, so a delta-rule probe never rescans the input.
+    """
+
+    __slots__ = ("attributes", "rows", "_indexes")
+
+    def __init__(self, attributes: tuple[str, ...]):
+        self.attributes = attributes
+        self.rows: set[Row] = set()
+        self._indexes: dict[tuple[int, ...], dict[Row, set[Row]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def index_on(self, positions: tuple[int, ...]) -> dict[Row, set[Row]]:
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self.rows:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, set()).add(row)
+            self._indexes[positions] = index
+        return index
+
+    def apply(self, set_delta: Mapping[Row, int]) -> None:
+        for row, sign in set_delta.items():
+            if sign > 0:
+                self.rows.add(row)
+                for positions, index in self._indexes.items():
+                    key = tuple(row[p] for p in positions)
+                    index.setdefault(key, set()).add(row)
+            else:
+                self.rows.discard(row)
+                for positions, index in self._indexes.items():
+                    key = tuple(row[p] for p in positions)
+                    bucket = index.get(key)
+                    if bucket is not None:
+                        bucket.discard(row)
+                        if not bucket:
+                            del index[key]
+
+
+@dataclass(frozen=True)
+class _FoldStep:
+    """One probe of the delta rule: join the accumulated rows with one
+    stored input through its key index, appending the input's new
+    attributes."""
+
+    input_index: int
+    acc_key_positions: tuple[int, ...]
+    input_key_positions: tuple[int, ...]
+    append_positions: tuple[int, ...]
+
+
+class DeltaJoin:
+    """``π_keep(I_0 ⋈ ... ⋈ I_k)`` maintained under per-input deltas.
+
+    The fold order for each possible delta input is compiled once (greedy:
+    prefer operands sharing attributes with what is already joined, as the
+    batch planner does), and the required indexes are registered on the
+    inputs up front.  :meth:`apply` implements the sequential k-way delta
+    rule: inputs are updated in index order, and the contribution of
+    ``ΔI_j`` joins the *new* state of inputs before ``j`` with the *old*
+    state of inputs after ``j`` — summed and projected, that is exactly
+    the delta of the projected join.  The projection's derivation counts
+    live in :attr:`result`, so only zero crossings escape to the caller.
+    """
+
+    def __init__(self, inputs: list[JoinInput], keep: tuple[str, ...]):
+        if not inputs:
+            raise ValueError("DeltaJoin needs at least one input")
+        self.inputs = inputs
+        self.keep = keep
+        self.result = SupportCounter()
+        self._plans: list[tuple[tuple[_FoldStep, ...], tuple[int, ...]]] = [
+            self._compile(j) for j in range(len(inputs))
+        ]
+
+    def _compile(
+        self, j: int
+    ) -> tuple[tuple[_FoldStep, ...], tuple[int, ...]]:
+        acc_attrs = list(self.inputs[j].attributes)
+        remaining = [i for i in range(len(self.inputs)) if i != j]
+        steps: list[_FoldStep] = []
+        while remaining:
+            acc_set = set(acc_attrs)
+            m = max(
+                remaining,
+                key=lambda i: (
+                    sum(1 for a in self.inputs[i].attributes if a in acc_set),
+                    -i,
+                ),
+            )
+            remaining.remove(m)
+            attrs = self.inputs[m].attributes
+            shared = [a for a in attrs if a in acc_set]
+            extra = [a for a in attrs if a not in acc_set]
+            step = _FoldStep(
+                input_index=m,
+                acc_key_positions=tuple(acc_attrs.index(a) for a in shared),
+                input_key_positions=tuple(attrs.index(a) for a in shared),
+                append_positions=tuple(attrs.index(a) for a in extra),
+            )
+            # Register the index now so the first apply() probes an
+            # already-maintained structure.
+            self.inputs[m].index_on(step.input_key_positions)
+            steps.append(step)
+            acc_attrs.extend(extra)
+        missing = [a for a in self.keep if a not in acc_attrs]
+        if missing:
+            raise ValueError(
+                f"projection attributes {missing} not produced by the join "
+                f"of {[i.attributes for i in self.inputs]}"
+            )
+        project = tuple(acc_attrs.index(a) for a in self.keep)
+        return tuple(steps), project
+
+    def apply(
+        self,
+        deltas: Mapping[int, SignedRows],
+        stats: EvalStats | None = None,
+    ) -> SignedRows:
+        """Fold the batch of per-input set deltas; return the set-level
+        delta of the projected join result."""
+        signed_out: SignedRows = {}
+        for j in sorted(deltas):
+            delta_j = deltas[j]
+            if not delta_j:
+                continue
+            steps, project = self._plans[j]
+            acc: SignedRows = dict(delta_j)
+            for step in steps:
+                if not acc:
+                    break
+                index = self.inputs[step.input_index].index_on(
+                    step.input_key_positions
+                )
+                nxt: SignedRows = {}
+                for row, weight in acc.items():
+                    key = tuple(row[p] for p in step.acc_key_positions)
+                    for match in index.get(key, ()):
+                        joined = row + tuple(
+                            match[p] for p in step.append_positions
+                        )
+                        nxt[joined] = nxt.get(joined, 0) + weight
+                acc = nxt
+                if stats is not None:
+                    stats.joins += 1
+                    size = len(acc)
+                    stats.total_tuples_produced += size
+                    if size > stats.max_intermediate:
+                        stats.max_intermediate = size
+            for row, weight in acc.items():
+                if not weight:
+                    continue
+                projected = tuple(row[p] for p in project)
+                signed_out[projected] = signed_out.get(projected, 0) + weight
+            # Input j's state becomes "new" for the inputs still pending.
+            self.inputs[j].apply(delta_j)
+        if stats is not None:
+            stats.projections += 1
+        return self.result.apply(signed_out)

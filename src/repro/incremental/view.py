@@ -1,0 +1,415 @@
+"""Materialized views: standing query answers maintained by deltas.
+
+A :class:`MaterializedView` registers one conjunctive query against one
+database snapshot, evaluates it through the engine's compiled physical
+plan (:class:`repro.engine.plan.QueryPlan` — cached decomposition, per-bag
+join orders, rooted join tree), and thereafter keeps the answer relation
+fresh under :class:`~repro.incremental.delta.Delta` batches without
+recomputation.
+
+The maintained state mirrors the batch pipeline node for node:
+
+* each λ atom of a decomposition node becomes an *atom feed* — the
+  binding transform of :func:`repro.db.binding.bind_atom` (constants,
+  repeated variables) compiled to a per-row filter, plus a counted
+  projection onto the χ overlap when the atom carries variables the bag
+  drops;
+* each join-tree node owns a :class:`~repro.incremental.counting.DeltaJoin`
+  over its atom inputs and child slots, maintaining
+  ``π_keep(bag ⋈ children)`` exactly as the enumeration pass of
+  Yannakakis' algorithm computes it (``keep`` = χ plus the output
+  variables contributed by the subtree);
+* the root's projection onto the head is one more support counter, whose
+  zero crossings are the :class:`AnswerDelta` handed to subscribers.
+
+Initial evaluation is not a special case: it is the delta "insert every
+base row" applied to empty state, so the property tests exercise the
+same code path a cold load does.  The view keeps a shadow copy of its
+base relations, making any incoming batch *effective* (idempotent
+re-inserts and deletes of absent rows are dropped) before propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .._errors import SchemaError
+from ..core.atoms import Atom, Constant, Variable
+from ..core.query import ConjunctiveQuery
+from ..db.database import Database
+from ..db.relation import Relation
+from ..db.stats import EvalStats
+from ..engine.plan import QueryPlan
+from .counting import DeltaJoin, JoinInput, Row, SignedRows, SupportCounter
+from .delta import Delta
+
+
+@dataclass(frozen=True)
+class AnswerDelta:
+    """The set-level change of a view's answer relation after one batch."""
+
+    attributes: tuple[str, ...]
+    inserted: frozenset[Row]
+    deleted: frozenset[Row]
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted or self.deleted)
+
+    def __len__(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    @staticmethod
+    def empty(attributes: tuple[str, ...]) -> "AnswerDelta":
+        return AnswerDelta(attributes, frozenset(), frozenset())
+
+    def __str__(self) -> str:
+        def render(rows: frozenset[Row], sign: str) -> list[str]:
+            return [
+                f"{sign}({', '.join(map(str, r))})"
+                for r in sorted(rows, key=repr)
+            ]
+
+        parts = render(self.inserted, "+") + render(self.deleted, "-")
+        header = ", ".join(self.attributes)
+        return f"Δans({header})[" + " ".join(parts) + "]"
+
+
+class _AtomFeed:
+    """Compiled transform from one base relation's delta to one join
+    input's delta: binding filter, projection onto the χ overlap, and —
+    when the projection drops variables — a support counter so dropped-
+    variable multiplicity is tracked exactly."""
+
+    __slots__ = (
+        "predicate",
+        "arity",
+        "input_index",
+        "_const_checks",
+        "_eq_checks",
+        "_out_positions",
+        "_projector",
+    )
+
+    def __init__(self, atom: Atom, attributes: tuple[str, ...], input_index: int):
+        self.predicate = atom.predicate
+        self.arity = atom.arity
+        self.input_index = input_index
+        first_position: dict[Variable, int] = {}
+        const_checks: list[tuple[int, object]] = []
+        eq_checks: list[tuple[int, int]] = []
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                const_checks.append((i, term.value))
+            elif term in first_position:
+                eq_checks.append((i, first_position[term]))
+            else:
+                first_position[term] = i
+        self._const_checks = tuple(const_checks)
+        self._eq_checks = tuple(eq_checks)
+        self._out_positions = tuple(
+            first_position[Variable(name)] for name in attributes
+        )
+        # The bound-row -> output-row map is injective exactly when every
+        # distinct variable survives the projection; otherwise dropped
+        # variables make several base rows support one output row.
+        injective = len(attributes) == len(first_position)
+        self._projector = None if injective else SupportCounter()
+
+    def feed(self, rows: Mapping[Row, int]) -> SignedRows:
+        signed: SignedRows = {}
+        for row, sign in rows.items():
+            if any(row[i] != value for i, value in self._const_checks):
+                continue
+            if any(row[i] != row[f] for i, f in self._eq_checks):
+                continue
+            out = tuple(row[p] for p in self._out_positions)
+            signed[out] = signed.get(out, 0) + sign
+        if self._projector is None:
+            return {row: sign for row, sign in signed.items() if sign}
+        return self._projector.apply(signed)
+
+
+class _ViewNode:
+    """One join-tree node's maintained state."""
+
+    __slots__ = ("bag", "join", "feeds", "child_slot")
+
+    def __init__(
+        self,
+        bag: Atom,
+        join: DeltaJoin,
+        feeds: tuple[_AtomFeed, ...],
+        child_slot: dict[Atom, int],
+    ):
+        self.bag = bag
+        self.join = join
+        self.feeds = feeds
+        self.child_slot = child_slot
+
+
+class MaterializedView:
+    """One standing query whose answers stay fresh under update batches.
+
+    Parameters
+    ----------
+    query:
+        The registered conjunctive query (its head fixes the answer
+        schema; Boolean queries yield the 0-ary relation).
+    db:
+        The database snapshot the view starts from.  The view copies the
+        base rows it depends on and never reads *db* again — callers feed
+        subsequent changes through :meth:`apply`.
+    plan:
+        The compiled physical plan, typically obtained through
+        :meth:`repro.engine.Engine.plan` so structurally identical views
+        share one cached decomposition.
+    track_base:
+        With the default ``True`` the view keeps a shadow copy of its
+        base relations and normalises every incoming batch against it,
+        so raw streams (idempotent re-inserts, deletes of absent rows)
+        are safe.  :class:`~repro.incremental.live.LiveEngine` passes
+        ``False``: it feeds deltas that :meth:`Database.apply` already
+        made effective, so the per-view shadow (O(database) memory per
+        view) and the second normalisation pass are skipped.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        plan: QueryPlan,
+        track_base: bool = True,
+    ):
+        self.query = query
+        self.plan = plan
+        self.output = plan.output
+        self.predicates = frozenset(query.predicates)
+        self._arities = dict(query.arities)
+        tree = plan.join_tree
+        self._order = list(tree.post_order())
+        self._parent = tree.parent_of
+        self._root = tree.root
+
+        plans_by_bag = {np.bag: np for np in plan.node_plans}
+        out_set = set(plan.output)
+        below: dict[Atom, set[str]] = {}
+        keeps: dict[Atom, tuple[str, ...]] = {}
+        for bag in self._order:
+            chi = set(plans_by_bag[bag].chi_names)
+            attrs = set(chi)
+            for child in tree.children(bag):
+                attrs |= below[child]
+            below[bag] = attrs
+            keeps[bag] = tuple(sorted(chi | (attrs & out_set)))
+
+        self._nodes: dict[Atom, _ViewNode] = {}
+        self._unit_bags: set[Atom] = set()
+        for bag in self._order:
+            np = plans_by_bag[bag]
+            chi_set = set(np.chi_names)
+            inputs: list[JoinInput] = []
+            feeds: list[_AtomFeed] = []
+            for atom in np.join_order:
+                attrs = tuple(
+                    sorted(v.name for v in atom.variables if v.name in chi_set)
+                )
+                feeds.append(_AtomFeed(atom, attrs, len(inputs)))
+                inputs.append(JoinInput(attrs))
+            child_slot: dict[Atom, int] = {}
+            for child in tree.children(bag):
+                child_slot[child] = len(inputs)
+                inputs.append(JoinInput(keeps[child]))
+            if not inputs:
+                # A node with no contributing atoms and no children (an
+                # empty-χ leaf) joins as the 0-ary unit relation; its one
+                # row is seeded during the initial propagation.
+                inputs.append(JoinInput(()))
+                self._unit_bags.add(bag)
+            self._nodes[bag] = _ViewNode(
+                bag, DeltaJoin(inputs, keeps[bag]), tuple(feeds), child_slot
+            )
+
+        self._project_root = tuple(
+            keeps[self._root].index(a) for a in plan.output
+        )
+        self._answers = SupportCounter()
+        self._subscribers: list[Callable[[AnswerDelta], None]] = []
+        self.stats = EvalStats()
+        self.last_batch: EvalStats | None = None
+        self.batches = 0
+
+        initial_rows = {
+            p: db.rows(p) if db.has_predicate(p) else frozenset()
+            for p in self.predicates
+        }
+        self._base: dict[str, set[Row]] | None = (
+            {p: set(rows) for p, rows in initial_rows.items()}
+            if track_base
+            else None
+        )
+        initial = {
+            p: {row: 1 for row in rows}
+            for p, rows in initial_rows.items()
+            if rows
+        }
+        self._propagate(initial, seed_units=True)
+
+    # -- views ------------------------------------------------------------
+    def answers(self) -> Relation:
+        """The current answer relation (schema = the query head)."""
+        return Relation.trusted(self.output, self._answers.rows(), "ans")
+
+    @property
+    def boolean(self) -> bool:
+        """The Boolean reading: is the answer relation non-empty?"""
+        return bool(self._answers.counts)
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def subscribe(
+        self, callback: Callable[[AnswerDelta], None]
+    ) -> Callable[[], None]:
+        """Register *callback* for non-empty answer deltas; returns an
+        unsubscribe function."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    # -- maintenance ------------------------------------------------------
+    def apply(self, delta: Delta, notify: bool = True) -> AnswerDelta:
+        """Fold one update batch into the view; return the answer delta.
+
+        With a base shadow (``track_base=True``) the batch is first
+        normalised against it, so re-inserting a present row or deleting
+        an absent one is a no-op — callers may pass raw streams.  Without
+        one, the caller guarantees effectiveness (as ``LiveEngine`` does
+        via ``Database.apply``).
+
+        With *notify*, subscribers run after the state update; a raising
+        callback can therefore never leave the view half-applied (see
+        :meth:`notify_subscribers`).
+        """
+        # Validate the whole batch before touching any state: a
+        # partially folded batch would desynchronise the view forever.
+        for predicate, rows in delta.changes.items():
+            arity = self._arities.get(predicate)
+            if arity is None:
+                continue
+            for row in rows:
+                if len(row) != arity:
+                    raise SchemaError(
+                        f"delta row {predicate}{row!r} does not match the "
+                        f"view's arity {arity} for {predicate!r}"
+                    )
+                break  # Delta construction enforced one arity per predicate
+        base: dict[str, dict[Row, int]] = {}
+        for predicate, rows in delta.changes.items():
+            if predicate not in self._arities:
+                continue  # predicate not mentioned by this view
+            if self._base is None:
+                base[predicate] = dict(rows)
+                continue
+            shadow = self._base[predicate]
+            effective: dict[Row, int] = {}
+            for row, sign in rows.items():
+                if sign > 0:
+                    if row not in shadow:
+                        shadow.add(row)
+                        effective[row] = 1
+                elif row in shadow:
+                    shadow.remove(row)
+                    effective[row] = -1
+            if effective:
+                base[predicate] = effective
+        result = self._propagate(base)
+        if notify:
+            self.notify_subscribers(result)
+        return result
+
+    def notify_subscribers(self, result: AnswerDelta) -> None:
+        """Deliver a non-empty answer delta to every subscriber.
+
+        Each callback is isolated: all of them run even if one raises,
+        and only then is the first exception re-raised — by that point
+        the view's own state is already consistent, so a faulty
+        subscriber cannot desynchronise maintenance.
+        """
+        if not result:
+            return
+        errors: list[BaseException] = []
+        for callback in list(self._subscribers):
+            try:
+                callback(result)
+            except BaseException as error:  # noqa: BLE001 - isolation point
+                errors.append(error)
+        if errors:
+            raise errors[0]
+
+    def _propagate(
+        self,
+        base_rows: Mapping[str, Mapping[Row, int]],
+        seed_units: bool = False,
+    ) -> AnswerDelta:
+        stats = EvalStats()
+        touched = 0
+        nodes_touched = 0
+        root_delta: SignedRows = {}
+        pending: dict[Atom, dict[int, SignedRows]] = {}
+        with stats.timed():
+            for bag in self._order:
+                node = self._nodes[bag]
+                deltas = pending.pop(bag, {})
+                for feed in node.feeds:
+                    rows = base_rows.get(feed.predicate)
+                    if rows:
+                        fed = feed.feed(rows)
+                        if fed:
+                            deltas[feed.input_index] = fed
+                if seed_units and bag in self._unit_bags:
+                    deltas[0] = {(): 1}
+                if not deltas:
+                    continue
+                nodes_touched += 1
+                touched += sum(len(d) for d in deltas.values())
+                out = node.join.apply(deltas, stats)
+                touched += len(out)
+                if not out:
+                    continue
+                if bag == self._root:
+                    root_delta = out
+                else:
+                    parent = self._parent[bag]
+                    slot = self._nodes[parent].child_slot[bag]
+                    pending.setdefault(parent, {})[slot] = out
+            signed: SignedRows = {}
+            for row, weight in root_delta.items():
+                projected = tuple(row[p] for p in self._project_root)
+                signed[projected] = signed.get(projected, 0) + weight
+            answer_signed = self._answers.apply(signed)
+            if root_delta:
+                stats.projections += 1
+
+        stats.notes["touched_rows"] = float(touched)
+        stats.notes["nodes_touched"] = float(nodes_touched)
+        stats.notes["batches"] = 1.0
+        self.last_batch = stats
+        self.stats.merge(stats)
+        self.batches += 1
+
+        return AnswerDelta(
+            self.output,
+            frozenset(r for r, s in answer_signed.items() if s > 0),
+            frozenset(r for r, s in answer_signed.items() if s < 0),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<MaterializedView {self.query.name}: {len(self)} answers, "
+            f"{self.batches} batches>"
+        )

@@ -166,3 +166,40 @@ class TestAlgebraicLaws:
         left = r.join(s).join(t)
         right = r.join(s.join(t))
         assert left.rows == right.rows
+
+
+class TestTrustedConstructor:
+    def test_skips_row_validation(self):
+        # A validating constructor rejects this; trusted does not look.
+        bad = Relation.trusted(("a", "b"), frozenset({(1,)}), "raw")
+        assert bad.rows == {(1,)}
+        with pytest.raises(SchemaError):
+            Relation(("a", "b"), frozenset({(1,)}), "raw")
+
+    def test_equals_validated_twin(self):
+        rows = frozenset({(1, 2), (3, 4)})
+        assert Relation.trusted(("a", "b"), rows) == Relation(("a", "b"), rows)
+        assert hash(Relation.trusted(("a", "b"), rows)) == hash(
+            Relation(("a", "b"), rows)
+        )
+
+    def test_operations_still_work(self):
+        r = Relation.trusted(("a", "b"), frozenset({(1, 2), (3, 4)}))
+        assert r.project(["a"]).rows == {(1,), (3,)}
+        assert r.semijoin(Relation.from_rows(("a",), [(1,)])).rows == {(1, 2)}
+        assert r.column("b") == {2, 4}
+
+    def test_hot_paths_produce_trusted_results(self):
+        """Join/semijoin outputs are schema-correct by construction and
+        must not pay the per-row width re-check (guarded indirectly: the
+        operations accept large inputs without quadratic re-validation)."""
+        r = Relation.from_rows(("a", "b"), [(i, i + 1) for i in range(200)])
+        s = Relation.from_rows(("b", "c"), [(i, i + 2) for i in range(200)])
+        out = r.join(s)
+        assert out.arity == 3
+        assert len(out) == 199
+
+    def test_project_still_rejects_duplicate_attributes(self):
+        r = Relation.from_rows(("a", "b"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            r.project(["a", "a"])

@@ -1,0 +1,159 @@
+"""The counting machinery: support counters, join inputs, delta joins."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.incremental.counting import DeltaJoin, JoinInput, SupportCounter
+
+
+class TestSupportCounter:
+    def test_zero_crossings_only(self):
+        c = SupportCounter()
+        assert c.apply({(1,): 2}) == {(1,): 1}
+        assert c.apply({(1,): 3}) == {}  # 2 -> 5: no crossing
+        assert c.apply({(1,): -4}) == {}  # 5 -> 1: no crossing
+        assert c.apply({(1,): -1}) == {(1,): -1}  # 1 -> 0: vanishes
+        assert (1,) not in c
+
+    def test_underflow_raises(self):
+        c = SupportCounter()
+        c.apply({(1,): 1})
+        with pytest.raises(RuntimeError):
+            c.apply({(1,): -2})
+
+    def test_zero_weight_ignored(self):
+        c = SupportCounter()
+        assert c.apply({(1,): 0}) == {}
+        assert len(c) == 0
+
+
+class TestJoinInput:
+    def test_indexes_maintained(self):
+        inp = JoinInput(("X", "Y"))
+        index = inp.index_on((0,))
+        inp.apply({(1, 2): 1, (1, 3): 1, (2, 4): 1})
+        assert index[(1,)] == {(1, 2), (1, 3)}
+        inp.apply({(1, 2): -1})
+        assert index[(1,)] == {(1, 3)}
+        inp.apply({(1, 3): -1})
+        assert (1,) not in index
+
+    def test_lazy_index_builds_from_existing_rows(self):
+        inp = JoinInput(("X",))
+        inp.apply({(1,): 1, (2,): 1})
+        assert inp.index_on((0,))[(2,)] == {(2,)}
+
+
+def brute_join_project(inputs, keep):
+    """Reference: natural join of row sets, projected onto *keep*."""
+    rows = [{}]
+    for join_input in inputs:
+        nxt = []
+        for partial in rows:
+            for row in join_input.rows:
+                bound = dict(partial)
+                ok = True
+                for attr, value in zip(join_input.attributes, row):
+                    if attr in bound and bound[attr] != value:
+                        ok = False
+                        break
+                    bound[attr] = value
+                if ok:
+                    nxt.append(bound)
+        rows = nxt
+    return {tuple(b[a] for a in keep) for b in rows}
+
+
+class TestDeltaJoin:
+    def _fresh(self):
+        a = JoinInput(("X", "Y"))
+        b = JoinInput(("Y", "Z"))
+        join = DeltaJoin([a, b], ("X", "Z"))
+        return a, b, join
+
+    def test_insert_propagates(self):
+        a, b, join = self._fresh()
+        assert join.apply({0: {(1, 2): 1}}) == {}
+        assert join.apply({1: {(2, 3): 1}}) == {(1, 3): 1}
+        assert join.result.rows() == {(1, 3)}
+
+    def test_delete_retracts_at_zero_support(self):
+        a, b, join = self._fresh()
+        join.apply({0: {(1, 2): 1, (0, 2): 1}, 1: {(2, 3): 1}})
+        # (X, Z) result (1, 3) and (0, 3); delete one supporting left row
+        assert join.apply({0: {(0, 2): -1}}) == {(0, 3): -1}
+        # (1, 3) still supported
+        assert join.result.rows() == {(1, 3)}
+        assert join.apply({1: {(2, 3): -1}}) == {(1, 3): -1}
+        assert join.result.rows() == set()
+
+    def test_projection_counts_derivations(self):
+        a = JoinInput(("X", "Y"))
+        join = DeltaJoin([a], ("X",))
+        join.apply({0: {(1, 2): 1, (1, 3): 1}})
+        assert join.result.rows() == {(1,)}
+        # dropping one derivation does not retract the projected row
+        assert join.apply({0: {(1, 2): -1}}) == {}
+        assert join.apply({0: {(1, 3): -1}}) == {(1,): -1}
+
+    def test_mixed_batch_within_one_apply(self):
+        a, b, join = self._fresh()
+        join.apply({0: {(1, 2): 1}, 1: {(2, 3): 1}})
+        out = join.apply({0: {(1, 2): -1, (5, 2): 1}})
+        assert out == {(1, 3): -1, (5, 3): 1}
+
+    def test_disjoint_inputs_cross_product(self):
+        a = JoinInput(("X",))
+        b = JoinInput(("Y",))
+        join = DeltaJoin([a, b], ("X", "Y"))
+        join.apply({0: {(1,): 1}, 1: {(7,): 1, (8,): 1}})
+        assert join.result.rows() == {(1, 7), (1, 8)}
+
+    def test_missing_projection_attr_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaJoin([JoinInput(("X",))], ("Z",))
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaJoin([], ())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 2),  # input index
+            st.integers(0, 3),
+            st.integers(0, 3),
+            st.booleans(),  # insert / delete
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_delta_join_equals_recompute(ops):
+    """Any interleaving of single-row changes keeps the maintained result
+    equal to a from-scratch join of the current input sets."""
+    inputs = [
+        JoinInput(("X", "Y")),
+        JoinInput(("Y", "Z")),
+        JoinInput(("Z", "W")),
+    ]
+    join = DeltaJoin(inputs, ("X", "W"))
+    state = [set(), set(), set()]
+    for index, a, b, insert in ops:
+        row = (a, b)
+        if insert:
+            if row in state[index]:
+                continue
+            state[index].add(row)
+            join.apply({index: {row: 1}})
+        else:
+            if row not in state[index]:
+                continue
+            state[index].remove(row)
+            join.apply({index: {row: -1}})
+        assert join.result.rows() == brute_join_project(
+            inputs, ("X", "W")
+        ), state

@@ -1,0 +1,111 @@
+"""Delta batches: normalization, combinators, and the Database.apply path."""
+
+import pytest
+
+from repro._errors import SchemaError
+from repro.db.database import Database
+from repro.incremental import Delta
+
+
+class TestNormalization:
+    def test_signs_collapse(self):
+        d = Delta({"e": {(1, 2): 5, (3, 4): -2, (5, 6): 0}})
+        assert d.changes == {"e": {(1, 2): 1, (3, 4): -1}}
+
+    def test_empty_buckets_disappear(self):
+        d = Delta({"e": {(1, 2): 0}, "f": {}})
+        assert d.is_empty
+        assert not d
+        assert len(d) == 0
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Delta({"e": {(1, 2): 1, (1, 2, 3): 1}})
+
+    def test_rows_coerced_to_tuples(self):
+        d = Delta({"e": {(1, 2): 1}})
+        assert d.inserted("e") == {(1, 2)}
+
+    def test_from_changes_later_wins(self):
+        d = Delta.from_changes(
+            [("e", (1, 2), 1), ("e", (1, 2), -1), ("e", (3, 4), 1)]
+        )
+        assert d.deleted("e") == {(1, 2)}
+        assert d.inserted("e") == {(3, 4)}
+
+
+class TestCombinators:
+    def test_then_later_change_wins(self):
+        first = Delta.inserts("e", [(1, 2)])
+        second = Delta.deletes("e", [(1, 2)])
+        assert first.then(second).deleted("e") == {(1, 2)}
+        assert second.then(first).inserted("e") == {(1, 2)}
+
+    def test_inverse_roundtrip(self):
+        d = Delta({"e": {(1, 2): 1, (3, 4): -1}})
+        assert d.inverse().inverse() == d
+        assert d.inverse().inserted("e") == {(3, 4)}
+
+    def test_restrict_and_touches(self):
+        d = Delta({"e": {(1, 2): 1}, "f": {(7,): -1}})
+        assert d.touches({"e", "g"})
+        assert not d.touches({"g"})
+        restricted = d.restrict({"f"})
+        assert restricted.predicates == {"f"}
+
+    def test_iteration_is_deterministic(self):
+        d = Delta({"f": {(2,): -1}, "e": {(1, 2): 1, (0, 0): 1}})
+        assert list(d) == [
+            ("e", (0, 0), 1),
+            ("e", (1, 2), 1),
+            ("f", (2,), -1),
+        ]
+
+
+class TestDatabaseApply:
+    def test_effective_subset(self):
+        db = Database.from_relations({"e": [(1, 2)]})
+        delta = Delta(
+            {"e": {(1, 2): 1, (3, 4): 1, (9, 9): -1}}
+        )  # re-insert, new, delete-absent
+        effective = db.apply(delta)
+        assert effective.changes == {"e": {(3, 4): 1}}
+        assert db.rows("e") == {(1, 2), (3, 4)}
+
+    def test_deletes_remove(self):
+        db = Database.from_relations({"e": [(1, 2), (3, 4)]})
+        effective = db.apply(Delta.deletes("e", [(1, 2)]))
+        assert effective.deleted("e") == {(1, 2)}
+        assert db.rows("e") == {(3, 4)}
+
+    def test_insert_defines_new_predicate(self):
+        db = Database()
+        db.apply(Delta.inserts("p", [(1, 2, 3)]))
+        assert db.arity("p") == 3
+
+    def test_arity_mismatch_raises(self):
+        db = Database.from_relations({"e": [(1, 2)]})
+        with pytest.raises(SchemaError):
+            db.apply(Delta.inserts("e", [(1, 2, 3)]))
+
+    def test_version_counts_effective_changes(self):
+        db = Database.from_relations({"e": [(1, 2)]})
+        before = db.version
+        db.apply(Delta.inserts("e", [(1, 2)]))  # no-op
+        assert db.version == before
+        db.apply(Delta.inserts("e", [(5, 6)]))
+        assert db.version == before + 1
+
+    def test_declare_fixes_schema(self):
+        db = Database()
+        db.declare("e", 2)
+        assert db.has_predicate("e")
+        assert db.rows("e") == frozenset()
+        with pytest.raises(SchemaError):
+            db.add_fact("e", 1, 2, 3)
+
+    def test_remove_fact(self):
+        db = Database.from_relations({"e": [(1, 2)]})
+        assert db.remove_fact("e", 1, 2)
+        assert not db.remove_fact("e", 1, 2)
+        assert not db.remove_fact("unknown", 1)

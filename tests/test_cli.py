@@ -236,3 +236,60 @@ class TestErrors:
     def test_experiments_list(self, capsys):
         assert main(["experiments"]) == 0
         assert "E06" in capsys.readouterr().out
+
+
+class TestWatch:
+    @pytest.fixture
+    def delta_file(self, tmp_path: pathlib.Path) -> str:
+        path = tmp_path / "deltas.txt"
+        path.write_text(
+            "# close the triangle\n"
+            "+e(3, 1).\n"
+            "-e(2, 3).\n"
+            "e(2, 3).\n"
+        )
+        return str(path)
+
+    def test_watch_streams_answer_deltas(self, facts_file, delta_file, capsys):
+        code = main(
+            [
+                "watch",
+                "ans(X) :- e(X,Y), e(Y,Z), e(Z,X).",
+                facts_file,
+                "--deltas",
+                delta_file,
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "registered" in out and "width 2" in out
+        assert "+ (1)" in out and "- (1)" in out
+        assert "final: 3 answers after 3 updates" in out
+        assert "touched_rows" in out
+
+    def test_watch_without_facts_starts_empty(self, tmp_path, capsys):
+        deltas = tmp_path / "d.txt"
+        deltas.write_text("+e(1, 2).\n")
+        code = main(
+            [
+                "watch",
+                "ans(X, Y) :- e(X, Y).",
+                "--deltas",
+                str(deltas),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 initial answers" in out
+        assert "+ (1, 2)" in out
+        assert "final: 1 answers after 1 updates" in out
+
+    def test_watch_rejects_non_ground_updates(self, tmp_path, capsys):
+        deltas = tmp_path / "d.txt"
+        deltas.write_text("+e(X, 2).\n")
+        code = main(
+            ["watch", "ans(X, Y) :- e(X, Y).", "--deltas", str(deltas)]
+        )
+        assert code == 2
+        assert "not ground" in capsys.readouterr().err

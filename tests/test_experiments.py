@@ -15,6 +15,7 @@ def test_registry_covers_design_document():
         "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20",
         "E21",  # heuristic portfolio vs exact widths (post-paper subsystem)
         "E22",  # engine plan-cache amortisation (post-paper subsystem)
+        "E23",  # streaming semijoin locality (incremental subsystem)
     }
     assert set(ALL_IDS) == expected
 

@@ -142,3 +142,87 @@ class TestQueryWorkload:
         a = query_workload(10, 4, seed=12)
         b = query_workload(10, 4, seed=12)
         assert [str(q) for q in a] == [str(q) for q in b]
+
+
+class TestUpdateWorkload:
+    def _db(self):
+        from repro.db.database import Database
+
+        return Database.from_relations(
+            {"e": [(i, i + 1) for i in range(20)]}
+        )
+
+    def test_deterministic(self):
+        from repro.generators.workloads import update_workload
+
+        a = update_workload(self._db(), 5, batch_size=6, seed=3)
+        b = update_workload(self._db(), 5, batch_size=6, seed=3)
+        assert [sorted(d) for d in a] == [sorted(d) for d in b]
+
+    def test_db_not_mutated(self):
+        from repro.generators.workloads import update_workload
+
+        db = self._db()
+        before = db.rows("e")
+        update_workload(db, 5, batch_size=8, delete_ratio=0.5, seed=1)
+        assert db.rows("e") == before
+
+    def test_deletes_target_live_rows(self):
+        """Replaying the stream against a copy of the database applies
+        every change effectively — deletes always hit present rows."""
+        from repro.generators.workloads import update_workload
+
+        db = self._db()
+        stream = update_workload(
+            db, 8, batch_size=6, delete_ratio=0.6, reinsert_ratio=0.4, seed=7
+        )
+        replay = self._db()
+        for delta in stream:
+            effective = replay.apply(delta)
+            assert set(effective.deleted("e")) == set(delta.deleted("e"))
+            # inserts are effective too: fresh draws purge the graveyard,
+            # so resurrection picks never duplicate a present row
+            assert set(effective.inserted("e")) == set(delta.inserted("e"))
+
+    def test_mixes_inserts_and_deletes(self):
+        from repro.generators.workloads import update_workload
+
+        stream = update_workload(
+            self._db(), 10, batch_size=8, delete_ratio=0.5, seed=2
+        )
+        signs = {sign for delta in stream for _, _, sign in delta}
+        assert signs == {1, -1}
+
+    def test_delete_ratio_validated(self):
+        import pytest
+
+        from repro.generators.workloads import update_workload
+
+        with pytest.raises(ValueError):
+            update_workload(self._db(), 1, delete_ratio=1.5)
+
+    def test_empty_database_rejected(self):
+        import pytest
+
+        from repro.db.database import Database
+        from repro.generators.workloads import update_workload
+
+        with pytest.raises(ValueError):
+            update_workload(Database(), 1)
+
+    def test_skew_concentrates_values(self):
+        from repro.generators.workloads import update_workload
+
+        wide = update_workload(
+            self._db(), 20, batch_size=10, delete_ratio=0.0, skew=0.0, seed=5
+        )
+        narrow = update_workload(
+            self._db(), 20, batch_size=10, delete_ratio=0.0, skew=0.9, seed=5
+        )
+
+        def distinct_values(stream):
+            return len(
+                {v for d in stream for _, row, _ in d for v in row}
+            )
+
+        assert distinct_values(narrow) <= distinct_values(wide)
