@@ -12,9 +12,17 @@ from ._errors import (
     ParseError,
     ReproError,
     SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
 )
 from .core import *  # noqa: F401,F403 -- curated in core/__init__.py
 from .core import __all__ as _core_all
+from .db import (
+    ShardedRelation,
+    parallel_boolean_eval,
+    parallel_enumerate_answers,
+    parallel_full_reduce,
+)
 from .engine import BatchResult, Engine, EvalResult, PlanCache, fingerprint
 from .heuristics import (
     PortfolioResult,
@@ -30,7 +38,7 @@ from .incremental import (
     ViewHandle,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnswerDelta",
@@ -49,11 +57,17 @@ __all__ = [
     "PortfolioResult",
     "ReproError",
     "SchemaError",
+    "ShardedRelation",
+    "UnknownAttributeError",
+    "UnknownRelationError",
     "ViewHandle",
     "__version__",
     "decompose",
     "fingerprint",
     "greedy_upper_bound",
     "lower_bound",
+    "parallel_boolean_eval",
+    "parallel_enumerate_answers",
+    "parallel_full_reduce",
     *_core_all,
 ]

@@ -27,6 +27,17 @@ class SchemaError(ReproError):
     """Raised on arity/attribute mismatches in the relational engine."""
 
 
+class UnknownAttributeError(SchemaError):
+    """Raised when an operation names an attribute a schema lacks.
+
+    A :class:`SchemaError` specialisation so the CLI can turn a typo'd
+    attribute name into a readable exit-1 message instead of letting a
+    lookup failure escape as a traceback.
+    """
+
+
+
+
 class DecompositionError(ReproError):
     """Raised when a decomposition object is structurally ill-formed.
 
@@ -47,6 +58,19 @@ class BudgetExceeded(ReproError):
 
 class EvaluationError(ReproError):
     """Raised when query evaluation is invoked with inconsistent inputs."""
+
+
+class UnknownRelationError(SchemaError, EvaluationError):
+    """Raised when a query or lookup references a relation the database
+    lacks.
+
+    Inherits both :class:`SchemaError` (it is a schema-level lookup
+    failure, raised by :meth:`repro.db.database.Database.relation` and
+    friends) and :class:`EvaluationError` (it aborts evaluation, raised
+    by :func:`repro.db.binding.bind_atom`), so pre-existing handlers of
+    either base keep catching it; the CLI's ``run``/``watch`` report it
+    as a readable "no such relation" exit-1 message.
+    """
 
 
 class DatalogError(ReproError):

@@ -61,7 +61,12 @@ import pathlib
 import sys
 import time
 
-from ._errors import BudgetExceeded, ReproError
+from ._errors import (
+    BudgetExceeded,
+    ReproError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
 from .core.acyclicity import is_acyclic
 from .core.containment import contains
 from .core.detkdecomp import decompose_k, hypertree_width
@@ -188,7 +193,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     queries = [
         _load_query(text, name=f"Q{i}") for i, text in enumerate(args.queries)
     ]
-    engine = Engine(mode=args.strategy, budget=args.budget, workers=args.workers)
+    engine = Engine(
+        mode=args.strategy,
+        budget=args.budget,
+        workers=args.workers,
+        parallelism=args.parallelism,
+    )
     batch = None
     for _ in range(max(1, args.repeat)):
         batch = engine.execute_many(queries, db=db)
@@ -245,7 +255,11 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
     query = _load_query(args.query)
     db = _load_facts(args.facts) if args.facts else Database()
-    live = LiveEngine(db=db, engine=Engine(mode=args.strategy))
+    live = LiveEngine(
+        db=db,
+        engine=Engine(mode=args.strategy),
+        parallelism=args.parallelism,
+    )
     handle = live.register(query)
     print(
         f"registered {query.name}: width {handle.width} [{handle.method}], "
@@ -367,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--workers", type=int, default=4)
     p.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="intra-query sharded-kernel width (>1 hash-partitions every "
+        "relation and runs the Yannakakis passes shard-wise)",
+    )
+    p.add_argument(
         "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
     )
     p.add_argument("--stats", action="store_true")
@@ -404,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
     )
+    p.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="fan updates out to touched views over this many workers",
+    )
     p.add_argument("--stats", action="store_true")
     p.set_defaults(fn=_cmd_watch)
 
@@ -428,6 +455,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except (UnknownRelationError, UnknownAttributeError) as error:
+        # A typo'd relation/attribute name is a user-input problem, not a
+        # malformed invocation: readable one-liner, exit 1, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -14,7 +14,14 @@ from .naive import (
     naive_boolean_eval,
     naive_join_eval,
 )
+from .parallel import (
+    parallel_boolean_eval,
+    parallel_enumerate_answers,
+    parallel_full_reduce,
+    shard_key_for,
+)
 from .relation import Relation
+from .sharded import ShardedRelation
 from .stats import EvalStats
 from .yannakakis import boolean_eval, enumerate_answers, full_reduce
 
@@ -24,6 +31,7 @@ __all__ = [
     "EvalStats",
     "Lemma46Result",
     "Relation",
+    "ShardedRelation",
     "backtracking_answers",
     "backtracking_eval",
     "bind_atom",
@@ -35,4 +43,8 @@ __all__ = [
     "lemma46_transform",
     "naive_boolean_eval",
     "naive_join_eval",
+    "parallel_boolean_eval",
+    "parallel_enumerate_answers",
+    "parallel_full_reduce",
+    "shard_key_for",
 ]

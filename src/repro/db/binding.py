@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .._errors import EvaluationError
+from .._errors import EvaluationError, UnknownRelationError
 from ..core.atoms import Atom, Constant, Variable
 from ..core.query import ConjunctiveQuery
 from .database import Database
@@ -28,7 +28,7 @@ def bind_atom(atom: Atom, db: Database) -> Relation:
     does not define).
     """
     if not db.has_predicate(atom.predicate):
-        raise EvaluationError(
+        raise UnknownRelationError(
             f"query atom {atom} references unknown relation "
             f"{atom.predicate!r}"
         )

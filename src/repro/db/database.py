@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
-from .._errors import SchemaError
+from .._errors import SchemaError, UnknownRelationError
 from ..core.atoms import Atom, Constant
 from .relation import Relation, Value
 
@@ -140,7 +140,7 @@ class Database:
 
     def arity(self, predicate: str) -> int:
         if predicate not in self._arities:
-            raise SchemaError(f"unknown predicate {predicate!r}")
+            raise UnknownRelationError(f"unknown predicate {predicate!r}")
         return self._arities[predicate]
 
     def has_predicate(self, predicate: str) -> bool:
@@ -154,7 +154,7 @@ class Database:
         """The relation instance as a :class:`Relation` with positional
         attribute names ``$0..$k``."""
         if predicate not in self._relations:
-            raise SchemaError(f"unknown predicate {predicate!r}")
+            raise UnknownRelationError(f"unknown predicate {predicate!r}")
         arity = self._arities[predicate]
         attrs = tuple(f"${i}" for i in range(arity))
         return Relation(attrs, frozenset(self._relations[predicate]), predicate)

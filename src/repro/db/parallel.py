@@ -1,0 +1,227 @@
+"""Parallel Yannakakis passes over hash-partitioned relations.
+
+Mirrors :mod:`repro.db.yannakakis` operation for operation, but every
+node relation is first hash-partitioned into a :class:`ShardedRelation`
+(:func:`shard_key_for` picks the partition key: a variable shared with
+the tree parent, so parent-child semijoin edges run partition-wise
+whenever the two sides agree on it) and every semijoin/join/projection
+then fans its shard tasks over a worker pool.
+
+The sequential functions are the semantic oracle: for every tree,
+database and shard count,
+
+* ``parallel_boolean_eval ≡ boolean_eval``
+* ``parallel_full_reduce ≡ full_reduce``
+* ``parallel_enumerate_answers ≡ enumerate_answers``
+
+which ``tests/db/test_parallel_equivalence.py`` asserts property-style.
+The pool is optional — ``pool=None`` runs the same sharded code inline,
+which is how shard-count equivalence is tested without thread noise.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor
+
+from ..core.atoms import Atom
+from ..core.jointree import JoinTree
+from .relation import Relation, semijoin_with_keys
+from .sharded import ShardedRelation
+from .stats import EvalStats
+
+__all__ = [
+    "parallel_boolean_eval",
+    "parallel_enumerate_answers",
+    "parallel_full_reduce",
+    "shard_key_for",
+]
+
+
+def shard_key_for(
+    tree: JoinTree, node: Atom, relation: Relation
+) -> str | None:
+    """The partition key for *node*'s relation: prefer an attribute shared
+    with the parent (the bottom-up and top-down sweeps both run over the
+    parent edge, so agreeing on it makes those semijoins pairwise), then
+    one shared with a child, then any attribute; ``None`` for the 0-ary
+    relation, which cannot be partitioned."""
+    attrs = relation.attributes
+    if not attrs:
+        return None
+    here = set(attrs)
+    parent = tree.parent_of.get(node)
+    neighbours = ([parent] if parent is not None else []) + list(
+        tree.children(node)
+    )
+    for neighbour in neighbours:
+        shared = sorted(
+            here & {v.name for v in neighbour.variables}
+        )
+        if shared:
+            return shared[0]
+    return attrs[0]
+
+
+def _shard_all(
+    tree: JoinTree,
+    relations: dict[Atom, Relation],
+    n_shards: int,
+) -> dict[Atom, ShardedRelation | Relation]:
+    """Partition every node relation (0-ary relations stay plain)."""
+    sharded: dict[Atom, ShardedRelation | Relation] = {}
+    for node in tree.nodes:
+        rel = relations[node]
+        key = shard_key_for(tree, node, rel)
+        sharded[node] = (
+            rel if key is None else ShardedRelation.shard(rel, key, n_shards)
+        )
+    return sharded
+
+
+def _semijoin(left, right, pool: Executor | None, stats: EvalStats):
+    """One sweep step on possibly-sharded operands."""
+    if isinstance(left, ShardedRelation):
+        out = left.semijoin(right, pool=pool)
+    elif isinstance(right, ShardedRelation):
+        # A plain left side only needs the sharded partner's key-set
+        # union, never its coalesced rows.
+        shared = tuple(
+            a for a in left.attributes if a in right.attributes
+        )
+        if not right:
+            out = Relation.trusted(left.attributes, frozenset(), left.name)
+        elif not shared or not left.rows:
+            out = left
+        else:
+            out = semijoin_with_keys(left, shared, right.key_set(shared))
+    else:
+        out = left.semijoin(right)
+    stats.semijoins += 1
+    return stats.record(out)
+
+
+def _reduced_bottom_up_sharded(
+    tree: JoinTree,
+    sharded: dict[Atom, ShardedRelation | Relation],
+    stats: EvalStats,
+    pool: Executor | None,
+) -> dict[Atom, ShardedRelation | Relation]:
+    reduced = dict(sharded)
+    for node in tree.post_order():
+        for child in tree.children(node):
+            reduced[node] = _semijoin(
+                reduced[node], reduced[child], pool, stats
+            )
+    return reduced
+
+
+def _full_reduce_sharded(
+    tree: JoinTree,
+    sharded: dict[Atom, ShardedRelation | Relation],
+    stats: EvalStats,
+    pool: Executor | None,
+) -> dict[Atom, ShardedRelation | Relation]:
+    reduced = _reduced_bottom_up_sharded(tree, sharded, stats, pool)
+    for node in tree.nodes:  # preorder: parents before children
+        for child in tree.children(node):
+            reduced[child] = _semijoin(
+                reduced[child], reduced[node], pool, stats
+            )
+    return reduced
+
+
+def _as_relation(rel: ShardedRelation | Relation) -> Relation:
+    return rel.to_relation() if isinstance(rel, ShardedRelation) else rel
+
+
+def parallel_boolean_eval(
+    tree: JoinTree,
+    relations: dict[Atom, Relation],
+    stats: EvalStats | None = None,
+    n_shards: int = 4,
+    pool: Executor | None = None,
+) -> bool:
+    """Sharded Boolean Yannakakis: one bottom-up semijoin sweep."""
+    stats = stats if stats is not None else EvalStats()
+    if any(not relations[node] for node in tree.nodes):
+        return False
+    sharded = _shard_all(tree, relations, n_shards)
+    reduced = _reduced_bottom_up_sharded(tree, sharded, stats, pool)
+    return bool(reduced[tree.root])
+
+
+def parallel_full_reduce(
+    tree: JoinTree,
+    relations: dict[Atom, Relation],
+    stats: EvalStats | None = None,
+    n_shards: int = 4,
+    pool: Executor | None = None,
+) -> dict[Atom, Relation]:
+    """Sharded full reducer; returns plain relations (coalesced), so the
+    result is drop-in comparable with :func:`repro.db.yannakakis.full_reduce`."""
+    stats = stats if stats is not None else EvalStats()
+    sharded = _shard_all(tree, relations, n_shards)
+    reduced = _full_reduce_sharded(tree, sharded, stats, pool)
+    return {node: _as_relation(rel) for node, rel in reduced.items()}
+
+
+def parallel_enumerate_answers(
+    tree: JoinTree,
+    relations: dict[Atom, Relation],
+    output: tuple[str, ...],
+    stats: EvalStats | None = None,
+    n_shards: int = 4,
+    pool: Executor | None = None,
+) -> Relation:
+    """Sharded output-polynomial enumeration.
+
+    After the sharded full reduction, the bottom-up join pass keeps each
+    partial result partitioned for as long as its shard key survives the
+    projection (it coalesces exactly when the key is projected away —
+    after which shard-local duplicate elimination would no longer be
+    global).
+    """
+    stats = stats if stats is not None else EvalStats()
+    sharded = _shard_all(tree, relations, n_shards)
+    reduced = _full_reduce_sharded(tree, sharded, stats, pool)
+
+    tree_attrs: set[str] = set()
+    for node in tree.nodes:
+        tree_attrs.update(relations[node].attributes)
+    missing = set(output) - tree_attrs
+    if missing:
+        raise ValueError(
+            f"output attributes {sorted(missing)} do not occur in the join tree"
+        )
+
+    out_set = set(output)
+    partial: dict[Atom, ShardedRelation | Relation] = {}
+    subtree_attrs: dict[Atom, set[str]] = {}
+    for node in tree.post_order():
+        rel = reduced[node]
+        attrs_below: set[str] = set(rel.attributes)
+        for child in tree.children(node):
+            attrs_below.update(subtree_attrs[child])
+        keep = set(rel.attributes) | (attrs_below & out_set)
+        for child in tree.children(node):
+            child_part = partial[child]
+            if isinstance(rel, ShardedRelation):
+                rel = rel.join(child_part, pool=pool)
+            else:
+                rel = rel.join(_as_relation(child_part))
+            stats.joins += 1
+            kept = [a for a in rel.attributes if a in keep]
+            if isinstance(rel, ShardedRelation):
+                rel = stats.record(rel.project(kept, pool=pool))
+            else:
+                rel = stats.record(rel.project(kept))
+            stats.projections += 1
+        partial[node] = rel
+        subtree_attrs[node] = attrs_below
+    root_rel = partial[tree.root]
+    if isinstance(root_rel, ShardedRelation):
+        answer = root_rel.project(list(output), name="ans", pool=pool)
+    else:
+        answer = root_rel.project(list(output), name="ans")
+    stats.projections += 1
+    return stats.record(_as_relation(answer))

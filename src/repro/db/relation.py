@@ -10,6 +10,16 @@ joins.  It is deliberately simple and fully observable: the evaluation
 strategies in :mod:`repro.db.yannakakis` and :mod:`repro.db.evaluate`
 record intermediate sizes after every operation, which is how experiments
 E15/E16 reproduce the paper's "semijoins keep intermediates small" claims.
+
+Relations are immutable, so the hash structures a join or semijoin needs
+are *memoised per instance*: :meth:`Relation.key_set` and
+:meth:`Relation.key_index` build the probe set / build table for a given
+attribute tuple once and reuse it across the bottom-up and top-down
+Yannakakis sweeps (a relation acting as the filter of several semijoins —
+a star root, or the same tree edge in both sweeps — used to rebuild the
+identical hash structure on every call).  A semijoin that filters nothing
+returns ``self`` unchanged, keeping those memoised structures alive for
+the next pass.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
-from .._errors import SchemaError
+from .._errors import SchemaError, UnknownAttributeError
 
 Row = tuple
 Value = Hashable
@@ -115,10 +125,64 @@ class Relation:
         try:
             return self._index_of[attribute]
         except KeyError:
-            raise SchemaError(
+            raise UnknownAttributeError(
                 f"attribute {attribute!r} not in schema {self.attributes} "
                 f"of relation {self.name!r}"
             ) from None
+
+    # -- memoised hash structures -------------------------------------------
+    #
+    # Keyed by the attribute tuple; a single attribute keys by the bare
+    # value (no 1-tuple allocation per row), longer tuples by the value
+    # tuple.  Instances are immutable, so entries never invalidate; under
+    # concurrent use two threads may compute the same entry, which is
+    # harmless (the structures are idempotent and the dict write is
+    # atomic under the GIL).
+
+    @cached_property
+    def _key_sets(self) -> dict[tuple[str, ...], frozenset]:
+        return {}
+
+    @cached_property
+    def _key_indexes(self) -> dict[tuple[str, ...], dict]:
+        return {}
+
+    def key_set(self, attributes: tuple[str, ...]) -> frozenset:
+        """The set of key values over *attributes*, built once per
+        relation instance (the probe set of a semijoin)."""
+        cached = self._key_sets.get(attributes)
+        if cached is None:
+            if len(attributes) == 1:
+                i = self._position(attributes[0])
+                cached = frozenset(row[i] for row in self.rows)
+            else:
+                positions = [self._position(a) for a in attributes]
+                cached = frozenset(
+                    tuple(row[p] for p in positions) for row in self.rows
+                )
+            self._key_sets[attributes] = cached
+        return cached
+
+    def key_index(self, attributes: tuple[str, ...]) -> dict:
+        """Key value -> list of rows, built once per relation instance
+        (the build table of a hash join).  Treat the lists as frozen:
+        the index is shared by every later join against this relation.
+        """
+        cached = self._key_indexes.get(attributes)
+        if cached is None:
+            cached = {}
+            if len(attributes) == 1:
+                i = self._position(attributes[0])
+                for row in self.rows:
+                    cached.setdefault(row[i], []).append(row)
+            else:
+                positions = [self._position(a) for a in attributes]
+                for row in self.rows:
+                    cached.setdefault(
+                        tuple(row[p] for p in positions), []
+                    ).append(row)
+            self._key_indexes[attributes] = cached
+        return cached
 
     # -- relational algebra --------------------------------------------------
     def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
@@ -131,7 +195,25 @@ class Relation:
                 f"projection onto duplicate attributes {tuple(attributes)}"
             )
         positions = [self._position(a) for a in attributes]
-        rows = frozenset(tuple(row[p] for p in positions) for row in self.rows)
+        # Short projections dominate the enumeration pass; direct tuple
+        # construction avoids one generator frame per row.
+        if len(positions) == 1:
+            p0 = positions[0]
+            rows = frozenset((row[p0],) for row in self.rows)
+        elif len(positions) == 2:
+            p0, p1 = positions
+            rows = frozenset((row[p0], row[p1]) for row in self.rows)
+        elif len(positions) == 3:
+            p0, p1, p2 = positions
+            rows = frozenset(
+                (row[p0], row[p1], row[p2]) for row in self.rows
+            )
+        elif positions == list(range(self.arity)):
+            rows = self.rows  # identity projection
+        else:
+            rows = frozenset(
+                tuple(row[p] for p in positions) for row in self.rows
+            )
         return Relation.trusted(tuple(attributes), rows, name or self.name)
 
     def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
@@ -165,39 +247,31 @@ class Relation:
 
         The result schema is this relation's attributes followed by the
         other's non-shared attributes, matching textbook natural join.
+        The build-side hash table comes from :meth:`key_index`, so joining
+        repeatedly against the same relation reuses one table.
         """
-        shared = [a for a in self.attributes if a in other._index_of]
-        left_pos = [self._position(a) for a in shared]
-        right_pos = [other._position(a) for a in shared]
+        shared = tuple(a for a in self.attributes if a in other._index_of)
         extra = [a for a in other.attributes if a not in self._index_of]
+        out_attrs = self.attributes + tuple(extra)
+        if not self.rows or not other.rows:
+            # Empty-input short-circuit: no hash table, no probe scan.
+            return Relation.trusted(
+                out_attrs, frozenset(), name or f"({self.name}⋈{other.name})"
+            )
         extra_pos = [other._position(a) for a in extra]
 
-        # Build the hash table on the smaller side.
+        # Build (memoised) on the smaller side, probe the larger.
         if len(self.rows) <= len(other.rows):
-            build, probe = self, other
-            build_key, probe_key = left_pos, right_pos
-            build_is_left = True
+            build, probe, build_is_left = self, other, True
         else:
-            build, probe = other, self
-            build_key, probe_key = right_pos, left_pos
-            build_is_left = False
-
-        table: dict[Row, list[Row]] = {}
-        for row in build.rows:
-            table.setdefault(tuple(row[p] for p in build_key), []).append(row)
-
-        out_rows: set[Row] = set()
-        for row in probe.rows:
-            key = tuple(row[p] for p in probe_key)
-            for match in table.get(key, ()):
-                left_row = match if build_is_left else row
-                right_row = row if build_is_left else match
-                out_rows.add(
-                    left_row + tuple(right_row[p] for p in extra_pos)
-                )
-        return Relation.trusted(
-            self.attributes + tuple(extra),
-            frozenset(out_rows),
+            build, probe, build_is_left = other, self, False
+        return probe_join(
+            build,
+            probe,
+            build_is_left,
+            shared,
+            extra_pos,
+            out_attrs,
             name or f"({self.name}⋈{other.name})",
         )
 
@@ -206,19 +280,24 @@ class Relation:
 
         This is the workhorse of Yannakakis' algorithm — it never grows
         the relation, which is why acyclic evaluation stays polynomial.
+        The probe set over the shared attributes is memoised on *other*
+        (:meth:`key_set`), an empty input on either side short-circuits
+        without scanning, and a semijoin that filters nothing returns
+        ``self`` itself so downstream operations keep its memoised hash
+        structures.
         """
-        shared = [a for a in self.attributes if a in other._index_of]
+        if not other.rows:
+            # ⋉ against the empty relation is empty regardless of the
+            # schemas (with no shared attributes it is a product with
+            # nothing) — and must not scan self.rows to find that out.
+            return Relation.trusted(self.attributes, frozenset(), self.name)
+        if not self.rows:
+            return self
+        shared = tuple(a for a in self.attributes if a in other._index_of)
         if not shared:
-            return self if other.rows else Relation.trusted(
-                self.attributes, frozenset(), self.name
-            )
-        left_pos = [self._position(a) for a in shared]
-        right_pos = [other._position(a) for a in shared]
-        keys = {tuple(row[p] for p in right_pos) for row in other.rows}
-        rows = frozenset(
-            row for row in self.rows if tuple(row[p] for p in left_pos) in keys
-        )
-        return Relation.trusted(self.attributes, rows, self.name)
+            # Every row has a partner: identity (other is non-empty).
+            return self
+        return semijoin_with_keys(self, shared, other.key_set(shared))
 
     def union(self, other: "Relation") -> "Relation":
         if self.attributes != other.attributes:
@@ -260,3 +339,90 @@ class Relation:
         body = "; ".join(str(r) for r in shown)
         suffix = " ..." if len(self.rows) > 8 else ""
         return f"{self.name}({header}) [{len(self.rows)} rows: {body}{suffix}]"
+
+
+def semijoin_with_keys(
+    rel: Relation, shared: tuple[str, ...], keys: frozenset
+) -> Relation:
+    """Filter *rel* against a prebuilt key set over *shared*.
+
+    The probe loop behind :meth:`Relation.semijoin`, shared with the
+    sharded kernel's broadcast mode (every shard against one key set
+    built for all of them).  Key convention matches
+    :meth:`Relation.key_set`: a single attribute keys by the bare value,
+    longer tuples by the value tuple.  Returns ``rel`` itself when
+    nothing is filtered, keeping its memoised hash structures alive.
+    """
+    if not rel.rows:
+        return rel
+    if len(shared) == 1:
+        i = rel._index_of[shared[0]]
+        rows = frozenset(row for row in rel.rows if row[i] in keys)
+    else:
+        pos = [rel._index_of[a] for a in shared]
+        rows = frozenset(
+            row for row in rel.rows if tuple(row[p] for p in pos) in keys
+        )
+    if len(rows) == len(rel.rows):
+        return rel
+    return Relation.trusted(rel.attributes, rows, rel.name)
+
+
+def probe_join(
+    build: Relation,
+    probe: Relation,
+    build_is_left: bool,
+    shared: tuple[str, ...],
+    extra_pos: Sequence[int],
+    out_attrs: tuple[str, ...],
+    name: str,
+) -> Relation:
+    """The hash-join probe loop over an explicit build/probe assignment.
+
+    ``build``'s table comes from its memoised :meth:`Relation.key_index`,
+    so a relation probed by many partners — the broadcast mode of the
+    sharded kernel, where every shard probes the same un-co-partitioned
+    partner — pays for the table once.  ``build_is_left`` says which side
+    contributes the row prefix of the output (``out_attrs`` = left
+    attributes + right extras, ``extra_pos`` indexes the extras on the
+    right side).  The inner loop runs once per matched pair; the common
+    0/1 extra-column shapes skip the per-match generator.
+    """
+    table = build.key_index(shared)
+    single = len(shared) == 1
+    probe_pos = [probe._position(a) for a in shared]
+    probe_single = probe_pos[0] if single else None
+
+    out_rows: set[Row] = set()
+    add = out_rows.add
+    get = table.get
+    e0 = extra_pos[0] if len(extra_pos) == 1 else None
+    for row in probe.rows:
+        key = (
+            row[probe_single]
+            if single
+            else tuple(row[p] for p in probe_pos)
+        )
+        matches = get(key)
+        if not matches:
+            continue
+        if not extra_pos:
+            if build_is_left:
+                for match in matches:
+                    add(match)
+            else:
+                add(row)
+        elif e0 is not None:
+            if build_is_left:
+                e = row[e0]
+                for match in matches:
+                    add(match + (e,))
+            else:
+                for match in matches:
+                    add(row + (match[e0],))
+        else:
+            for match in matches:
+                left_row = match if build_is_left else row
+                right_row = row if build_is_left else match
+                add(left_row + tuple(right_row[p] for p in extra_pos))
+    return Relation.trusted(out_attrs, frozenset(out_rows), name)

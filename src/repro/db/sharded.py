@@ -1,0 +1,291 @@
+"""Hash-partitioned relations: the sharded half of the parallel kernel.
+
+A :class:`ShardedRelation` splits a relation's rows into ``n`` shards by
+hashing one *shard key* attribute.  Because a natural join or semijoin on
+a shared attribute only matches rows agreeing on that attribute, two
+relations sharded on the same key admit *partition-wise* operation: shard
+``i`` interacts with shard ``i`` alone — no cross-shard communication,
+which is what makes the evaluation side of Yannakakis' algorithm
+embarrassingly parallel.  When the partner is not co-sharded the
+operations fall back to *broadcast* mode (every shard against the
+partner's one memoised key set / hash table), which is still correct and
+still runs shard-wise over the worker pool.
+
+Projection keeps the result sharded exactly when the shard key survives:
+two equal projected rows then carry the same key value and therefore live
+in the same shard, so shard-local duplicate elimination is global
+duplicate elimination.  Dropping the key coalesces to a plain
+:class:`~repro.db.relation.Relation`.
+
+All operations take an optional ``pool`` (a
+:class:`concurrent.futures.Executor`); without one — or with a single
+shard — they run inline.  Semantics are identical to the sequential
+:class:`Relation` operations, which the property suite in
+``tests/db/test_parallel_equivalence.py`` enforces shard-count by
+shard-count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor
+from typing import Callable, Iterator, Sequence
+
+from .._errors import SchemaError
+from .relation import Relation, Row, Value, probe_join, semijoin_with_keys
+
+
+def pool_map(pool: Executor | None, fn: Callable, items: Sequence) -> list:
+    """Run ``fn`` over *items*, through *pool* when one is given and the
+    fan-out is non-trivial; in order either way."""
+    if pool is None or len(items) <= 1:
+        return [fn(item) for item in items]
+    return list(pool.map(fn, items))
+
+
+def shard_of(value: Value, n_shards: int) -> int:
+    """The shard owning *value* (stable within one process)."""
+    return hash(value) % n_shards
+
+
+class ShardedRelation:
+    """An immutable relation hash-partitioned on one key attribute.
+
+    Attributes
+    ----------
+    attributes:
+        The schema, shared by every shard.
+    key:
+        The attribute whose hash assigns each row to a shard.
+    shards:
+        ``n`` disjoint :class:`Relation` pieces; row ``t`` lives in shard
+        ``hash(t[key]) % n``.
+    """
+
+    __slots__ = ("attributes", "key", "shards", "name", "_key_sets", "_merged")
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        key: str,
+        shards: tuple[Relation, ...],
+        name: str = "r",
+    ):
+        if key not in attributes:
+            raise SchemaError(
+                f"shard key {key!r} not in schema {attributes} of "
+                f"sharded relation {name!r}"
+            )
+        if not shards:
+            raise SchemaError(f"sharded relation {name!r} needs >= 1 shard")
+        self.attributes = attributes
+        self.key = key
+        self.shards = shards
+        self.name = name
+        self._key_sets: dict[tuple[str, ...], frozenset] = {}
+        self._merged: Relation | None = None
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def shard(
+        relation: Relation, key: str, n_shards: int
+    ) -> "ShardedRelation":
+        """Partition *relation* on *key* into *n_shards* pieces."""
+        if n_shards < 1:
+            raise SchemaError(f"n_shards must be >= 1, got {n_shards}")
+        i = relation._position(key)
+        if n_shards == 1:
+            # One shard is the relation itself — keeps its memoised
+            # hash structures alive.
+            return ShardedRelation(
+                relation.attributes, key, (relation,), relation.name
+            )
+        # Rows are already distinct, so list buckets (cheap appends)
+        # suffice before the per-shard frozenset build; the bound
+        # appends keep the per-row work to hash + mod + call.
+        buckets: list[list[Row]] = [[] for _ in range(n_shards)]
+        appends = [b.append for b in buckets]
+        _hash = hash
+        for row in relation.rows:
+            appends[_hash(row[i]) % n_shards](row)
+        shards = tuple(
+            Relation.trusted(relation.attributes, frozenset(b), relation.name)
+            for b in buckets
+        )
+        return ShardedRelation(
+            relation.attributes, key, shards, relation.name
+        )
+
+    # -- views ------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def __bool__(self) -> bool:
+        return any(s.rows for s in self.shards)
+
+    def __iter__(self) -> Iterator[Row]:
+        for shard in self.shards:
+            yield from shard.rows
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        return self.to_relation().rows
+
+    def to_relation(self) -> Relation:
+        """Coalesce the shards back into one plain relation (memoised)."""
+        if self._merged is None:
+            if len(self.shards) == 1:
+                self._merged = self.shards[0]
+            else:
+                merged: set[Row] = set()
+                for shard in self.shards:
+                    merged |= shard.rows
+                self._merged = Relation.trusted(
+                    self.attributes, frozenset(merged), self.name
+                )
+        return self._merged
+
+    def key_set(self, attributes: tuple[str, ...]) -> frozenset:
+        """Union of the shards' memoised key sets over *attributes*."""
+        cached = self._key_sets.get(attributes)
+        if cached is None:
+            cached = frozenset().union(
+                *(s.key_set(attributes) for s in self.shards)
+            )
+            self._key_sets[attributes] = cached
+        return cached
+
+    def _aligned_with(
+        self, other: "ShardedRelation | Relation", shared: tuple[str, ...]
+    ) -> bool:
+        """Partition-wise operation is sound iff both sides are sharded
+        on the same number of shards by the same *shared* key."""
+        return (
+            isinstance(other, ShardedRelation)
+            and other.key == self.key
+            and other.n_shards == self.n_shards
+            and self.key in shared
+        )
+
+    def _rebuild(
+        self, shards: list[Relation], name: str | None = None
+    ) -> "ShardedRelation":
+        if all(new is old for new, old in zip(shards, self.shards)):
+            return self
+        return ShardedRelation(
+            self.attributes, self.key, tuple(shards), name or self.name
+        )
+
+    # -- relational algebra ----------------------------------------------
+    def semijoin(
+        self,
+        other: "ShardedRelation | Relation",
+        pool: Executor | None = None,
+    ) -> "ShardedRelation":
+        """⋉ shard-wise: pairwise against an aligned partner, otherwise
+        every shard against the partner's one memoised key set."""
+        if not other:
+            empty = Relation.trusted(self.attributes, frozenset(), self.name)
+            return ShardedRelation(
+                self.attributes,
+                self.key,
+                tuple(empty for _ in self.shards),
+                self.name,
+            )
+        shared = tuple(a for a in self.attributes if a in other.attributes)
+        if not shared:
+            return self
+        if self._aligned_with(other, shared):
+            pairs = list(zip(self.shards, other.shards))
+            shards = pool_map(
+                pool, lambda pair: pair[0].semijoin(pair[1]), pairs
+            )
+            return self._rebuild(shards)
+        keys = other.key_set(shared)
+
+        def one(shard: Relation) -> Relation:
+            return semijoin_with_keys(shard, shared, keys)
+
+        return self._rebuild(pool_map(pool, one, self.shards))
+
+    def join(
+        self,
+        other: "ShardedRelation | Relation",
+        name: str | None = None,
+        pool: Executor | None = None,
+    ) -> "ShardedRelation":
+        """⋈ shard-wise; the result stays sharded on this side's key
+        (every output row extends one of this side's rows, so the key
+        column — and with it the partition — is preserved)."""
+        shared = tuple(a for a in self.attributes if a in other.attributes)
+        if self._aligned_with(other, shared):
+            pairs = list(zip(self.shards, other.shards))
+            shards = pool_map(
+                pool,
+                lambda pair: pair[0].join(pair[1], name=name),
+                pairs,
+            )
+        else:
+            partner = (
+                other.to_relation()
+                if isinstance(other, ShardedRelation)
+                else other
+            )
+            # Broadcast: every shard probes the partner's one memoised
+            # hash table (building per-shard tables would redo the same
+            # build n times and probe the full partner per shard).
+            here = set(self.attributes)
+            extra = [a for a in partner.attributes if a not in here]
+            extra_pos = [partner._position(a) for a in extra]
+            out = self.attributes + tuple(extra)
+            out_name = name or f"({self.name}⋈{partner.name})"
+            shards = pool_map(
+                pool,
+                lambda shard: probe_join(
+                    partner, shard, False, shared, extra_pos, out, out_name
+                ),
+                self.shards,
+            )
+        out_attrs = shards[0].attributes
+        return ShardedRelation(
+            out_attrs, self.key, tuple(shards), name or shards[0].name
+        )
+
+    def project(
+        self,
+        attributes: Sequence[str],
+        name: str | None = None,
+        pool: Executor | None = None,
+    ) -> "ShardedRelation | Relation":
+        """π shard-wise; the result stays sharded when the shard key
+        survives (rows equal after projection then agree on the key, so
+        they were in the same shard and shard-local dedup is global).
+        Dropping the key still projects shard-wise — the final union of
+        the (smaller) projected shards performs the cross-shard dedup."""
+        shards = pool_map(
+            pool,
+            lambda shard: shard.project(attributes, name=name),
+            self.shards,
+        )
+        if self.key in attributes:
+            return ShardedRelation(
+                tuple(attributes), self.key, tuple(shards), name or self.name
+            )
+        merged: set[Row] = set()
+        for shard in shards:
+            merged |= shard.rows
+        return Relation.trusted(
+            tuple(attributes), frozenset(merged), name or self.name
+        )
+
+    def __str__(self) -> str:
+        sizes = ", ".join(str(len(s)) for s in self.shards)
+        return (
+            f"{self.name}({', '.join(self.attributes)}) "
+            f"[{len(self)} rows @ {self.key}: {sizes}]"
+        )
+
+

@@ -26,6 +26,7 @@ and keeps going.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -120,6 +121,10 @@ class Engine:
         unbounded); individual calls may override it.
     workers:
         Default thread-pool width for :meth:`execute_many`.
+    parallelism:
+        Default intra-query parallelism: > 1 runs every plan through the
+        sharded kernel (:mod:`repro.db.parallel`) with that many shards
+        and pool workers.  Individual calls may override it.
     """
 
     def __init__(
@@ -128,12 +133,52 @@ class Engine:
         mode: Mode = "auto",
         budget: float | None = None,
         workers: int = 4,
+        parallelism: int = 1,
     ):
         self.cache = PlanCache(cache_size)
         self.mode: Mode = mode
         self.budget = budget
         self.workers = workers
+        self.parallelism = max(1, parallelism)
         self.decompositions = 0  # fresh planner searches performed
+        self._shard_pools: dict[int, ThreadPoolExecutor] = {}
+        self._shard_pools_lock = threading.Lock()
+
+    # -- resource lifecycle ------------------------------------------------
+    def _shard_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The engine-owned shard pool for a given width, created once
+        and reused across requests (spinning a pool up per query would
+        put thread start-up on the hot path this feature speeds up).
+        Executors are thread-safe, so concurrent requests share it."""
+        with self._shard_pools_lock:
+            pool = self._shard_pools.get(workers)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix=f"shard-{workers}",
+                )
+                self._shard_pools[workers] = pool
+            return pool
+
+    def close(self) -> None:
+        """Shut down the engine's shard pools.  Idempotent; the engine
+        remains usable afterwards (pools are recreated on demand)."""
+        with self._shard_pools_lock:
+            pools, self._shard_pools = list(self._shard_pools.values()), {}
+        for pool in pools:
+            pool.shutdown(wait=False)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- planning ---------------------------------------------------------
     def _decomposition_for(
@@ -159,16 +204,28 @@ class Engine:
         """The physical plan the engine would execute (used by explain,
         and by live views registering through the shared cache)."""
         hd, hit, method, width = self._decomposition_for(query, None)
-        return compile_plan(query, db, hd, provenance=method, cache_hit=hit)
+        return compile_plan(
+            query, db, hd, provenance=method, cache_hit=hit,
+            parallelism=self.parallelism,
+        )
 
-    def live(self, db: Database | None = None) -> "LiveEngine":
+    def live(
+        self, db: Database | None = None, parallelism: int | None = None
+    ) -> "LiveEngine":
         """A :class:`repro.incremental.LiveEngine` planning through this
         engine — registered views share this plan cache, so a view of an
-        already-seen shape costs a transport, not a search."""
+        already-seen shape costs a transport, not a search.  Delta
+        fan-out parallelism defaults to this engine's setting."""
         # Imported here: the incremental layer sits above the engine.
         from ..incremental.live import LiveEngine
 
-        return LiveEngine(db=db, engine=self)
+        return LiveEngine(
+            db=db,
+            engine=self,
+            parallelism=(
+                self.parallelism if parallelism is None else parallelism
+            ),
+        )
 
     def explain(
         self, query: ConjunctiveQuery, db: Database | None = None
@@ -183,11 +240,20 @@ class Engine:
         db: Database,
         budget: float | None = None,
         stats: EvalStats | None = None,
+        parallelism: int | None = None,
     ) -> EvalResult:
-        """Evaluate one query, raising :class:`BudgetExceeded` on timeout."""
+        """Evaluate one query, raising :class:`BudgetExceeded` on timeout.
+
+        The budget deadline is anchored to *this call*, the moment the
+        request actually starts executing — never to the submission time
+        of a surrounding batch (see :meth:`execute_many`).
+        """
         budget = budget if budget is not None else self.budget
         started = time.monotonic()
         deadline = started + budget if budget is not None else None
+        parallelism = (
+            self.parallelism if parallelism is None else max(1, parallelism)
+        )
         stats = stats if stats is not None else EvalStats()
         with stats.timed():
             if not query.atoms:
@@ -207,9 +273,17 @@ class Engine:
                 )
             hd, hit, method, width = self._decomposition_for(query, deadline)
             plan = compile_plan(
-                query, db, hd, provenance=method, cache_hit=hit
+                query, db, hd, provenance=method, cache_hit=hit,
+                parallelism=parallelism,
             )
-            answer = execute_plan(plan, db, stats=stats, deadline=deadline)
+            answer = execute_plan(
+                plan, db, stats=stats, deadline=deadline,
+                pool=(
+                    self._shard_pool(parallelism)
+                    if parallelism > 1
+                    else None
+                ),
+            )
         return EvalResult(
             query, answer, stats, hit, width, method,
             time.monotonic() - started,
@@ -221,6 +295,7 @@ class Engine:
         db: Database | None = None,
         workers: int | None = None,
         budget: float | None = None,
+        parallelism: int | None = None,
     ) -> BatchResult:
         """Evaluate a batch of requests over a worker pool.
 
@@ -230,7 +305,13 @@ class Engine:
         :class:`EvalResult` with ``error`` set instead of aborting the
         batch.  The merged :class:`EvalStats` (including summed per-query
         wall times, which exceed batch wall-clock under parallelism) ride
-        on the returned :class:`BatchResult`.
+        on the returned :class:`BatchResult`.  *parallelism* sets the
+        per-request sharded-kernel width (see :meth:`execute`).
+
+        Each request's *budget* clock starts when a pool worker begins
+        executing it — time spent queued behind a saturated pool does not
+        count against the request (deadlines are computed inside
+        :meth:`execute`, per call, not here at submission).
         """
         pairs: list[tuple[ConjunctiveQuery, Database]] = []
         for request in requests:
@@ -248,7 +329,12 @@ class Engine:
         def run_one(pair: tuple[ConjunctiveQuery, Database]) -> EvalResult:
             query, request_db = pair
             try:
-                return self.execute(query, request_db, budget=budget)
+                # Runs on a pool worker: execute() anchors the budget
+                # deadline here, when the request starts, so a request
+                # queued behind a full pool keeps its whole budget.
+                return self.execute(
+                    query, request_db, budget=budget, parallelism=parallelism
+                )
             except ReproError as error:
                 # Per-request fault isolation: a blown budget, a schema
                 # mismatch, or an undecomposable query fails that request

@@ -21,11 +21,18 @@ passes of :mod:`repro.db.yannakakis` — semijoin reduction for Boolean
 queries, the output-polynomial enumeration for answer queries.  A
 deadline is checked between operators so per-request budgets interrupt
 long plans with :class:`repro._errors.BudgetExceeded`.
+
+With ``parallelism > 1`` execution switches to the sharded kernel: bag
+materialisation fans out node-per-task over a worker pool, and the
+Yannakakis passes run over hash-partitioned relations
+(:mod:`repro.db.parallel`), one shard per worker.  Semantics are
+identical to the sequential path — the property suite cross-checks them.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from .._errors import BudgetExceeded
@@ -35,7 +42,9 @@ from ..core.jointree import JoinTree, join_tree_from_edges
 from ..core.query import ConjunctiveQuery
 from ..db.binding import bind_atom
 from ..db.database import Database
+from ..db.parallel import parallel_boolean_eval, parallel_enumerate_answers
 from ..db.relation import Relation
+from ..db.sharded import pool_map
 from ..db.stats import CardinalityEstimator, EvalStats
 from ..db.yannakakis import boolean_eval, enumerate_answers
 
@@ -76,13 +85,20 @@ class QueryPlan:
     width: int
     provenance: str = "exact"
     cache_hit: bool = field(default=False)
+    parallelism: int = field(default=1)
 
     def render(self) -> str:
         """The ``explain`` rendering: provenance, per-node pipelines, and
         the rooted join tree the Yannakakis passes will run over."""
         lines = [
             f"plan for {self.query.name}: width {self.width} "
-            f"[{self.provenance}{', cached' if self.cache_hit else ''}]",
+            f"[{self.provenance}{', cached' if self.cache_hit else ''}"
+            + (
+                f", {self.parallelism}-way sharded"
+                if self.parallelism > 1
+                else ""
+            )
+            + "]",
             f"output: ({', '.join(self.output)})" if self.output else "output: boolean",
             "bag materialisation (cardinality-ascending joins):",
         ]
@@ -126,6 +142,7 @@ def compile_plan(
     hd: HypertreeDecomposition,
     provenance: str = "exact",
     cache_hit: bool = False,
+    parallelism: int = 1,
 ) -> QueryPlan:
     """Compile *hd* into a physical plan against *db*.
 
@@ -186,7 +203,35 @@ def compile_plan(
         width=hd.width,
         provenance=provenance,
         cache_hit=cache_hit,
+        parallelism=max(1, parallelism),
     )
+
+
+def _materialise_bag(
+    np: NodePlan,
+    p: HTNode,
+    db: Database,
+    stats: EvalStats,
+    deadline: float | None,
+) -> Relation:
+    """Materialise one decomposition node's bag relation."""
+    _check_deadline(deadline, f"bag materialisation of {np.bag.predicate}")
+    rel = Relation.trusted((), frozenset({()}), np.bag.predicate)
+    for a in np.join_order:
+        part = bind_atom(a, db)
+        if not a.variables <= p.chi:
+            overlap = sorted(
+                (v.name for v in a.variables & p.chi)
+            )
+            part = part.project(overlap)
+            stats.projections += 1
+        rel = rel.join(part)
+        stats.joins += 1
+        stats.record(rel)
+        _check_deadline(deadline, f"joins of {np.bag.predicate}")
+    rel = stats.record(rel.project(list(np.chi_names), name=np.bag.predicate))
+    stats.projections += 1
+    return rel
 
 
 def execute_plan(
@@ -194,6 +239,8 @@ def execute_plan(
     db: Database,
     stats: EvalStats | None = None,
     deadline: float | None = None,
+    parallelism: int | None = None,
+    pool: Executor | None = None,
 ) -> Relation:
     """Run a compiled plan: materialise bags, then Yannakakis.
 
@@ -201,30 +248,63 @@ def execute_plan(
     empty schema and is non-empty iff the query is true.  Raises
     :class:`BudgetExceeded` when *deadline* (monotonic seconds) passes
     between operators.
+
+    *parallelism* (default: the plan's own setting) > 1 runs the sharded
+    kernel: one task per bag during materialisation, then
+    hash-partitioned Yannakakis passes with *parallelism* shards over a
+    worker pool (a private pool unless *pool* is given).
     """
     stats = stats if stats is not None else EvalStats()
-    relations: dict[Atom, Relation] = {}
-    for np, p in zip(plan.node_plans, plan.decomposition.nodes):
-        _check_deadline(deadline, f"bag materialisation of {np.bag.predicate}")
-        rel = Relation.trusted((), frozenset({()}), np.bag.predicate)
-        for a in np.join_order:
-            part = bind_atom(a, db)
-            if not a.variables <= p.chi:
-                overlap = sorted(
-                    (v.name for v in a.variables & p.chi)
-                )
-                part = part.project(overlap)
-                stats.projections += 1
-            rel = rel.join(part)
-            stats.joins += 1
-            stats.record(rel)
-            _check_deadline(deadline, f"joins of {np.bag.predicate}")
-        rel = stats.record(rel.project(list(np.chi_names), name=np.bag.predicate))
-        stats.projections += 1
-        relations[np.bag] = rel
+    workers = plan.parallelism if parallelism is None else max(1, parallelism)
+    if workers > 1 and pool is None:
+        with ThreadPoolExecutor(max_workers=workers) as own_pool:
+            return _execute_with_pool(plan, db, stats, deadline, workers, own_pool)
+    return _execute_with_pool(plan, db, stats, deadline, workers, pool)
+
+
+def _execute_with_pool(
+    plan: QueryPlan,
+    db: Database,
+    stats: EvalStats,
+    deadline: float | None,
+    workers: int,
+    pool: Executor | None,
+) -> Relation:
+    node_pairs = list(zip(plan.node_plans, plan.decomposition.nodes))
+    if workers > 1:
+        # One task per bag; each task keeps private stats (EvalStats is
+        # not thread-safe) merged once the fan-out completes.
+        def one(pair: tuple[NodePlan, HTNode]) -> tuple[Relation, EvalStats]:
+            local = EvalStats()
+            return _materialise_bag(pair[0], pair[1], db, local, deadline), local
+
+        produced = pool_map(pool, one, node_pairs)
+        relations: dict[Atom, Relation] = {}
+        for (np, _), (rel, local) in zip(node_pairs, produced):
+            relations[np.bag] = rel
+            stats.merge(local)
+    else:
+        relations = {
+            np.bag: _materialise_bag(np, p, db, stats, deadline)
+            for np, p in node_pairs
+        }
 
     _check_deadline(deadline, "Yannakakis passes")
     if not plan.output:
-        true = boolean_eval(plan.join_tree, relations, stats)
+        if workers > 1:
+            true = parallel_boolean_eval(
+                plan.join_tree, relations, stats, n_shards=workers, pool=pool
+            )
+        else:
+            true = boolean_eval(plan.join_tree, relations, stats)
         return Relation.trusted((), frozenset({()} if true else ()), "ans")
+    if workers > 1:
+        return parallel_enumerate_answers(
+            plan.join_tree,
+            relations,
+            plan.output,
+            stats,
+            n_shards=workers,
+            pool=pool,
+        )
     return enumerate_answers(plan.join_tree, relations, plan.output, stats)

@@ -28,6 +28,7 @@ fire and the first exception is re-raised once the fan-out completes.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable
 
 from ..core.query import ConjunctiveQuery
@@ -114,17 +115,59 @@ class LiveEngine:
     engine:
         The planning :class:`repro.engine.Engine` (and with it the shared
         plan cache).  A private one is created when omitted.
+    parallelism:
+        With > 1, :meth:`apply` fans the effective delta out to the
+        touched views over a worker pool, one task per view (views are
+        independent state machines, so concurrent maintenance is safe).
+        Views the delta does not touch are never scheduled at all —
+        routing stays delta-driven either way.
     """
 
     def __init__(
-        self, db: Database | None = None, engine: Engine | None = None
+        self,
+        db: Database | None = None,
+        engine: Engine | None = None,
+        parallelism: int = 1,
     ):
         self.db = db if db is not None else Database()
         self.engine = engine if engine is not None else Engine()
+        self.parallelism = max(1, parallelism)
         self._lock = threading.RLock()
+        self._pool: ThreadPoolExecutor | None = None
         self._views: dict[int, ViewHandle] = {}
         self._next_id = 0
         self.batches_applied = 0
+
+    def _view_pool(self) -> ThreadPoolExecutor:
+        """The lazily created fan-out pool (kept until :meth:`close`)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix="live-apply",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the fan-out pool.  Idempotent; the engine remains
+        usable afterwards (the pool is recreated on demand)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def __enter__(self) -> "LiveEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            pool = self.__dict__.get("_pool")
+            if pool is not None:
+                pool.shutdown(wait=False)
+        except Exception:
+            pass
 
     # -- registration -----------------------------------------------------
     def register(self, query: ConjunctiveQuery) -> ViewHandle:
@@ -187,8 +230,26 @@ class LiveEngine:
             effective = self.db.apply(delta)
             results: dict[int, AnswerDelta] = {}
             if effective:
-                for view_id, handle in self._views.items():
-                    if effective.touches(handle.view.predicates):
+                touched = [
+                    (view_id, handle)
+                    for view_id, handle in self._views.items()
+                    if effective.touches(handle.view.predicates)
+                ]
+                if self.parallelism > 1 and len(touched) > 1:
+                    # One task per touched view; each task mutates only
+                    # its own view's state, so the fan-out is safe.  The
+                    # coordinator holds the lock throughout — handle
+                    # reads still serialise against the batch as a whole.
+                    futures = [
+                        (view_id, self._view_pool().submit(
+                            handle.view.apply, effective, False
+                        ))
+                        for view_id, handle in touched
+                    ]
+                    for view_id, future in futures:
+                        results[view_id] = future.result()
+                else:
+                    for view_id, handle in touched:
                         results[view_id] = handle.view.apply(
                             effective, notify=False
                         )

@@ -1,0 +1,188 @@
+"""Property suite: the sharded parallel kernel ≡ the sequential kernel.
+
+Sequential semantics are the oracle.  For every database, query family
+(path / star / cyclic) and shard count in {1, 2, 7}:
+
+* ``parallel_boolean_eval`` agrees with ``boolean_eval``,
+* ``parallel_full_reduce`` agrees with ``full_reduce`` node for node,
+* ``parallel_enumerate_answers`` agrees with ``enumerate_answers``,
+* the engine's ``parallelism=n`` execution agrees with ``parallelism=1``
+  (which is how cyclic queries are covered: they evaluate through the
+  Lemma 4.6 bag transform, not a direct join tree),
+* and ``full_reduce`` is idempotent, sequential and sharded alike.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acyclicity import join_tree
+from repro.core.atoms import Atom, Variable
+from repro.core.query import ConjunctiveQuery
+from repro.db import (
+    bind_atom,
+    boolean_eval,
+    enumerate_answers,
+    full_reduce,
+    parallel_boolean_eval,
+    parallel_enumerate_answers,
+    parallel_full_reduce,
+)
+from repro.engine import Engine
+from repro.generators.families import cycle_query, path_query
+from repro.generators.workloads import random_database
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+def star_query(n: int) -> ConjunctiveQuery:
+    """``e(C, X1), ..., e(C, Xn)`` — one hub, n rays (acyclic)."""
+    body = tuple(
+        Atom("e", (Variable("C"), Variable(f"X{i}"))) for i in range(1, n + 1)
+    )
+    return ConjunctiveQuery(body, (), f"star_{n}")
+
+
+def _with_head(query: ConjunctiveQuery, k: int = 2) -> ConjunctiveQuery:
+    head = tuple(sorted(query.variables, key=lambda v: v.name)[:k])
+    return query.with_head(head)
+
+
+def _tree_and_relations(query, db):
+    tree = join_tree(query)
+    return tree, {a: bind_atom(a, db) for a in query.atoms}
+
+
+class TestKernelEquivalence:
+    """Direct join-tree level equivalence on acyclic families."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(2, 4),
+        seed=st.integers(0, 1_000),
+        domain=st.integers(2, 12),
+        tuples=st.integers(1, 40),
+    )
+    def test_path_all_passes(self, n, seed, domain, tuples):
+        query = _with_head(path_query(n))
+        db = random_database(query, domain, tuples, seed=seed)
+        tree, rels = _tree_and_relations(query, db)
+        output = tuple(v.name for v in query.head_terms)
+
+        seq_bool = boolean_eval(tree, dict(rels))
+        seq_reduced = full_reduce(tree, dict(rels))
+        seq_answers = enumerate_answers(tree, dict(rels), output)
+        for shards in SHARD_COUNTS:
+            assert (
+                parallel_boolean_eval(tree, dict(rels), n_shards=shards)
+                == seq_bool
+            )
+            par_reduced = parallel_full_reduce(
+                tree, dict(rels), n_shards=shards
+            )
+            for node in tree.nodes:
+                assert par_reduced[node].rows == seq_reduced[node].rows
+            assert (
+                parallel_enumerate_answers(
+                    tree, dict(rels), output, n_shards=shards
+                ).rows
+                == seq_answers.rows
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rays=st.integers(2, 5),
+        seed=st.integers(0, 1_000),
+        domain=st.integers(2, 10),
+        tuples=st.integers(1, 30),
+    )
+    def test_star_all_passes(self, rays, seed, domain, tuples):
+        query = _with_head(star_query(rays))
+        db = random_database(query, domain, tuples, seed=seed)
+        tree, rels = _tree_and_relations(query, db)
+        output = tuple(v.name for v in query.head_terms)
+
+        seq_answers = enumerate_answers(tree, dict(rels), output)
+        seq_bool = boolean_eval(tree, dict(rels))
+        for shards in SHARD_COUNTS:
+            assert (
+                parallel_boolean_eval(tree, dict(rels), n_shards=shards)
+                == seq_bool
+            )
+            assert (
+                parallel_enumerate_answers(
+                    tree, dict(rels), output, n_shards=shards
+                ).rows
+                == seq_answers.rows
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(2, 4),
+        seed=st.integers(0, 1_000),
+        domain=st.integers(2, 10),
+        tuples=st.integers(1, 30),
+        shards=st.sampled_from(SHARD_COUNTS),
+    )
+    def test_full_reduce_idempotent(self, n, seed, domain, tuples, shards):
+        query = path_query(n)
+        db = random_database(query, domain, tuples, seed=seed)
+        tree, rels = _tree_and_relations(query, db)
+
+        once = full_reduce(tree, dict(rels))
+        twice = full_reduce(tree, dict(once))
+        for node in tree.nodes:
+            assert twice[node].rows == once[node].rows
+
+        par_once = parallel_full_reduce(tree, dict(rels), n_shards=shards)
+        par_twice = parallel_full_reduce(tree, dict(par_once), n_shards=shards)
+        for node in tree.nodes:
+            assert par_once[node].rows == once[node].rows
+            assert par_twice[node].rows == once[node].rows
+
+
+class TestEngineEquivalence:
+    """End-to-end ``Engine.execute`` equivalence, covering the cyclic
+    family (which evaluates through decomposition bags, not a direct
+    join tree)."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 1_000),
+        domain=st.integers(2, 8),
+        tuples=st.integers(1, 30),
+    )
+    def test_cycle_engine_parallel_equivalence(self, seed, domain, tuples):
+        query = _with_head(cycle_query(4))
+        db = random_database(query, domain, tuples, seed=seed)
+        seq = Engine(mode="heuristic", parallelism=1).execute(query, db)
+        for shards in (2, 7):
+            par = Engine(mode="heuristic", parallelism=shards).execute(
+                query, db
+            )
+            assert par.answer.rows == seq.answer.rows
+            assert par.answer.attributes == seq.answer.attributes
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 1_000),
+        domain=st.integers(2, 10),
+        tuples=st.integers(1, 40),
+    )
+    def test_path_engine_parallel_equivalence(self, seed, domain, tuples):
+        query = _with_head(path_query(3))
+        db = random_database(query, domain, tuples, seed=seed)
+        seq = Engine(mode="heuristic", parallelism=1).execute(query, db)
+        for shards in (2, 7):
+            par = Engine(mode="heuristic", parallelism=shards).execute(
+                query, db
+            )
+            assert par.answer.rows == seq.answer.rows
+
+    def test_boolean_cycle_parallel(self):
+        query = cycle_query(4)
+        db = random_database(query, 6, 40, seed=5, plant_answer=True)
+        for shards in (2, 7):
+            result = Engine(mode="heuristic", parallelism=shards).execute(
+                query, db
+            )
+            assert result.boolean is True

@@ -4,8 +4,22 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro._errors import SchemaError
+from repro._errors import SchemaError, UnknownAttributeError
 from repro.db.relation import Relation
+
+
+class _CountingRows(frozenset):
+    """A frozenset that counts how many times it is iterated — used to
+    assert that empty-input short-circuits really skip the row scan."""
+
+    def __new__(cls, iterable=()):
+        obj = super().__new__(cls, iterable)
+        obj.iterations = 0
+        return obj
+
+    def __iter__(self):
+        self.iterations += 1
+        return super().__iter__()
 
 
 @pytest.fixture
@@ -56,6 +70,10 @@ class TestProject:
         with pytest.raises(SchemaError):
             r.project(["zzz"])
 
+    def test_unknown_attribute_is_typed(self, r):
+        with pytest.raises(UnknownAttributeError, match="zzz"):
+            r.project(["zzz"])
+
 
 class TestSelect:
     def test_select_eq(self, r):
@@ -84,6 +102,19 @@ class TestJoin:
 
     def test_join_with_empty_is_empty(self, r):
         assert not r.join(Relation.empty(("b",)))
+
+    def test_join_empty_inputs_skip_the_hash_build(self, r):
+        """Regression: ⋈ with an empty input used to build the hash
+        table / scan the probe side anyway."""
+        rows = _CountingRows([(i, i + 1) for i in range(50)])
+        big = Relation.trusted(("a", "b"), rows, "big")
+        empty = Relation.empty(("b", "c"), name="none")
+        out = big.join(empty)
+        assert not out and out.attributes == ("a", "b", "c")
+        assert rows.iterations == 0
+        out = empty.join(big)
+        assert not out and out.attributes == ("b", "c", "a")
+        assert rows.iterations == 0
 
     def test_join_commutative_up_to_columns(self, r, s):
         left = r.join(s)
@@ -117,6 +148,43 @@ class TestSemijoin:
 
     def test_equals_project_of_join(self, r, s):
         assert r.semijoin(s).rows == r.join(s).project(list(r.attributes)).rows
+
+    def test_empty_other_skips_the_row_scan(self):
+        """Regression: ⋉ against an empty relation sharing attributes
+        used to scan every row of self against an empty key set."""
+        rows = _CountingRows([(i, i + 1) for i in range(50)])
+        big = Relation.trusted(("a", "b"), rows, "big")
+        out = big.semijoin(Relation.empty(("b", "c")))
+        assert not out
+        assert out.attributes == ("a", "b")
+        assert out.name == "big"
+        assert rows.iterations == 0
+
+    def test_empty_self_short_circuits(self):
+        empty = Relation.empty(("a", "b"), name="left")
+        other = Relation.from_rows(("b",), [(1,)])
+        out = empty.semijoin(other)
+        assert not out and out.attributes == ("a", "b")
+        assert out.name == "left"
+
+    def test_no_shared_attributes_fast_path_keeps_identity_and_name(self, r):
+        nonempty = Relation.from_rows(("z",), [(0,)])
+        out = r.semijoin(nonempty)
+        assert out is r  # identity, so memoised indexes survive
+        assert out.name == r.name
+
+    def test_unfiltered_semijoin_returns_self(self, r, s):
+        assert r.semijoin(s) is r  # every b value matches
+
+    def test_memoised_key_set_reused(self, s):
+        first = s.key_set(("b",))
+        assert s.key_set(("b",)) is first
+        assert first == {2, 3, 4}
+
+    def test_memoised_key_set_multi_attribute(self, s):
+        keys = s.key_set(("b", "c"))
+        assert keys == {(2, 10), (3, 11), (4, 12)}
+        assert s.key_set(("b", "c")) is keys
 
 
 class TestSetOperations:

@@ -1,0 +1,127 @@
+"""Unit tests for :class:`repro.db.sharded.ShardedRelation`."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro._errors import SchemaError
+from repro.db.relation import Relation
+from repro.db.sharded import ShardedRelation, shard_of
+
+
+@pytest.fixture
+def r():
+    return Relation.from_rows(
+        ("a", "b"), [(i, i % 5) for i in range(40)], "r"
+    )
+
+
+@pytest.fixture
+def s():
+    return Relation.from_rows(("b", "c"), [(i, i * 10) for i in range(3)], "s")
+
+
+class TestSharding:
+    def test_partition_is_disjoint_and_complete(self, r):
+        sh = ShardedRelation.shard(r, "a", 4)
+        assert sh.n_shards == 4
+        assert len(sh) == len(r)
+        assert sh.to_relation().rows == r.rows
+        seen = set()
+        for shard in sh.shards:
+            assert not (shard.rows & seen)
+            seen |= shard.rows
+
+    def test_rows_land_on_their_hash_shard(self, r):
+        sh = ShardedRelation.shard(r, "a", 3)
+        for i, shard in enumerate(sh.shards):
+            for row in shard.rows:
+                assert shard_of(row[0], 3) == i
+
+    def test_single_shard_reuses_the_relation(self, r):
+        sh = ShardedRelation.shard(r, "a", 1)
+        assert sh.shards[0] is r
+
+    def test_key_must_be_in_schema(self, r):
+        with pytest.raises(SchemaError):
+            ShardedRelation.shard(r, "zzz", 2)
+
+    def test_at_least_one_shard(self, r):
+        with pytest.raises(SchemaError):
+            ShardedRelation.shard(r, "a", 0)
+
+
+class TestOperations:
+    def test_semijoin_matches_sequential(self, r, s):
+        expected = r.semijoin(s)
+        for n in (1, 2, 7):
+            sh = ShardedRelation.shard(r, "b", n)
+            assert sh.semijoin(s).to_relation().rows == expected.rows
+
+    def test_semijoin_pairwise_when_aligned(self, r, s):
+        left = ShardedRelation.shard(r, "b", 4)
+        right = ShardedRelation.shard(
+            Relation.from_rows(("b", "c"), [(1, 5), (2, 6)], "s"), "b", 4
+        )
+        out = left.semijoin(right)
+        assert out.to_relation().rows == r.semijoin(right.to_relation()).rows
+        assert out.key == "b" and out.n_shards == 4
+
+    def test_semijoin_broadcast_when_key_not_shared(self, r):
+        sh = ShardedRelation.shard(r, "a", 3)
+        other = Relation.from_rows(("b",), [(0,), (1,)])
+        assert (
+            sh.semijoin(other).to_relation().rows == r.semijoin(other).rows
+        )
+
+    def test_semijoin_empty_other_is_empty(self, r):
+        sh = ShardedRelation.shard(r, "a", 3)
+        assert not sh.semijoin(Relation.empty(("b",)))
+
+    def test_semijoin_unfiltered_keeps_identity(self, r):
+        sh = ShardedRelation.shard(r, "b", 3)
+        full = Relation.from_rows(("b",), [(i,) for i in range(5)])
+        assert sh.semijoin(full) is sh
+
+    def test_join_matches_sequential(self, r, s):
+        expected = r.join(s)
+        for n in (1, 2, 7):
+            sh = ShardedRelation.shard(r, "b", n)
+            out = sh.join(s)
+            assert out.attributes == expected.attributes
+            assert out.to_relation().rows == expected.rows
+
+    def test_join_result_stays_sharded_on_key(self, r, s):
+        out = ShardedRelation.shard(r, "b", 4).join(s)
+        for i, shard in enumerate(out.shards):
+            b = shard._position("b")
+            for row in shard.rows:
+                assert shard_of(row[b], 4) == i
+
+    def test_project_keeping_key_stays_sharded(self, r):
+        sh = ShardedRelation.shard(r, "b", 4)
+        out = sh.project(["b"])
+        assert isinstance(out, ShardedRelation)
+        assert out.to_relation().rows == r.project(["b"]).rows
+
+    def test_project_dropping_key_coalesces(self, r):
+        sh = ShardedRelation.shard(r, "b", 4)
+        out = sh.project(["a"])
+        assert isinstance(out, Relation)
+        assert out.rows == r.project(["a"]).rows
+
+    def test_operations_accept_a_pool(self, r, s):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            sh = ShardedRelation.shard(r, "b", 4)
+            assert (
+                sh.semijoin(s, pool=pool).to_relation().rows
+                == r.semijoin(s).rows
+            )
+            assert (
+                sh.join(s, pool=pool).to_relation().rows == r.join(s).rows
+            )
+
+    def test_key_set_unions_shard_key_sets(self, r):
+        sh = ShardedRelation.shard(r, "a", 4)
+        assert sh.key_set(("b",)) == r.key_set(("b",))
+        assert sh.key_set(("b",)) is sh.key_set(("b",))  # memoised

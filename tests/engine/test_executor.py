@@ -1,5 +1,7 @@
 """Engine facade: correctness vs the naive baseline, amortisation, budgets."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,7 +11,7 @@ from repro.core.parser import parse_query
 from repro.db.database import Database
 from repro.db.naive import naive_join_eval
 from repro.engine import Engine, fingerprint
-from repro.generators.families import cycle_query, random_query
+from repro.generators.families import cycle_query, path_query, random_query
 from repro.generators.workloads import query_workload, random_database
 from tests.conftest import small_queries
 
@@ -146,6 +148,89 @@ class TestBudgets:
         db = Database.from_relations({"e": [(1, 2)]})
         with pytest.raises(BudgetExceeded):
             engine.execute(parse_query("e(X,Y)"), db)
+
+    def test_queued_requests_keep_their_whole_budget(self):
+        """Regression (pool saturation): a request's budget clock must
+        start when it begins *executing*, not when the batch is
+        submitted.  Two slow requests saturate the 2-thread pool for far
+        longer than the whole per-request budget; the fast requests
+        queued behind them must still succeed."""
+        rng = random.Random(0)
+        slow_db = Database()
+        n = 40_000
+        while slow_db.tuple_count() < n:
+            a = rng.randrange(n)
+            slow_db.add_fact("e", a, (a + rng.randrange(1, 4)) % n)
+        slow_query = path_query(3)
+        slow_query = slow_query.with_head(
+            tuple(sorted(slow_query.variables, key=lambda v: v.name)[:2])
+        )
+        fast_db = Database.from_relations({"e": [(1, 2), (2, 3), (3, 1)]})
+        fast = parse_query("e(X,Y), e(Y,Z), e(Z,X)")
+
+        engine = Engine(mode="heuristic")
+        budget = 0.15
+        requests = [(slow_query, slow_db)] * 2 + [(fast, fast_db)] * 3
+        batch = engine.execute_many(requests, workers=2, budget=budget)
+
+        # The slow head-of-line requests blow their own budgets...
+        for result in batch.results[:2]:
+            assert not result.ok
+            assert "budget" in result.error
+        # ...and the batch as a whole ran well past any single budget...
+        assert batch.elapsed > budget
+        # ...yet every queued request still completed within its own.
+        for result in batch.results[2:]:
+            assert result.ok, result.error
+            assert result.boolean
+
+
+class TestParallelism:
+    def test_execute_parallel_matches_sequential(self):
+        db = random_database(path_query(3), 20, 200, seed=3)
+        query = path_query(3)
+        query = query.with_head(
+            tuple(sorted(query.variables, key=lambda v: v.name)[:2])
+        )
+        seq = Engine(parallelism=1).execute(query, db)
+        par = Engine(parallelism=4).execute(query, db)
+        assert par.answer.rows == seq.answer.rows
+        assert par.answer.attributes == seq.answer.attributes
+
+    def test_per_call_override(self):
+        db = Database.from_relations({"e": [(1, 2), (2, 3), (3, 1)]})
+        engine = Engine(parallelism=1)
+        result = engine.execute(
+            parse_query("e(X,Y), e(Y,Z), e(Z,X)"), db, parallelism=4
+        )
+        assert result.boolean
+
+    def test_execute_many_forwards_parallelism(self):
+        db = Database.from_relations({"e": [(1, 2), (2, 3), (3, 1)]})
+        engine = Engine()
+        queries = [cycle_query(3, "e"), cycle_query(4, "e")]
+        batch = engine.execute_many(queries, db=db, workers=2, parallelism=3)
+        assert all(r.ok for r in batch)
+        assert batch.results[0].boolean
+
+    def test_explain_shows_sharding(self):
+        engine = Engine(parallelism=4)
+        db = Database.from_relations({"e": [(1, 2), (2, 3)]})
+        text = engine.explain(parse_query("e(X,Y), e(Y,Z)"), db)
+        assert "4-way sharded" in text
+
+    def test_shard_pool_reused_and_closable(self):
+        db = Database.from_relations({"e": [(1, 2), (2, 3), (3, 1)]})
+        query = parse_query("e(X,Y), e(Y,Z), e(Z,X)")
+        with Engine(parallelism=2) as engine:
+            engine.execute(query, db)
+            first = engine._shard_pool(2)
+            engine.execute(query, db)
+            assert engine._shard_pool(2) is first  # one pool per width
+        assert engine._shard_pools == {}  # closed on exit
+        # the engine stays usable: the pool is recreated on demand
+        assert engine.execute(query, db).boolean
+        engine.close()
 
 
 class TestExplain:

@@ -199,6 +199,25 @@ class TestRun:
         assert code == 1
         assert "ERROR" in capsys.readouterr().out
 
+    def test_parallelism_flag_matches_sequential(self, facts_file, capsys):
+        assert main(["run", facts_file, "ans(X) :- e(X, Y)."]) == 0
+        sequential = capsys.readouterr().out
+        code = main(
+            ["run", facts_file, "ans(X) :- e(X, Y).", "--parallelism", "4"]
+        )
+        assert code == 0
+        parallel = capsys.readouterr().out
+        assert "3 answers" in sequential
+        assert "3 answers" in parallel
+
+    def test_unknown_relation_exits_one_readably(self, facts_file, capsys):
+        code = main(["run", facts_file, "ans(X) :- nosuch(X, Y)."])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "unknown relation" in out
+        assert "nosuch" in out
+        assert "Traceback" not in out
+
 
 class TestExplain:
     def test_explain_with_facts(self, facts_file, capsys):
@@ -232,6 +251,16 @@ class TestErrors:
     def test_parse_error_reported(self, capsys):
         assert main(["width", "this is not a query !!"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_unknown_relation_is_typed_and_exits_one(self, facts_file, capsys):
+        """An unknown relation name is a user-input problem: typed error,
+        readable one-line message, exit 1 — never a traceback."""
+        code = main(["evaluate", "nosuch(X, Y)", facts_file])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown relation" in err
+        assert "nosuch" in err
+        assert "Traceback" not in err
 
     def test_experiments_list(self, capsys):
         assert main(["experiments"]) == 0
@@ -284,6 +313,22 @@ class TestWatch:
         assert "0 initial answers" in out
         assert "+ (1, 2)" in out
         assert "final: 1 answers after 1 updates" in out
+
+    def test_watch_parallelism_flag(self, facts_file, delta_file, capsys):
+        code = main(
+            [
+                "watch",
+                "ans(X) :- e(X,Y), e(Y,Z), e(Z,X).",
+                facts_file,
+                "--deltas",
+                delta_file,
+                "--parallelism",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final: 3 answers after 3 updates" in out
 
     def test_watch_rejects_non_ground_updates(self, tmp_path, capsys):
         deltas = tmp_path / "d.txt"
