@@ -18,7 +18,11 @@ from ._errors import (
 from .core import *  # noqa: F401,F403 -- curated in core/__init__.py
 from .core import __all__ as _core_all
 from .db import (
+    ExecutionContext,
+    ProcessBackend,
+    SequentialBackend,
     ShardedRelation,
+    ThreadBackend,
     parallel_boolean_eval,
     parallel_enumerate_answers,
     parallel_full_reduce,
@@ -38,7 +42,7 @@ from .incremental import (
     ViewHandle,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnswerDelta",
@@ -50,14 +54,18 @@ __all__ = [
     "Engine",
     "EvalResult",
     "EvaluationError",
+    "ExecutionContext",
     "LiveEngine",
     "MaterializedView",
     "ParseError",
     "PlanCache",
     "PortfolioResult",
+    "ProcessBackend",
     "ReproError",
     "SchemaError",
+    "SequentialBackend",
     "ShardedRelation",
+    "ThreadBackend",
     "UnknownAttributeError",
     "UnknownRelationError",
     "ViewHandle",

@@ -30,7 +30,11 @@ Commands
     Structurally identical queries share one cached decomposition;
     ``--repeat`` re-runs the batch to demonstrate warm-cache
     amortisation, and ``--stats`` prints the merged counters plus the
-    cache's hit/miss/eviction numbers.
+    cache's hit/miss/eviction numbers.  ``--backend
+    sequential|thread|process`` selects where shard tasks run
+    (``--parallelism N`` is the deprecated thread-width alias); shard
+    counts themselves come from cardinality estimates — relations under
+    ~1k rows stay unsharded.
 ``explain QUERY [FACTS]``
     Render the physical plan the engine would execute: cached-or-fresh
     decomposition provenance, per-bag join order with cardinality
@@ -198,6 +202,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         budget=args.budget,
         workers=args.workers,
         parallelism=args.parallelism,
+        backend=args.backend,
     )
     batch = None
     for _ in range(max(1, args.repeat)):
@@ -257,7 +262,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     db = _load_facts(args.facts) if args.facts else Database()
     live = LiveEngine(
         db=db,
-        engine=Engine(mode=args.strategy),
+        engine=Engine(mode=args.strategy, backend=args.backend),
         parallelism=args.parallelism,
     )
     handle = live.register(query)
@@ -381,11 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--workers", type=int, default=4)
     p.add_argument(
+        "--backend",
+        default=None,
+        choices=["sequential", "thread", "process"],
+        help="execution backend for intra-query shard tasks: 'thread' "
+        "(low-latency, GIL-bound) or 'process' (worker processes, real "
+        "multicore scaling for large relations); default: $REPRO_BACKEND "
+        "or sequential.  Shard counts are chosen per relation from "
+        "cardinality estimates (sub-1k-row relations stay unsharded)",
+    )
+    p.add_argument(
         "--parallelism",
         type=int,
-        default=1,
-        help="intra-query sharded-kernel width (>1 hash-partitions every "
-        "relation and runs the Yannakakis passes shard-wise)",
+        default=None,
+        help="deprecated alias for --backend thread with this shard width",
     )
     p.add_argument(
         "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
@@ -424,6 +438,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=["sequential", "thread", "process"],
+        help="execution backend configured on the planning engine "
+        "(view maintenance itself is in-process delta propagation; "
+        "default: $REPRO_BACKEND or sequential)",
     )
     p.add_argument(
         "--parallelism",

@@ -1,5 +1,12 @@
 """Relational engine and the paper's evaluation strategies."""
 
+from .backend import (
+    ExecutionContext,
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from .binding import BoundQuery, bind_atom
 from .database import Database
 from .evaluate import (
@@ -29,9 +36,13 @@ __all__ = [
     "BoundQuery",
     "Database",
     "EvalStats",
+    "ExecutionContext",
     "Lemma46Result",
+    "ProcessBackend",
     "Relation",
+    "SequentialBackend",
     "ShardedRelation",
+    "ThreadBackend",
     "backtracking_answers",
     "backtracking_eval",
     "bind_atom",
@@ -41,6 +52,7 @@ __all__ = [
     "evaluate_boolean",
     "full_reduce",
     "lemma46_transform",
+    "make_backend",
     "naive_boolean_eval",
     "naive_join_eval",
     "parallel_boolean_eval",

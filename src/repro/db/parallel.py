@@ -1,22 +1,32 @@
 """Parallel Yannakakis passes over hash-partitioned relations.
 
-Mirrors :mod:`repro.db.yannakakis` operation for operation, but every
-node relation is first hash-partitioned into a :class:`ShardedRelation`
+Mirrors :mod:`repro.db.yannakakis` operation for operation, but node
+relations are first hash-partitioned into :class:`ShardedRelation`\\ s
 (:func:`shard_key_for` picks the partition key: a variable shared with
 the tree parent, so parent-child semijoin edges run partition-wise
 whenever the two sides agree on it) and every semijoin/join/projection
-then fans its shard tasks over a worker pool.
+then fans its shard tasks over an execution backend
+(:mod:`repro.db.backend`): inline, thread pool, or worker processes with
+resident shards.
+
+How many shards each node gets is the caller's policy: the flat
+``n_shards`` knob shards every node alike (the PR-4 behaviour), while
+``shard_counts`` — produced by the engine's cost-based planner from
+cardinality estimates — assigns counts per node, leaving small relations
+unsharded entirely (they stay plain :class:`Relation` objects, so they
+skip partitioning *and* the shard-task machinery; the sweeps mix plain
+and sharded operands freely).
 
 The sequential functions are the semantic oracle: for every tree,
-database and shard count,
+database, backend and shard assignment,
 
 * ``parallel_boolean_eval ≡ boolean_eval``
 * ``parallel_full_reduce ≡ full_reduce``
 * ``parallel_enumerate_answers ≡ enumerate_answers``
 
 which ``tests/db/test_parallel_equivalence.py`` asserts property-style.
-The pool is optional — ``pool=None`` runs the same sharded code inline,
-which is how shard-count equivalence is tested without thread noise.
+``backend=None`` (and ``pool=None``) runs the same sharded code inline,
+which is how shard-count equivalence is tested without pool noise.
 """
 
 from __future__ import annotations
@@ -25,8 +35,9 @@ from concurrent.futures import Executor
 
 from ..core.atoms import Atom
 from ..core.jointree import JoinTree
+from .backend import ExecutionContext
 from .relation import Relation, semijoin_with_keys
-from .sharded import ShardedRelation
+from .sharded import ShardedRelation, as_context
 from .stats import EvalStats
 
 __all__ = [
@@ -66,22 +77,31 @@ def _shard_all(
     tree: JoinTree,
     relations: dict[Atom, Relation],
     n_shards: int,
+    ctx: ExecutionContext,
+    shard_counts: dict[Atom, int] | None = None,
 ) -> dict[Atom, ShardedRelation | Relation]:
-    """Partition every node relation (0-ary relations stay plain)."""
+    """Partition the node relations per the shard policy.
+
+    Nodes assigned one shard (and 0-ary relations) stay plain — for the
+    cost-based policy that is the "partition overhead dominates below
+    ~1k rows" rule made concrete."""
     sharded: dict[Atom, ShardedRelation | Relation] = {}
     for node in tree.nodes:
         rel = relations[node]
+        n = shard_counts.get(node, n_shards) if shard_counts else n_shards
         key = shard_key_for(tree, node, rel)
         sharded[node] = (
-            rel if key is None else ShardedRelation.shard(rel, key, n_shards)
+            rel
+            if key is None or n <= 1
+            else ShardedRelation.shard(rel, key, n, backend=ctx)
         )
     return sharded
 
 
-def _semijoin(left, right, pool: Executor | None, stats: EvalStats):
+def _semijoin(left, right, ctx: ExecutionContext, stats: EvalStats):
     """One sweep step on possibly-sharded operands."""
     if isinstance(left, ShardedRelation):
-        out = left.semijoin(right, pool=pool)
+        out = left.semijoin(right, backend=ctx)
     elif isinstance(right, ShardedRelation):
         # A plain left side only needs the sharded partner's key-set
         # union, never its coalesced rows.
@@ -104,13 +124,13 @@ def _reduced_bottom_up_sharded(
     tree: JoinTree,
     sharded: dict[Atom, ShardedRelation | Relation],
     stats: EvalStats,
-    pool: Executor | None,
+    ctx: ExecutionContext,
 ) -> dict[Atom, ShardedRelation | Relation]:
     reduced = dict(sharded)
     for node in tree.post_order():
         for child in tree.children(node):
             reduced[node] = _semijoin(
-                reduced[node], reduced[child], pool, stats
+                reduced[node], reduced[child], ctx, stats
             )
     return reduced
 
@@ -119,13 +139,13 @@ def _full_reduce_sharded(
     tree: JoinTree,
     sharded: dict[Atom, ShardedRelation | Relation],
     stats: EvalStats,
-    pool: Executor | None,
+    ctx: ExecutionContext,
 ) -> dict[Atom, ShardedRelation | Relation]:
-    reduced = _reduced_bottom_up_sharded(tree, sharded, stats, pool)
+    reduced = _reduced_bottom_up_sharded(tree, sharded, stats, ctx)
     for node in tree.nodes:  # preorder: parents before children
         for child in tree.children(node):
             reduced[child] = _semijoin(
-                reduced[child], reduced[node], pool, stats
+                reduced[child], reduced[node], ctx, stats
             )
     return reduced
 
@@ -140,13 +160,16 @@ def parallel_boolean_eval(
     stats: EvalStats | None = None,
     n_shards: int = 4,
     pool: Executor | None = None,
+    backend: ExecutionContext | None = None,
+    shard_counts: dict[Atom, int] | None = None,
 ) -> bool:
     """Sharded Boolean Yannakakis: one bottom-up semijoin sweep."""
     stats = stats if stats is not None else EvalStats()
     if any(not relations[node] for node in tree.nodes):
         return False
-    sharded = _shard_all(tree, relations, n_shards)
-    reduced = _reduced_bottom_up_sharded(tree, sharded, stats, pool)
+    ctx = as_context(backend, pool)
+    sharded = _shard_all(tree, relations, n_shards, ctx, shard_counts)
+    reduced = _reduced_bottom_up_sharded(tree, sharded, stats, ctx)
     return bool(reduced[tree.root])
 
 
@@ -156,12 +179,15 @@ def parallel_full_reduce(
     stats: EvalStats | None = None,
     n_shards: int = 4,
     pool: Executor | None = None,
+    backend: ExecutionContext | None = None,
+    shard_counts: dict[Atom, int] | None = None,
 ) -> dict[Atom, Relation]:
     """Sharded full reducer; returns plain relations (coalesced), so the
     result is drop-in comparable with :func:`repro.db.yannakakis.full_reduce`."""
     stats = stats if stats is not None else EvalStats()
-    sharded = _shard_all(tree, relations, n_shards)
-    reduced = _full_reduce_sharded(tree, sharded, stats, pool)
+    ctx = as_context(backend, pool)
+    sharded = _shard_all(tree, relations, n_shards, ctx, shard_counts)
+    reduced = _full_reduce_sharded(tree, sharded, stats, ctx)
     return {node: _as_relation(rel) for node, rel in reduced.items()}
 
 
@@ -172,6 +198,8 @@ def parallel_enumerate_answers(
     stats: EvalStats | None = None,
     n_shards: int = 4,
     pool: Executor | None = None,
+    backend: ExecutionContext | None = None,
+    shard_counts: dict[Atom, int] | None = None,
 ) -> Relation:
     """Sharded output-polynomial enumeration.
 
@@ -179,11 +207,14 @@ def parallel_enumerate_answers(
     partial result partitioned for as long as its shard key survives the
     projection (it coalesces exactly when the key is projected away —
     after which shard-local duplicate elimination would no longer be
-    global).
+    global).  Under the process backend the partial joins grow and
+    shrink entirely inside the workers; only the final answer crosses
+    back.
     """
     stats = stats if stats is not None else EvalStats()
-    sharded = _shard_all(tree, relations, n_shards)
-    reduced = _full_reduce_sharded(tree, sharded, stats, pool)
+    ctx = as_context(backend, pool)
+    sharded = _shard_all(tree, relations, n_shards, ctx, shard_counts)
+    reduced = _full_reduce_sharded(tree, sharded, stats, ctx)
 
     tree_attrs: set[str] = set()
     for node in tree.nodes:
@@ -206,13 +237,13 @@ def parallel_enumerate_answers(
         for child in tree.children(node):
             child_part = partial[child]
             if isinstance(rel, ShardedRelation):
-                rel = rel.join(child_part, pool=pool)
+                rel = rel.join(child_part, backend=ctx)
             else:
                 rel = rel.join(_as_relation(child_part))
             stats.joins += 1
             kept = [a for a in rel.attributes if a in keep]
             if isinstance(rel, ShardedRelation):
-                rel = stats.record(rel.project(kept, pool=pool))
+                rel = stats.record(rel.project(kept, backend=ctx))
             else:
                 rel = stats.record(rel.project(kept))
             stats.projections += 1
@@ -220,7 +251,7 @@ def parallel_enumerate_answers(
         subtree_attrs[node] = attrs_below
     root_rel = partial[tree.root]
     if isinstance(root_rel, ShardedRelation):
-        answer = root_rel.project(list(output), name="ans", pool=pool)
+        answer = root_rel.project(list(output), name="ans", backend=ctx)
     else:
         answer = root_rel.project(list(output), name="ans")
     stats.projections += 1

@@ -9,42 +9,109 @@ which is what makes the evaluation side of Yannakakis' algorithm
 embarrassingly parallel.  When the partner is not co-sharded the
 operations fall back to *broadcast* mode (every shard against the
 partner's one memoised key set / hash table), which is still correct and
-still runs shard-wise over the worker pool.
+still fans shard-wise over the execution backend.
 
-Projection keeps the result sharded exactly when the shard key survives:
-two equal projected rows then carry the same key value and therefore live
-in the same shard, so shard-local duplicate elimination is global
-duplicate elimination.  Dropping the key coalesces to a plain
-:class:`~repro.db.relation.Relation`.
+Two properties of the partitioning matter beyond speed:
 
-All operations take an optional ``pool`` (a
-:class:`concurrent.futures.Executor`); without one — or with a single
-shard — they run inline.  Semantics are identical to the sequential
-:class:`Relation` operations, which the property suite in
-``tests/db/test_parallel_equivalence.py`` enforces shard-count by
-shard-count.
+* **Determinism** — rows are placed with :func:`stable_hash`, not the
+  builtin ``hash``: per-process ``PYTHONHASHSEED`` randomisation makes
+  string hashes disagree between worker processes, which would silently
+  break partition-wise joins under the process backend.  The stable hash
+  agrees wherever builtin equality does (``2 == 2.0 == True`` land
+  together), so equal join keys always meet in the same shard.
+* **Skew** — hash partitioning degrades when one join-key value
+  dominates.  :meth:`ShardedRelation.shard` detects heavy hitters
+  (frequency above ``rows / n_shards * skew_factor``), spreads their
+  rows round-robin across all shards for balance, and records them in
+  :attr:`ShardedRelation.heavy`.  A relation with spread keys is never
+  treated as partition-wise aligned: its operations run in broadcast
+  mode (the probe side checks the partner's *full* memoised structure),
+  which is the correctness fix-up that makes the spread sound.
+
+Operations take an optional ``backend`` (an
+:class:`~repro.db.backend.ExecutionContext`); without one they run
+inline.  Under a :class:`~repro.db.backend.ProcessBackend` the shard
+pieces are :class:`~repro.db.backend.RemoteShard` handles resident in
+worker processes — operators route to the owning worker, results stay
+resident, and rows only return to the parent on
+:meth:`ShardedRelation.to_relation`.  Semantics are identical to the
+sequential :class:`Relation` operations in every mode, which the
+property suite in ``tests/db/test_parallel_equivalence.py`` enforces
+backend by backend and shard-count by shard-count.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor
-from typing import Callable, Iterator, Sequence
+import zlib
+from typing import Iterator, Sequence
 
 from .._errors import SchemaError
-from .relation import Relation, Row, Value, probe_join, semijoin_with_keys
+from .backend import (
+    SEQUENTIAL,
+    ExecutionContext,
+    RemoteShard,
+    ThreadBackend,
+)
+from .relation import Relation, Row, Value
 
 
-def pool_map(pool: Executor | None, fn: Callable, items: Sequence) -> list:
-    """Run ``fn`` over *items*, through *pool* when one is given and the
-    fan-out is non-trivial; in order either way."""
-    if pool is None or len(items) <= 1:
-        return [fn(item) for item in items]
-    return list(pool.map(fn, items))
+def as_context(backend=None, pool=None) -> ExecutionContext:
+    """Normalise the two ways callers hand us parallelism.
+
+    *backend* wins; a bare ``concurrent.futures`` executor (*pool*, the
+    pre-backend API kept for compatibility) is wrapped in a non-owning
+    :class:`~repro.db.backend.ThreadBackend`; neither means inline.
+    """
+    if backend is not None:
+        return backend
+    if pool is not None:
+        return ThreadBackend(pool=pool)
+    return SEQUENTIAL
+
+
+def _result_context(
+    ctx: ExecutionContext, shards
+) -> ExecutionContext | None:
+    """The context a result relation must pin: the executing backend
+    when any piece is worker-resident, nothing for all-local pieces."""
+    return ctx if any(isinstance(s, RemoteShard) for s in shards) else None
+
+
+def stable_hash(value: Value) -> int:
+    """A hash that agrees across processes wherever ``==`` does.
+
+    Builtin ``hash`` randomises ``str``/``bytes`` per process (via
+    ``PYTHONHASHSEED``), so it cannot place rows when shards live in
+    different workers.  Strings and bytes hash through ``zlib.crc32`` of
+    their canonical byte encoding; tuples combine their elements'
+    stable hashes; every other builtin scalar (``int``, ``float``,
+    ``bool``, ``None``, …) keeps its builtin hash, which CPython defines
+    deterministically and consistently across numeric types
+    (``hash(2) == hash(2.0) == hash(True)``), preserving the invariant
+    that equal values land in equal shards.
+    """
+    kind = type(value)
+    if kind is str:
+        return zlib.crc32(value.encode("utf-8"))
+    if kind is bytes:
+        return zlib.crc32(value)
+    if kind is tuple:
+        acc = 0x345678
+        for item in value:
+            acc = ((acc * 1000003) ^ stable_hash(item)) & 0xFFFFFFFF
+        return acc
+    return hash(value)
 
 
 def shard_of(value: Value, n_shards: int) -> int:
-    """The shard owning *value* (stable within one process)."""
-    return hash(value) % n_shards
+    """The shard owning *value* — stable across worker processes."""
+    return stable_hash(value) % n_shards
+
+
+#: A key value is a heavy hitter when its row count exceeds
+#: ``rows / n_shards * DEFAULT_SKEW_FACTOR`` — i.e. its rows alone would
+#: make some shard more than ``DEFAULT_SKEW_FACTOR`` times the average.
+DEFAULT_SKEW_FACTOR = 2.0
 
 
 class ShardedRelation:
@@ -55,20 +122,35 @@ class ShardedRelation:
     attributes:
         The schema, shared by every shard.
     key:
-        The attribute whose hash assigns each row to a shard.
+        The attribute whose stable hash assigns each row to a shard.
     shards:
-        ``n`` disjoint :class:`Relation` pieces; row ``t`` lives in shard
-        ``hash(t[key]) % n``.
+        ``n`` disjoint pieces — plain :class:`Relation` objects, or
+        :class:`~repro.db.backend.RemoteShard` handles when the pieces
+        live in process-backend workers.  Row ``t`` lives in shard
+        ``stable_hash(t[key]) % n`` unless ``t[key]`` is a recorded
+        heavy hitter, whose rows are spread round-robin.
+    heavy:
+        The heavy-hitter key values whose rows were spread (empty for a
+        clean hash partition).  Non-empty disables partition-wise
+        alignment — operations fall back to broadcast mode.
+    context:
+        The :class:`~repro.db.backend.ExecutionContext` owning any
+        remote pieces (``None`` for purely local shards).
     """
 
-    __slots__ = ("attributes", "key", "shards", "name", "_key_sets", "_merged")
+    __slots__ = (
+        "attributes", "key", "shards", "name", "heavy", "context",
+        "_key_sets", "_merged",
+    )
 
     def __init__(
         self,
         attributes: tuple[str, ...],
         key: str,
-        shards: tuple[Relation, ...],
+        shards: tuple,
         name: str = "r",
+        heavy: frozenset = frozenset(),
+        context: ExecutionContext | None = None,
     ):
         if key not in attributes:
             raise SchemaError(
@@ -81,15 +163,33 @@ class ShardedRelation:
         self.key = key
         self.shards = shards
         self.name = name
+        self.heavy = heavy
+        self.context = context
         self._key_sets: dict[tuple[str, ...], frozenset] = {}
         self._merged: Relation | None = None
 
     # -- constructors -----------------------------------------------------
     @staticmethod
     def shard(
-        relation: Relation, key: str, n_shards: int
+        relation: Relation,
+        key: str,
+        n_shards: int,
+        backend: ExecutionContext | None = None,
+        skew_factor: float = DEFAULT_SKEW_FACTOR,
     ) -> "ShardedRelation":
-        """Partition *relation* on *key* into *n_shards* pieces."""
+        """Partition *relation* on *key* into *n_shards* pieces.
+
+        Placement uses :func:`stable_hash` so every process agrees.  If
+        any shard overflows ``rows / n_shards * skew_factor`` rows, the
+        key values responsible (the heavy hitters) are spread round-robin
+        across all shards and recorded in :attr:`heavy` — the skew guard.
+        The detection is two-phase so the common unskewed case pays one
+        ``max`` over bucket sizes, not a value-frequency count.
+
+        With a process *backend* the freshly cut shards are scattered to
+        their owner workers immediately and the returned relation holds
+        :class:`~repro.db.backend.RemoteShard` handles.
+        """
         if n_shards < 1:
             raise SchemaError(f"n_shards must be >= 1, got {n_shards}")
         i = relation._position(key)
@@ -99,20 +199,39 @@ class ShardedRelation:
             return ShardedRelation(
                 relation.attributes, key, (relation,), relation.name
             )
-        # Rows are already distinct, so list buckets (cheap appends)
-        # suffice before the per-shard frozenset build; the bound
-        # appends keep the per-row work to hash + mod + call.
         buckets: list[list[Row]] = [[] for _ in range(n_shards)]
         appends = [b.append for b in buckets]
-        _hash = hash
+        _hash = stable_hash
         for row in relation.rows:
             appends[_hash(row[i]) % n_shards](row)
-        shards = tuple(
+        heavy: frozenset = frozenset()
+        threshold = skew_factor * len(relation.rows) / n_shards
+        if relation.rows and max(len(b) for b in buckets) > threshold:
+            heavy = _heavy_hitters(buckets, i, threshold)
+            if heavy:
+                buckets = _spread_heavy(
+                    relation.rows, i, heavy, n_shards
+                )
+        shards: tuple = tuple(
             Relation.trusted(relation.attributes, frozenset(b), relation.name)
             for b in buckets
         )
+        if backend is not None and backend.kind == "process":
+            shards = tuple(
+                backend.map_shards(
+                    "identity",
+                    [(s,) for s in shards],
+                    keep=True,
+                    out_attributes=relation.attributes,
+                    out_name=relation.name,
+                )
+            )
+            return ShardedRelation(
+                relation.attributes, key, shards, relation.name,
+                heavy=heavy, context=backend,
+            )
         return ShardedRelation(
-            relation.attributes, key, shards, relation.name
+            relation.attributes, key, shards, relation.name, heavy=heavy
         )
 
     # -- views ------------------------------------------------------------
@@ -124,9 +243,12 @@ class ShardedRelation:
         return sum(len(s) for s in self.shards)
 
     def __bool__(self) -> bool:
-        return any(s.rows for s in self.shards)
+        return any(bool(s) for s in self.shards)
 
     def __iter__(self) -> Iterator[Row]:
+        if any(isinstance(s, RemoteShard) for s in self.shards):
+            yield from self.to_relation().rows
+            return
         for shard in self.shards:
             yield from shard.rows
 
@@ -134,27 +256,39 @@ class ShardedRelation:
     def rows(self) -> frozenset[Row]:
         return self.to_relation().rows
 
+    def _ctx(self, backend=None, pool=None) -> ExecutionContext:
+        """The context operations must run on: remote pieces pin their
+        owning backend; otherwise the caller's choice (or inline)."""
+        if self.context is not None:
+            return self.context
+        return as_context(backend, pool)
+
     def to_relation(self) -> Relation:
-        """Coalesce the shards back into one plain relation (memoised)."""
+        """Coalesce the shards back into one plain relation (memoised).
+        For worker-resident shards this is the *gather* point — the one
+        place rows travel back to the parent."""
         if self._merged is None:
-            if len(self.shards) == 1:
+            if len(self.shards) == 1 and isinstance(self.shards[0], Relation):
                 self._merged = self.shards[0]
             else:
-                merged: set[Row] = set()
-                for shard in self.shards:
-                    merged |= shard.rows
-                self._merged = Relation.trusted(
-                    self.attributes, frozenset(merged), self.name
+                self._merged = self._ctx().gather(
+                    self.shards, self.attributes, self.name
                 )
         return self._merged
 
     def key_set(self, attributes: tuple[str, ...]) -> frozenset:
-        """Union of the shards' memoised key sets over *attributes*."""
+        """Union of the shards' memoised key sets over *attributes*.
+        Computed worker-side for resident shards (only the key values
+        cross the process boundary, never the rows)."""
         cached = self._key_sets.get(attributes)
         if cached is None:
-            cached = frozenset().union(
-                *(s.key_set(attributes) for s in self.shards)
-            )
+            if any(isinstance(s, RemoteShard) for s in self.shards):
+                sets = self._ctx().map_shards(
+                    "key_set", [(s, attributes) for s in self.shards]
+                )
+            else:
+                sets = [s.key_set(attributes) for s in self.shards]
+            cached = frozenset().union(*sets)
             self._key_sets[attributes] = cached
         return cached
 
@@ -162,31 +296,42 @@ class ShardedRelation:
         self, other: "ShardedRelation | Relation", shared: tuple[str, ...]
     ) -> bool:
         """Partition-wise operation is sound iff both sides are sharded
-        on the same number of shards by the same *shared* key."""
+        on the same number of shards by the same *shared* key — and
+        neither side spread heavy-hitter rows off their hash shard."""
         return (
             isinstance(other, ShardedRelation)
             and other.key == self.key
             and other.n_shards == self.n_shards
             and self.key in shared
+            and not self.heavy
+            and not other.heavy
         )
 
     def _rebuild(
-        self, shards: list[Relation], name: str | None = None
+        self,
+        shards: list,
+        ctx: ExecutionContext,
+        name: str | None = None,
     ) -> "ShardedRelation":
         if all(new is old for new, old in zip(shards, self.shards)):
             return self
         return ShardedRelation(
-            self.attributes, self.key, tuple(shards), name or self.name
+            self.attributes, self.key, tuple(shards), name or self.name,
+            heavy=self.heavy, context=_result_context(ctx, shards),
         )
 
     # -- relational algebra ----------------------------------------------
     def semijoin(
         self,
         other: "ShardedRelation | Relation",
-        pool: Executor | None = None,
+        backend: ExecutionContext | None = None,
+        pool=None,
     ) -> "ShardedRelation":
         """⋉ shard-wise: pairwise against an aligned partner, otherwise
-        every shard against the partner's one memoised key set."""
+        every shard against the partner's one memoised key set (scattered
+        to the workers at most once per partner)."""
+        ctx = self._ctx(backend, pool)
+        keep = ctx.kind == "process"
         if not other:
             empty = Relation.trusted(self.attributes, frozenset(), self.name)
             return ShardedRelation(
@@ -200,33 +345,44 @@ class ShardedRelation:
             return self
         if self._aligned_with(other, shared):
             pairs = list(zip(self.shards, other.shards))
-            shards = pool_map(
-                pool, lambda pair: pair[0].semijoin(pair[1]), pairs
+            shards = ctx.map_shards(
+                "semijoin_pair", pairs, keep=keep,
+                out_attributes=self.attributes, out_name=self.name,
             )
-            return self._rebuild(shards)
-        keys = other.key_set(shared)
-
-        def one(shard: Relation) -> Relation:
-            return semijoin_with_keys(shard, shared, keys)
-
-        return self._rebuild(pool_map(pool, one, self.shards))
+            return self._rebuild(shards, ctx)
+        keys = ctx.scatter(other.key_set(shared))
+        tasks = [(shard, shared, keys) for shard in self.shards]
+        shards = ctx.map_shards(
+            "semijoin_keys", tasks, keep=keep,
+            out_attributes=self.attributes, out_name=self.name,
+        )
+        return self._rebuild(shards, ctx)
 
     def join(
         self,
         other: "ShardedRelation | Relation",
         name: str | None = None,
-        pool: Executor | None = None,
+        backend: ExecutionContext | None = None,
+        pool=None,
     ) -> "ShardedRelation":
         """⋈ shard-wise; the result stays sharded on this side's key
         (every output row extends one of this side's rows, so the key
         column — and with it the partition — is preserved)."""
+        ctx = self._ctx(backend, pool)
+        keep = ctx.kind == "process"
         shared = tuple(a for a in self.attributes if a in other.attributes)
+        here = set(self.attributes)
+        extra = tuple(a for a in other.attributes if a not in here)
+        out_attrs = self.attributes + extra
+        out_name = name or f"({self.name}⋈{other.name})"
         if self._aligned_with(other, shared):
-            pairs = list(zip(self.shards, other.shards))
-            shards = pool_map(
-                pool,
-                lambda pair: pair[0].join(pair[1], name=name),
-                pairs,
+            pairs = [
+                (left, right, name)
+                for left, right in zip(self.shards, other.shards)
+            ]
+            shards = ctx.map_shards(
+                "join_pair", pairs, keep=keep,
+                out_attributes=out_attrs, out_name=out_name,
             )
         else:
             partner = (
@@ -236,56 +392,97 @@ class ShardedRelation:
             )
             # Broadcast: every shard probes the partner's one memoised
             # hash table (building per-shard tables would redo the same
-            # build n times and probe the full partner per shard).
-            here = set(self.attributes)
-            extra = [a for a in partner.attributes if a not in here]
-            extra_pos = [partner._position(a) for a in extra]
-            out = self.attributes + tuple(extra)
-            out_name = name or f"({self.name}⋈{partner.name})"
-            shards = pool_map(
-                pool,
-                lambda shard: probe_join(
-                    partner, shard, False, shared, extra_pos, out, out_name
-                ),
-                self.shards,
+            # build n times and probe the full partner per shard).  The
+            # partner ships to each worker at most once via scatter.
+            extra_pos = tuple(partner._position(a) for a in extra)
+            ref = ctx.scatter(partner)
+            tasks = [
+                (ref, shard, shared, extra_pos, out_attrs, out_name)
+                for shard in self.shards
+            ]
+            shards = ctx.map_shards(
+                "probe_join", tasks, keep=keep,
+                out_attributes=out_attrs, out_name=out_name,
             )
-        out_attrs = shards[0].attributes
         return ShardedRelation(
-            out_attrs, self.key, tuple(shards), name or shards[0].name
+            out_attrs, self.key, tuple(shards), out_name,
+            heavy=self.heavy, context=_result_context(ctx, shards),
         )
 
     def project(
         self,
         attributes: Sequence[str],
         name: str | None = None,
-        pool: Executor | None = None,
+        backend: ExecutionContext | None = None,
+        pool=None,
     ) -> "ShardedRelation | Relation":
         """π shard-wise; the result stays sharded when the shard key
         survives (rows equal after projection then agree on the key, so
         they were in the same shard and shard-local dedup is global).
-        Dropping the key still projects shard-wise — the final union of
-        the (smaller) projected shards performs the cross-shard dedup."""
-        shards = pool_map(
-            pool,
-            lambda shard: shard.project(attributes, name=name),
-            self.shards,
-        )
-        if self.key in attributes:
-            return ShardedRelation(
-                tuple(attributes), self.key, tuple(shards), name or self.name
+        Dropping the key — or projecting a relation with spread heavy
+        hitters, whose equal-after-projection rows may straddle shards —
+        still projects shard-wise, with the final union of the (smaller)
+        projected shards performing the cross-shard dedup."""
+        ctx = self._ctx(backend, pool)
+        attrs = tuple(attributes)
+        out_name = name or self.name
+        tasks = [(shard, attrs, name) for shard in self.shards]
+        if self.key in attrs and not self.heavy:
+            keep = ctx.kind == "process"
+            shards = ctx.map_shards(
+                "project", tasks, keep=keep,
+                out_attributes=attrs, out_name=out_name,
             )
-        merged: set[Row] = set()
-        for shard in shards:
-            merged |= shard.rows
-        return Relation.trusted(
-            tuple(attributes), frozenset(merged), name or self.name
-        )
+            return ShardedRelation(
+                attrs, self.key, tuple(shards), out_name,
+                context=_result_context(ctx, shards),
+            )
+        projected = ctx.map_shards("project", tasks)
+        return ctx.gather(projected, attrs, out_name)
 
     def __str__(self) -> str:
         sizes = ", ".join(str(len(s)) for s in self.shards)
+        spread = f" heavy={len(self.heavy)}" if self.heavy else ""
         return (
             f"{self.name}({', '.join(self.attributes)}) "
-            f"[{len(self)} rows @ {self.key}: {sizes}]"
+            f"[{len(self)} rows @ {self.key}: {sizes}{spread}]"
         )
 
 
+def _heavy_hitters(
+    buckets: list[list[Row]], key_pos: int, threshold: float
+) -> frozenset:
+    """Key values whose row count alone exceeds *threshold*, counted
+    only inside oversized buckets (a value's rows all share a bucket
+    before spreading, so no heavy hitter can hide in a small one)."""
+    heavy: set[Value] = set()
+    for bucket in buckets:
+        if len(bucket) <= threshold:
+            continue
+        counts: dict[Value, int] = {}
+        for row in bucket:
+            value = row[key_pos]
+            counts[value] = counts.get(value, 0) + 1
+        heavy.update(v for v, c in counts.items() if c > threshold)
+    return frozenset(heavy)
+
+
+def _spread_heavy(
+    rows: frozenset[Row],
+    key_pos: int,
+    heavy: frozenset,
+    n_shards: int,
+) -> list[list[Row]]:
+    """Re-bucket with heavy-hitter rows dealt round-robin for balance."""
+    buckets: list[list[Row]] = [[] for _ in range(n_shards)]
+    appends = [b.append for b in buckets]
+    _hash = stable_hash
+    spread = 0
+    for row in rows:
+        value = row[key_pos]
+        if value in heavy:
+            appends[spread % n_shards](row)
+            spread += 1
+        else:
+            appends[_hash(value) % n_shards](row)
+    return buckets

@@ -4,7 +4,7 @@ One object ties the repo's pieces into a pipeline callers no longer
 hand-wire per query::
 
     fingerprint → plan cache → (portfolio decompose on miss) →
-    physical plan (join orders, root) → Yannakakis passes
+    physical plan (join orders, root, shard counts) → Yannakakis passes
 
 * :meth:`Engine.execute` answers one query against one database,
   returning an :class:`EvalResult` with the answer relation, per-request
@@ -14,6 +14,22 @@ hand-wire per query::
   thread-safe), aggregating stats with ``EvalStats.merge``.
 * :meth:`Engine.explain` renders the chosen physical plan without
   executing it.
+
+**Execution backends.**  ``Engine(backend=...)`` selects where shard
+tasks run: ``"sequential"`` (inline, the default), ``"thread"`` (the
+PR-4 sharded thread pool — low latency, GIL-bound), or ``"process"``
+(worker processes with resident shards — real multicore scaling for
+large relations).  The engine owns one live
+:class:`~repro.db.backend.ExecutionContext` per (kind, width), created
+lazily on the first plan that actually shards something and reused
+across requests, so process workers and their scatter caches persist;
+:meth:`Engine.close` (or the context-manager exit) releases them.
+Which nodes shard at all is the cost-based policy in
+:func:`repro.engine.plan.compile_plan` — relations estimated under
+:data:`~repro.engine.plan.SHARD_MIN_ROWS` stay unsharded.  The PR-4
+``parallelism=`` knob survives as a deprecated alias for
+``backend="thread", backend_workers=n``; the ``REPRO_BACKEND``
+environment variable supplies the default kind when neither is given.
 
 Per-request time *budgets* (wall-clock seconds) bound both the
 decomposition search — via the portfolio's own budget handling, which
@@ -28,6 +44,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
@@ -36,15 +53,30 @@ from .._errors import BudgetExceeded, ReproError
 from ..core.atoms import Variable
 from ..core.hypertree import HypertreeDecomposition
 from ..core.query import ConjunctiveQuery
+from ..db.backend import (
+    BACKEND_KINDS,
+    ExecutionContext,
+    default_backend_kind,
+    make_backend,
+)
 from ..db.database import Database
 from ..db.relation import Relation
 from ..db.stats import EvalStats
 from ..heuristics.portfolio import Mode, decompose
 from .cache import PlanCache
-from .plan import QueryPlan, compile_plan, execute_plan
+from .plan import SHARD_MIN_ROWS, QueryPlan, compile_plan, execute_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incremental imports engine)
     from ..incremental.live import LiveEngine
+
+
+def _deprecated_parallelism() -> None:
+    warnings.warn(
+        "parallelism= is deprecated; use backend='thread'|'process' with "
+        "backend_workers=N instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -121,10 +153,21 @@ class Engine:
         unbounded); individual calls may override it.
     workers:
         Default thread-pool width for :meth:`execute_many`.
+    backend:
+        Execution backend kind for intra-query shard tasks:
+        ``"sequential"`` | ``"thread"`` | ``"process"``.  Defaults to
+        ``$REPRO_BACKEND`` when set, else ``"sequential"`` (or
+        ``"thread"`` when the deprecated *parallelism* knob asks for
+        width > 1).
+    backend_workers:
+        Shard-task width for a parallel backend (default 4).
+    shard_threshold:
+        Minimum estimated bag cardinality for a node to be sharded;
+        forwarded to :func:`~repro.engine.plan.compile_plan`.
     parallelism:
-        Default intra-query parallelism: > 1 runs every plan through the
-        sharded kernel (:mod:`repro.db.parallel`) with that many shards
-        and pool workers.  Individual calls may override it.
+        Deprecated alias: ``parallelism=n > 1`` reads as
+        ``backend="thread", backend_workers=n`` (explicit *backend*
+        still wins).  Individual calls may override it.
     """
 
     def __init__(
@@ -133,40 +176,71 @@ class Engine:
         mode: Mode = "auto",
         budget: float | None = None,
         workers: int = 4,
-        parallelism: int = 1,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        backend_workers: int | None = None,
+        shard_threshold: int = SHARD_MIN_ROWS,
     ):
         self.cache = PlanCache(cache_size)
         self.mode: Mode = mode
         self.budget = budget
         self.workers = workers
-        self.parallelism = max(1, parallelism)
+        if parallelism is not None:
+            _deprecated_parallelism()
+        if backend is None:
+            backend = (
+                default_backend_kind()
+                if default_backend_kind() != "sequential"
+                else ("thread" if (parallelism or 1) > 1 else "sequential")
+            )
+        if backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}"
+            )
+        self.backend = backend
+        self.backend_workers = max(
+            1,
+            backend_workers
+            if backend_workers is not None
+            else (parallelism if (parallelism or 1) > 1 else 4),
+        )
+        self.shard_threshold = shard_threshold
         self.decompositions = 0  # fresh planner searches performed
-        self._shard_pools: dict[int, ThreadPoolExecutor] = {}
-        self._shard_pools_lock = threading.Lock()
+        self._backends: dict[tuple[str, int], ExecutionContext] = {}
+        self._backends_lock = threading.Lock()
+
+    @property
+    def parallelism(self) -> int:
+        """Deprecated alias: the shard width under a parallel backend."""
+        return self.backend_workers if self.backend != "sequential" else 1
 
     # -- resource lifecycle ------------------------------------------------
-    def _shard_pool(self, workers: int) -> ThreadPoolExecutor:
-        """The engine-owned shard pool for a given width, created once
-        and reused across requests (spinning a pool up per query would
-        put thread start-up on the hot path this feature speeds up).
-        Executors are thread-safe, so concurrent requests share it."""
-        with self._shard_pools_lock:
-            pool = self._shard_pools.get(workers)
-            if pool is None:
-                pool = ThreadPoolExecutor(
-                    max_workers=workers,
-                    thread_name_prefix=f"shard-{workers}",
-                )
-                self._shard_pools[workers] = pool
-            return pool
+    def _backend_for(self, kind: str, workers: int) -> ExecutionContext:
+        """The engine-owned execution context for (kind, width), created
+        once and reused across requests (spinning workers up per query
+        would put process/thread start-up on the hot path this feature
+        speeds up).  Contexts are thread-safe for concurrent requests:
+        thread pools natively, the process backend by serialising each
+        shard fan-out."""
+        key = (kind, workers)
+        with self._backends_lock:
+            ctx = self._backends.get(key)
+            if ctx is None or ctx.closed:
+                # `closed` covers a process pool that tore itself down
+                # after losing a worker: the next request gets a fresh
+                # pool instead of a permanently bricked engine.
+                ctx = make_backend(kind, workers)
+                self._backends[key] = ctx
+            return ctx
 
     def close(self) -> None:
-        """Shut down the engine's shard pools.  Idempotent; the engine
-        remains usable afterwards (pools are recreated on demand)."""
-        with self._shard_pools_lock:
-            pools, self._shard_pools = list(self._shard_pools.values()), {}
-        for pool in pools:
-            pool.shutdown(wait=False)
+        """Shut down the engine's execution backends (thread pools and
+        process workers).  Idempotent; the engine remains usable
+        afterwards (backends are recreated on demand)."""
+        with self._backends_lock:
+            contexts, self._backends = list(self._backends.values()), {}
+        for ctx in contexts:
+            ctx.close()
 
     def __enter__(self) -> "Engine":
         return self
@@ -198,15 +272,41 @@ class Engine:
         )
         return result.decomposition, False, result.method, result.width
 
+    def _resolve_backend(
+        self, backend: str | None, parallelism: int | None
+    ) -> tuple[str, int]:
+        """Per-call backend resolution honouring the deprecated alias:
+        an explicit ``parallelism=1`` forces sequential (the PR-4
+        meaning), ``parallelism=n>1`` forces a thread width of *n*
+        unless a backend kind is also given."""
+        if backend is not None and backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}"
+            )
+        if parallelism is None:
+            kind = backend if backend is not None else self.backend
+            return kind, self.backend_workers
+        if parallelism <= 1:
+            return (backend if backend is not None else "sequential"), 1
+        kind = backend if backend is not None else (
+            self.backend if self.backend != "sequential" else "thread"
+        )
+        return kind, parallelism
+
     def plan(
-        self, query: ConjunctiveQuery, db: Database | None = None
+        self,
+        query: ConjunctiveQuery,
+        db: Database | None = None,
+        backend: str | None = None,
     ) -> QueryPlan:
         """The physical plan the engine would execute (used by explain,
         and by live views registering through the shared cache)."""
-        hd, hit, method, width = self._decomposition_for(query, None)
+        kind, width = self._resolve_backend(backend, None)
+        hd, hit, method, width_hd = self._decomposition_for(query, None)
         return compile_plan(
             query, db, hd, provenance=method, cache_hit=hit,
-            parallelism=self.parallelism,
+            backend=kind, workers=width,
+            shard_threshold=self.shard_threshold,
         )
 
     def live(
@@ -215,7 +315,7 @@ class Engine:
         """A :class:`repro.incremental.LiveEngine` planning through this
         engine — registered views share this plan cache, so a view of an
         already-seen shape costs a transport, not a search.  Delta
-        fan-out parallelism defaults to this engine's setting."""
+        fan-out parallelism defaults to this engine's shard width."""
         # Imported here: the incremental layer sits above the engine.
         from ..incremental.live import LiveEngine
 
@@ -230,7 +330,8 @@ class Engine:
     def explain(
         self, query: ConjunctiveQuery, db: Database | None = None
     ) -> str:
-        """Render the chosen plan (cache provenance, join orders, root)."""
+        """Render the chosen plan (cache provenance, join orders, root,
+        shard assignment)."""
         return self.plan(query, db).render()
 
     # -- execution --------------------------------------------------------
@@ -241,6 +342,7 @@ class Engine:
         budget: float | None = None,
         stats: EvalStats | None = None,
         parallelism: int | None = None,
+        backend: str | None = None,
     ) -> EvalResult:
         """Evaluate one query, raising :class:`BudgetExceeded` on timeout.
 
@@ -251,9 +353,7 @@ class Engine:
         budget = budget if budget is not None else self.budget
         started = time.monotonic()
         deadline = started + budget if budget is not None else None
-        parallelism = (
-            self.parallelism if parallelism is None else max(1, parallelism)
-        )
+        kind, width = self._resolve_backend(backend, parallelism)
         stats = stats if stats is not None else EvalStats()
         with stats.timed():
             if not query.atoms:
@@ -271,21 +371,26 @@ class Engine:
                     query, answer, stats, False, 0, "empty",
                     time.monotonic() - started,
                 )
-            hd, hit, method, width = self._decomposition_for(query, deadline)
+            hd, hit, method, hd_width = self._decomposition_for(query, deadline)
             plan = compile_plan(
                 query, db, hd, provenance=method, cache_hit=hit,
-                parallelism=parallelism,
+                backend=kind, workers=width,
+                shard_threshold=self.shard_threshold,
+            )
+            # The live context is only materialised when the plan's
+            # cost-based policy actually sharded something — a process
+            # pool is never spawned to evaluate small relations.
+            ctx = (
+                self._backend_for(kind, width)
+                if kind != "sequential"
+                and any(np.n_shards > 1 for np in plan.node_plans)
+                else None
             )
             answer = execute_plan(
-                plan, db, stats=stats, deadline=deadline,
-                pool=(
-                    self._shard_pool(parallelism)
-                    if parallelism > 1
-                    else None
-                ),
+                plan, db, stats=stats, deadline=deadline, backend=ctx,
             )
         return EvalResult(
-            query, answer, stats, hit, width, method,
+            query, answer, stats, hit, hd_width, method,
             time.monotonic() - started,
         )
 
@@ -296,6 +401,7 @@ class Engine:
         workers: int | None = None,
         budget: float | None = None,
         parallelism: int | None = None,
+        backend: str | None = None,
     ) -> BatchResult:
         """Evaluate a batch of requests over a worker pool.
 
@@ -305,8 +411,8 @@ class Engine:
         :class:`EvalResult` with ``error`` set instead of aborting the
         batch.  The merged :class:`EvalStats` (including summed per-query
         wall times, which exceed batch wall-clock under parallelism) ride
-        on the returned :class:`BatchResult`.  *parallelism* sets the
-        per-request sharded-kernel width (see :meth:`execute`).
+        on the returned :class:`BatchResult`.  *backend*/*parallelism*
+        set the per-request shard backend (see :meth:`execute`).
 
         Each request's *budget* clock starts when a pool worker begins
         executing it — time spent queued behind a saturated pool does not
@@ -333,7 +439,8 @@ class Engine:
                 # deadline here, when the request starts, so a request
                 # queued behind a full pool keeps its whole budget.
                 return self.execute(
-                    query, request_db, budget=budget, parallelism=parallelism
+                    query, request_db, budget=budget,
+                    parallelism=parallelism, backend=backend,
                 )
             except ReproError as error:
                 # Per-request fault isolation: a blown budget, a schema

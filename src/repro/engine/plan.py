@@ -15,24 +15,27 @@ Lemma 4.6 pipeline:
   child before enumeration starts.  (Join trees, unlike hypertree
   decompositions, may be re-rooted freely: the connectedness condition
   is symmetric.)
+* **per-node shard counts** — with a parallel backend selected, each
+  node whose estimated bag cardinality reaches
+  :data:`SHARD_MIN_ROWS` is assigned ``workers`` hash partitions;
+  smaller bags stay unsharded (below ~1k rows the partitioning overhead
+  dominates any shard-task win).  This replaces the PR-4 global
+  ``parallelism`` knob: the shard decision is per relation, from the
+  same cardinality estimates that order the joins.
 
 Execution materialises the bags in plan order, then runs the Yannakakis
-passes of :mod:`repro.db.yannakakis` — semijoin reduction for Boolean
-queries, the output-polynomial enumeration for answer queries.  A
-deadline is checked between operators so per-request budgets interrupt
-long plans with :class:`repro._errors.BudgetExceeded`.
-
-With ``parallelism > 1`` execution switches to the sharded kernel: bag
-materialisation fans out node-per-task over a worker pool, and the
-Yannakakis passes run over hash-partitioned relations
-(:mod:`repro.db.parallel`), one shard per worker.  Semantics are
-identical to the sequential path — the property suite cross-checks them.
+passes — sequentially, or over the selected execution backend
+(:mod:`repro.db.backend`) with the plan's shard assignment.  A deadline
+is checked between operators so per-request budgets interrupt long plans
+with :class:`repro._errors.BudgetExceeded` (under the process backend
+the check sits between operators on the coordinating side; an individual
+shard task is never interrupted mid-flight).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 
 from .._errors import BudgetExceeded
@@ -40,13 +43,21 @@ from ..core.atoms import Atom, Variable
 from ..core.hypertree import HTNode, HypertreeDecomposition
 from ..core.jointree import JoinTree, join_tree_from_edges
 from ..core.query import ConjunctiveQuery
+from ..db.backend import BACKEND_KINDS, ExecutionContext, ThreadBackend, make_backend
 from ..db.binding import bind_atom
 from ..db.database import Database
-from ..db.parallel import parallel_boolean_eval, parallel_enumerate_answers
+from ..db.parallel import (
+    parallel_boolean_eval,
+    parallel_enumerate_answers,
+)
 from ..db.relation import Relation
-from ..db.sharded import pool_map
 from ..db.stats import CardinalityEstimator, EvalStats
 from ..db.yannakakis import boolean_eval, enumerate_answers
+
+#: Estimated bag cardinality below which a node is never sharded: the
+#: ROADMAP's "partition overhead dominates below ~1k rows" observation,
+#: applied per relation by the cost-based policy.
+SHARD_MIN_ROWS = 1000
 
 
 def _check_deadline(deadline: float | None, phase: str) -> None:
@@ -63,6 +74,7 @@ class NodePlan:
     join_order: tuple[Atom, ...]
     estimated_rows: float
     atom_estimates: tuple[float, ...]
+    n_shards: int = 1
 
     def describe(self) -> str:
         steps = " ⋈ ".join(
@@ -70,7 +82,11 @@ class NodePlan:
             for a, est in zip(self.join_order, self.atom_estimates)
         )
         chi = ", ".join(self.chi_names)
-        return f"{self.bag.predicate}: π[{chi}]({steps or 'unit'}) ≈{int(self.estimated_rows)} rows"
+        shards = f" ×{self.n_shards} shards" if self.n_shards > 1 else ""
+        return (
+            f"{self.bag.predicate}: π[{chi}]({steps or 'unit'}) "
+            f"≈{int(self.estimated_rows)} rows{shards}"
+        )
 
 
 @dataclass(frozen=True)
@@ -85,19 +101,34 @@ class QueryPlan:
     width: int
     provenance: str = "exact"
     cache_hit: bool = field(default=False)
-    parallelism: int = field(default=1)
+    backend: str = field(default="sequential")
+    workers: int = field(default=1)
+
+    @property
+    def parallelism(self) -> int:
+        """Deprecated alias: the shard-task width under a parallel
+        backend (1 when the plan is sequential)."""
+        return self.workers if self.backend != "sequential" else 1
+
+    @property
+    def shard_counts(self) -> dict[Atom, int]:
+        """Per-node shard assignment for the Yannakakis passes."""
+        return {np.bag: np.n_shards for np in self.node_plans}
 
     def render(self) -> str:
         """The ``explain`` rendering: provenance, per-node pipelines, and
         the rooted join tree the Yannakakis passes will run over."""
+        sharded = sum(1 for np in self.node_plans if np.n_shards > 1)
+        backend_tag = (
+            f", {self.backend} backend × {self.workers} "
+            f"({sharded}/{len(self.node_plans)} nodes sharded)"
+            if self.backend != "sequential"
+            else ""
+        )
         lines = [
             f"plan for {self.query.name}: width {self.width} "
             f"[{self.provenance}{', cached' if self.cache_hit else ''}"
-            + (
-                f", {self.parallelism}-way sharded"
-                if self.parallelism > 1
-                else ""
-            )
+            + backend_tag
             + "]",
             f"output: ({', '.join(self.output)})" if self.output else "output: boolean",
             "bag materialisation (cardinality-ascending joins):",
@@ -143,6 +174,9 @@ def compile_plan(
     provenance: str = "exact",
     cache_hit: bool = False,
     parallelism: int = 1,
+    backend: str | None = None,
+    workers: int | None = None,
+    shard_threshold: int = SHARD_MIN_ROWS,
 ) -> QueryPlan:
     """Compile *hd* into a physical plan against *db*.
 
@@ -151,7 +185,26 @@ def compile_plan(
     the mirrored join tree is re-rooted at the largest estimated bag.
     With ``db=None`` (an ``explain`` without facts) all estimates are 1
     and the plan falls back to deterministic syntactic order.
+
+    *backend* selects the execution backend kind (``"sequential"``,
+    ``"thread"``, ``"process"``) and *workers* its width; with a parallel
+    backend each node whose estimated cardinality reaches
+    *shard_threshold* is assigned ``workers`` shards, smaller nodes
+    none.  *parallelism* is the deprecated PR-4 alias: ``> 1`` is read
+    as ``backend="thread", workers=parallelism``.
     """
+    if backend is None:
+        backend = "thread" if parallelism > 1 else "sequential"
+    if backend not in BACKEND_KINDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}"
+        )
+    if workers is None:
+        workers = parallelism if parallelism > 1 else 4
+    if backend == "sequential":
+        workers = 1
+    workers = max(1, workers)
+
     complete = hd if hd.is_complete else hd.complete()
     estimator = CardinalityEstimator(db)
     domain = estimator.domain_size
@@ -177,8 +230,18 @@ def compile_plan(
             joined_vars = joined_vars | a.variables
         bag = Atom(f"n{i}", tuple(Variable(v) for v in chi_names))
         fresh[i] = bag
+        n_shards = (
+            workers
+            if backend != "sequential"
+            and workers > 1
+            and bag_rows >= shard_threshold
+            else 1
+        )
         plans.append(
-            NodePlan(bag, chi_names, tuple(order), bag_rows, tuple(estimates))
+            NodePlan(
+                bag, chi_names, tuple(order), bag_rows, tuple(estimates),
+                n_shards=n_shards,
+            )
         )
 
     edges = [
@@ -203,7 +266,8 @@ def compile_plan(
         width=hd.width,
         provenance=provenance,
         cache_hit=cache_hit,
-        parallelism=max(1, parallelism),
+        backend=backend,
+        workers=workers,
     )
 
 
@@ -241,6 +305,7 @@ def execute_plan(
     deadline: float | None = None,
     parallelism: int | None = None,
     pool: Executor | None = None,
+    backend: ExecutionContext | None = None,
 ) -> Relation:
     """Run a compiled plan: materialise bags, then Yannakakis.
 
@@ -249,36 +314,74 @@ def execute_plan(
     :class:`BudgetExceeded` when *deadline* (monotonic seconds) passes
     between operators.
 
-    *parallelism* (default: the plan's own setting) > 1 runs the sharded
-    kernel: one task per bag during materialisation, then
-    hash-partitioned Yannakakis passes with *parallelism* shards over a
-    worker pool (a private pool unless *pool* is given).
+    *backend* is a live :class:`~repro.db.backend.ExecutionContext` to
+    run the plan's shard assignment on (typically engine-owned, so
+    process workers persist across requests).  Without one, a plan
+    compiled for a parallel backend creates a private context for the
+    call and closes it afterwards.  *parallelism*/*pool* are the
+    deprecated PR-4 knobs: an explicit ``parallelism=n > 1`` (or a bare
+    executor) runs a thread context with every node sharded ``n`` ways,
+    bypassing the cost-based assignment.
     """
     stats = stats if stats is not None else EvalStats()
-    workers = plan.parallelism if parallelism is None else max(1, parallelism)
-    if workers > 1 and pool is None:
-        with ThreadPoolExecutor(max_workers=workers) as own_pool:
-            return _execute_with_pool(plan, db, stats, deadline, workers, own_pool)
-    return _execute_with_pool(plan, db, stats, deadline, workers, pool)
+    counts = plan.shard_counts
+    own = False
+    if backend is not None:
+        ctx: ExecutionContext | None = backend
+    elif parallelism is not None and parallelism <= 1 and pool is None:
+        # The PR-4 way of forcing sequential execution: honour it
+        # without spinning up a pointless 1-worker context (and without
+        # falling through to the plan's own backend below).
+        ctx = None
+        counts = {np.bag: 1 for np in plan.node_plans}
+    elif pool is not None or parallelism is not None:
+        width = max(
+            1,
+            parallelism
+            if parallelism is not None
+            else getattr(pool, "_max_workers", plan.workers),
+        )
+        ctx = ThreadBackend(workers=width, pool=pool)
+        own = pool is None
+        counts = {np.bag: width for np in plan.node_plans}
+    elif plan.backend != "sequential" and any(
+        n > 1 for n in counts.values()
+    ):
+        ctx = make_backend(plan.backend, plan.workers)
+        own = True
+    else:
+        ctx = None
+    try:
+        return _execute_with_context(plan, db, stats, deadline, ctx, counts)
+    finally:
+        if own and ctx is not None:
+            ctx.close()
 
 
-def _execute_with_pool(
+def _execute_with_context(
     plan: QueryPlan,
     db: Database,
     stats: EvalStats,
     deadline: float | None,
-    workers: int,
-    pool: Executor | None,
+    ctx: ExecutionContext | None,
+    counts: dict[Atom, int],
 ) -> Relation:
     node_pairs = list(zip(plan.node_plans, plan.decomposition.nodes))
-    if workers > 1:
+    if (
+        ctx is not None
+        and ctx.kind == "thread"
+        and ctx.workers > 1
+        and len(node_pairs) > 1
+    ):
         # One task per bag; each task keeps private stats (EvalStats is
-        # not thread-safe) merged once the fan-out completes.
+        # not thread-safe) merged once the fan-out completes.  Only the
+        # thread backend fans bags out: bag pipelines close over the
+        # database, which must not cross a process boundary.
         def one(pair: tuple[NodePlan, HTNode]) -> tuple[Relation, EvalStats]:
             local = EvalStats()
             return _materialise_bag(pair[0], pair[1], db, local, deadline), local
 
-        produced = pool_map(pool, one, node_pairs)
+        produced = ctx.map_local(one, node_pairs)
         relations: dict[Atom, Relation] = {}
         for (np, _), (rel, local) in zip(node_pairs, produced):
             relations[np.bag] = rel
@@ -290,21 +393,23 @@ def _execute_with_pool(
         }
 
     _check_deadline(deadline, "Yannakakis passes")
+    sharded = ctx is not None and any(counts[np.bag] > 1 for np, _ in node_pairs)
     if not plan.output:
-        if workers > 1:
+        if sharded:
             true = parallel_boolean_eval(
-                plan.join_tree, relations, stats, n_shards=workers, pool=pool
+                plan.join_tree, relations, stats,
+                backend=ctx, shard_counts=counts,
             )
         else:
             true = boolean_eval(plan.join_tree, relations, stats)
         return Relation.trusted((), frozenset({()} if true else ()), "ans")
-    if workers > 1:
+    if sharded:
         return parallel_enumerate_answers(
             plan.join_tree,
             relations,
             plan.output,
             stats,
-            n_shards=workers,
-            pool=pool,
+            backend=ctx,
+            shard_counts=counts,
         )
     return enumerate_answers(plan.join_tree, relations, plan.output, stats)

@@ -1,17 +1,23 @@
 """Property suite: the sharded parallel kernel ≡ the sequential kernel.
 
 Sequential semantics are the oracle.  For every database, query family
-(path / star / cyclic) and shard count in {1, 2, 7}:
+(path / star / cyclic), *execution backend* (inline / thread pool /
+worker processes) and shard count in {1, 2, 7}:
 
 * ``parallel_boolean_eval`` agrees with ``boolean_eval``,
 * ``parallel_full_reduce`` agrees with ``full_reduce`` node for node,
 * ``parallel_enumerate_answers`` agrees with ``enumerate_answers``,
-* the engine's ``parallelism=n`` execution agrees with ``parallelism=1``
+* the engine's backend selection agrees with the sequential engine
   (which is how cyclic queries are covered: they evaluate through the
   Lemma 4.6 bag transform, not a direct join tree),
 * and ``full_reduce`` is idempotent, sequential and sharded alike.
+
+Backends are shared module-scoped (a process pool per hypothesis example
+would dominate the suite's runtime); the process backend runs with 2
+workers so owner routing and cross-worker gather are both exercised.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -19,6 +25,9 @@ from repro.core.acyclicity import join_tree
 from repro.core.atoms import Atom, Variable
 from repro.core.query import ConjunctiveQuery
 from repro.db import (
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
     bind_atom,
     boolean_eval,
     enumerate_answers,
@@ -32,6 +41,19 @@ from repro.generators.families import cycle_query, path_query
 from repro.generators.workloads import random_database
 
 SHARD_COUNTS = (1, 2, 7)
+BACKEND_KINDS = ("sequential", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    ctxs = {
+        "sequential": SequentialBackend(),
+        "thread": ThreadBackend(workers=4),
+        "process": ProcessBackend(workers=2),
+    }
+    yield ctxs
+    for ctx in ctxs.values():
+        ctx.close()
 
 
 def star_query(n: int) -> ConjunctiveQuery:
@@ -138,6 +160,111 @@ class TestKernelEquivalence:
         for node in tree.nodes:
             assert par_once[node].rows == once[node].rows
             assert par_twice[node].rows == once[node].rows
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+class TestBackendEquivalence:
+    """All three Yannakakis passes agree with the sequential oracle on
+    every backend — the sequential/thread/process implementations of the
+    shard-operator vocabulary must be indistinguishable."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n=st.integers(2, 4),
+        seed=st.integers(0, 1_000),
+        domain=st.integers(2, 12),
+        tuples=st.integers(1, 40),
+    )
+    def test_path_all_passes(self, contexts, kind, n, seed, domain, tuples):
+        ctx = contexts[kind]
+        query = _with_head(path_query(n))
+        db = random_database(query, domain, tuples, seed=seed)
+        tree, rels = _tree_and_relations(query, db)
+        output = tuple(v.name for v in query.head_terms)
+
+        seq_bool = boolean_eval(tree, dict(rels))
+        seq_reduced = full_reduce(tree, dict(rels))
+        seq_answers = enumerate_answers(tree, dict(rels), output)
+        for shards in (2, 5):
+            assert (
+                parallel_boolean_eval(
+                    tree, dict(rels), n_shards=shards, backend=ctx
+                )
+                == seq_bool
+            )
+            par_reduced = parallel_full_reduce(
+                tree, dict(rels), n_shards=shards, backend=ctx
+            )
+            for node in tree.nodes:
+                assert par_reduced[node].rows == seq_reduced[node].rows
+            assert (
+                parallel_enumerate_answers(
+                    tree, dict(rels), output, n_shards=shards, backend=ctx
+                ).rows
+                == seq_answers.rows
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        rays=st.integers(2, 5),
+        seed=st.integers(0, 1_000),
+        domain=st.integers(2, 10),
+        tuples=st.integers(1, 30),
+    )
+    def test_star_all_passes(self, contexts, kind, rays, seed, domain, tuples):
+        ctx = contexts[kind]
+        query = _with_head(star_query(rays))
+        db = random_database(query, domain, tuples, seed=seed)
+        tree, rels = _tree_and_relations(query, db)
+        output = tuple(v.name for v in query.head_terms)
+
+        seq_bool = boolean_eval(tree, dict(rels))
+        seq_answers = enumerate_answers(tree, dict(rels), output)
+        assert (
+            parallel_boolean_eval(tree, dict(rels), n_shards=3, backend=ctx)
+            == seq_bool
+        )
+        assert (
+            parallel_enumerate_answers(
+                tree, dict(rels), output, n_shards=3, backend=ctx
+            ).rows
+            == seq_answers.rows
+        )
+
+    def test_skewed_database_all_passes(self, contexts, kind):
+        """Heavy-hitter spreading composes with every backend: 90% of
+        edge tuples share one join-key value."""
+        ctx = contexts[kind]
+        query = _with_head(path_query(3))
+        rows = [(1, j % 9) for j in range(450)]
+        rows += [(2 + j % 37, j % 11) for j in range(50)]
+        from repro.db import Database
+
+        db = Database.from_relations({"e": rows})
+        tree, rels = _tree_and_relations(query, db)
+        output = tuple(v.name for v in query.head_terms)
+        seq_answers = enumerate_answers(tree, dict(rels), output)
+        assert (
+            parallel_enumerate_answers(
+                tree, dict(rels), output, n_shards=4, backend=ctx
+            ).rows
+            == seq_answers.rows
+        )
+
+    def test_engine_equivalence_forced_sharding(self, contexts, kind):
+        """Engine-level agreement with sharding forced on tiny data
+        (shard_threshold=0), covering the cyclic bag-transform path."""
+        del contexts  # engine owns its backends; fixture only orders teardown
+        query = _with_head(cycle_query(4))
+        db = random_database(query, 6, 40, seed=11, plant_answer=True)
+        seq = Engine(mode="heuristic").execute(query, db)
+        with Engine(
+            mode="heuristic", backend=kind, backend_workers=2,
+            shard_threshold=0,
+        ) as engine:
+            result = engine.execute(query, db)
+        assert result.answer.rows == seq.answer.rows
+        assert result.answer.attributes == seq.answer.attributes
 
 
 class TestEngineEquivalence:

@@ -214,23 +214,116 @@ class TestParallelism:
         assert batch.results[0].boolean
 
     def test_explain_shows_sharding(self):
-        engine = Engine(parallelism=4)
+        engine = Engine(backend="thread", shard_threshold=0)
         db = Database.from_relations({"e": [(1, 2), (2, 3)]})
         text = engine.explain(parse_query("e(X,Y), e(Y,Z)"), db)
-        assert "4-way sharded" in text
+        assert "thread backend × 4" in text
+        assert "×4 shards" in text
 
-    def test_shard_pool_reused_and_closable(self):
+    def test_shard_backend_reused_and_closable(self):
         db = Database.from_relations({"e": [(1, 2), (2, 3), (3, 1)]})
         query = parse_query("e(X,Y), e(Y,Z), e(Z,X)")
-        with Engine(parallelism=2) as engine:
+        with Engine(
+            backend="thread", backend_workers=2, shard_threshold=0
+        ) as engine:
             engine.execute(query, db)
-            first = engine._shard_pool(2)
+            first = engine._backend_for("thread", 2)
             engine.execute(query, db)
-            assert engine._shard_pool(2) is first  # one pool per width
-        assert engine._shard_pools == {}  # closed on exit
-        # the engine stays usable: the pool is recreated on demand
+            # one live context per (kind, width)
+            assert engine._backend_for("thread", 2) is first
+        assert engine._backends == {}  # closed on exit
+        # the engine stays usable: the backend is recreated on demand
         assert engine.execute(query, db).boolean
         engine.close()
+
+
+class TestCostBasedSharding:
+    """The cost-based shard policy: per-node counts from cardinality
+    estimates, sub-1k-row relations unsharded (plan inspection)."""
+
+    def _two_scale_setup(self):
+        big = [(i, i % 97) for i in range(1500)]
+        small = [(i % 97, i % 13) for i in range(60)]
+        db = Database.from_relations({"big": big, "small": small})
+        query = parse_query("ans(X, Z) :- big(X, Y), small(Y, Z).")
+        return query, db
+
+    def test_small_relations_stay_unsharded(self):
+        query, db = self._two_scale_setup()
+        engine = Engine(backend="thread", backend_workers=4, mode="heuristic")
+        plan = engine.plan(query, db)
+        by_size = {
+            np.n_shards
+            for np in plan.node_plans
+            if np.estimated_rows < 1000
+        }
+        assert by_size <= {1}, "sub-1k-row bags must stay unsharded"
+        big_nodes = [
+            np for np in plan.node_plans if np.estimated_rows >= 1000
+        ]
+        assert big_nodes, "setup should produce at least one large bag"
+        assert all(np.n_shards == 4 for np in big_nodes)
+
+    def test_sequential_backend_never_shards(self):
+        query, db = self._two_scale_setup()
+        # backend made explicit so a REPRO_BACKEND env default (the CI
+        # process-backend suite run) cannot override it
+        plan = Engine(mode="heuristic", backend="sequential").plan(query, db)
+        assert plan.backend == "sequential"
+        assert all(np.n_shards == 1 for np in plan.node_plans)
+
+    def test_threshold_is_tunable(self):
+        query, db = self._two_scale_setup()
+        engine = Engine(
+            backend="thread", backend_workers=3, shard_threshold=0,
+            mode="heuristic",
+        )
+        plan = engine.plan(query, db)
+        assert all(np.n_shards == 3 for np in plan.node_plans)
+        assert plan.shard_counts == {
+            np.bag: 3 for np in plan.node_plans
+        }
+
+    def test_cost_sharded_execution_matches_sequential(self):
+        query, db = self._two_scale_setup()
+        seq = Engine(mode="heuristic").execute(query, db)
+        with Engine(
+            backend="thread", backend_workers=4, mode="heuristic"
+        ) as par_engine:
+            par = par_engine.execute(query, db)
+        assert par.answer.rows == seq.answer.rows
+        assert par.answer.attributes == seq.answer.attributes
+
+
+class TestProcessBackendLifecycle:
+    """Engine-owned process workers: created lazily, released on exit."""
+
+    def test_engine_exit_releases_process_workers(self):
+        db = Database.from_relations(
+            {"e": [(i, (i * 7) % 50) for i in range(300)]}
+        )
+        query = parse_query("ans(X, Z) :- e(X, Y), e(Y, Z).")
+        with Engine(
+            backend="process", backend_workers=2, shard_threshold=0,
+            mode="heuristic",
+        ) as engine:
+            seq = Engine(mode="heuristic").execute(query, db)
+            par = engine.execute(query, db)
+            assert par.answer.rows == seq.answer.rows
+            ctx = engine._backends[("process", 2)]
+            procs = list(ctx._procs)
+            assert all(p.is_alive() for p in procs)
+        assert all(not p.is_alive() for p in procs), "orphan workers"
+        # close is idempotent through the engine too
+        engine.close()
+
+    def test_process_workers_spawn_lazily(self):
+        db = Database.from_relations({"e": [(1, 2), (2, 3)]})
+        with Engine(backend="process", mode="heuristic") as engine:
+            result = engine.execute(parse_query("e(X,Y), e(Y,Z)"), db)
+            assert result.ok
+            # tiny relations never shard, so no worker pool exists
+            assert engine._backends == {}
 
 
 class TestExplain:
