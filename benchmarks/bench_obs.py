@@ -1,0 +1,191 @@
+"""Observability overhead gate: tracing must be free when it is off.
+
+The instrumented kernels (:mod:`repro.db.yannakakis`,
+:mod:`repro.db.parallel`, the backends) call ``current_tracer().span()``
+on every semijoin/join/shard operator.  When tracing is disabled that
+call hits :class:`repro.obs.tracer.NullTracer` — one method call and an
+empty ``with`` block.  This benchmark pins down what that costs:
+
+* **disabled vs seed** — today's kernel, instrumentation included but
+  tracing off, against the frozen pre-fix seed kernel from
+  :mod:`bench_parallel`.  The gate: the disabled-tracing kernel stays
+  comfortably *faster* than the seed baseline (no-op instrumentation
+  must not eat the optimisation win) — asserted at ≤ 5% of the seed
+  kernel's time budget, i.e. ``disabled ≤ 1.05 × seed`` per phase, far
+  above what the instrumented kernel actually needs.
+* **enabled vs disabled** — the same kernel under a live
+  :class:`~repro.obs.Tracer`, reported (not gated: span recording is
+  per-operator, so it is cheap, but it is honest work).
+* **null-span microbenchmark** — ns per ``with tracer.span(...)`` for
+  the null and live tracers, the number the "zero overhead when off"
+  claim rests on.
+
+Correctness is a hard gate before any time is reported: all three runs
+(seed, disabled, enabled) must produce byte-identical answer rows.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --out BENCH_obs.json
+
+Also collectable by pytest (same asserts, same default scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from bench_parallel import (
+    _best_of,
+    _workloads,
+    seed_enumerate,
+    seed_full_reduce,
+)
+
+from repro.core.acyclicity import join_tree
+from repro.db import bind_atom, enumerate_answers, full_reduce
+from repro.obs import NULL_TRACER, Tracer, current_tracer, tracing
+
+#: The gate: with tracing disabled, the instrumented kernel must use at
+#: most this fraction of the frozen seed kernel's wall time.  The
+#: current kernel runs well below 1.0 (it is the optimised one); 1.05
+#: means "instrumentation may cost at most 5% of the seed budget".
+DISABLED_BUDGET_VS_SEED = 1.05
+
+
+def _span_call_ns(tracer, calls: int = 200_000) -> float:
+    """Nanoseconds per ``with tracer.span(...)`` round trip."""
+    span = tracer.span  # bind once; the loop measures the call itself
+    started = time.perf_counter()
+    for _ in range(calls):
+        with span("bench"):
+            pass
+    return (time.perf_counter() - started) / calls * 1e9
+
+
+def run_benchmark(rows: int = 10_000, repeats: int = 5, seed: int = 0) -> dict:
+    """One full overhead comparison; returns the JSON-ready dict."""
+    assert not current_tracer().enabled, "benchmark needs tracing off"
+    workloads = []
+    for name, query, db in _workloads(rows, seed):
+        tree = join_tree(query)
+        output = tuple(v.name for v in query.head_terms)
+
+        def bind():
+            return {a: bind_atom(a, db) for a in query.atoms}
+
+        phases: dict[str, dict[str, float]] = {}
+        answers: dict[str, object] = {}
+
+        t, _ = _best_of(
+            lambda rels: seed_full_reduce(tree, rels), bind, repeats
+        )
+        phases["full_reduce"] = {"seed": t}
+        t, answers["seed"] = _best_of(
+            lambda rels: seed_enumerate(tree, rels, output), bind, repeats
+        )
+        phases["enumerate"] = {"seed": t}
+
+        t, _ = _best_of(lambda rels: full_reduce(tree, rels), bind, repeats)
+        phases["full_reduce"]["disabled"] = t
+        t, answers["disabled"] = _best_of(
+            lambda rels: enumerate_answers(tree, rels, output), bind, repeats
+        )
+        phases["enumerate"]["disabled"] = t
+
+        with tracing(Tracer()):
+            t, _ = _best_of(
+                lambda rels: full_reduce(tree, rels), bind, repeats
+            )
+            phases["full_reduce"]["enabled"] = t
+            t, answers["enabled"] = _best_of(
+                lambda rels: enumerate_answers(tree, rels, output),
+                bind,
+                repeats,
+            )
+            phases["enumerate"]["enabled"] = t
+
+        # Hard gate: tracing (off or on) never changes a single row.
+        assert answers["disabled"].rows == answers["seed"].rows
+        assert answers["enabled"].rows == answers["seed"].rows
+
+        workloads.append(
+            {
+                "workload": name,
+                "answers": len(answers["seed"]),
+                "seconds": {
+                    phase: {k: round(v, 6) for k, v in times.items()}
+                    for phase, times in phases.items()
+                },
+                "disabled_vs_seed": {
+                    phase: round(times["disabled"] / times["seed"], 3)
+                    for phase, times in phases.items()
+                },
+                "enabled_vs_disabled": {
+                    phase: round(times["enabled"] / times["disabled"], 3)
+                    for phase, times in phases.items()
+                },
+            }
+        )
+
+    worst = max(
+        ratio
+        for w in workloads
+        for ratio in w["disabled_vs_seed"].values()
+    )
+    return {
+        "benchmark": "observability_disabled_overhead_gate",
+        "rows": rows,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "budget_disabled_vs_seed": DISABLED_BUDGET_VS_SEED,
+        "worst_disabled_vs_seed": worst,
+        "null_span_ns": round(_span_call_ns(NULL_TRACER), 1),
+        "live_span_ns": round(_span_call_ns(Tracer()), 1),
+        "workloads": workloads,
+        "note": (
+            "disabled_vs_seed < 1 means the instrumented kernel (tracing "
+            "off) is still faster than the frozen pre-fix seed kernel; "
+            "the gate only fails if no-op instrumentation burns more "
+            "than 5% of the seed kernel's time budget"
+        ),
+    }
+
+
+def test_bench_obs_smoke():
+    """Pytest gate: disabled tracing within the 5%-of-seed budget on
+    every workload and phase, answers identical across seed / disabled /
+    enabled runs (asserted inside run_benchmark), and the null span
+    staying orders of magnitude below the live span."""
+    result = run_benchmark(rows=10_000, repeats=5)
+    for w in result["workloads"]:
+        for phase, ratio in w["disabled_vs_seed"].items():
+            assert ratio <= DISABLED_BUDGET_VS_SEED, (w["workload"], phase, w)
+    assert result["null_span_ns"] < result["live_span_ns"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=10_000)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+    result = run_benchmark(rows=args.rows, repeats=args.repeats, seed=args.seed)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+    print(json.dumps(result, indent=2))
+    print(f"\nwritten to {args.out}", file=sys.stderr)
+    if result["worst_disabled_vs_seed"] > DISABLED_BUDGET_VS_SEED:
+        print("FAIL: disabled-tracing overhead above budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,8 +41,16 @@ from .incremental import (
     MaterializedView,
     ViewHandle,
 )
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    get_registry,
+    tracing,
+    write_chrome_trace,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AnswerDelta",
@@ -57,6 +65,7 @@ __all__ = [
     "ExecutionContext",
     "LiveEngine",
     "MaterializedView",
+    "MetricsRegistry",
     "ParseError",
     "PlanCache",
     "PortfolioResult",
@@ -66,16 +75,21 @@ __all__ = [
     "SequentialBackend",
     "ShardedRelation",
     "ThreadBackend",
+    "Tracer",
     "UnknownAttributeError",
     "UnknownRelationError",
     "ViewHandle",
     "__version__",
+    "current_tracer",
     "decompose",
     "fingerprint",
+    "get_registry",
     "greedy_upper_bound",
     "lower_bound",
     "parallel_boolean_eval",
     "parallel_enumerate_answers",
     "parallel_full_reduce",
+    "tracing",
+    "write_chrome_trace",
     *_core_all,
 ]

@@ -35,10 +35,13 @@ Commands
     (``--parallelism N`` is the deprecated thread-width alias); shard
     counts themselves come from cardinality estimates — relations under
     ~1k rows stay unsharded.
-``explain QUERY [FACTS]``
+``explain QUERY [FACTS] [--analyze] [--backend B]``
     Render the physical plan the engine would execute: cached-or-fresh
     decomposition provenance, per-bag join order with cardinality
-    estimates (when FACTS is given), and the rooted join tree.
+    estimates (when FACTS is given), and the rooted join tree.  With
+    ``--analyze`` the query is executed once under a tracer and the
+    rendering gains per-node *actual* row counts and wall times next to
+    the estimates (EXPLAIN ANALYZE).
 ``watch QUERY [FACTS] [--deltas FILE]``
     Register the query as a live materialized view and stream updates
     through it.  Each update line is a ground atom with an optional
@@ -48,8 +51,17 @@ Commands
     (``+ (..)`` rows appeared, ``- (..)`` rows vanished), which is the
     incremental subsystem's headline: maintenance cost scales with the
     delta, not the database.
+``stats [FILE]``
+    Validate and summarise a ``--trace`` file (Chrome trace-event
+    schema), render a ``--metrics`` snapshot, or — without FILE — the
+    current process's metrics registry.
 ``contains Q2 Q1``
     Decide Q1 ⊑ Q2 (Chandra–Merlin through the decomposition pipeline).
+
+``run``, ``watch`` and ``explain`` accept ``--trace PATH`` (or
+``$REPRO_TRACE``) to export a Chrome trace-event file of the request's
+spans — including spans recorded inside process-backend workers — and
+``--metrics PATH`` for a JSON metrics snapshot.
 ``experiments [ID ...]``
     Run the reproduction experiments (same as ``python -m
     repro.experiments``).
@@ -61,6 +73,8 @@ containing it.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import pathlib
 import sys
 import time
@@ -83,6 +97,17 @@ from .db.stats import EvalStats
 from .engine import Engine
 from .heuristics import decompose as portfolio_decompose
 from .heuristics import greedy_upper_bound, lower_bound
+from .obs import (
+    Tracer,
+    metrics_snapshot,
+    render_metrics,
+    render_trace_summary,
+    trace_path_from_env,
+    tracing,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
 
 
 def _load_query(text_or_path: str, name: str = "Q") -> ConjunctiveQuery:
@@ -100,6 +125,34 @@ def _load_facts(path: str) -> Database:
             continue
         db.add_atom(parse_atom(line))
     return db
+
+
+@contextlib.contextmanager
+def _observed(args: argparse.Namespace):
+    """Tracing/metrics wrapper for the execution commands.
+
+    Installs a tracer for the command's dynamic extent when ``--trace``
+    (or ``$REPRO_TRACE``) asks for one and writes the Chrome trace-event
+    file on the way out; writes the ``--metrics`` snapshot regardless of
+    tracing.  Notices go to stderr, so piped answer output stays clean.
+    """
+    trace_path = getattr(args, "trace", None) or trace_path_from_env()
+    if trace_path:
+        tracer = Tracer()
+        with tracing(tracer):
+            yield
+        events = write_chrome_trace(tracer, trace_path)
+        print(
+            f"trace: {events} events -> {trace_path}"
+            + (f" ({tracer.dropped} spans dropped)" if tracer.dropped else ""),
+            file=sys.stderr,
+        )
+    else:
+        yield
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        write_metrics_snapshot(metrics_path)
+        print(f"metrics: snapshot -> {metrics_path}", file=sys.stderr)
 
 
 def _cmd_width(args: argparse.Namespace) -> int:
@@ -205,8 +258,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
     )
     batch = None
-    for _ in range(max(1, args.repeat)):
-        batch = engine.execute_many(queries, db=db)
+    with _observed(args):
+        for _ in range(max(1, args.repeat)):
+            batch = engine.execute_many(queries, db=db)
     for result in batch:
         if not result.ok:
             print(f"{result.query.name}: ERROR {result.error}")
@@ -233,8 +287,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     query = _load_query(args.query)
     db = _load_facts(args.facts) if args.facts else None
-    engine = Engine(mode=args.strategy)
-    print(engine.explain(query, db))
+    engine = Engine(mode=args.strategy, backend=args.backend)
+    if args.analyze and db is None:
+        print(
+            "error: --analyze executes the query and needs a FACTS file",
+            file=sys.stderr,
+        )
+        return 2
+    with engine, _observed(args):
+        print(engine.explain(query, db, analyze=args.analyze))
     return 0
 
 
@@ -265,36 +326,74 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         engine=Engine(mode=args.strategy, backend=args.backend),
         parallelism=args.parallelism,
     )
-    handle = live.register(query)
-    print(
-        f"registered {query.name}: width {handle.width} [{handle.method}], "
-        f"{len(handle.answers())} initial answers"
-    )
+    with _observed(args):
+        handle = live.register(query)
+        print(
+            f"registered {query.name}: width {handle.width} "
+            f"[{handle.method}], {len(handle.answers())} initial answers"
+        )
 
-    if args.deltas and args.deltas != "-":
-        lines = pathlib.Path(args.deltas).read_text().splitlines()
-    else:
-        lines = sys.stdin
-    applied = 0
-    for raw in lines:
-        line = raw.strip()
-        if not line or line.startswith(("#", "%")):
-            continue
-        predicate, row, sign = _parse_delta_line(line)
-        changes = live.apply(Delta({predicate: {row: sign}}))
-        applied += 1
-        answer_delta = changes.get(handle.view_id)
-        if answer_delta:
-            for inserted in sorted(answer_delta.inserted, key=repr):
-                print("+ (" + ", ".join(map(str, inserted)) + ")")
-            for deleted in sorted(answer_delta.deleted, key=repr):
-                print("- (" + ", ".join(map(str, deleted)) + ")")
+        if args.deltas and args.deltas != "-":
+            lines = pathlib.Path(args.deltas).read_text().splitlines()
+        else:
+            lines = sys.stdin
+        applied = 0
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            predicate, row, sign = _parse_delta_line(line)
+            changes = live.apply(Delta({predicate: {row: sign}}))
+            applied += 1
+            answer_delta = changes.get(handle.view_id)
+            if answer_delta:
+                for inserted in sorted(answer_delta.inserted, key=repr):
+                    print("+ (" + ", ".join(map(str, inserted)) + ")")
+                for deleted in sorted(answer_delta.deleted, key=repr):
+                    print("- (" + ", ".join(map(str, deleted)) + ")")
     print(
         f"final: {len(handle.answers())} answers after {applied} updates"
     )
     if args.stats:
         print(f"stats: {handle.stats.as_row()}")
         print(f"notes: {handle.stats.notes}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render observability artifacts (or the live process registry).
+
+    With FILE: auto-detects a Chrome trace-event array (validated
+    against the schema the Perfetto loader needs, then summarised
+    per span name) vs a metrics snapshot dict (rendered).  Without:
+    renders the in-process global metrics registry.
+    """
+    if args.file:
+        try:
+            data = json.loads(pathlib.Path(args.file).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+            return 2
+        if isinstance(data, list):
+            problems = validate_chrome_trace(data)
+            if problems:
+                print(f"invalid chrome trace ({len(problems)} problem(s)):")
+                for problem in problems[:20]:
+                    print(f"  {problem}")
+                return 1
+            print(f"valid chrome trace: {args.file}")
+            print(render_trace_summary(data))
+            return 0
+        if isinstance(data, dict):
+            print(render_metrics(data))
+            return 0
+        print(
+            f"error: {args.file} is neither a trace-event array nor a "
+            "metrics snapshot",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_metrics(metrics_snapshot()))
     return 0
 
 
@@ -310,6 +409,24 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
     return experiments_main(args.ids or ["list"])
+
+
+def _add_observability_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record spans across decompose/plan/backend/workers and "
+        "write a Chrome trace-event file (chrome://tracing / Perfetto) "
+        "to PATH; $REPRO_TRACE=PATH is the env equivalent",
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the process metrics registry (counters, gauges, "
+        "latency histograms) as a JSON snapshot to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -405,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
     )
     p.add_argument("--stats", action="store_true")
+    _add_observability_options(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("explain", help="render the engine's physical plan")
@@ -418,6 +536,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
     )
+    p.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query once under a tracer and annotate the "
+        "plan with actual per-node row counts and wall times (needs "
+        "FACTS)",
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=["sequential", "thread", "process"],
+        help="execution backend for the plan (and the --analyze run); "
+        "default: $REPRO_BACKEND or sequential",
+    )
+    _add_observability_options(p)
     p.set_defaults(fn=_cmd_explain)
 
     p = sub.add_parser(
@@ -454,7 +587,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan updates out to touched views over this many workers",
     )
     p.add_argument("--stats", action="store_true")
+    _add_observability_options(p)
     p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "stats",
+        help="validate/summarise a trace or metrics file, or render "
+        "the live metrics registry",
+    )
+    p.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="a --trace output (trace-event array) or --metrics output "
+        "(snapshot dict); omitted = the current process's registry",
+    )
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("contains", help="decide Q1 ⊑ Q2")
     p.add_argument("q2", help="the containing query Q2")

@@ -55,6 +55,7 @@ import os
 import pickle
 import queue as queue_module
 import threading
+import time
 import traceback
 import weakref
 from collections import OrderedDict, deque
@@ -62,6 +63,8 @@ from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from .._errors import EvaluationError
+from ..obs import current_tracer, get_registry
+from ..obs.tracer import span_tuple
 from .relation import Relation, Row, probe_join, semijoin_with_keys
 
 BACKEND_KINDS = ("sequential", "thread", "process")
@@ -255,7 +258,13 @@ class ExecutionContext:
         describe the result schema for the handles.
         """
         fn = _OPS[op]
-        return [fn(*_resolve_local(args)) for args in tasks]
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return [fn(*_resolve_local(args)) for args in tasks]
+        return [
+            _traced_shard_call(tracer, self.kind, op, fn, i, args)
+            for i, args in enumerate(tasks)
+        ]
 
     def map_local(self, fn: Callable, items: Sequence) -> list:
         """Fan *closure-based* tasks out locally (bag materialisation).
@@ -319,6 +328,15 @@ def _resolve_local(args: tuple) -> tuple:
     return args
 
 
+def _traced_shard_call(tracer, kind: str, op: str, fn, shard: int, args: tuple):
+    """Run one shard task under a ``shard:<op>`` span (tracer enabled)."""
+    with tracer.span(f"shard:{op}", backend=kind, shard=shard) as sp:
+        result = fn(*_resolve_local(args))
+        if hasattr(result, "__len__"):
+            sp.set(rows=len(result))
+    return result
+
+
 class SequentialBackend(ExecutionContext):
     """The zero-overhead default: every operator runs inline."""
 
@@ -367,6 +385,18 @@ class ThreadBackend(ExecutionContext):
         out_name: str | None = None,
     ) -> list:
         fn = _OPS[op]
+        tracer = current_tracer()
+        if tracer.enabled:
+            # Spans record on the pool threads, so the trace lays shard
+            # tasks out in per-thread tracks.
+            return list(
+                self._executor().map(
+                    lambda item: _traced_shard_call(
+                        tracer, self.kind, op, fn, item[0], item[1]
+                    ),
+                    enumerate(tasks),
+                )
+            )
         if len(tasks) <= 1:
             return [fn(*_resolve_local(args)) for args in tasks]
         return list(
@@ -392,17 +422,22 @@ class ThreadBackend(ExecutionContext):
 # always installed before any task that references it) and one shared
 # result queue.  Messages:
 #
-#   parent -> worker:  ("task", tid, op, out_token|None, encoded_args)
+#   parent -> worker:  ("task", tid, op, out_token|None, encoded_args,
+#                       trace)                       -- trace: bool
 #                      ("cache", token, encoded_value)
 #                      ("uncache", (token, ...))
 #                      None                          -- shut down
-#   worker -> parent:  ("ok", tid, row_count)        -- kept resident
-#                      ("ok", tid, encoded_result)   -- shipped back
-#                      ("err", tid, traceback_text)
+#   worker -> parent:  ("ok", tid, row_count, spans)   -- kept resident
+#                      ("ok", tid, encoded_result, spans) -- shipped back
+#                      ("err", tid, traceback_text, ())
 #
 # Argument/result encodings: ("r", attrs, name, rows) for relations via
 # the compact codec, ("t", token) for worker-resident objects, and
-# ("v", obj) for plain picklable values.
+# ("v", obj) for plain picklable values.  With ``trace`` set the worker
+# times each operator on the shared monotonic clock and ships the span
+# tuples (:func:`repro.obs.tracer.span_tuple`) back in the reply; the
+# parent ingests them into the current tracer labelled with the owning
+# worker's track.
 
 
 def _encode_value(value) -> tuple:
@@ -444,17 +479,43 @@ def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - child 
                 break
             tag = message[0]
             if tag == "task":
-                _, tid, op, out_token, args = message
+                _, tid, op, out_token, args, trace = message
                 try:
                     fn = _OPS[op]
-                    result = fn(*[_worker_decode(a, store) for a in args])
+                    decoded = [_worker_decode(a, store) for a in args]
+                    spans: tuple = ()
+                    if trace:
+                        started = time.perf_counter()
+                        result = fn(*decoded)
+                        ended = time.perf_counter()
+                        spans = (
+                            span_tuple(
+                                f"shard:{op}",
+                                started,
+                                ended,
+                                {
+                                    "op": op,
+                                    "rows": (
+                                        len(result)
+                                        if hasattr(result, "__len__")
+                                        else None
+                                    ),
+                                },
+                            ),
+                        )
+                    else:
+                        result = fn(*decoded)
                     if out_token is not None:
                         store[out_token] = result
-                        result_queue.put(("ok", tid, len(result)))
+                        result_queue.put(("ok", tid, len(result), spans))
                     else:
-                        result_queue.put(("ok", tid, _encode_value(result)))
+                        result_queue.put(
+                            ("ok", tid, _encode_value(result), spans)
+                        )
                 except BaseException:
-                    result_queue.put(("err", tid, traceback.format_exc()))
+                    result_queue.put(
+                        ("err", tid, traceback.format_exc(), ())
+                    )
             elif tag == "cache":
                 store[message[1]] = _decode_value(pickle.loads(message[2]))
             elif tag == "uncache":
@@ -662,6 +723,11 @@ class ProcessBackend(ExecutionContext):
         for task_queue in self._task_queues:
             task_queue.put(("cache", ref.token, blob))
         self._sent.add(ref.token)
+        registry = get_registry()
+        registry.counter("backend.scatter_casts").inc()
+        registry.counter("backend.scatter_bytes").inc(
+            len(blob) * len(self._task_queues)
+        )
 
     # -- dispatch ---------------------------------------------------------
     def map_shards(
@@ -674,6 +740,8 @@ class ProcessBackend(ExecutionContext):
     ) -> list:
         if not tasks:
             return []
+        tracer = current_tracer()
+        get_registry().counter("backend.tasks").inc(len(tasks))
         with self._lock:
             self._ensure_open()
             self._reap_dead_locked()
@@ -682,6 +750,12 @@ class ProcessBackend(ExecutionContext):
             ):
                 # Single local task: the fan-out would be pure IPC tax.
                 fn = _OPS[op]
+                if tracer.enabled:
+                    return [
+                        _traced_shard_call(
+                            tracer, self.kind, op, fn, 0, tasks[0]
+                        )
+                    ]
                 return [fn(*_resolve_local(tasks[0]))]
             pending: dict[int, tuple[int, str | None, int]] = {}
             for i, args in enumerate(tasks):
@@ -701,17 +775,22 @@ class ProcessBackend(ExecutionContext):
                 out_token = f"t{next(self._counter)}" if keep else None
                 self._task_queues[owner].put(
                     ("task", tid, op, out_token,
-                     tuple(_encode_arg(a) for a in args))
+                     tuple(_encode_arg(a) for a in args),
+                     tracer.enabled)
                 )
                 pending[tid] = (i, out_token, owner)
             results: list = [None] * len(tasks)
             failure: str | None = None
             while pending:
-                status, tid, payload = self._next_result_locked()
+                status, tid, payload, spans = self._next_result_locked()
                 entry = pending.pop(tid, None)
                 if entry is None:
                     continue  # stale reply from an earlier aborted call
                 i, out_token, owner = entry
+                if spans:
+                    # Worker-resident spans: same monotonic timeline,
+                    # laid out on the owning worker's track.
+                    tracer.ingest(spans, tid=f"worker-{owner}")
                 if status == "err":
                     failure = failure or payload
                 elif out_token is not None:
@@ -775,6 +854,9 @@ class ProcessBackend(ExecutionContext):
         if not remote:
             return list(pieces)
         fetched = self.map_shards("identity", [(piece,) for _, piece in remote])
+        get_registry().counter("backend.gather_rows").inc(
+            sum(len(rel) for rel in fetched)
+        )
         out = list(pieces)
         for (i, _), rel in zip(remote, fetched):
             out[i] = rel

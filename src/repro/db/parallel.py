@@ -35,6 +35,7 @@ from concurrent.futures import Executor
 
 from ..core.atoms import Atom
 from ..core.jointree import JoinTree
+from ..obs import current_tracer
 from .backend import ExecutionContext
 from .relation import Relation, semijoin_with_keys
 from .sharded import ShardedRelation, as_context
@@ -100,22 +101,28 @@ def _shard_all(
 
 def _semijoin(left, right, ctx: ExecutionContext, stats: EvalStats):
     """One sweep step on possibly-sharded operands."""
-    if isinstance(left, ShardedRelation):
-        out = left.semijoin(right, backend=ctx)
-    elif isinstance(right, ShardedRelation):
-        # A plain left side only needs the sharded partner's key-set
-        # union, never its coalesced rows.
-        shared = tuple(
-            a for a in left.attributes if a in right.attributes
-        )
-        if not right:
-            out = Relation.trusted(left.attributes, frozenset(), left.name)
-        elif not shared or not left.rows:
-            out = left
+    with current_tracer().span(
+        "sweep.semijoin",
+        node=getattr(left, "name", None),
+        sharded=isinstance(left, ShardedRelation),
+    ) as sp:
+        if isinstance(left, ShardedRelation):
+            out = left.semijoin(right, backend=ctx)
+        elif isinstance(right, ShardedRelation):
+            # A plain left side only needs the sharded partner's key-set
+            # union, never its coalesced rows.
+            shared = tuple(
+                a for a in left.attributes if a in right.attributes
+            )
+            if not right:
+                out = Relation.trusted(left.attributes, frozenset(), left.name)
+            elif not shared or not left.rows:
+                out = left
+            else:
+                out = semijoin_with_keys(left, shared, right.key_set(shared))
         else:
-            out = semijoin_with_keys(left, shared, right.key_set(shared))
-    else:
-        out = left.semijoin(right)
+            out = left.semijoin(right)
+        sp.set(rows=len(out))
     stats.semijoins += 1
     return stats.record(out)
 
@@ -226,6 +233,7 @@ def parallel_enumerate_answers(
         )
 
     out_set = set(output)
+    tracer = current_tracer()
     partial: dict[Atom, ShardedRelation | Relation] = {}
     subtree_attrs: dict[Atom, set[str]] = {}
     for node in tree.post_order():
@@ -236,17 +244,23 @@ def parallel_enumerate_answers(
         keep = set(rel.attributes) | (attrs_below & out_set)
         for child in tree.children(node):
             child_part = partial[child]
-            if isinstance(rel, ShardedRelation):
-                rel = rel.join(child_part, backend=ctx)
-            else:
-                rel = rel.join(_as_relation(child_part))
-            stats.joins += 1
-            kept = [a for a in rel.attributes if a in keep]
-            if isinstance(rel, ShardedRelation):
-                rel = stats.record(rel.project(kept, backend=ctx))
-            else:
-                rel = stats.record(rel.project(kept))
-            stats.projections += 1
+            with tracer.span(
+                "sweep.join",
+                node=node.predicate,
+                sharded=isinstance(rel, ShardedRelation),
+            ) as sp:
+                if isinstance(rel, ShardedRelation):
+                    rel = rel.join(child_part, backend=ctx)
+                else:
+                    rel = rel.join(_as_relation(child_part))
+                stats.joins += 1
+                kept = [a for a in rel.attributes if a in keep]
+                if isinstance(rel, ShardedRelation):
+                    rel = stats.record(rel.project(kept, backend=ctx))
+                else:
+                    rel = stats.record(rel.project(kept))
+                stats.projections += 1
+                sp.set(rows=len(rel))
         partial[node] = rel
         subtree_attrs[node] = attrs_below
     root_rel = partial[tree.root]

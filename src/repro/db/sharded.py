@@ -46,6 +46,7 @@ import zlib
 from typing import Iterator, Sequence
 
 from .._errors import SchemaError
+from ..obs import get_registry
 from .backend import (
     SEQUENTIAL,
     ExecutionContext,
@@ -209,6 +210,12 @@ class ShardedRelation:
         if relation.rows and max(len(b) for b in buckets) > threshold:
             heavy = _heavy_hitters(buckets, i, threshold)
             if heavy:
+                get_registry().counter(
+                    "shard.skew_guard_activations"
+                ).inc()
+                get_registry().counter("shard.heavy_hitters").inc(
+                    len(heavy)
+                )
                 buckets = _spread_heavy(
                     relation.rows, i, heavy, n_shards
                 )

@@ -75,7 +75,14 @@ class EvalStats:
         return self
 
     def as_row(self) -> dict[str, int | float]:
-        return {
+        """Flat dict for bench/CI JSON artifacts.
+
+        Phase breakdowns recorded in :attr:`notes` ride along as
+        ``note:<name>`` keys — they used to be dropped here, so the
+        per-phase numbers strategies record (e.g. the incremental
+        layer's ``touched_rows``) never reached the artifacts.
+        """
+        row: dict[str, int | float] = {
             "joins": self.joins,
             "semijoins": self.semijoins,
             "projections": self.projections,
@@ -83,6 +90,9 @@ class EvalStats:
             "tuples_produced": self.total_tuples_produced,
             "wall_time": round(self.wall_time, 6),
         }
+        for name in sorted(self.notes):
+            row[f"note:{name}"] = self.notes[name]
+        return row
 
 
 class CardinalityEstimator:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from ..core.atoms import Atom
 from ..core.jointree import JoinTree
+from ..obs import current_tracer
 from .relation import Relation
 from .stats import EvalStats
 
@@ -29,10 +30,17 @@ def _reduced_bottom_up(
     tree: JoinTree, relations: dict[Atom, Relation], stats: EvalStats
 ) -> dict[Atom, Relation]:
     """One bottom-up semijoin sweep (child filters parent)."""
+    tracer = current_tracer()
     reduced = dict(relations)
     for node in tree.post_order():
         for child in tree.children(node):
-            reduced[node] = stats.record(reduced[node].semijoin(reduced[child]))
+            with tracer.span(
+                "sweep.semijoin", node=node.predicate, pass_="bottom-up"
+            ) as sp:
+                reduced[node] = stats.record(
+                    reduced[node].semijoin(reduced[child])
+                )
+                sp.set(rows=len(reduced[node]))
             stats.semijoins += 1
     return reduced
 
@@ -61,10 +69,17 @@ def full_reduce(
     full answer of the (acyclic) query.
     """
     stats = stats if stats is not None else EvalStats()
+    tracer = current_tracer()
     reduced = _reduced_bottom_up(tree, relations, stats)
     for node in tree.nodes:  # preorder: parents before children
         for child in tree.children(node):
-            reduced[child] = stats.record(reduced[child].semijoin(reduced[node]))
+            with tracer.span(
+                "sweep.semijoin", node=child.predicate, pass_="top-down"
+            ) as sp:
+                reduced[child] = stats.record(
+                    reduced[child].semijoin(reduced[node])
+                )
+                sp.set(rows=len(reduced[child]))
             stats.semijoins += 1
     return reduced
 
@@ -99,6 +114,7 @@ def enumerate_answers(
         )
 
     out_set = set(output)
+    tracer = current_tracer()
     partial: dict[Atom, Relation] = {}
     subtree_attrs: dict[Atom, set[str]] = {}
     for node in tree.post_order():
@@ -108,12 +124,14 @@ def enumerate_answers(
             attrs_below.update(subtree_attrs[child])
         keep = set(rel.attributes) | (attrs_below & out_set)
         for child in tree.children(node):
-            rel = rel.join(partial[child])
-            stats.joins += 1
-            rel = stats.record(
-                rel.project([a for a in rel.attributes if a in keep])
-            )
-            stats.projections += 1
+            with tracer.span("sweep.join", node=node.predicate) as sp:
+                rel = rel.join(partial[child])
+                stats.joins += 1
+                rel = stats.record(
+                    rel.project([a for a in rel.attributes if a in keep])
+                )
+                stats.projections += 1
+                sp.set(rows=len(rel))
         partial[node] = rel
         subtree_attrs[node] = attrs_below
     answer = partial[tree.root].project(list(output), name="ans")

@@ -165,15 +165,26 @@ class PlanCache:
         with self._lock:
             return self._size
 
-    def info(self) -> dict[str, int | float]:
-        """Counter snapshot plus the derived hit rate."""
+    def snapshot(self) -> dict[str, int]:
+        """Lock-consistent counter read: hits/misses/evictions/size
+        captured under one lock acquisition, so a snapshot taken while
+        other threads look plans up is a coherent point-in-time view
+        (reading the bare attributes one by one can pair a pre-lookup
+        hit count with a post-lookup miss count)."""
         with self._lock:
-            lookups = self.hits + self.misses
             return {
                 "size": self._size,
                 "maxsize": self.maxsize,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
-                "hit_rate": (self.hits / lookups) if lookups else 0.0,
             }
+
+    def info(self) -> dict[str, int | float]:
+        """Counter snapshot plus the derived hit rate."""
+        counters = self.snapshot()
+        lookups = counters["hits"] + counters["misses"]
+        counters["hit_rate"] = (
+            (counters["hits"] / lookups) if lookups else 0.0
+        )
+        return counters

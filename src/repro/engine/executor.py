@@ -63,6 +63,7 @@ from ..db.database import Database
 from ..db.relation import Relation
 from ..db.stats import EvalStats
 from ..heuristics.portfolio import Mode, decompose
+from ..obs import Tracer, current_tracer, get_registry, tracing
 from .cache import PlanCache
 from .plan import SHARD_MIN_ROWS, QueryPlan, compile_plan, execute_plan
 
@@ -168,6 +169,11 @@ class Engine:
         Deprecated alias: ``parallelism=n > 1`` reads as
         ``backend="thread", backend_workers=n`` (explicit *backend*
         still wins).  Individual calls may override it.
+    tracer:
+        Default :class:`~repro.obs.Tracer` installed around each request
+        when no ambient tracer is active (an enabled tracer installed
+        via :func:`repro.obs.tracing` — e.g. by the CLI's ``--trace`` —
+        always wins).  ``None`` (the default) leaves tracing off.
     """
 
     def __init__(
@@ -180,8 +186,10 @@ class Engine:
         backend: str | None = None,
         backend_workers: int | None = None,
         shard_threshold: int = SHARD_MIN_ROWS,
+        tracer: Tracer | None = None,
     ):
         self.cache = PlanCache(cache_size)
+        self.tracer = tracer
         self.mode: Mode = mode
         self.budget = budget
         self.workers = workers
@@ -259,7 +267,11 @@ class Engine:
         self, query: ConjunctiveQuery, deadline: float | None
     ) -> tuple[HypertreeDecomposition, bool, str, int]:
         """Cached-or-fresh decomposition: (hd, cache_hit, method, width)."""
-        hit = self.cache.lookup(query)
+        with current_tracer().span(
+            "plan.cache_lookup", query=query.name
+        ) as sp:
+            hit = self.cache.lookup(query)
+            sp.set(hit=hit is not None)
         if hit is not None:
             return hit.decomposition, True, hit.method, hit.width
         remaining = (
@@ -328,11 +340,39 @@ class Engine:
         )
 
     def explain(
-        self, query: ConjunctiveQuery, db: Database | None = None
+        self,
+        query: ConjunctiveQuery,
+        db: Database | None = None,
+        analyze: bool = False,
+        backend: str | None = None,
     ) -> str:
         """Render the chosen plan (cache provenance, join orders, root,
-        shard assignment)."""
-        return self.plan(query, db).render()
+        shard assignment).
+
+        With ``analyze=True`` (requires *db*) the query is executed once
+        under a private tracer and the rendering is annotated with what
+        actually happened: per-node actual row counts next to the
+        estimator's predictions, bag/sweep wall times, and — under the
+        process backend — the worker-resident shard-task spans shipped
+        back from the pool.
+        """
+        if not analyze:
+            return self.plan(query, db, backend=backend).render()
+        if db is None:
+            raise ValueError(
+                "explain(analyze=True) executes the query and needs db="
+            )
+        # Reuse an ambient tracer (e.g. the CLI's --trace) so analyze
+        # spans land in the exported trace too; otherwise capture into a
+        # private one.
+        ambient = current_tracer()
+        capture = ambient if isinstance(ambient, Tracer) else Tracer()
+        with tracing(capture):
+            result = self.execute(query, db, backend=backend)
+        plan = self.plan(query, db, backend=backend)
+        return plan.render_analyzed(
+            capture, result.elapsed, len(result.answer)
+        )
 
     # -- execution --------------------------------------------------------
     def execute(
@@ -355,6 +395,37 @@ class Engine:
         deadline = started + budget if budget is not None else None
         kind, width = self._resolve_backend(backend, parallelism)
         stats = stats if stats is not None else EvalStats()
+        # An ambient tracer (CLI --trace, explain(analyze=True)) wins;
+        # the engine's own tracer is the fallback default.
+        ambient = current_tracer()
+        tracer = (
+            ambient if ambient.enabled or self.tracer is None else self.tracer
+        )
+        with tracing(tracer), tracer.span(
+            "engine.execute", query=query.name, backend=kind
+        ) as request_span:
+            result = self._execute_request(
+                query, db, deadline, kind, width, stats, started
+            )
+            request_span.set(
+                cache_hit=result.cache_hit,
+                width=result.width,
+                method=result.method,
+                rows=len(result.answer),
+            )
+        self._record_request(result)
+        return result
+
+    def _execute_request(
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        deadline: float | None,
+        kind: str,
+        width: int,
+        stats: EvalStats,
+        started: float,
+    ) -> EvalResult:
         with stats.timed():
             if not query.atoms:
                 head = tuple(
@@ -393,6 +464,19 @@ class Engine:
             query, answer, stats, hit, hd_width, method,
             time.monotonic() - started,
         )
+
+    def _record_request(self, result: EvalResult) -> None:
+        """Absorb one finished request into the process-global metrics
+        registry (request count/latency, operator counters, and a
+        lock-consistent plan-cache snapshot)."""
+        registry = get_registry()
+        registry.counter("engine.requests").inc()
+        registry.counter(
+            "engine.cache_hits" if result.cache_hit else "engine.cache_misses"
+        ).inc()
+        registry.histogram("engine.request_seconds").observe(result.elapsed)
+        registry.record_eval(result.stats)
+        registry.record_cache(self.cache.snapshot())
 
     def execute_many(
         self,

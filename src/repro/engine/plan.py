@@ -53,6 +53,7 @@ from ..db.parallel import (
 from ..db.relation import Relation
 from ..db.stats import CardinalityEstimator, EvalStats
 from ..db.yannakakis import boolean_eval, enumerate_answers
+from ..obs import Tracer, current_tracer
 
 #: Estimated bag cardinality below which a node is never sharded: the
 #: ROADMAP's "partition overhead dominates below ~1k rows" observation,
@@ -140,6 +141,73 @@ class QueryPlan:
         lines.append(self.join_tree.render())
         return "\n".join(lines)
 
+    def render_analyzed(
+        self, tracer: Tracer, elapsed: float, answer_rows: int
+    ) -> str:
+        """The ``EXPLAIN ANALYZE`` rendering: the static plan annotated
+        with what one traced execution actually did.
+
+        Per node: estimated vs actual bag cardinality (exposing the
+        misestimates the cost-based shard policy silently acts on),
+        materialisation wall time, and the node's share of the sweep
+        (semijoin/join operator time attributed by relation name).
+        Worker-resident shard tasks — whose time is recorded *inside*
+        the process-backend workers and shipped back at reply time —
+        are totalled in the footer.
+        """
+        spans = tracer.spans()
+        bag_spans: dict[object, list] = {}
+        for span in spans:
+            if span.name == "plan.bag" and "node" in span.attrs:
+                bag_spans.setdefault(span.attrs["node"], []).append(span)
+        sweep: dict[object, tuple[float, int]] = {}
+        for span in spans:
+            if span.name in ("sweep.semijoin", "sweep.join"):
+                node = span.attrs.get("node")
+                seconds, count = sweep.get(node, (0.0, 0))
+                sweep[node] = (seconds + span.duration, count + 1)
+
+        lines = [
+            self.render(),
+            f"analyze: executed in {elapsed * 1e3:.3f}ms, "
+            f"{answer_rows} answer row(s)",
+            "per-node actuals (estimated vs actual rows, wall time):",
+        ]
+        for np in self.node_plans:
+            node = np.bag.predicate
+            spans_here = bag_spans.get(node, [])
+            actual = spans_here[-1].attrs.get("rows") if spans_here else None
+            bag_ms = sum(s.duration for s in spans_here) * 1e3
+            sweep_s, sweep_n = sweep.get(node, (0.0, 0))
+            if actual is None:
+                lines.append(f"  {node}: (no trace recorded)")
+                continue
+            if actual:
+                factor = np.estimated_rows / actual
+                misestimate = f"est/actual {factor:.2f}x"
+            else:
+                misestimate = f"est {int(np.estimated_rows)}, actual empty"
+            lines.append(
+                f"  {node}: ≈{int(np.estimated_rows)} est -> {actual} actual "
+                f"rows ({misestimate}); bag {bag_ms:.3f}ms"
+                + (
+                    f", sweep {sweep_s * 1e3:.3f}ms over {sweep_n} op(s)"
+                    if sweep_n
+                    else ""
+                )
+            )
+        shard_spans = [s for s in spans if s.name.startswith("shard:")]
+        if shard_spans:
+            workers = {(s.pid, s.tid) for s in shard_spans}
+            busy = sum(s.duration for s in shard_spans)
+            resident = sum(1 for s in shard_spans if s.pid != tracer.pid)
+            lines.append(
+                f"shard tasks: {len(shard_spans)} spans "
+                f"({resident} worker-resident) across {len(workers)} "
+                f"track(s), {busy * 1e3:.3f}ms busy"
+            )
+        return "\n".join(lines)
+
 
 def _order_atoms(
     atoms: list[Atom], estimator: CardinalityEstimator
@@ -205,6 +273,31 @@ def compile_plan(
         workers = 1
     workers = max(1, workers)
 
+    with current_tracer().span(
+        "plan.compile", query=query.name, backend=backend, workers=workers
+    ) as compile_span:
+        plan = _compile_plan_traced(
+            query, db, hd, provenance, cache_hit, backend, workers,
+            shard_threshold,
+        )
+        compile_span.set(
+            nodes=len(plan.node_plans),
+            sharded=sum(1 for np in plan.node_plans if np.n_shards > 1),
+            width=plan.width,
+        )
+    return plan
+
+
+def _compile_plan_traced(
+    query: ConjunctiveQuery,
+    db: Database | None,
+    hd: HypertreeDecomposition,
+    provenance: str,
+    cache_hit: bool,
+    backend: str,
+    workers: int,
+    shard_threshold: int,
+) -> QueryPlan:
     complete = hd if hd.is_complete else hd.complete()
     estimator = CardinalityEstimator(db)
     domain = estimator.domain_size
@@ -280,21 +373,30 @@ def _materialise_bag(
 ) -> Relation:
     """Materialise one decomposition node's bag relation."""
     _check_deadline(deadline, f"bag materialisation of {np.bag.predicate}")
-    rel = Relation.trusted((), frozenset({()}), np.bag.predicate)
-    for a in np.join_order:
-        part = bind_atom(a, db)
-        if not a.variables <= p.chi:
-            overlap = sorted(
-                (v.name for v in a.variables & p.chi)
-            )
-            part = part.project(overlap)
-            stats.projections += 1
-        rel = rel.join(part)
-        stats.joins += 1
-        stats.record(rel)
-        _check_deadline(deadline, f"joins of {np.bag.predicate}")
-    rel = stats.record(rel.project(list(np.chi_names), name=np.bag.predicate))
-    stats.projections += 1
+    with current_tracer().span(
+        "plan.bag",
+        node=np.bag.predicate,
+        est=int(np.estimated_rows),
+        shards=np.n_shards,
+    ) as sp:
+        rel = Relation.trusted((), frozenset({()}), np.bag.predicate)
+        for a in np.join_order:
+            part = bind_atom(a, db)
+            if not a.variables <= p.chi:
+                overlap = sorted(
+                    (v.name for v in a.variables & p.chi)
+                )
+                part = part.project(overlap)
+                stats.projections += 1
+            rel = rel.join(part)
+            stats.joins += 1
+            stats.record(rel)
+            _check_deadline(deadline, f"joins of {np.bag.predicate}")
+        rel = stats.record(
+            rel.project(list(np.chi_names), name=np.bag.predicate)
+        )
+        stats.projections += 1
+        sp.set(rows=len(rel))
     return rel
 
 
@@ -352,7 +454,17 @@ def execute_plan(
     else:
         ctx = None
     try:
-        return _execute_with_context(plan, db, stats, deadline, ctx, counts)
+        with current_tracer().span(
+            "plan.execute",
+            query=plan.query.name,
+            backend=plan.backend,
+            nodes=len(plan.node_plans),
+        ) as sp:
+            answer = _execute_with_context(
+                plan, db, stats, deadline, ctx, counts
+            )
+            sp.set(rows=len(answer))
+        return answer
     finally:
         if own and ctx is not None:
             ctx.close()

@@ -40,6 +40,7 @@ from ..core.hypergraph import Hypergraph
 from ..core.hypertree import HypertreeDecomposition
 from ..core.query import ConjunctiveQuery
 from ..graphs.primal import primal_graph
+from ..obs import current_tracer, get_registry
 from .bounds import greedy_upper_bound, lower_bound
 from .improve import improve_ordering
 from .ordering_decomp import ghtd_from_ordering
@@ -143,6 +144,8 @@ def decompose(
 
     started = time.monotonic()
     deadline = started + budget if budget is not None else None
+    tracer = current_tracer()
+    search_span = tracer.span("decompose", mode=mode, query=query.name)
 
     def result(
         hd: HypertreeDecomposition,
@@ -152,6 +155,11 @@ def decompose(
         upper: int,
     ) -> PortfolioResult:
         assert_valid(hd, context=method)
+        elapsed = time.monotonic() - started
+        search_span.set(method=method, width=hd.width, optimal=optimal)
+        registry = get_registry()
+        registry.counter("decompose.calls").inc()
+        registry.histogram("decompose.seconds").observe(elapsed)
         return PortfolioResult(
             decomposition=hd,
             width=hd.width,
@@ -160,32 +168,46 @@ def decompose(
             optimal=optimal,
             lower=lower,
             upper=upper,
-            elapsed=time.monotonic() - started,
+            elapsed=elapsed,
         )
 
-    if mode == "exact":
-        width, hd = hypertree_width(query, strategy=strategy, deadline=deadline)
-        return result(hd, "exact", True, width, width)
+    with search_span:
+        if mode == "exact":
+            with tracer.span("decompose.exact", strategy=strategy):
+                width, hd = hypertree_width(
+                    query, strategy=strategy, deadline=deadline
+                )
+            return result(hd, "exact", True, width, width)
 
-    hd, method = _heuristic(query, seed, improve_rounds, deadline)
-    lower = lower_bound(query)
-    if mode == "heuristic":
-        return result(hd, method, hd.width <= lower, lower, hd.width)
+        with tracer.span("decompose.heuristic", seed=seed) as hspan:
+            hd, method = _heuristic(query, seed, improve_rounds, deadline)
+            hspan.set(method=method, width=hd.width)
+        lower = lower_bound(query)
+        if mode == "heuristic":
+            return result(hd, method, hd.width <= lower, lower, hd.width)
 
-    # auto: heuristic width closes the bracket from above, trivial bounds
-    # from below; the exact search only has to scan the open interval.
-    upper = hd.width
-    if upper <= lower:
-        return result(hd, method, True, lower, upper)
-    try:
-        for k in range(lower, upper):
-            exact_hd = decompose_k(
-                query, k, strategy=strategy, deadline=deadline
+        # auto: heuristic width closes the bracket from above, trivial
+        # bounds from below; the exact search only has to scan the open
+        # interval.
+        upper = hd.width
+        if upper <= lower:
+            return result(hd, method, True, lower, upper)
+        try:
+            for k in range(lower, upper):
+                with tracer.span(
+                    "decompose.exact_k", k=k, strategy=strategy
+                ) as kspan:
+                    exact_hd = decompose_k(
+                        query, k, strategy=strategy, deadline=deadline
+                    )
+                    kspan.set(found=exact_hd is not None)
+                if exact_hd is not None:
+                    return result(exact_hd, f"exact[k={k}]", True, k, upper)
+        except BudgetExceeded:
+            return result(
+                hd, f"{method}, budget fallback", False, lower, upper
             )
-            if exact_hd is not None:
-                return result(exact_hd, f"exact[k={k}]", True, k, upper)
-    except BudgetExceeded:
-        return result(hd, f"{method}, budget fallback", False, lower, upper)
-    # Every k < upper was refuted: hw(Q) ≥ upper, so the heuristic
-    # decomposition's width is unbeatable by any hypertree decomposition.
-    return result(hd, f"{method}, refuted k<{upper}", True, upper, upper)
+        # Every k < upper was refuted: hw(Q) ≥ upper, so the heuristic
+        # decomposition's width is unbeatable by any hypertree
+        # decomposition.
+        return result(hd, f"{method}, refuted k<{upper}", True, upper, upper)

@@ -36,6 +36,7 @@ from ..db.database import Database
 from ..db.relation import Relation
 from ..db.stats import EvalStats
 from ..engine.executor import Engine
+from ..obs import current_tracer, get_registry
 from .delta import Delta, Value
 from .view import AnswerDelta, MaterializedView
 
@@ -237,9 +238,12 @@ class LiveEngine:
         completes) can never leave a sibling view out of sync with the
         database.
         """
-        with self._lock:
+        with self._lock, current_tracer().span(
+            "live.apply", views=len(self._views)
+        ) as batch_span:
             effective = self.db.apply(delta)
             results: dict[int, AnswerDelta] = {}
+            touched: list = []
             if effective:
                 touched = [
                     (view_id, handle)
@@ -265,6 +269,11 @@ class LiveEngine:
                             effective, notify=False
                         )
             self.batches_applied += 1
+            batch_span.set(
+                touched_views=len(touched),
+                changed_views=sum(1 for d in results.values() if d),
+            )
+            get_registry().counter("live.batches").inc()
             errors: list[BaseException] = []
             for view_id, answer_delta in results.items():
                 handle = self._views.get(view_id)

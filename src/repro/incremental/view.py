@@ -41,6 +41,7 @@ from ..db.database import Database
 from ..db.relation import Relation
 from ..db.stats import EvalStats
 from ..engine.plan import QueryPlan
+from ..obs import current_tracer, get_registry
 from .counting import DeltaJoin, JoinInput, Row, SignedRows, SupportCounter
 from .delta import Delta
 
@@ -361,7 +362,10 @@ class MaterializedView:
         nodes_touched = 0
         root_delta: SignedRows = {}
         pending: dict[Atom, dict[int, SignedRows]] = {}
-        with stats.timed():
+        batch_span = current_tracer().span(
+            "view.apply_batch", view=self.query.name, initial=seed_units
+        )
+        with batch_span, stats.timed():
             for bag in self._order:
                 node = self._nodes[bag]
                 deltas = pending.pop(bag, {})
@@ -394,6 +398,11 @@ class MaterializedView:
             answer_signed = self._answers.apply(signed)
             if root_delta:
                 stats.projections += 1
+            batch_span.set(
+                touched_rows=touched,
+                nodes_touched=nodes_touched,
+                answer_changes=len(answer_signed),
+            )
 
         stats.notes["touched_rows"] = float(touched)
         stats.notes["nodes_touched"] = float(nodes_touched)
@@ -401,6 +410,11 @@ class MaterializedView:
         self.last_batch = stats
         self.stats.merge(stats)
         self.batches += 1
+
+        registry = get_registry()
+        registry.counter("view.batches").inc()
+        registry.counter("view.touched_rows").inc(touched)
+        registry.histogram("view.batch_seconds").observe(stats.wall_time)
 
         return AnswerDelta(
             self.output,

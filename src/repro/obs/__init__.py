@@ -1,0 +1,82 @@
+"""``repro.obs`` — end-to-end tracing and metrics for the whole stack.
+
+Two complementary instruments, both with strictly-zero-cost off states:
+
+* **Tracing** (:mod:`~repro.obs.tracer`): nested wall-clock spans with
+  structured attributes, recorded from every layer — portfolio
+  decomposition attempts, plan-cache lookups, bag materialisation,
+  Yannakakis sweep operators, backend shard tasks (including spans
+  captured *inside* :class:`~repro.db.backend.ProcessBackend` worker
+  processes and shipped back at reply time), and incremental view
+  maintenance.  Exported as Chrome trace-event JSON
+  (:func:`~repro.obs.export.write_chrome_trace`), loadable in
+  ``chrome://tracing`` or Perfetto, or consumed in-process by
+  ``Engine.explain(query, db, analyze=True)``.
+* **Metrics** (:mod:`~repro.obs.metrics`): a process-global registry of
+  counters, gauges and fixed-bucket histograms (p50/p95/p99) absorbing
+  ``EvalStats``, plan-cache hit rates, backend scatter/gather volumes,
+  skew-guard activations, and live-view maintenance stats.  Exported as
+  a JSON snapshot (``repro stats``, ``repro run --metrics out.json``).
+
+Switches: the ``--trace out.json`` CLI flag, the ``$REPRO_TRACE``
+environment variable, or programmatic ``with tracing(Tracer()) as t:``.
+
+>>> from repro import Engine, parse_query
+>>> from repro.db import Database
+>>> from repro.obs import Tracer, tracing
+>>> db = Database.from_relations({"e": [(1, 2), (2, 3)]})
+>>> with tracing(Tracer()) as t:
+...     _ = Engine().execute(parse_query("e(X,Y), e(Y,Z)"), db)
+>>> bool(t.find("engine.execute"))
+True
+"""
+
+from .export import (
+    chrome_trace_events,
+    metrics_snapshot,
+    render_metrics,
+    render_trace_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    trace_path_from_env,
+    tracing,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "current_tracer",
+    "get_registry",
+    "metrics_snapshot",
+    "render_metrics",
+    "render_trace_summary",
+    "set_tracer",
+    "trace_path_from_env",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+]

@@ -1,0 +1,188 @@
+"""Unit tests for :mod:`repro.obs.metrics`, including the
+hypothesis-driven quantile-bracketing property the module docstring
+promises: a histogram quantile estimate always lies inside the bucket
+that contains the true sample quantile."""
+
+import bisect
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.stats import EvalStats
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0.0
+
+    def test_concurrent_increments(self):
+        c = Counter("x")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_add(self):
+        g = Gauge("x")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_empty_quantile_is_nan(self):
+        h = Histogram("h")
+        assert math.isnan(h.quantile(0.5))
+
+    def test_quantile_range_checked(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_needs_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_count_sum_min_max(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        for v in (0.5, 2.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(52.5)
+        assert snap["min"] == 0.5 and snap["max"] == 50.0
+        assert snap["mean"] == pytest.approx(17.5)
+        # three non-empty buckets: (≤1], (≤10], +inf (le None)
+        assert [b[1] for b in snap["buckets"]] == [1, 1, 1]
+        assert snap["buckets"][-1][0] is None
+
+    def test_single_observation_all_quantiles(self):
+        h = Histogram("h")
+        h.observe(0.42)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.42)
+
+    def test_overflow_bucket_clamps_to_max(self):
+        h = Histogram("h", bounds=(1.0,))
+        for v in (5.0, 7.0, 9.0):
+            h.observe(v)
+        assert h.quantile(0.99) <= 9.0
+        assert not math.isinf(h.quantile(1.0))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-6, max_value=100.0),
+            min_size=1,
+            max_size=200,
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantile_estimate_brackets_true_sample_quantile(self, samples, q):
+        h = Histogram("h")
+        for v in samples:
+            h.observe(v)
+        estimate = h.quantile(q)
+        ordered = sorted(samples)
+        rank = max(1, round(q * len(ordered)))
+        true_value = ordered[rank - 1]
+        # the bucket (lo, hi] containing the true nearest-rank quantile
+        index = bisect.bisect_left(h.bounds, true_value)
+        lo = h.bounds[index - 1] if index > 0 else ordered[0]
+        hi = h.bounds[index] if index < len(h.bounds) else ordered[-1]
+        assert lo <= estimate <= hi
+        assert ordered[0] <= estimate <= ordered[-1]
+
+    def test_default_bucket_tables_ascend(self):
+        for table in (DEFAULT_LATENCY_BUCKETS, DEFAULT_SIZE_BUCKETS):
+            assert list(table) == sorted(table)
+            assert len(set(table)) == len(table)
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+        with pytest.raises(TypeError):
+            reg.histogram("a")
+
+    def test_snapshot_grouped_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(2)
+        reg.gauge("a.size").set(7)
+        reg.histogram("m.lat").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"z.count": 2.0}
+        assert snap["gauges"] == {"a.size": 7.0}
+        assert snap["histograms"]["m.lat"]["count"] == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.counter("a").value == 0.0
+
+    def test_record_eval(self):
+        reg = MetricsRegistry()
+        stats = EvalStats()
+        stats.joins = 3
+        stats.semijoins = 5
+        stats.projections = 2
+        stats.total_tuples_produced = 40
+        stats.max_intermediate = 12
+        stats.notes["skew_guard"] = 1.0
+        reg.record_eval(stats)
+        snap = reg.snapshot()
+        assert snap["counters"]["eval.joins"] == 3
+        assert snap["counters"]["eval.semijoins"] == 5
+        assert snap["counters"]["eval.note.skew_guard"] == 1
+        assert snap["histograms"]["eval.max_intermediate"]["max"] == 12
+
+    def test_record_cache_sets_gauges(self):
+        reg = MetricsRegistry()
+        reg.record_cache({"size": 3, "hits": 10, "misses": 2})
+        snap = reg.snapshot()["gauges"]
+        assert snap == {
+            "plan_cache.size": 3.0,
+            "plan_cache.hits": 10.0,
+            "plan_cache.misses": 2.0,
+        }
+
+    def test_global_registry_is_singleton(self):
+        assert get_registry() is get_registry()

@@ -1,0 +1,219 @@
+"""Unit tests for :mod:`repro.obs.tracer`: spans, the null tracer, the
+process-global slot, cross-process ingest, and the env switch."""
+
+import os
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_ENV_VAR,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    iter_leaf_totals,
+    set_tracer,
+    span_tuple,
+    trace_path_from_env,
+    tracing,
+)
+
+
+class TestSpanRecording:
+    def test_span_records_interval_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", node="n0") as sp:
+            sp.set(rows=7)
+        (span,) = tracer.spans()
+        assert span.name == "work"
+        assert span.attrs == {"node": "n0", "rows": 7}
+        assert span.end >= span.start
+        assert span.duration >= 0.0
+        assert span.pid == os.getpid()
+        assert span.tid == threading.current_thread().name
+
+    def test_nested_spans_both_recorded(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in tracer.spans()]
+        # inner closes first (flat append order), outer encloses it
+        assert names == ["inner", "outer"]
+        inner, outer = tracer.spans()
+        assert outer.start <= inner.start and inner.end <= outer.end
+
+    def test_add_accumulates(self):
+        tracer = Tracer()
+        with tracer.span("loop") as sp:
+            sp.add("rows", 3)
+            sp.add("rows", 4)
+        assert tracer.spans()[0].attrs["rows"] == 7
+
+    def test_exception_tagged_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_find_and_total(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("a"):
+                pass
+        with tracer.span("b"):
+            pass
+        assert len(tracer.find("a")) == 3
+        assert tracer.total("a") >= 0.0
+        assert tracer.total("missing") == 0.0
+
+    def test_max_spans_drops_beyond_cap(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("x"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_thread_safety_under_concurrent_spans(self):
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(200):
+                with tracer.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer) == 800
+        assert len({s.tid for s in tracer.spans()}) == 4
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_span(self):
+        assert NULL_TRACER.enabled is False
+        first = NULL_TRACER.span("a", x=1)
+        second = NULL_TRACER.span("b")
+        assert first is second  # one preallocated no-op object
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("a") as sp:
+            sp.set(rows=5)
+            sp.add("rows", 1)
+        assert NULL_TRACER.spans() == []
+        NULL_TRACER.ingest([span_tuple("x", 0.0, 1.0, {})])
+        assert NULL_TRACER.spans() == []
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("a"):
+                raise RuntimeError
+
+
+class TestCurrentTracerSlot:
+    def test_default_is_null(self):
+        assert isinstance(current_tracer(), (NullTracer, Tracer))
+
+    def test_tracing_installs_and_restores(self):
+        before = current_tracer()
+        tracer = Tracer()
+        with tracing(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is before
+
+    def test_tracing_reentrant_same_tracer(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with tracing(tracer):
+                assert current_tracer() is tracer
+            # inner exit must not clobber the outer installation
+            assert current_tracer() is tracer
+
+    def test_tracing_restores_on_exception(self):
+        before = current_tracer()
+        with pytest.raises(KeyError):
+            with tracing(Tracer()):
+                raise KeyError
+        assert current_tracer() is before
+
+    def test_set_tracer_none_restores_null(self):
+        set_tracer(Tracer())
+        try:
+            assert current_tracer().enabled
+        finally:
+            set_tracer(None)
+        assert current_tracer() is NULL_TRACER
+
+
+class TestIngest:
+    def test_ingest_worker_records(self):
+        tracer = Tracer()
+        records = [
+            span_tuple("shard:semijoin", 1.0, 2.0, {"rows": 5}),
+            ("shard:join", 2.0, 3.5, 4242, {"rows": 9}),
+        ]
+        tracer.ingest(records, tid="worker-0")
+        first, second = tracer.spans()
+        assert first.name == "shard:semijoin"
+        assert first.pid == os.getpid()  # span_tuple stamps the caller pid
+        assert first.tid == "worker-0"
+        assert first.attrs == {"rows": 5}
+        assert second.pid == 4242
+        assert second.duration == pytest.approx(1.5)
+
+    def test_ingest_default_tid_from_pid(self):
+        tracer = Tracer()
+        tracer.ingest([("x", 0.0, 1.0, 99, {})])
+        assert tracer.spans()[0].tid == "pid-99"
+
+    def test_ingest_respects_max_spans(self):
+        tracer = Tracer(max_spans=3)
+        tracer.ingest([("x", 0.0, 1.0, 1, {}) for _ in range(5)])
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+
+    def test_span_tuple_shape(self):
+        name, start, end, pid, attrs = span_tuple("n", 1.0, 2.0, {"a": 1})
+        assert (name, start, end, pid) == ("n", 1.0, 2.0, os.getpid())
+        assert attrs == {"a": 1}
+
+
+class TestEnvSwitch:
+    def test_unset_empty_zero_mean_off(self, monkeypatch):
+        for value in (None, "", "0", "  "):
+            if value is None:
+                monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+            else:
+                monkeypatch.setenv(TRACE_ENV_VAR, value)
+            assert trace_path_from_env() is None
+
+    def test_bare_switch_means_default_path(self, monkeypatch):
+        for value in ("1", "true", "YES", "on"):
+            monkeypatch.setenv(TRACE_ENV_VAR, value)
+            assert trace_path_from_env() == "trace.json"
+
+    def test_other_value_is_the_path(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, "/tmp/my_trace.json")
+        assert trace_path_from_env() == "/tmp/my_trace.json"
+
+
+class TestLeafTotals:
+    def test_totals_sorted_descending(self):
+        spans = [
+            Span("fast", 0.0, 0.1, 1, "t"),
+            Span("slow", 0.0, 1.0, 1, "t"),
+            Span("fast", 0.0, 0.2, 1, "t"),
+        ]
+        rows = list(iter_leaf_totals(spans))
+        assert rows[0] == ("slow", pytest.approx(1.0), 1)
+        assert rows[1] == ("fast", pytest.approx(0.3), 2)
