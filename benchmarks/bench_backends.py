@@ -65,8 +65,12 @@ from repro.db import (
 )
 from repro.generators.families import path_query
 from repro.generators.workloads import random_database
+from repro.obs.history import record
 
 WORKERS = 4
+
+#: Suite tag for the unified bench-record schema (repro bench record/diff).
+SUITE = "backends"
 
 
 def star_query(n: int) -> ConjunctiveQuery:
@@ -198,7 +202,19 @@ def run_benchmark(
         for w in workloads
         if w["cpu_bound"]
     }
+    records = [
+        record(f"answers.{w['workload']}", w["answers"], "rows",
+               better="higher", tolerance=0.0)
+        for w in workloads
+    ]
+    records.append(
+        record("best_process_vs_thread_cpu_bound",
+               max(cpu_bound_speedups.values()), "x",
+               better="higher", tolerance=1.0)
+    )
     return {
+        "suite": SUITE,
+        "records": records,
         "benchmark": "execution_backends_sequential_thread_process",
         "rows": rows,
         "repeats": repeats,
@@ -220,15 +236,16 @@ def run_benchmark(
     }
 
 
-def test_bench_backends_equivalence_smoke():
+def test_bench_backends_equivalence_smoke(bench_seed):
     """Always-run smoke: every backend agrees on every workload (the
     asserts live inside run_benchmark) at a scale quick enough for any
     runner.  No timing claims at this size."""
-    result = run_benchmark(rows=1_500, repeats=1, workers=3)
+    result = run_benchmark(rows=1_500, repeats=1, workers=3, seed=bench_seed)
     assert result["workloads"], result
+    assert result["suite"] == SUITE and result["records"]
 
 
-def test_bench_backends_speedup_smoke():
+def test_bench_backends_speedup_smoke(bench_seed):
     """The ISSUE acceptance gate at full scale: the 4-worker process
     backend at least 2x faster than the thread backend on the CPU-bound
     10k-row semijoin/join workload.  Needs real cores — on fewer than 4
@@ -236,7 +253,7 @@ def test_bench_backends_speedup_smoke():
     the gate is skipped (CI runners provide 4)."""
     if (os.cpu_count() or 1) < 4:
         pytest.skip("process-backend scaling needs >= 4 cores")
-    result = run_benchmark(rows=10_000, repeats=3)
+    result = run_benchmark(rows=10_000, repeats=3, seed=bench_seed)
     assert result["best_process_vs_thread_cpu_bound"] >= 2.0, result
 
 

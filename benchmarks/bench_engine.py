@@ -33,6 +33,10 @@ import time
 from repro.db.naive import naive_join_eval
 from repro.engine import Engine, fingerprint
 from repro.generators.workloads import query_workload, random_database
+from repro.obs.history import record
+
+#: Suite tag for the unified bench-record schema (repro bench record/diff).
+SUITE = "engine"
 
 
 def run_benchmark(
@@ -104,15 +108,36 @@ def run_benchmark(
         "speedup_warm_vs_baseline": round(baseline_seconds / warm_seconds, 2),
         "warm_stats": warm.stats.as_row(),
     }
+    result["suite"] = SUITE
+    # Unified schema for repro bench record/diff.  Counts are exact under
+    # the seeded workload (tolerance 0 — any drift is a real change);
+    # wall-clock-derived records are env-bound and generously toleranced.
+    result["records"] = [
+        record("n_shapes", shapes, "count", better="lower", tolerance=0.0),
+        record("decompositions_cold", decompositions_cold, "count",
+               better="lower", tolerance=0.0),
+        record("warm_hit_rate", result["warm_hit_rate"], "fraction",
+               better="higher", tolerance=0.0),
+        record("throughput_warm", result["throughput_qps"]["warm"], "qps",
+               better="higher", tolerance=0.5),
+        record("throughput_baseline", result["throughput_qps"]["baseline"],
+               "qps", better="higher", tolerance=0.5),
+        record("speedup_warm_vs_baseline",
+               result["speedup_warm_vs_baseline"], "x",
+               better="higher", tolerance=0.75),
+    ]
     return result
 
 
-def test_bench_engine_smoke():
+def test_bench_engine_smoke(bench_seed):
     """Pytest smoke: a small run upholds every acceptance assertion."""
-    result = run_benchmark(n_queries=40, n_shapes=5, tuples_per_relation=10)
+    result = run_benchmark(
+        n_queries=40, n_shapes=5, tuples_per_relation=10, seed=bench_seed
+    )
     assert result["decompositions"]["warm"] == 0
     assert result["warm_hit_rate"] == 1.0
     assert result["n_shapes"] <= 5
+    assert result["suite"] == SUITE and result["records"]
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -37,6 +37,10 @@ from repro.engine import Engine
 from repro.generators.families import path_query
 from repro.generators.workloads import update_workload
 from repro.incremental import LiveEngine
+from repro.obs.history import record
+
+#: Suite tag for the unified bench-record schema (repro bench record/diff).
+SUITE = "incremental"
 
 
 def _query():
@@ -127,7 +131,29 @@ def run_benchmark(
         )
 
     checked_s, trusted_s = _trusted_constructor_micro(n_rows)
+    records = []
+    for c in comparisons:
+        records.append(
+            record(f"answers.delta{c['delta_size']}", c["answers"], "rows",
+                   better="higher", tolerance=0.0)
+        )
+        records.append(
+            record(f"touched_rows_per_batch.delta{c['delta_size']}",
+                   c["touched_rows_per_batch"], "rows",
+                   better="lower", tolerance=0.0)
+        )
+        records.append(
+            record(f"speedup.delta{c['delta_size']}", c["speedup"], "x",
+                   better="higher", tolerance=0.75)
+        )
+    records.append(
+        record("trusted_ctor_speedup",
+               round(checked_s / trusted_s, 2) if trusted_s else 0.0, "x",
+               better="higher", tolerance=0.75)
+    )
     return {
+        "suite": SUITE,
+        "records": records,
         "benchmark": "incremental_maintenance_vs_recompute",
         "rows": n_rows,
         "query": str(query),
@@ -158,11 +184,14 @@ def _trusted_constructor_micro(n_rows: int, repeats: int = 30) -> tuple[float, f
     return checked, trusted
 
 
-def test_bench_incremental_smoke():
+def test_bench_incremental_smoke(bench_seed):
     """Pytest smoke: the acceptance numbers at reduced scale still hold —
     single-tuple maintenance at least 5x faster than recomputation."""
-    result = run_benchmark(n_rows=4000, n_batches=8, delta_sizes=(1, 10))
+    result = run_benchmark(
+        n_rows=4000, n_batches=8, delta_sizes=(1, 10), seed=bench_seed
+    )
     assert result["speedup_single_tuple"] >= 5.0, result
+    assert result["suite"] == SUITE and result["records"]
     single = result["comparisons"][0]
     assert single["touched_rows_per_batch"] < result["rows"] / 10
     micro = result["relation_trusted_ctor"]

@@ -58,8 +58,12 @@ from repro.db import (
 from repro.db.relation import Relation
 from repro.generators.families import path_query
 from repro.generators.workloads import random_database
+from repro.obs.history import record
 
 WORKER_SWEEP = (1, 2, 4)
+
+#: Suite tag for the unified bench-record schema (repro bench record/diff).
+SUITE = "parallel"
 
 
 # -- the seed kernel, preserved verbatim as the baseline -------------------
@@ -264,7 +268,26 @@ def run_benchmark(
         w["workload"]: w["full_reduce_speedup_vs_seed"]["parallel@4"]
         for w in workloads
     }
+    # Unified schema: answer counts are exact under the seeded workload;
+    # speedups are env-bound (they depend on cores) and loosely bounded.
+    records = [
+        record(f"answers.{w['workload']}", w["answers"], "rows",
+               better="higher", tolerance=0.0)
+        for w in workloads
+    ]
+    records.extend(
+        record(f"speedup_seq_full_reduce.{w['workload']}",
+               w["full_reduce_speedup_vs_seed"]["sequential"], "x",
+               better="higher", tolerance=0.75)
+        for w in workloads
+    )
+    records.append(
+        record("best_speedup_at_4_workers", max(by_workload.values()), "x",
+               better="higher", tolerance=0.75)
+    )
     return {
+        "suite": SUITE,
+        "records": records,
         "benchmark": "parallel_sharded_kernel_vs_seed_kernel",
         "rows": rows,
         "repeats": repeats,
@@ -285,7 +308,7 @@ def run_benchmark(
     }
 
 
-def test_bench_parallel_smoke():
+def test_bench_parallel_smoke(bench_seed):
     """Pytest smoke: the ISSUE acceptance gate at full scale — the
     4-worker sharded kernel at least 2x over the seed sequential kernel
     on a 10k-row acyclic workload (and every kernel agreeing exactly,
@@ -294,7 +317,8 @@ def test_bench_parallel_smoke():
     stable, but a loaded CI runner still jitters, so they only catch
     outright regressions (the parallel path falling clearly behind the
     unoptimised seed kernel)."""
-    result = run_benchmark(rows=10_000, repeats=5)
+    result = run_benchmark(rows=10_000, repeats=5, seed=bench_seed)
+    assert result["suite"] == SUITE and result["records"]
     assert result["best_speedup_at_4_workers"] >= 2.0, result
     for w in result["workloads"]:
         assert w["enumerate_speedup_vs_seed"]["parallel@4"] >= 0.8, w

@@ -42,15 +42,22 @@ from .incremental import (
     ViewHandle,
 )
 from .obs import (
+    FlightRecorder,
     MetricsRegistry,
+    Profile,
+    SamplingProfiler,
     Tracer,
+    current_profiler,
     current_tracer,
+    get_flight_recorder,
     get_registry,
+    profiling,
     tracing,
     write_chrome_trace,
+    write_speedscope,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AnswerDelta",
@@ -63,14 +70,17 @@ __all__ = [
     "EvalResult",
     "EvaluationError",
     "ExecutionContext",
+    "FlightRecorder",
     "LiveEngine",
     "MaterializedView",
     "MetricsRegistry",
     "ParseError",
     "PlanCache",
     "PortfolioResult",
+    "Profile",
     "ProcessBackend",
     "ReproError",
+    "SamplingProfiler",
     "SchemaError",
     "SequentialBackend",
     "ShardedRelation",
@@ -80,16 +90,20 @@ __all__ = [
     "UnknownRelationError",
     "ViewHandle",
     "__version__",
+    "current_profiler",
     "current_tracer",
     "decompose",
     "fingerprint",
+    "get_flight_recorder",
     "get_registry",
     "greedy_upper_bound",
     "lower_bound",
     "parallel_boolean_eval",
     "parallel_enumerate_answers",
     "parallel_full_reduce",
+    "profiling",
     "tracing",
     "write_chrome_trace",
+    "write_speedscope",
     *_core_all,
 ]

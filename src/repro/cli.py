@@ -51,17 +51,30 @@ Commands
     (``+ (..)`` rows appeared, ``- (..)`` rows vanished), which is the
     incremental subsystem's headline: maintenance cost scales with the
     delta, not the database.
-``stats [FILE]``
+``stats [FILE] [--json] [--flight]``
     Validate and summarise a ``--trace`` file (Chrome trace-event
-    schema), render a ``--metrics`` snapshot, or — without FILE — the
-    current process's metrics registry.
+    schema), render a ``--metrics`` snapshot or a flight-recorder dump
+    (auto-detected), or — without FILE — the current process's metrics
+    registry (``--flight``: its flight-recorder ring).  ``--json``
+    switches to machine-readable output.  A truncated trace (spans
+    dropped by the ``max_spans`` guard) gets a stderr warning.
+``bench record --out run.json BENCH_*.json`` / ``bench diff BASE CUR``
+    The perf-regression observatory: merge benchmark emissions into one
+    unified run document (schema, env fingerprint, suite-tagged
+    records), then compare runs direction-aware with per-metric noise
+    tolerances — wall-clock metrics only compare between identical env
+    fingerprints; ratios and counts always do.  ``diff`` exits 1 on any
+    regression, which is the CI gate.
 ``contains Q2 Q1``
     Decide Q1 ⊑ Q2 (Chandra–Merlin through the decomposition pipeline).
 
 ``run``, ``watch`` and ``explain`` accept ``--trace PATH`` (or
 ``$REPRO_TRACE``) to export a Chrome trace-event file of the request's
 spans — including spans recorded inside process-backend workers — and
-``--metrics PATH`` for a JSON metrics snapshot.
+``--metrics PATH`` for a JSON metrics snapshot; ``--profile PATH`` (or
+``$REPRO_PROFILE``) runs the wall-clock sampling profiler alongside and
+writes a speedscope JSON profile (or collapsed text for
+``.txt``/``.folded`` paths) covering driver and workers.
 ``experiments [ID ...]``
     Run the reproduction experiments (same as ``python -m
     repro.experiments``).
@@ -98,15 +111,25 @@ from .engine import Engine
 from .heuristics import decompose as portfolio_decompose
 from .heuristics import greedy_upper_bound, lower_bound
 from .obs import (
+    SamplingProfiler,
     Tracer,
+    diff_runs,
+    get_flight_recorder,
+    load_run,
+    merge_runs,
     metrics_snapshot,
+    profile_path_from_env,
+    profiling,
+    render_flight,
     render_metrics,
     render_trace_summary,
     trace_path_from_env,
     tracing,
     validate_chrome_trace,
     write_chrome_trace,
+    write_collapsed,
     write_metrics_snapshot,
+    write_speedscope,
 )
 
 
@@ -129,26 +152,41 @@ def _load_facts(path: str) -> Database:
 
 @contextlib.contextmanager
 def _observed(args: argparse.Namespace):
-    """Tracing/metrics wrapper for the execution commands.
+    """Tracing/profiling/metrics wrapper for the execution commands.
 
     Installs a tracer for the command's dynamic extent when ``--trace``
     (or ``$REPRO_TRACE``) asks for one and writes the Chrome trace-event
-    file on the way out; writes the ``--metrics`` snapshot regardless of
-    tracing.  Notices go to stderr, so piped answer output stays clean.
+    file on the way out; likewise a sampling profiler for ``--profile``
+    (or ``$REPRO_PROFILE``), written as speedscope JSON (or collapsed
+    text when the path ends in ``.txt``/``.folded``/``.collapsed``);
+    writes the ``--metrics`` snapshot regardless.  Notices go to stderr,
+    so piped answer output stays clean.
     """
     trace_path = getattr(args, "trace", None) or trace_path_from_env()
-    if trace_path:
-        tracer = Tracer()
-        with tracing(tracer):
-            yield
+    profile_path = getattr(args, "profile", None) or profile_path_from_env()
+    tracer = Tracer() if trace_path else None
+    profiler = SamplingProfiler() if profile_path else None
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(tracing(tracer))
+        if profiler is not None:
+            stack.enter_context(profiling(profiler))
+        yield
+    if tracer is not None:
         events = write_chrome_trace(tracer, trace_path)
         print(
             f"trace: {events} events -> {trace_path}"
             + (f" ({tracer.dropped} spans dropped)" if tracer.dropped else ""),
             file=sys.stderr,
         )
-    else:
-        yield
+    if profiler is not None:
+        if profile_path.endswith((".txt", ".folded", ".collapsed")):
+            total = write_collapsed(profiler.profile, profile_path)
+        else:
+            total = write_speedscope(profiler.profile, profile_path)
+        print(
+            f"profile: {total} samples -> {profile_path}", file=sys.stderr
+        )
     metrics_path = getattr(args, "metrics", None)
     if metrics_path:
         write_metrics_snapshot(metrics_path)
@@ -360,14 +398,65 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _truncation_warning(snapshot: dict) -> None:
+    """Surface the tracer's drop guard: a trace that silently lost spans
+    would lie about what happened, so say so on stderr."""
+    dropped = snapshot.get("counters", {}).get("tracer.spans_dropped", 0)
+    if dropped:
+        print(
+            f"warning: {int(dropped)} span(s) dropped by the tracer's "
+            "max_spans guard — traces are truncated (raise "
+            "Tracer(max_spans=...))",
+            file=sys.stderr,
+        )
+
+
+def _trace_summary_json(events: list, problems: list[str]) -> dict:
+    """Machine-readable trace summary (``stats --json`` on a trace)."""
+    spans = [e for e in events if e.get("ph") == "X"]
+    by_name: dict[str, dict] = {}
+    for event in spans:
+        entry = by_name.setdefault(
+            event.get("name", "?"), {"seconds": 0.0, "count": 0}
+        )
+        entry["seconds"] += event.get("dur", 0) / 1e6
+        entry["count"] += 1
+    return {
+        "kind": "trace",
+        "valid": not problems,
+        "problems": problems,
+        "events": len(events),
+        "spans": len(spans),
+        "tracks": len(
+            {(e.get("pid"), e.get("tid")) for e in spans}
+        ),
+        "by_name": {
+            name: {"seconds": round(v["seconds"], 6), "count": v["count"]}
+            for name, v in by_name.items()
+        },
+    }
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Render observability artifacts (or the live process registry).
 
     With FILE: auto-detects a Chrome trace-event array (validated
-    against the schema the Perfetto loader needs, then summarised
-    per span name) vs a metrics snapshot dict (rendered).  Without:
-    renders the in-process global metrics registry.
+    against the schema the Perfetto loader needs, then summarised per
+    span name), a flight-recorder dump, or a metrics snapshot dict.
+    Without FILE: the in-process global metrics registry — or, with
+    ``--flight``, the live flight recorder's ring.  ``--json`` switches
+    every mode to machine-readable output (what the CI gates assert
+    on).
     """
+    as_json = getattr(args, "json", False)
+
+    def emit(doc, rendered: str) -> None:
+        print(json.dumps(doc, indent=1, sort_keys=True) if as_json else rendered)
+
+    if args.flight and not args.file:
+        snapshot = get_flight_recorder().snapshot()
+        emit(snapshot, render_flight(snapshot))
+        return 0
     if args.file:
         try:
             data = json.loads(pathlib.Path(args.file).read_text())
@@ -376,6 +465,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             return 2
         if isinstance(data, list):
             problems = validate_chrome_trace(data)
+            if as_json:
+                print(json.dumps(_trace_summary_json(data, problems), indent=1))
+                return 1 if problems else 0
             if problems:
                 print(f"invalid chrome trace ({len(problems)} problem(s)):")
                 for problem in problems[:20]:
@@ -385,16 +477,79 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print(render_trace_summary(data))
             return 0
         if isinstance(data, dict):
-            print(render_metrics(data))
+            if data.get("flight") == 1 or args.flight:
+                emit(data, render_flight(data))
+                return 0
+            emit(data, render_metrics(data))
+            _truncation_warning(data)
             return 0
         print(
-            f"error: {args.file} is neither a trace-event array nor a "
-            "metrics snapshot",
+            f"error: {args.file} is neither a trace-event array, a "
+            "flight dump, nor a metrics snapshot",
             file=sys.stderr,
         )
         return 2
-    print(render_metrics(metrics_snapshot()))
+    snapshot = metrics_snapshot()
+    emit(snapshot, render_metrics(snapshot))
+    _truncation_warning(snapshot)
     return 0
+
+
+def _suite_name(path: str, doc: dict) -> str:
+    """The suite tag for a benchmark emission: its own ``suite`` field,
+    else the filename with the BENCH_ prefix/extension stripped."""
+    if doc.get("suite"):
+        return str(doc["suite"])
+    stem = pathlib.Path(path).stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    """Merge benchmark emissions into one unified run document."""
+    suite_docs = []
+    total = 0
+    for path in args.inputs:
+        try:
+            doc = json.loads(pathlib.Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        records = doc.get("records")
+        if not isinstance(records, list):
+            print(
+                f"error: {path} carries no 'records' list (pre-observatory "
+                "benchmark emission? re-run the suite)",
+                file=sys.stderr,
+            )
+            return 2
+        suite_docs.append((_suite_name(path, doc), doc))
+        total += len(records)
+    run = merge_runs(suite_docs, meta={"sources": list(args.inputs)})
+    pathlib.Path(args.out).write_text(json.dumps(run, indent=1, sort_keys=True))
+    print(
+        f"recorded {total} metric(s) from {len(suite_docs)} suite(s) "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare a run against a baseline; exit 1 on regression."""
+    try:
+        baseline = load_run(args.baseline)
+        current = load_run(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    kwargs = {"compare_all": args.all_metrics}
+    if args.tolerance is not None:
+        kwargs["default_tolerance"] = args.tolerance
+    report = diff_runs(baseline, current, **kwargs)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_contains(args: argparse.Namespace) -> int:
@@ -426,6 +581,16 @@ def _add_observability_options(p: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write the process metrics registry (counters, gauges, "
         "latency histograms) as a JSON snapshot to PATH",
+    )
+    p.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="run a wall-clock sampling profiler (spans-tagged folded "
+        "stacks, covering process-backend workers too) and write a "
+        "speedscope JSON profile to PATH (.txt/.folded/.collapsed for "
+        "collapsed flamegraph text); $REPRO_PROFILE=PATH is the env "
+        "equivalent",
     )
 
 
@@ -592,17 +757,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "stats",
-        help="validate/summarise a trace or metrics file, or render "
-        "the live metrics registry",
+        help="validate/summarise a trace, metrics, or flight-dump file, "
+        "or render the live metrics registry",
     )
     p.add_argument(
         "file",
         nargs="?",
         default=None,
-        help="a --trace output (trace-event array) or --metrics output "
-        "(snapshot dict); omitted = the current process's registry",
+        help="a --trace output (trace-event array), --metrics output "
+        "(snapshot dict), or flight-recorder dump; omitted = the "
+        "current process's registry (or ring, with --flight)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON output (CI gates assert on fields "
+        "instead of grepping rendered text)",
+    )
+    p.add_argument(
+        "--flight",
+        action="store_true",
+        help="inspect the flight recorder: render FILE as a flight dump "
+        "(auto-detected anyway), or without FILE the live process ring",
     )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "bench",
+        help="the perf-regression observatory: record unified benchmark "
+        "runs and diff them against a baseline",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    pb = bench_sub.add_parser(
+        "record",
+        help="merge bench_*.py JSON emissions into one run document "
+        "(schema + env fingerprint + suite-tagged records)",
+    )
+    pb.add_argument(
+        "inputs", nargs="+", help="benchmark emissions (BENCH_*.json)"
+    )
+    pb.add_argument(
+        "--out", required=True, metavar="PATH", help="run document output"
+    )
+    pb.set_defaults(fn=_cmd_bench_record)
+    pb = bench_sub.add_parser(
+        "diff",
+        help="compare a recorded run against a baseline run; exits 1 "
+        "when any metric regressed beyond its noise tolerance",
+    )
+    pb.add_argument("baseline", help="baseline run document")
+    pb.add_argument("current", help="current run document")
+    pb.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="default relative tolerance for records without their own "
+        "(default 0.25)",
+    )
+    pb.add_argument(
+        "--all-metrics",
+        action="store_true",
+        dest="all_metrics",
+        help="compare wall-clock metrics even across differing "
+        "environment fingerprints",
+    )
+    pb.add_argument(
+        "--json", action="store_true", help="machine-readable diff output"
+    )
+    pb.set_defaults(fn=_cmd_bench_diff)
 
     p = sub.add_parser("contains", help="decide Q1 ⊑ Q2")
     p.add_argument("q2", help="the containing query Q2")
@@ -625,6 +847,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, a pager quit): exit
+        # quietly like cat does.  Redirect stdout to devnull first so
+        # the interpreter's shutdown flush doesn't raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except (UnknownRelationError, UnknownAttributeError) as error:
         # A typo'd relation/attribute name is a user-input problem, not a
         # malformed invocation: readable one-liner, exit 1, no traceback.

@@ -64,6 +64,8 @@ from typing import Callable, Sequence
 
 from .._errors import EvaluationError
 from ..obs import current_tracer, get_registry
+from ..obs.flight import get_flight_recorder
+from ..obs.profiler import SamplingProfiler, current_profiler
 from ..obs.tracer import span_tuple
 from .relation import Relation, Row, probe_join, semijoin_with_keys
 
@@ -423,13 +425,13 @@ class ThreadBackend(ExecutionContext):
 # result queue.  Messages:
 #
 #   parent -> worker:  ("task", tid, op, out_token|None, encoded_args,
-#                       trace)                       -- trace: bool
+#                       trace, profile_hz)  -- trace: bool, hz: float (0=off)
 #                      ("cache", token, encoded_value)
 #                      ("uncache", (token, ...))
 #                      None                          -- shut down
-#   worker -> parent:  ("ok", tid, row_count, spans)   -- kept resident
-#                      ("ok", tid, encoded_result, spans) -- shipped back
-#                      ("err", tid, traceback_text, ())
+#   worker -> parent:  ("ok", tid, row_count, spans, samples)   -- resident
+#                      ("ok", tid, encoded_result, spans, samples) -- shipped
+#                      ("err", tid, traceback_text, (), ())
 #
 # Argument/result encodings: ("r", attrs, name, rows) for relations via
 # the compact codec, ("t", token) for worker-resident objects, and
@@ -437,7 +439,11 @@ class ThreadBackend(ExecutionContext):
 # times each operator on the shared monotonic clock and ships the span
 # tuples (:func:`repro.obs.tracer.span_tuple`) back in the reply; the
 # parent ingests them into the current tracer labelled with the owning
-# worker's track.
+# worker's track.  With ``profile_hz`` > 0 the worker lazily starts its
+# own :class:`~repro.obs.profiler.SamplingProfiler` at that rate and
+# each reply drains the folded samples accumulated since the previous
+# reply; the parent merges them into the current profiler under a
+# ``worker-<pid>`` root frame — one profile covers driver and workers.
 
 
 def _encode_value(value) -> tuple:
@@ -472,6 +478,7 @@ def _worker_decode(payload: tuple, store: dict):
 def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - child process
     """One worker process: a task loop over a private resident store."""
     store: dict[str, object] = {}
+    profiler: SamplingProfiler | None = None
     try:
         while True:
             message = task_queue.get()
@@ -479,7 +486,13 @@ def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - child 
                 break
             tag = message[0]
             if tag == "task":
-                _, tid, op, out_token, args, trace = message
+                _, tid, op, out_token, args, trace, profile_hz = message
+                if profile_hz and profiler is None:
+                    # Started once, on the first profiled task; the
+                    # daemon sampler then covers this worker for the
+                    # rest of its life (replies drain incrementally).
+                    profiler = SamplingProfiler(hz=profile_hz)
+                    profiler.start()
                 try:
                     fn = _OPS[op]
                     decoded = [_worker_decode(a, store) for a in args]
@@ -505,16 +518,21 @@ def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - child 
                         )
                     else:
                         result = fn(*decoded)
+                    samples = (
+                        profiler.drain() if profile_hz and profiler else ()
+                    )
                     if out_token is not None:
                         store[out_token] = result
-                        result_queue.put(("ok", tid, len(result), spans))
+                        result_queue.put(
+                            ("ok", tid, len(result), spans, samples)
+                        )
                     else:
                         result_queue.put(
-                            ("ok", tid, _encode_value(result), spans)
+                            ("ok", tid, _encode_value(result), spans, samples)
                         )
                 except BaseException:
                     result_queue.put(
-                        ("err", tid, traceback.format_exc(), ())
+                        ("err", tid, traceback.format_exc(), (), ())
                     )
             elif tag == "cache":
                 store[message[1]] = _decode_value(pickle.loads(message[2]))
@@ -524,6 +542,9 @@ def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - child 
     except (EOFError, OSError, KeyboardInterrupt):
         # Parent went away (or interrupted): exit quietly.
         pass
+    finally:
+        if profiler is not None:
+            profiler.stop()
 
 
 class ProcessBackendError(EvaluationError, RuntimeError):
@@ -741,6 +762,8 @@ class ProcessBackend(ExecutionContext):
         if not tasks:
             return []
         tracer = current_tracer()
+        profiler = current_profiler()
+        profile_hz = profiler.hz if profiler.enabled else 0.0
         get_registry().counter("backend.tasks").inc(len(tasks))
         with self._lock:
             self._ensure_open()
@@ -776,13 +799,15 @@ class ProcessBackend(ExecutionContext):
                 self._task_queues[owner].put(
                     ("task", tid, op, out_token,
                      tuple(_encode_arg(a) for a in args),
-                     tracer.enabled)
+                     tracer.enabled, profile_hz)
                 )
                 pending[tid] = (i, out_token, owner)
             results: list = [None] * len(tasks)
             failure: str | None = None
             while pending:
-                status, tid, payload, spans = self._next_result_locked()
+                status, tid, payload, spans, samples = (
+                    self._next_result_locked()
+                )
                 entry = pending.pop(tid, None)
                 if entry is None:
                     continue  # stale reply from an earlier aborted call
@@ -791,6 +816,12 @@ class ProcessBackend(ExecutionContext):
                     # Worker-resident spans: same monotonic timeline,
                     # laid out on the owning worker's track.
                     tracer.ingest(spans, tid=f"worker-{owner}")
+                if samples:
+                    # Worker-side profile samples, rooted per worker pid
+                    # so one flamegraph covers driver and workers.
+                    profiler.ingest(
+                        samples, label=f"worker-{self._procs[owner].pid}"
+                    )
                 if status == "err":
                     failure = failure or payload
                 elif out_token is not None:
@@ -821,6 +852,17 @@ class ProcessBackend(ExecutionContext):
                     # here because close() early-returns once _closed is
                     # set — engines then recreate a fresh pool on the
                     # next request (`closed` property).
+                    get_flight_recorder().record(
+                        "worker_death",
+                        workers=sorted(dead),
+                        exitcodes={
+                            p.name: p.exitcode
+                            for p in self._procs
+                            if not p.is_alive()
+                        },
+                        backend=self.kind,
+                        pool_workers=self.workers,
+                    )
                     self._abort_locked()
                     raise ProcessBackendError(
                         f"worker process(es) died: {', '.join(dead)}"

@@ -49,7 +49,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
-from .._errors import BudgetExceeded, ReproError
+from .._errors import BudgetExceeded, EvaluationError, ReproError
 from ..core.atoms import Variable
 from ..core.hypertree import HypertreeDecomposition
 from ..core.query import ConjunctiveQuery
@@ -64,6 +64,7 @@ from ..db.relation import Relation
 from ..db.stats import EvalStats
 from ..heuristics.portfolio import Mode, decompose
 from ..obs import Tracer, current_tracer, get_registry, tracing
+from ..obs.flight import FlightRecorder, get_flight_recorder, span_forest
 from .cache import PlanCache
 from .plan import SHARD_MIN_ROWS, QueryPlan, compile_plan, execute_plan
 
@@ -173,7 +174,28 @@ class Engine:
         Default :class:`~repro.obs.Tracer` installed around each request
         when no ambient tracer is active (an enabled tracer installed
         via :func:`repro.obs.tracing` — e.g. by the CLI's ``--trace`` —
-        always wins).  ``None`` (the default) leaves tracing off.
+        always wins).  ``None`` (the default) leaves explicit tracing
+        off; requests then record into the flight recorder's bounded
+        span ring instead (see *flight*).
+    slow_query_ms:
+        Latency threshold for the flight recorder's slow-query log:
+        requests at/above it get a ``slow_query`` event carrying the
+        plan digest and an EXPLAIN ANALYZE rendering built from the
+        spans the request *already* recorded (never re-executed).
+        ``None`` (default) disables the log.
+    flight:
+        The always-on black box.  ``None``/``True`` (default) records
+        into the process-global :func:`repro.obs.get_flight_recorder`;
+        a :class:`repro.obs.FlightRecorder` instance records there;
+        ``False`` switches flight recording off for this engine.  Every
+        request appends one bounded ring event; ``EvaluationError`` /
+        ``BudgetExceeded`` / worker death additionally capture the
+        failing request's span tree and auto-dump to *flight_dump*.
+    flight_dump:
+        Where failure dumps are written: a JSON file path (last dump
+        wins) or a directory (one file per dump).  Defaults to
+        ``$REPRO_FLIGHT_DUMP``; with neither set the ring still records
+        in memory but no files are written.
     """
 
     def __init__(
@@ -187,9 +209,15 @@ class Engine:
         backend_workers: int | None = None,
         shard_threshold: int = SHARD_MIN_ROWS,
         tracer: Tracer | None = None,
+        slow_query_ms: float | None = None,
+        flight: "FlightRecorder | bool | None" = None,
+        flight_dump: str | None = None,
     ):
         self.cache = PlanCache(cache_size)
         self.tracer = tracer
+        self.slow_query_ms = slow_query_ms
+        self._flight_spec = flight
+        self.flight_dump = flight_dump
         self.mode: Mode = mode
         self.budget = budget
         self.workers = workers
@@ -221,6 +249,18 @@ class Engine:
     def parallelism(self) -> int:
         """Deprecated alias: the shard width under a parallel backend."""
         return self.backend_workers if self.backend != "sequential" else 1
+
+    @property
+    def flight(self) -> FlightRecorder | None:
+        """The flight recorder this engine records into (``None`` when
+        disabled).  Resolved lazily so a swapped global recorder (tests,
+        servers) takes effect without rebuilding engines."""
+        spec = self._flight_spec
+        if spec is False:
+            return None
+        if spec is None or spec is True:
+            return get_flight_recorder()
+        return spec
 
     # -- resource lifecycle ------------------------------------------------
     def _backend_for(self, kind: str, workers: int) -> ExecutionContext:
@@ -395,25 +435,48 @@ class Engine:
         deadline = started + budget if budget is not None else None
         kind, width = self._resolve_backend(backend, parallelism)
         stats = stats if stats is not None else EvalStats()
-        # An ambient tracer (CLI --trace, explain(analyze=True)) wins;
-        # the engine's own tracer is the fallback default.
+        flight = self.flight
+        # An ambient tracer (CLI --trace, explain(analyze=True)) wins,
+        # then the engine's own tracer; with neither, requests record
+        # into the flight recorder's always-on bounded span ring (the
+        # black box holds the spans leading up to a failure).
         ambient = current_tracer()
-        tracer = (
-            ambient if ambient.enabled or self.tracer is None else self.tracer
-        )
-        with tracing(tracer), tracer.span(
-            "engine.execute", query=query.name, backend=kind
-        ) as request_span:
-            result = self._execute_request(
-                query, db, deadline, kind, width, stats, started
-            )
-            request_span.set(
-                cache_hit=result.cache_hit,
-                width=result.width,
-                method=result.method,
-                rows=len(result.answer),
-            )
+        if ambient.enabled:
+            tracer = ambient
+        elif self.tracer is not None:
+            tracer = self.tracer
+        elif flight is not None:
+            tracer = flight.tracer
+        else:
+            tracer = ambient
+        request_perf = time.perf_counter()
+        plan_sink: list[QueryPlan] = []
+        try:
+            with tracing(tracer), tracer.span(
+                "engine.execute", query=query.name, backend=kind
+            ) as request_span:
+                result = self._execute_request(
+                    query, db, deadline, kind, width, stats, started,
+                    plan_sink,
+                )
+                request_span.set(
+                    cache_hit=result.cache_hit,
+                    width=result.width,
+                    method=result.method,
+                    rows=len(result.answer),
+                )
+        except (EvaluationError, BudgetExceeded) as error:
+            if flight is not None:
+                self._flight_failure(
+                    flight, query, error, kind, plan_sink, tracer,
+                    request_perf,
+                )
+            raise
         self._record_request(result)
+        if flight is not None:
+            self._flight_request(
+                flight, result, kind, plan_sink, tracer, request_perf
+            )
         return result
 
     def _execute_request(
@@ -425,6 +488,7 @@ class Engine:
         width: int,
         stats: EvalStats,
         started: float,
+        plan_sink: list | None = None,
     ) -> EvalResult:
         with stats.timed():
             if not query.atoms:
@@ -448,6 +512,10 @@ class Engine:
                 backend=kind, workers=width,
                 shard_threshold=self.shard_threshold,
             )
+            if plan_sink is not None:
+                # Threaded out so the flight recorder can attach the
+                # plan digest even when execution fails below.
+                plan_sink.append(plan)
             # The live context is only materialised when the plan's
             # cost-based policy actually sharded something — a process
             # pool is never spawned to evaluate small relations.
@@ -477,6 +545,87 @@ class Engine:
         registry.histogram("engine.request_seconds").observe(result.elapsed)
         registry.record_eval(result.stats)
         registry.record_cache(self.cache.snapshot())
+
+    # -- flight recording -------------------------------------------------
+    def _flight_request(
+        self,
+        flight: FlightRecorder,
+        result: EvalResult,
+        kind: str,
+        plan_sink: list,
+        tracer,
+        request_perf: float,
+    ) -> None:
+        """One ring event per finished request (the metric delta the
+        flight recorder keeps), plus the slow-query capture when the
+        request crossed ``slow_query_ms``."""
+        plan = plan_sink[0] if plan_sink else None
+        digest = plan.digest() if plan is not None else None
+        elapsed_ms = result.elapsed * 1e3
+        flight.record(
+            "request",
+            query=result.query.name,
+            elapsed_ms=round(elapsed_ms, 3),
+            rows=len(result.answer) if result.answer is not None else None,
+            cache_hit=result.cache_hit,
+            method=result.method,
+            width=result.width,
+            backend=kind,
+            digest=digest,
+            stats=result.stats.as_row(),
+        )
+        if self.slow_query_ms is None or elapsed_ms < self.slow_query_ms:
+            return
+        # Slow-query capture: EXPLAIN ANALYZE rendered from the spans
+        # this request already recorded — never re-executed.
+        explain = None
+        if plan is not None and isinstance(tracer, Tracer):
+            explain = plan.render_analyzed(
+                tracer.view_since(request_perf),
+                result.elapsed,
+                len(result.answer) if result.answer is not None else 0,
+            )
+        flight.record(
+            "slow_query",
+            query=result.query.name,
+            elapsed_ms=round(elapsed_ms, 3),
+            threshold_ms=self.slow_query_ms,
+            digest=digest,
+            explain=explain,
+        )
+        get_registry().counter("engine.slow_queries").inc()
+
+    def _flight_failure(
+        self,
+        flight: FlightRecorder,
+        query: ConjunctiveQuery,
+        error: Exception,
+        kind: str,
+        plan_sink: list,
+        tracer,
+        request_perf: float,
+    ) -> None:
+        """Record the failing request (span tree + plan digest) and
+        auto-dump the black box."""
+        plan = plan_sink[0] if plan_sink else None
+        spans = (
+            tracer.spans_since(request_perf)
+            if isinstance(tracer, Tracer)
+            else []
+        )
+        flight.record(
+            "error",
+            query=query.name,
+            error=type(error).__name__,
+            message=str(error),
+            backend=kind,
+            digest=plan.digest() if plan is not None else None,
+            spans=span_forest(spans),
+        )
+        flight.dump(
+            reason=f"{type(error).__name__}: {query.name}",
+            path=self.flight_dump,
+        )
 
     def execute_many(
         self,

@@ -116,6 +116,26 @@ class QueryPlan:
         """Per-node shard assignment for the Yannakakis passes."""
         return {np.bag: np.n_shards for np in self.node_plans}
 
+    def digest(self) -> str:
+        """A short stable hash of the plan's *structure* — provenance,
+        width, backend, per-node pipelines, join tree.  Two requests
+        with the same digest executed the same physical plan, which is
+        how the flight recorder's slow-query log groups outliers."""
+        import hashlib
+
+        payload = "\n".join(
+            [
+                str(self.query),
+                self.provenance,
+                str(self.width),
+                f"{self.backend}x{self.workers}",
+                ",".join(self.output),
+                *(np.describe() for np in self.node_plans),
+                self.join_tree.render(),
+            ]
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
     def render(self) -> str:
         """The ``explain`` rendering: provenance, per-node pipelines, and
         the rooted join tree the Yannakakis passes will run over."""

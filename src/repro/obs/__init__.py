@@ -40,12 +40,43 @@ from .export import (
     write_chrome_trace,
     write_metrics_snapshot,
 )
+from .flight import (
+    FlightEvent,
+    FlightRecorder,
+    get_flight_recorder,
+    render_flight,
+    set_flight_recorder,
+    span_forest,
+)
+from .history import (
+    DiffReport,
+    diff_runs,
+    env_fingerprint,
+    load_run,
+    make_run,
+    merge_runs,
+    record,
+    validate_run,
+)
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_registry,
+)
+from .profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profile,
+    SamplingProfiler,
+    current_profiler,
+    fold_frame,
+    profile_path_from_env,
+    profiling,
+    set_profiler,
+    write_collapsed,
+    write_speedscope,
 )
 from .tracer import (
     NULL_TRACER,
@@ -59,24 +90,49 @@ from .tracer import (
 )
 
 __all__ = [
+    "NULL_PROFILER",
     "NULL_TRACER",
     "Counter",
+    "DiffReport",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullProfiler",
     "NullTracer",
+    "Profile",
+    "SamplingProfiler",
     "Span",
     "Tracer",
     "chrome_trace_events",
+    "current_profiler",
     "current_tracer",
+    "diff_runs",
+    "env_fingerprint",
+    "fold_frame",
+    "get_flight_recorder",
     "get_registry",
+    "load_run",
+    "make_run",
+    "merge_runs",
     "metrics_snapshot",
+    "profile_path_from_env",
+    "profiling",
+    "record",
+    "render_flight",
     "render_metrics",
     "render_trace_summary",
+    "set_flight_recorder",
+    "set_profiler",
     "set_tracer",
+    "span_forest",
     "trace_path_from_env",
     "tracing",
     "validate_chrome_trace",
+    "validate_run",
     "write_chrome_trace",
+    "write_collapsed",
     "write_metrics_snapshot",
+    "write_speedscope",
 ]

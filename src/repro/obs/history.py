@@ -1,0 +1,334 @@
+"""The perf-regression observatory: one schema, one diff, one gate.
+
+Every ``benchmarks/bench_*.py`` suite used to emit a bespoke JSON blob;
+comparing two runs meant eyeballing CI artifacts, so the recorded bench
+trajectory stayed empty and regressions were invisible.  This module
+unifies them:
+
+* :func:`record` — one measurement: ``(suite, metric, value, unit,
+  better, tolerance)``.  ``better`` says which direction is good
+  (``"lower"`` for times, ``"higher"`` for speedups/hit rates);
+  ``tolerance`` is the per-metric relative noise bound a comparison
+  must exceed before it counts as a change.
+* :func:`make_run` — a run document: schema version, an
+  :func:`env_fingerprint`, and the records (suite-tagged).
+* :func:`diff_runs` — direction-aware comparison of two runs.
+  **Wall-clock units are only compared between identical environment
+  fingerprints** — a CI runner is not a laptop — while ratios and
+  counts (which are exact under seeded workloads, the strongest
+  regression signal) always compare.  Returns a :class:`DiffReport`
+  whose ``regressions`` gate CI: ``repro bench diff`` exits non-zero
+  when any survive.
+
+The committed baseline lives at ``benchmarks/baseline.json``; CI runs
+the smoke-scale suites, ``repro bench record`` merges their emissions,
+and ``repro bench diff`` compares against the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+#: Schema version stamped into every run document.
+SCHEMA_VERSION = 1
+
+#: Default relative tolerance when a record does not carry its own.
+DEFAULT_TOLERANCE = 0.25
+
+#: Units that measure this machine rather than the algorithm: compared
+#: only between identical environment fingerprints.  ``x`` (speedup
+#: multipliers) is here because parallel speedups depend on core count.
+ENV_BOUND_UNITS = frozenset({"seconds", "ms", "us", "ns", "qps", "bytes", "x"})
+
+
+def env_fingerprint() -> dict:
+    """What makes two runs' wall-clock numbers comparable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def record(
+    metric: str,
+    value: float,
+    unit: str,
+    better: str = "lower",
+    tolerance: float | None = None,
+    suite: str | None = None,
+) -> dict:
+    """One benchmark measurement in the unified schema."""
+    if better not in ("lower", "higher"):
+        raise ValueError(f"better must be 'lower' or 'higher', got {better!r}")
+    rec = {
+        "metric": str(metric),
+        "value": float(value),
+        "unit": str(unit),
+        "better": better,
+    }
+    if tolerance is not None:
+        rec["tolerance"] = float(tolerance)
+    if suite is not None:
+        rec["suite"] = str(suite)
+    return rec
+
+
+def make_run(records: Iterable[dict], meta: dict | None = None) -> dict:
+    """Wrap records into a run document with schema + env fingerprint."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "env": env_fingerprint(),
+        **(meta or {}),
+        "records": list(records),
+    }
+
+
+def load_run(path: str) -> dict:
+    """Read and structurally validate a run document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    problems = validate_run(doc)
+    if problems:
+        raise ValueError(
+            f"{path} is not a bench run document: {'; '.join(problems[:5])}"
+        )
+    return doc
+
+
+def validate_run(doc) -> list[str]:
+    """Structural problems with a run document (empty = valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema {doc.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    if not isinstance(doc.get("env"), dict):
+        problems.append("missing env fingerprint")
+    records = doc.get("records")
+    if not isinstance(records, list):
+        return problems + ["missing records list"]
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            problems.append(f"records[{i}] is not an object")
+            continue
+        for key in ("metric", "value", "unit", "better"):
+            if key not in rec:
+                problems.append(f"records[{i}] missing {key!r}")
+        if rec.get("better") not in ("lower", "higher", None):
+            problems.append(
+                f"records[{i}].better {rec.get('better')!r} invalid"
+            )
+    return problems
+
+
+def merge_runs(
+    suite_docs: Sequence[tuple[str, dict]], meta: dict | None = None
+) -> dict:
+    """``repro bench record``: merge per-suite benchmark emissions
+    (``(suite name, bench JSON)`` pairs, each carrying a ``records``
+    list) into one run document, tagging each record with its suite."""
+    merged: list[dict] = []
+    for suite, doc in suite_docs:
+        for rec in doc.get("records", []):
+            tagged = dict(rec)
+            tagged.setdefault("suite", suite)
+            merged.append(tagged)
+    return make_run(merged, meta=meta)
+
+
+@dataclass
+class Comparison:
+    """One metric's baseline-vs-current verdict."""
+
+    suite: str
+    metric: str
+    unit: str
+    better: str
+    baseline: float | None
+    current: float | None
+    tolerance: float
+    #: ok | regression | improvement | skipped_env | new | missing
+    status: str
+    change: float | None = None  # signed relative change vs baseline
+
+    @property
+    def key(self) -> str:
+        return f"{self.suite}/{self.metric}" if self.suite else self.metric
+
+    def render(self) -> str:
+        def fmt(v):
+            return "-" if v is None else f"{v:.6g}"
+
+        change = (
+            f" ({self.change:+.1%} vs ±{self.tolerance:.0%})"
+            if self.change is not None
+            else ""
+        )
+        return (
+            f"{self.status:>11}  {self.key} [{self.unit}, {self.better} is "
+            f"better]: {fmt(self.baseline)} -> {fmt(self.current)}{change}"
+        )
+
+
+@dataclass
+class DiffReport:
+    """The outcome of :func:`diff_runs`; ``ok`` gates CI."""
+
+    comparisons: list[Comparison] = field(default_factory=list)
+    same_env: bool = False
+
+    @property
+    def regressions(self) -> list[Comparison]:
+        return [c for c in self.comparisons if c.status == "regression"]
+
+    @property
+    def improvements(self) -> list[Comparison]:
+        return [c for c in self.comparisons if c.status == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        counts: dict[str, int] = {}
+        for c in self.comparisons:
+            counts[c.status] = counts.get(c.status, 0) + 1
+        summary = ", ".join(
+            f"{n} {status}" for status, n in sorted(counts.items())
+        )
+        lines = [
+            f"bench diff: {len(self.comparisons)} metric(s) ({summary or 'none'})"
+            + ("" if self.same_env else " [env differs: wall-clock skipped]")
+        ]
+        interesting = [
+            c for c in self.comparisons if c.status != "ok"
+        ] or self.comparisons
+        lines.extend(c.render() for c in interesting)
+        verdict = (
+            "OK: no regressions"
+            if self.ok
+            else f"REGRESSION: {len(self.regressions)} metric(s) regressed"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "same_env": self.same_env,
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "comparisons": [
+                {
+                    "suite": c.suite,
+                    "metric": c.metric,
+                    "unit": c.unit,
+                    "better": c.better,
+                    "baseline": c.baseline,
+                    "current": c.current,
+                    "tolerance": c.tolerance,
+                    "status": c.status,
+                    "change": c.change,
+                }
+                for c in self.comparisons
+            ],
+        }
+
+
+def _index(doc: dict) -> dict[str, dict]:
+    out = {}
+    for rec in doc.get("records", []):
+        suite = rec.get("suite", "")
+        out[f"{suite}/{rec['metric']}" if suite else rec["metric"]] = rec
+    return out
+
+
+def diff_runs(
+    baseline: dict,
+    current: dict,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+    compare_all: bool = False,
+) -> DiffReport:
+    """Compare *current* against *baseline*, direction-aware.
+
+    Per metric: the relative change beyond the metric's tolerance (its
+    own ``tolerance`` field, else *default_tolerance*) in the *worse*
+    direction is a regression; beyond it in the better direction an
+    improvement; within it, ok.  Env-bound units (seconds, qps, ...)
+    are ``skipped_env`` unless the fingerprints match or *compare_all*
+    forces them.  Metrics present on one side only are ``new`` /
+    ``missing`` (a vanished metric is worth noticing, not failing on).
+    """
+    same_env = baseline.get("env") == current.get("env")
+    base_index = _index(baseline)
+    cur_index = _index(current)
+    report = DiffReport(same_env=same_env)
+    for key in sorted(base_index.keys() | cur_index.keys()):
+        base_rec = base_index.get(key)
+        cur_rec = cur_index.get(key)
+        rec = cur_rec or base_rec
+        suite = rec.get("suite", "")
+        tolerance = float(
+            (cur_rec or {}).get(
+                "tolerance", (base_rec or {}).get("tolerance", default_tolerance)
+            )
+        )
+        comparison = Comparison(
+            suite=suite,
+            metric=rec["metric"],
+            unit=rec.get("unit", ""),
+            better=rec.get("better", "lower"),
+            baseline=None if base_rec is None else float(base_rec["value"]),
+            current=None if cur_rec is None else float(cur_rec["value"]),
+            tolerance=tolerance,
+            status="ok",
+        )
+        if base_rec is None:
+            comparison.status = "new"
+        elif cur_rec is None:
+            comparison.status = "missing"
+        elif (
+            rec.get("unit") in ENV_BOUND_UNITS
+            and not same_env
+            and not compare_all
+        ):
+            comparison.status = "skipped_env"
+        else:
+            comparison.status, comparison.change = _judge(
+                comparison.baseline,
+                comparison.current,
+                comparison.better,
+                tolerance,
+            )
+        report.comparisons.append(comparison)
+    return report
+
+
+def _judge(
+    baseline: float, current: float, better: str, tolerance: float
+) -> tuple[str, float]:
+    """(status, signed relative change).  A zero baseline compares
+    exactly: any nonzero current is an infinite relative change in
+    whichever direction it moved."""
+    if baseline == 0:
+        if current == 0:
+            return "ok", 0.0
+        change = float("inf") if current > 0 else float("-inf")
+    else:
+        change = (current - baseline) / abs(baseline)
+    worse = change > tolerance if better == "lower" else change < -tolerance
+    improved = change < -tolerance if better == "lower" else change > tolerance
+    if worse:
+        return "regression", change
+    if improved:
+        return "improvement", change
+    return "ok", change

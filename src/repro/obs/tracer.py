@@ -41,8 +41,11 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from .metrics import get_registry
 
 #: Environment variable switching tracing on for CLI entry points (its
 #: value, when not empty/"0", is the default trace output path — "1"
@@ -121,6 +124,10 @@ class NullTracer:
     def spans(self) -> list[Span]:
         return []
 
+    def active_span(self, ident: int) -> None:
+        """No span is ever active on a disabled tracer."""
+        return None
+
 
 NULL_TRACER = NullTracer()
 
@@ -145,6 +152,17 @@ class _LiveSpan:
         self.attrs[key] = self.attrs.get(key, 0) + value
 
     def __enter__(self) -> "_LiveSpan":
+        # Push onto this thread's active-span stack *before* taking the
+        # start timestamp, so the bookkeeping cost stays outside the
+        # measured interval.  Each thread only ever mutates its own
+        # stack; the sampling profiler reads other threads' stacks under
+        # the GIL (list append/pop are atomic).
+        active = self._tracer._active
+        ident = threading.get_ident()
+        stack = active.get(ident)
+        if stack is None:
+            stack = active[ident] = []
+        stack.append(self.name)
         self._start = time.perf_counter()
         return self
 
@@ -162,6 +180,9 @@ class _LiveSpan:
                 self.attrs,
             )
         )
+        stack = self._tracer._active.get(threading.get_ident())
+        if stack:
+            stack.pop()
         return False
 
 
@@ -172,27 +193,57 @@ class Tracer:
     one flat list under a lock (span close is rare next to the work a
     span encloses).  ``max_spans`` bounds memory on pathological runs —
     beyond it new spans are counted in :attr:`dropped` instead of
-    stored, so a forgotten long-lived tracer degrades gracefully.
+    stored (and surfaced through the ``tracer.spans_dropped`` metrics
+    counter, so a truncated trace cannot silently lie), so a forgotten
+    long-lived tracer degrades gracefully.
+
+    ``ring=True`` flips the bound's policy from *drop newest* to *evict
+    oldest*: the tracer becomes a bounded ring that always holds the
+    most recent ``max_spans`` spans, counting evictions in
+    :attr:`evicted`.  That is the flight-recorder configuration — a
+    black box wants the spans leading up to a failure, not the start of
+    the run.
+
+    The tracer also maintains a per-thread stack of *currently open*
+    span names (:meth:`active_span`), which the sampling profiler reads
+    to tag wall-clock samples with the innermost active span.
     """
 
     enabled = True
 
-    def __init__(self, max_spans: int = 200_000):
+    def __init__(self, max_spans: int = 200_000, ring: bool = False):
         self.pid = os.getpid()
         self.created = time.perf_counter()
         self.max_spans = max_spans
+        self.ring = ring
         self.dropped = 0
+        self.evicted = 0
         self._lock = threading.Lock()
-        self._spans: list[Span] = []
+        self._spans: "list[Span] | deque[Span]" = (
+            deque(maxlen=max_spans) if ring else []
+        )
+        # thread ident -> stack of open span names (each thread mutates
+        # only its own stack; cross-thread reads are GIL-consistent).
+        self._active: dict[int, list[str]] = {}
 
     def span(self, name: str, **attrs) -> _LiveSpan:
         """Open a span; use as ``with tracer.span("semijoin", node=...):``."""
         return _LiveSpan(self, name, attrs)
 
+    def active_span(self, ident: int) -> str | None:
+        """The innermost span currently open on thread *ident* (or None)."""
+        stack = self._active.get(ident)
+        return stack[-1] if stack else None
+
     def _record(self, span: Span) -> None:
         with self._lock:
             if len(self._spans) >= self.max_spans:
+                if self.ring:
+                    self.evicted += 1
+                    self._spans.append(span)  # deque evicts the oldest
+                    return
                 self.dropped += 1
+                get_registry().counter("tracer.spans_dropped").inc()
                 return
             self._spans.append(span)
 
@@ -220,9 +271,17 @@ class Tracer:
             for name, start, end, rec_pid, attrs in records
         ]
         with self._lock:
+            if self.ring:
+                self.evicted += max(
+                    0, len(self._spans) + len(imported) - self.max_spans
+                )
+                self._spans.extend(imported)  # deque evicts the oldest
+                return
             room = self.max_spans - len(self._spans)
             if room < len(imported):
-                self.dropped += len(imported) - max(0, room)
+                overflow = len(imported) - max(0, room)
+                self.dropped += overflow
+                get_registry().counter("tracer.spans_dropped").inc(overflow)
                 imported = imported[: max(0, room)]
             self._spans.extend(imported)
 
@@ -231,10 +290,27 @@ class Tracer:
         with self._lock:
             return list(self._spans)
 
+    def spans_since(self, start: float) -> list[Span]:
+        """Spans whose interval started at/after *start* (perf_counter
+        seconds) — how the flight recorder isolates one request's spans
+        out of the shared ring."""
+        with self._lock:
+            return [s for s in self._spans if s.start >= start]
+
+    def view_since(self, start: float) -> "Tracer":
+        """A detached tracer holding only the spans since *start* — how
+        the engine renders one request's EXPLAIN ANALYZE / span tree out
+        of the shared flight ring without re-executing anything."""
+        view = Tracer(max_spans=self.max_spans)
+        view.pid = self.pid
+        view._spans = self.spans_since(start)
+        return view
+
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
             self.dropped = 0
+            self.evicted = 0
 
     def __len__(self) -> int:
         with self._lock:

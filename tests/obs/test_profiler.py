@@ -1,0 +1,246 @@
+"""Sampling profiler: fold losslessness, span tagging, zero-cost off,
+and the worker-sample round trip through the process backend."""
+
+import json
+import os
+import sys
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import ProcessBackend
+from repro.db.relation import Relation
+from repro.obs import (
+    NULL_PROFILER,
+    NULL_TRACER,
+    Profile,
+    SamplingProfiler,
+    Tracer,
+    current_profiler,
+    current_tracer,
+    fold_frame,
+    profiling,
+    tracing,
+    write_collapsed,
+    write_speedscope,
+)
+
+# Frame names as the folder renders them: no ';' (the stack separator)
+# and no spaces (the collapsed-format count separator is the last one).
+_frame = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_.:<>", min_size=1, max_size=12
+)
+_stack = st.lists(_frame, min_size=1, max_size=6).map(";".join)
+_profiles = st.dictionaries(_stack, st.integers(1, 50), min_size=0, max_size=20)
+
+
+class TestFoldLossless:
+    """The invariant: every transformation preserves total sample count."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts=_profiles)
+    def test_total_preserved_by_add_and_merge(self, counts):
+        profile = Profile()
+        for stack, count in counts.items():
+            profile.add(stack, count)
+        assert profile.total() == sum(counts.values())
+
+        other = Profile()
+        other.merge(profile)
+        other.merge(list(counts.items()))
+        assert other.total() == 2 * profile.total()
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts=_profiles)
+    def test_collapsed_round_trip(self, counts):
+        profile = Profile()
+        for stack, count in counts.items():
+            profile.add(stack, count)
+        parsed = Profile.from_collapsed(profile.collapsed())
+        assert dict(parsed.items()) == dict(profile.items())
+        assert parsed.total() == profile.total()
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts=_profiles)
+    def test_speedscope_weights_sum_to_total(self, counts):
+        profile = Profile()
+        for stack, count in counts.items():
+            profile.add(stack, count)
+        doc = profile.speedscope("t")
+        [prof] = doc["profiles"]
+        assert sum(prof["weights"]) == profile.total() == prof["endValue"]
+        assert len(prof["samples"]) == len(prof["weights"]) == len(counts)
+        frames = doc["shared"]["frames"]
+        # Every sample's frame indices resolve, and re-joining them
+        # reconstructs the folded stack exactly.
+        rebuilt = {
+            ";".join(frames[i]["name"] for i in indices): weight
+            for indices, weight in zip(prof["samples"], prof["weights"])
+        }
+        assert rebuilt == counts
+
+    def test_drain_takes_and_resets(self):
+        profile = Profile()
+        profile.add("a;b", 3)
+        assert dict(profile.drain()) == {"a;b": 3}
+        assert profile.total() == 0 and not profile
+
+
+class TestFoldFrame:
+    def test_renders_root_first_with_qualnames(self):
+        def inner():
+            return fold_frame(sys._getframe())
+
+        def outer():
+            return inner()
+
+        stack = outer()
+        parts = stack.split(";")
+        me = os.path.basename(__file__)
+        assert parts[-1].endswith("inner") and parts[-1].startswith(me)
+        assert parts[-2].endswith("outer")
+        # root-first: the innermost frame is last
+        assert parts.index(parts[-2]) < parts.index(parts[-1])
+
+    def test_depth_limit_truncates(self):
+        def recurse(n):
+            if n == 0:
+                return fold_frame(sys._getframe(), limit=5)
+            return recurse(n - 1)
+
+        assert len(recurse(50).split(";")) == 5
+
+
+class TestZeroCostOff:
+    def test_default_is_null_profiler_without_sampler_thread(self):
+        assert current_profiler() is NULL_PROFILER
+        assert not NULL_PROFILER.enabled and not NULL_PROFILER.running
+        assert not any(
+            t.name == SamplingProfiler.THREAD_NAME
+            for t in threading.enumerate()
+        )
+
+    def test_profiling_starts_and_stops_the_sampler(self):
+        profiler = SamplingProfiler(hz=500)
+        with profiling(profiler) as prof:
+            assert prof is profiler and current_profiler() is profiler
+            assert profiler.running
+            assert any(
+                t.name == SamplingProfiler.THREAD_NAME
+                for t in threading.enumerate()
+            )
+        assert not profiler.running
+        assert current_profiler() is NULL_PROFILER
+        assert not any(
+            t.name == SamplingProfiler.THREAD_NAME
+            for t in threading.enumerate()
+        )
+
+    def test_profiling_is_reentrant(self):
+        profiler = SamplingProfiler(hz=500)
+        with profiling(profiler):
+            with profiling(profiler):
+                assert profiler.running
+            assert profiler.running  # inner exit must not stop the outer
+        assert not profiler.running
+
+
+class TestSampling:
+    def _worker(self, ready, release, span_name=None):
+        if span_name is None:
+            ready.set()
+            release.wait(5)
+            return
+        with current_tracer().span(span_name):
+            ready.set()
+            release.wait(5)
+
+    def test_sample_once_tags_active_span(self):
+        ready, release = threading.Event(), threading.Event()
+        thread = threading.Thread(
+            target=self._worker, args=(ready, release, "phase.semijoin")
+        )
+        profiler = SamplingProfiler(hz=1)
+        with tracing(Tracer()):
+            thread.start()
+            assert ready.wait(5)
+            profiler.sample_once()
+            release.set()
+            thread.join(5)
+        stacks = [stack for stack, _ in profiler.profile.items()]
+        assert any(s.startswith("span:phase.semijoin;") for s in stacks)
+
+    def test_sample_once_untagged_without_tracer(self):
+        ready, release = threading.Event(), threading.Event()
+        thread = threading.Thread(target=self._worker, args=(ready, release))
+        thread.start()
+        assert ready.wait(5)
+        profiler = SamplingProfiler(hz=1)
+        profiler.sample_once()
+        release.set()
+        thread.join(5)
+        assert not current_tracer().enabled
+        assert all(
+            not stack.startswith("span:")
+            for stack, _ in profiler.profile.items()
+        )
+
+    def test_ingest_roots_samples_under_label(self):
+        profiler = SamplingProfiler(hz=1)
+        profiler.ingest([("a;b", 3), ("c", 1)], label="worker-42")
+        assert dict(profiler.profile.items()) == {
+            "worker-42;a;b": 3,
+            "worker-42;c": 1,
+        }
+
+
+class TestExports:
+    def test_write_speedscope_and_collapsed(self, tmp_path):
+        profile = Profile()
+        profile.add("a;b", 2)
+        profile.add("a;c", 1)
+        sp = tmp_path / "p.speedscope.json"
+        txt = tmp_path / "p.collapsed"
+        assert write_speedscope(profile, str(sp), name="t") == 3
+        assert write_collapsed(profile, str(txt)) == 3
+        doc = json.loads(sp.read_text())
+        assert doc["$schema"].startswith("https://www.speedscope.app")
+        assert sum(doc["profiles"][0]["weights"]) == 3
+        assert Profile.from_collapsed(txt.read_text()).total() == 3
+
+
+class TestWorkerSampleRoundTrip:
+    """Mirror of the worker-span round trip: ProcessBackend workers run
+    their own sampler and ship folded samples back with task replies."""
+
+    def test_map_shards_ships_samples_back(self):
+        left = Relation.from_rows(
+            ("a", "b"), [(i, i % 997) for i in range(20_000)], "l"
+        )
+        right = Relation.from_rows(
+            ("b", "c"), [(i, i * 2) for i in range(997)], "r"
+        )
+        profiler = SamplingProfiler(hz=997)
+        with profiling(profiler), ProcessBackend(workers=2) as backend:
+            results = backend.map_shards(
+                "semijoin_pair", [(left, right)] * 8
+            )
+        assert all(len(r) == len(left) for r in results)
+        worker_stacks = [
+            stack
+            for stack, _ in profiler.profile.items()
+            if stack.startswith("worker-")
+        ]
+        assert worker_stacks, "no worker samples shipped back"
+        # The label is worker-<pid> for a real worker pid, not ours.
+        pid = int(worker_stacks[0].split(";")[0].split("-")[1])
+        assert pid != os.getpid()
+
+    def test_unprofiled_map_shards_ships_no_samples(self):
+        rel = Relation.from_rows(("a",), [(1,), (2,)], "r")
+        assert current_profiler() is NULL_PROFILER
+        with ProcessBackend(workers=1) as backend:
+            results = backend.map_shards("identity", [(rel,)])
+        assert results[0].rows == rel.rows
+        assert NULL_PROFILER.drain() == ()

@@ -217,3 +217,58 @@ class TestLeafTotals:
         rows = list(iter_leaf_totals(spans))
         assert rows[0] == ("slow", pytest.approx(1.0), 1)
         assert rows[1] == ("fast", pytest.approx(0.3), 2)
+
+
+class TestDropGuardSurfacing:
+    """PR 7: the max_spans drop guard must be visible, not silent —
+    dropped spans bump the ``tracer.spans_dropped`` metrics counter
+    (which ``repro stats`` turns into a truncation warning)."""
+
+    def test_drops_increment_metrics_counter(self):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        before = registry.counter("tracer.spans_dropped").value
+        tracer = Tracer(max_spans=1)
+        for _ in range(4):
+            with tracer.span("x"):
+                pass
+        assert tracer.dropped == 3
+        assert registry.counter("tracer.spans_dropped").value == before + 3
+
+    def test_ring_mode_evicts_instead_of_dropping(self):
+        tracer = Tracer(max_spans=2, ring=True)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["s3", "s4"]
+        assert tracer.evicted == 3 and tracer.dropped == 0
+
+    def test_spans_since_and_view_since_filter_by_start(self):
+        import time
+
+        tracer = Tracer(ring=True)
+        with tracer.span("old"):
+            pass
+        cut = time.perf_counter()
+        with tracer.span("new"):
+            pass
+        assert [s.name for s in tracer.spans_since(cut)] == ["new"]
+        view = tracer.view_since(cut)
+        assert [s.name for s in view.spans()] == ["new"]
+        assert view is not tracer
+
+
+class TestActiveSpans:
+    def test_innermost_active_span_per_thread(self):
+        tracer = Tracer()
+        ident = threading.get_ident()
+        assert tracer.active_span(ident) is None
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.active_span(ident) == "inner"
+            assert tracer.active_span(ident) == "outer"
+        assert tracer.active_span(ident) is None
+
+    def test_null_tracer_has_no_active_span(self):
+        assert NULL_TRACER.active_span(threading.get_ident()) is None

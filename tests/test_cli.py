@@ -1,5 +1,6 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
 import pathlib
 
 import pytest
@@ -338,3 +339,117 @@ class TestWatch:
         )
         assert code == 2
         assert "not ground" in capsys.readouterr().err
+
+
+class TestObservabilityCli:
+    """The stats/profile surface: artifact emission from a run, the
+    ``repro stats`` renderers (text, --json, --flight), and the
+    truncation warning fed by the tracer's drop guard."""
+
+    QUERY = "ans(X, Z) :- e(X, Y), e(Y, Z)."
+
+    def test_run_writes_trace_metrics_and_profile(
+        self, facts_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        profile = tmp_path / "p.speedscope.json"
+        code = main(
+            [
+                "run", facts_file, self.QUERY,
+                "--trace", str(trace),
+                "--metrics", str(metrics),
+                "--profile", str(profile),
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err and "metrics:" in err and "profile:" in err
+        events = json.loads(trace.read_text())
+        assert isinstance(events, list) and events
+        snapshot = json.loads(metrics.read_text())
+        assert "counters" in snapshot
+        doc = json.loads(profile.read_text())
+        assert doc["$schema"].startswith("https://www.speedscope.app")
+
+    def test_profile_collapsed_extension(self, facts_file, tmp_path, capsys):
+        from repro.obs import Profile
+
+        profile = tmp_path / "p.collapsed"
+        assert main(
+            ["run", facts_file, self.QUERY, "--profile", str(profile)]
+        ) == 0
+        assert "profile:" in capsys.readouterr().err
+        # Valid collapsed text (possibly empty for a sub-10ms run).
+        Profile.from_collapsed(profile.read_text())
+
+    def test_stats_validates_and_summarises_trace(
+        self, facts_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.json"
+        main(["run", facts_file, self.QUERY, "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        assert "valid chrome trace" in capsys.readouterr().out
+        assert main(["stats", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "trace" and doc["valid"]
+        assert doc["spans"] >= 1 and doc["by_name"]
+
+    def test_stats_metrics_file_and_json(self, tmp_path, capsys):
+        snap = tmp_path / "m.json"
+        snap.write_text(json.dumps({
+            "counters": {"engine.requests": 4},
+            "gauges": {},
+            "histograms": {},
+        }))
+        assert main(["stats", str(snap)]) == 0
+        captured = capsys.readouterr()
+        assert "engine.requests" in captured.out
+        assert "warning" not in captured.err
+        assert main(["stats", str(snap), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["engine.requests"] == 4
+
+    def test_stats_warns_on_dropped_spans(self, tmp_path, capsys):
+        snap = tmp_path / "m.json"
+        snap.write_text(json.dumps({
+            "counters": {"tracer.spans_dropped": 3},
+            "gauges": {},
+            "histograms": {},
+        }))
+        assert main(["stats", str(snap)]) == 0
+        err = capsys.readouterr().err
+        assert "3 span(s) dropped" in err and "max_spans" in err
+
+    def test_stats_flight_live_ring(self, capsys):
+        from repro.obs import get_flight_recorder, set_flight_recorder
+
+        set_flight_recorder(None)
+        try:
+            get_flight_recorder().record("cli_tick", n=1)
+            assert main(["stats", "--flight"]) == 0
+            assert "cli_tick" in capsys.readouterr().out
+            assert main(["stats", "--flight", "--json"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["flight"] == 1
+            assert [e["kind"] for e in doc["events"]] == ["cli_tick"]
+        finally:
+            set_flight_recorder(None)
+
+    def test_stats_renders_flight_dump_file(self, tmp_path, capsys):
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.record("tick", n=1)
+        path = recorder.dump("unit test", path=str(tmp_path / "d.json"))
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "unit test" in out and "tick" in out
+
+    def test_stats_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "x.json"
+        bad.write_text('"just a string"')
+        assert main(["stats", str(bad)]) == 2
+        assert "neither" in capsys.readouterr().err
+        assert main(["stats", str(tmp_path / "missing.json")]) == 2
