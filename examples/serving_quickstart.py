@@ -1,0 +1,69 @@
+"""Serving quickstart: one server, two tenants, one shared plan.
+
+Boots a :class:`repro.serve.QueryServer` on a background thread and
+connects two tenants over real TCP.  Each tenant loads its own facts
+and asks a *renamed-isomorphic* query — same shape, different variable
+and predicate names — so the shared fingerprint-keyed plan cache plans
+once and serves both: tenant isolation for the data, plan sharing for
+the work.  The second half subscribes to a standing query and watches
+answer deltas arrive as push messages while facts stream in.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.serve import ServeClient, serve_in_thread  # noqa: E402
+
+PATH2_ACME = "ans(X, Z) :- road(X, Y), road(Y, Z)"
+PATH2_BETA = "ans(A, C) :- wire(A, B), wire(B, C)"  # isomorphic shape
+
+
+def main() -> None:
+    with serve_in_thread(max_inflight=4) as st:
+        print(f"server on {st.host}:{st.port}")
+
+        # --- two tenants, private data, one shared plan ------------
+        with ServeClient(st.host, st.port, tenant="acme") as acme, \
+                ServeClient(st.host, st.port, tenant="beta") as beta:
+            acme.load("road", [(1, 2), (2, 3), (3, 4)])
+            beta.load("wire", [(10, 20), (20, 30)])
+
+            a = acme.query(PATH2_ACME)
+            b = beta.query(PATH2_BETA)
+            print(f"acme 2-paths: {a['rows']}")        # [[1, 3], [2, 4]]
+            print(f"beta 2-paths: {b['rows']}")        # [[10, 30]]
+            # beta's query was never decomposed: the cache transported
+            # acme's plan onto the renamed shape.
+            print(f"beta reused acme's plan: cache_hit={b['cache_hit']}")
+            print(
+                "decompositions server-wide:",
+                st.server.engine.decompositions,       # 1
+            )
+
+            # --- push subscription: answer deltas over the wire ----
+            sub = acme.subscribe(PATH2_ACME)
+            print(f"subscribed, initial answers: {sub['rows']}")
+            acme.load("road", [(4, 5)])                # extends the chain
+            push = acme.wait_push(timeout=10.0, sub=sub["sub"])
+            print(f"push: +{push['insert']} -{push['delete']}")
+            acme.apply({"road": [((1, 2), -1)]})       # retract an edge
+            push = acme.wait_push(timeout=10.0, sub=sub["sub"])
+            print(f"push: +{push['insert']} -{push['delete']}")
+            acme.unsubscribe(sub["sub"])
+
+        # --- per-tenant accounting out of one shared registry ------
+        with ServeClient(st.host, st.port, tenant="acme") as client:
+            stats = client.stats()
+        for tenant_id, snap in sorted(stats["tenants"].items()):
+            print(
+                f"tenant {tenant_id}: {snap['requests']} queries, "
+                f"{snap['consumed_seconds']:.4f}s consumed"
+            )
+
+
+if __name__ == "__main__":
+    main()

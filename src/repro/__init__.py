@@ -56,8 +56,15 @@ from .obs import (
     write_chrome_trace,
     write_speedscope,
 )
+__version__ = "1.8.0"
 
-__version__ = "1.7.0"
+# After __version__: the server advertises it in the hello handshake.
+from .serve import (  # noqa: E402
+    QueryServer,
+    ServeClient,
+    ServerThread,
+    serve_in_thread,
+)
 
 __all__ = [
     "AnswerDelta",
@@ -79,10 +86,13 @@ __all__ = [
     "PortfolioResult",
     "Profile",
     "ProcessBackend",
+    "QueryServer",
     "ReproError",
     "SamplingProfiler",
     "SchemaError",
     "SequentialBackend",
+    "ServeClient",
+    "ServerThread",
     "ShardedRelation",
     "ThreadBackend",
     "Tracer",
@@ -102,6 +112,7 @@ __all__ = [
     "parallel_enumerate_answers",
     "parallel_full_reduce",
     "profiling",
+    "serve_in_thread",
     "tracing",
     "write_chrome_trace",
     "write_speedscope",

@@ -65,8 +65,22 @@ Commands
     tolerances — wall-clock metrics only compare between identical env
     fingerprints; ratios and counts always do.  ``diff`` exits 1 on any
     regression, which is the CI gate.
+``serve [FACTS] [--port P] [--rate R] [--tenant-budget S] ...``
+    Run the multi-tenant query service: newline-delimited JSON over TCP,
+    per-tenant databases/budgets/rate limits over one shared plan cache,
+    bounded-queue admission control with typed retryable shed responses,
+    and push subscriptions fed by the incremental view machinery.
+``loadgen QUERY [...] [--mode closed|open] [--assert-p99-ms MS] ...``
+    Open/closed-loop load generator against a running server: reports
+    p50/p95/p99 latency, throughput, and typed outcome counts, writes a
+    latency-histogram JSON (``--out``), and gates CI via
+    ``--assert-p99-ms`` / ``--assert-no-shed``.
 ``contains Q2 Q1``
     Decide Q1 ⊑ Q2 (Chandra–Merlin through the decomposition pipeline).
+
+``run``, ``watch``, and ``serve`` accept ``--slow-query-ms MS`` (flight
+recorder slow-query log) and ``--flight-dump PATH`` (failure-dump
+destination, default ``$REPRO_FLIGHT_DUMP``).
 
 ``run``, ``watch`` and ``explain`` accept ``--trace PATH`` (or
 ``$REPRO_TRACE``) to export a Chrome trace-event file of the request's
@@ -294,9 +308,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         parallelism=args.parallelism,
         backend=args.backend,
+        slow_query_ms=args.slow_query_ms,
+        flight_dump=args.flight_dump,
     )
     batch = None
-    with _observed(args):
+    with engine, _observed(args):
         for _ in range(max(1, args.repeat)):
             batch = engine.execute_many(queries, db=db)
     for result in batch:
@@ -359,12 +375,14 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
     query = _load_query(args.query)
     db = _load_facts(args.facts) if args.facts else Database()
-    live = LiveEngine(
-        db=db,
-        engine=Engine(mode=args.strategy, backend=args.backend),
-        parallelism=args.parallelism,
+    engine = Engine(
+        mode=args.strategy,
+        backend=args.backend,
+        slow_query_ms=args.slow_query_ms,
+        flight_dump=args.flight_dump,
     )
-    with _observed(args):
+    live = LiveEngine(db=db, engine=engine, parallelism=args.parallelism)
+    with engine, live, _observed(args):
         handle = live.register(query)
         print(
             f"registered {query.name}: width {handle.width} "
@@ -480,7 +498,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             if data.get("flight") == 1 or args.flight:
                 emit(data, render_flight(data))
                 return 0
-            emit(data, render_metrics(data))
+            emit(_with_tenant_groups(data), render_metrics(data))
             _truncation_warning(data)
             return 0
         print(
@@ -490,9 +508,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
         return 2
     snapshot = metrics_snapshot()
-    emit(snapshot, render_metrics(snapshot))
+    emit(_with_tenant_groups(snapshot), render_metrics(snapshot))
     _truncation_warning(snapshot)
     return 0
+
+
+def _with_tenant_groups(snapshot: dict) -> dict:
+    """Fold ``tenant.<id>.<metric>`` instruments into a ``tenants`` group
+    for the ``--json`` view — per-tenant labels as structure, so service
+    dashboards read ``doc["tenants"]["acme"]["requests"]`` instead of
+    parsing dotted metric names."""
+    from .obs.metrics import group_scoped
+
+    grouped = group_scoped(snapshot, scope="tenant")
+    return {**snapshot, "tenants": grouped} if grouped else snapshot
 
 
 def _suite_name(path: str, doc: dict) -> str:
@@ -552,6 +581,119 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant query server until interrupted."""
+    import asyncio
+
+    from .serve import QueryServer
+
+    seed_db = _load_facts(args.facts) if args.facts else None
+    server = QueryServer(
+        host=args.host,
+        port=args.port,
+        seed_db=seed_db,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        max_estimated_rows=args.max_estimated_rows,
+        request_budget=args.budget,
+        tenant_budget=args.tenant_budget,
+        rate=args.rate,
+        burst=args.burst,
+        mode=args.strategy,
+        backend=args.backend,
+        slow_query_ms=args.slow_query_ms,
+        flight_dump=args.flight_dump,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"(inflight {args.max_inflight}, queue {args.max_queue})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Generate load against a running server; print (and gate on) the
+    latency/shed report."""
+    from .serve import ServeClient, run_closed_loop, run_open_loop
+
+    queries = [_load_query(q, name=f"Q{i}") for i, q in enumerate(args.queries)]
+    texts = [str(q) for q in queries]
+    if args.facts:
+        seed = _load_facts(args.facts)
+        with ServeClient(args.host, args.port, tenant=args.tenant) as client:
+            for predicate in seed.predicates():
+                client.load(predicate, [list(r) for r in seed.rows(predicate)])
+    if args.mode == "closed":
+        report = run_closed_loop(
+            args.host, args.port, args.tenant, texts,
+            workers=args.workers,
+            requests_per_worker=args.requests,
+            budget_ms=args.budget_ms,
+            queue_timeout_ms=args.queue_timeout_ms,
+        )
+    else:
+        report = run_open_loop(
+            args.host, args.port, args.tenant, texts,
+            rate=args.rate,
+            duration=args.duration,
+            concurrency=args.workers,
+            budget_ms=args.budget_ms,
+            queue_timeout_ms=args.queue_timeout_ms,
+        )
+    summary = report.summary()
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(
+            f"{summary['mode']} loop: {summary['ok']}/{summary['offered']} "
+            f"ok in {summary['duration_seconds']}s "
+            f"({summary['throughput_qps']} q/s)"
+        )
+        print(
+            f"latency: p50 {summary['p50_ms']}ms  p95 {summary['p95_ms']}ms "
+            f"p99 {summary['p99_ms']}ms"
+        )
+        print(
+            f"outcomes: shed {summary['shed']}, rate-limited "
+            f"{summary['rate_limited']}, budget {summary['budget_exceeded']}, "
+            f"errors {summary['errors']}, cache hits {summary['cache_hits']}"
+        )
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(report.histogram(), indent=1, sort_keys=True)
+        )
+        print(f"histogram -> {args.out}", file=sys.stderr)
+    failed = False
+    if args.assert_p99_ms is not None:
+        p99 = summary["p99_ms"]
+        if not p99 <= args.assert_p99_ms:
+            print(
+                f"FAIL: p99 {p99}ms > {args.assert_p99_ms}ms",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.assert_no_shed and report.shed:
+        print(f"FAIL: {report.shed} request(s) shed", file=sys.stderr)
+        failed = True
+    if args.assert_no_errors and report.errors:
+        print(f"FAIL: {report.errors} request error(s)", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
 def _cmd_contains(args: argparse.Namespace) -> int:
     q2 = _load_query(args.q2, name="Q2")
     q1 = _load_query(args.q1, name="Q1")
@@ -564,6 +706,28 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
     return experiments_main(args.ids or ["list"])
+
+
+def _add_flight_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        dest="slow_query_ms",
+        metavar="MS",
+        help="flight-recorder slow-query threshold: requests at/above "
+        "this latency get a slow_query ring event with the plan digest "
+        "and an EXPLAIN ANALYZE built from already-recorded spans",
+    )
+    p.add_argument(
+        "--flight-dump",
+        default=None,
+        dest="flight_dump",
+        metavar="PATH",
+        help="where flight-recorder failure dumps land: a JSON file "
+        "(last dump wins) or a directory (one file per dump); default "
+        "$REPRO_FLIGHT_DUMP",
+    )
 
 
 def _add_observability_options(p: argparse.ArgumentParser) -> None:
@@ -688,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--stats", action="store_true")
     _add_observability_options(p)
+    _add_flight_options(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("explain", help="render the engine's physical plan")
@@ -753,6 +918,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--stats", action="store_true")
     _add_observability_options(p)
+    _add_flight_options(p)
     p.set_defaults(fn=_cmd_watch)
 
     p = sub.add_parser(
@@ -825,6 +991,130 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable diff output"
     )
     pb.set_defaults(fn=_cmd_bench_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant query server (newline-delimited JSON "
+        "over TCP: per-tenant databases/budgets/rate limits over one "
+        "shared plan cache, admission control, push subscriptions)",
+    )
+    p.add_argument(
+        "facts",
+        nargs="?",
+        default=None,
+        help="optional facts file preloaded into every new tenant",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7407,
+        help="TCP port (0 picks an ephemeral one; default 7407)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=8, dest="max_inflight",
+        help="concurrent executing requests (the worker-pool width)",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=64, dest="max_queue",
+        help="requests allowed to wait for a slot; past this, shed",
+    )
+    p.add_argument(
+        "--max-estimated-rows", type=float, default=None,
+        dest="max_estimated_rows",
+        help="admission cost gate: reject queries whose estimated input "
+        "volume exceeds this many rows",
+    )
+    p.add_argument(
+        "--budget", type=float, default=None,
+        help="default per-request execution budget in seconds",
+    )
+    p.add_argument(
+        "--tenant-budget", type=float, default=None, dest="tenant_budget",
+        help="cumulative execution-seconds quota per tenant",
+    )
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="per-tenant token-bucket rate (requests/second)",
+    )
+    p.add_argument(
+        "--burst", type=float, default=None,
+        help="token-bucket burst depth (default: max(1, rate))",
+    )
+    p.add_argument(
+        "--strategy", default="auto", choices=["exact", "heuristic", "auto"]
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=["sequential", "thread", "process"],
+        help="execution backend for intra-query shard tasks",
+    )
+    _add_flight_options(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="generate open/closed-loop load against a running server "
+        "and report p50/p95/p99 latency, throughput, and typed outcome "
+        "counts (shed / rate-limited / budget)",
+    )
+    p.add_argument(
+        "queries", nargs="+", help="rule texts or files containing them"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7407)
+    p.add_argument("--tenant", default="loadgen")
+    p.add_argument(
+        "--facts", default=None,
+        help="facts file loaded into the tenant before the run",
+    )
+    p.add_argument(
+        "--mode", default="closed", choices=["closed", "open"],
+        help="closed: each worker fires on completion; open: fixed-rate "
+        "arrivals, latency measured from scheduled arrival time",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="closed-loop workers / open-loop connection pool size",
+    )
+    p.add_argument(
+        "--requests", type=int, default=25,
+        help="closed loop: requests per worker",
+    )
+    p.add_argument(
+        "--rate", type=float, default=50.0,
+        help="open loop: arrivals per second",
+    )
+    p.add_argument(
+        "--duration", type=float, default=2.0,
+        help="open loop: seconds of arrivals",
+    )
+    p.add_argument(
+        "--budget-ms", type=float, default=None, dest="budget_ms",
+        help="per-request execution budget forwarded to the server",
+    )
+    p.add_argument(
+        "--queue-timeout-ms", type=float, default=None,
+        dest="queue_timeout_ms",
+        help="shed requests that wait longer than this for a slot",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the latency histogram as JSON to PATH",
+    )
+    p.add_argument("--json", action="store_true", help="JSON summary")
+    p.add_argument(
+        "--assert-p99-ms", type=float, default=None, dest="assert_p99_ms",
+        help="exit 1 unless p99 latency is at or under this (CI gate)",
+    )
+    p.add_argument(
+        "--assert-no-shed", action="store_true", dest="assert_no_shed",
+        help="exit 1 if any request was shed (CI gate for low load)",
+    )
+    p.add_argument(
+        "--assert-no-errors", action="store_true", dest="assert_no_errors",
+        help="exit 1 on any non-typed request error",
+    )
+    p.set_defaults(fn=_cmd_loadgen)
 
     p = sub.add_parser("contains", help="decide Q1 ⊑ Q2")
     p.add_argument("q2", help="the containing query Q2")

@@ -66,6 +66,7 @@ from ..heuristics.portfolio import Mode, decompose
 from ..obs import Tracer, current_tracer, get_registry, tracing
 from ..obs.flight import FlightRecorder, get_flight_recorder, span_forest
 from .cache import PlanCache
+from .fingerprint import fingerprint
 from .plan import SHARD_MIN_ROWS, QueryPlan, compile_plan, execute_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incremental imports engine)
@@ -244,6 +245,12 @@ class Engine:
         self.decompositions = 0  # fresh planner searches performed
         self._backends: dict[tuple[str, int], ExecutionContext] = {}
         self._backends_lock = threading.Lock()
+        # Single-flight gates: fingerprint -> Event set when the leader's
+        # search lands in the cache.  Concurrent first requests of one
+        # shape (e.g. two tenants submitting isomorphic queries at once)
+        # elect one decomposer; the rest wait and re-read the cache.
+        self._plan_gates: dict = {}
+        self._plan_gates_lock = threading.Lock()
 
     @property
     def parallelism(self) -> int:
@@ -306,7 +313,16 @@ class Engine:
     def _decomposition_for(
         self, query: ConjunctiveQuery, deadline: float | None
     ) -> tuple[HypertreeDecomposition, bool, str, int]:
-        """Cached-or-fresh decomposition: (hd, cache_hit, method, width)."""
+        """Cached-or-fresh decomposition: (hd, cache_hit, method, width).
+
+        Cache misses are *single-flight* per structural fingerprint: of N
+        threads missing the same shape concurrently, one runs the
+        portfolio search while the rest wait on a gate and then re-read
+        the cache — the "exactly one decomposition for isomorphic
+        queries" guarantee holds under concurrency, not just in
+        sequential replays.  Waiters count as cache hits: they never
+        searched.
+        """
         with current_tracer().span(
             "plan.cache_lookup", query=query.name
         ) as sp:
@@ -314,14 +330,53 @@ class Engine:
             sp.set(hit=hit is not None)
         if hit is not None:
             return hit.decomposition, True, hit.method, hit.width
-        remaining = (
-            max(0.0, deadline - time.monotonic()) if deadline is not None else None
-        )
-        result = decompose(query, mode=self.mode, budget=remaining)
-        self.decompositions += 1
-        self.cache.store(
-            query, result.decomposition, result.width, result.method
-        )
+        key = fingerprint(query)
+        while True:
+            with self._plan_gates_lock:
+                gate = self._plan_gates.get(key)
+                if gate is None:
+                    gate = threading.Event()
+                    self._plan_gates[key] = gate
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                break
+            # Follower: wait out the leader's search, then re-read the
+            # cache.  The deadline still applies to the wait — a blown
+            # budget surfaces as BudgetExceeded, not an eternal block.
+            remaining = (
+                max(0.0, deadline - time.monotonic())
+                if deadline is not None
+                else None
+            )
+            gate.wait(timeout=remaining)
+            hit = self.cache.lookup(query)
+            if hit is not None:
+                get_registry().counter("engine.singleflight_waits").inc()
+                return hit.decomposition, True, hit.method, hit.width
+            if deadline is not None and time.monotonic() >= deadline:
+                raise BudgetExceeded(
+                    f"budget exhausted waiting for the in-flight "
+                    f"decomposition of {query.name}"
+                )
+            # Leader failed (or the entry was evicted immediately): loop
+            # and try to become the leader ourselves.
+        try:
+            remaining = (
+                max(0.0, deadline - time.monotonic())
+                if deadline is not None
+                else None
+            )
+            result = decompose(query, mode=self.mode, budget=remaining)
+            self.decompositions += 1
+            self.cache.store(
+                query, result.decomposition, result.width, result.method
+            )
+        finally:
+            with self._plan_gates_lock:
+                self._plan_gates.pop(key, None)
+            gate.set()
         return result.decomposition, False, result.method, result.width
 
     def _resolve_backend(

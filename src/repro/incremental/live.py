@@ -140,6 +140,7 @@ class LiveEngine:
         backend: str | None = None,
     ):
         self.db = db if db is not None else Database()
+        self._owns_engine = engine is None
         self.engine = (
             engine if engine is not None else Engine(backend=backend)
         )
@@ -160,12 +161,17 @@ class LiveEngine:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the fan-out pool.  Idempotent; the engine remains
-        usable afterwards (the pool is recreated on demand)."""
+        """Shut down the fan-out pool — and, when the planning engine was
+        created privately by this ``LiveEngine``, that engine's execution
+        backends too (a caller-supplied engine stays the caller's to
+        close).  Idempotent; the engine remains usable afterwards (pools
+        are recreated on demand)."""
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=False)
+        if self._owns_engine:
+            self.engine.close()
 
     def __enter__(self) -> "LiveEngine":
         return self
@@ -211,6 +217,12 @@ class LiveEngine:
             self._views[handle.view_id] = handle
             self._next_id += 1
             return handle
+
+    def declare(self, predicate: str, arity: int) -> None:
+        """Declare a base predicate's arity on the owned database (under
+        the live lock, so it serialises against in-flight batches)."""
+        with self._lock:
+            self.db.declare(predicate, arity)
 
     def unregister(self, handle: ViewHandle) -> None:
         with self._lock:

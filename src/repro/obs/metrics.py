@@ -210,6 +210,59 @@ class Histogram:
         return row
 
 
+class ScopedRegistry:
+    """A prefixing view of a :class:`MetricsRegistry`.
+
+    ``registry.scoped("tenant.acme").counter("requests")`` is the
+    instrument named ``tenant.acme.requests`` in the parent registry —
+    the label lives in the name, so the flat snapshot/export machinery
+    needs no schema change and :func:`group_scoped` can fold the names
+    back into per-label groups (``repro stats --json``).
+    """
+
+    __slots__ = ("_registry", "prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str):
+        self._registry = registry
+        self.prefix = prefix.rstrip(".")
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(f"{self.prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(f"{self.prefix}.{name}")
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._registry.histogram(f"{self.prefix}.{name}", bounds)
+
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self._registry, f"{self.prefix}.{prefix}")
+
+
+def group_scoped(snapshot: Mapping, scope: str = "tenant") -> dict:
+    """Fold ``<scope>.<label>.<metric>`` instruments of a snapshot into
+    ``{label: {metric: value}}`` groups.
+
+    The inverse of :class:`ScopedRegistry` naming, used by ``repro stats
+    --json`` to expose per-tenant labels as structure instead of leaving
+    clients to parse dotted names.  Histograms contribute their summary
+    dict, counters and gauges their value.
+    """
+    marker = scope + "."
+    grouped: dict[str, dict[str, object]] = {}
+    for kind in ("counters", "gauges", "histograms"):
+        for name, value in snapshot.get(kind, {}).items():
+            if not name.startswith(marker):
+                continue
+            label, _, metric = name[len(marker):].partition(".")
+            if not label or not metric:
+                continue
+            grouped.setdefault(label, {})[metric] = value
+    return grouped
+
+
 class MetricsRegistry:
     """Named instruments, created on first use, exported as one snapshot.
 
@@ -248,6 +301,12 @@ class MetricsRegistry:
         bounds: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
     ) -> Histogram:
         return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def scoped(self, prefix: str) -> ScopedRegistry:
+        """A view whose instrument names carry ``prefix.`` — the
+        label-in-name scheme per-tenant metrics use
+        (``tenant.<id>.requests``)."""
+        return ScopedRegistry(self, prefix)
 
     def record_eval(self, stats, prefix: str = "eval") -> None:
         """Absorb an :class:`~repro.db.stats.EvalStats` counter bag."""

@@ -1,0 +1,68 @@
+"""``repro.serve`` — an async multi-tenant query service.
+
+The serving tier over the engine stack: one
+:class:`~repro.serve.server.QueryServer` multiplexes many tenants onto
+one shared planning :class:`~repro.engine.Engine` (and thus one
+fingerprint-keyed plan cache — isomorphic queries across tenants cost a
+transport, not a decomposition search), with per-tenant databases,
+token-bucket rate limits, and cumulative execution budgets; admission
+control bounds the request queue and sheds load with typed, retryable
+errors; ``subscribe`` turns any conjunctive query into a push stream fed
+by the incremental :class:`~repro.incremental.MaterializedView`
+answer-delta machinery.
+
+Entry points::
+
+    from repro.serve import serve_in_thread, ServeClient
+
+    with serve_in_thread(rate=100.0) as server:
+        with ServeClient(server.host, server.port, tenant="acme") as c:
+            c.load("e", [(1, 2), (2, 3)])
+            c.query("ans(x, z) :- e(x, y), e(y, z)")
+
+or from the command line: ``repro serve`` / ``repro loadgen``.
+"""
+
+from .admission import AdmissionController, estimate_cost
+from .client import ServeClient
+from .loadgen import LoadReport, run_closed_loop, run_open_loop
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    QueryRejected,
+    RateLimited,
+    RemoteError,
+    ServeError,
+    ServerOverloaded,
+    SubscriptionLapsed,
+    UnknownTenantError,
+)
+from .push import PushSubscription
+from .server import QueryServer, ServerThread, serve_in_thread
+from .tenant import ReadWriteLock, Tenant, TenantBudgetExceeded, TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "LoadReport",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "PushSubscription",
+    "QueryRejected",
+    "QueryServer",
+    "RateLimited",
+    "ReadWriteLock",
+    "RemoteError",
+    "ServeClient",
+    "ServeError",
+    "ServerOverloaded",
+    "ServerThread",
+    "SubscriptionLapsed",
+    "Tenant",
+    "TenantBudgetExceeded",
+    "TokenBucket",
+    "UnknownTenantError",
+    "estimate_cost",
+    "run_closed_loop",
+    "run_open_loop",
+    "serve_in_thread",
+]

@@ -1,0 +1,209 @@
+"""A blocking client for the ``repro.serve`` protocol.
+
+:class:`ServeClient` is deliberately synchronous — plain sockets, no
+event loop — because its callers are tests, the load generator's worker
+threads, and example scripts, all of which want straight-line code.  One
+client instance is one connection and one tenant binding; it is **not**
+thread-safe (the load generator opens one client per worker).
+
+Typed errors cross the wire intact: a server-side ``BudgetExceeded``
+raises ``BudgetExceeded`` here, a shed request raises
+:class:`~repro.serve.protocol.ServerOverloaded` with its ``retry_after``
+hint, so client code handles remote failures with the same ``except``
+clauses it would use in-process (see
+:func:`~repro.serve.protocol.raise_remote`).
+
+Push messages arriving while a response is awaited are buffered and
+surfaced through :meth:`pushes` / :meth:`wait_push` — the transport
+interleaves them between responses, the client keeps the two streams
+apart.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Iterable, Mapping
+
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode,
+    raise_remote,
+    request,
+)
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.QueryServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The server address.
+    tenant:
+        Tenant to bind with ``hello`` on connect (``None`` skips the
+        handshake; only ``ping``/``stats`` will work).
+    timeout:
+        Socket timeout in seconds for connect and each response wait.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str | None = None,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self._pushes: list[dict[str, Any]] = []
+        self.hello_info: dict[str, Any] | None = None
+        if tenant is not None:
+            self.hello_info = self.call("hello", tenant=tenant)
+
+    # -- transport ---------------------------------------------------------
+    def call(self, op: str, **params: Any) -> dict[str, Any]:
+        """Send one request; block for its response; raise typed errors."""
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(encode(request(op, request_id, **params)))
+        while True:
+            message = self._read_message()
+            if "push" in message:
+                self._pushes.append(message)
+                continue
+            if message.get("id") != request_id:
+                raise ProtocolError(
+                    f"response id {message.get('id')!r} does not match "
+                    f"request id {request_id!r}"
+                )
+            if message.get("ok"):
+                return message.get("result", {})
+            raise_remote(message.get("error", {}))
+
+    def _read_message(self) -> dict[str, Any]:
+        line = self._file.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        message = json.loads(line)
+        if not isinstance(message, dict) or message.get("v") != PROTOCOL_VERSION:
+            raise ProtocolError(f"bad message from server: {message!r}")
+        return message
+
+    # -- ops ---------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def declare(self, predicate: str, arity: int) -> dict[str, Any]:
+        return self.call("declare", predicate=predicate, arity=arity)
+
+    def load(
+        self, predicate: str, rows: Iterable[Iterable[Any]]
+    ) -> dict[str, Any]:
+        return self.call(
+            "load", predicate=predicate, rows=[list(r) for r in rows]
+        )
+
+    def apply(
+        self, changes: Mapping[str, Iterable[tuple[Iterable[Any], int]]]
+    ) -> dict[str, Any]:
+        """Apply a signed delta: ``{predicate: [(row, ±1), ...]}``."""
+        wire = {
+            predicate: [[list(row), sign] for row, sign in entries]
+            for predicate, entries in changes.items()
+        }
+        return self.call("apply", changes=wire)
+
+    def query(
+        self,
+        q: str,
+        budget_ms: float | None = None,
+        queue_timeout_ms: float | None = None,
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"q": q}
+        if budget_ms is not None:
+            params["budget_ms"] = budget_ms
+        if queue_timeout_ms is not None:
+            params["queue_timeout_ms"] = queue_timeout_ms
+        return self.call("query", **params)
+
+    def query_many(
+        self,
+        qs: Iterable[str],
+        budget_ms: float | None = None,
+        queue_timeout_ms: float | None = None,
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"qs": list(qs)}
+        if budget_ms is not None:
+            params["budget_ms"] = budget_ms
+        if queue_timeout_ms is not None:
+            params["queue_timeout_ms"] = queue_timeout_ms
+        return self.call("query_many", **params)
+
+    def subscribe(self, q: str) -> dict[str, Any]:
+        return self.call("subscribe", q=q)
+
+    def unsubscribe(self, sub: int) -> dict[str, Any]:
+        return self.call("unsubscribe", sub=sub)
+
+    def stats(self) -> dict[str, Any]:
+        return self.call("stats")
+
+    # -- pushes ------------------------------------------------------------
+    def pushes(self) -> list[dict[str, Any]]:
+        """Drain the buffered push messages received so far."""
+        drained, self._pushes = self._pushes, []
+        return drained
+
+    def wait_push(
+        self, timeout: float = 5.0, sub: int | None = None
+    ) -> dict[str, Any] | None:
+        """Block until one push message arrives (optionally for *sub*).
+
+        Returns ``None`` on timeout.  Buffered pushes are consumed
+        first; otherwise the socket is read (responses cannot interleave
+        here — the client is synchronous, so no request is outstanding).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            for index, message in enumerate(self._pushes):
+                if sub is None or message.get("sub") == sub:
+                    return self._pushes.pop(index)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            self._sock.settimeout(remaining)
+            try:
+                message = self._read_message()
+            except (socket.timeout, TimeoutError):
+                return None
+            finally:
+                self._sock.settimeout(self.timeout)
+            if "push" in message:
+                self._pushes.append(message)
+            # A stray response here would be a pipelining bug; ignore it
+            # rather than corrupt the push stream.
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except Exception:
+            pass
+        try:
+            self._sock.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

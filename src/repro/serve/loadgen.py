@@ -1,0 +1,275 @@
+"""Open- and closed-loop load generation against a query server.
+
+Two canonical load models, because they measure different things:
+
+* **closed loop** — *workers* clients each issue the next request the
+  moment the previous response lands.  Offered load adapts to the
+  server: this measures best-case service latency and per-connection
+  throughput, and at low worker counts a healthy server should shed
+  nothing.
+* **open loop** — arrivals fire on a fixed schedule (``rate``/s) whether
+  or not earlier requests finished, the model that actually exposes
+  queueing collapse: latency here is measured **from the scheduled
+  arrival time**, so coordinated omission cannot hide queue delay.
+
+Both produce a :class:`LoadReport` carrying the full latency sample set
+(p50/p95/p99 by exact rank, not estimation) and the typed outcome counts
+— ok / shed / rate-limited / budget-exceeded — plus :meth:`records` in
+the unified bench-record schema, so ``repro bench diff`` tracks serving
+latency the same way it tracks planner latency.
+
+The generator is deliberately thread-per-connection over the blocking
+:class:`~repro.serve.client.ServeClient`: the load pattern stays honest
+(each worker is an independent closed/open-loop arrival process) and the
+generator shares no event loop with the server under test.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .._errors import BudgetExceeded, ReproError
+from ..obs.history import record
+from .client import ServeClient
+from .protocol import RateLimited, ServerOverloaded
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    duration: float
+    offered: int
+    ok: int = 0
+    shed: int = 0
+    rate_limited: int = 0
+    budget_exceeded: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    #: Per-request latency samples in seconds (ok requests only).
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.budget_exceeded + self.errors
+
+    @property
+    def throughput(self) -> float:
+        """Successful requests per second of run wall-clock."""
+        return self.ok / self.duration if self.duration > 0 else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact nearest-rank percentile over the ok-request samples
+        (seconds); ``nan`` with no samples."""
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        rank = max(1, round(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "duration_seconds": round(self.duration, 3),
+            "offered": self.offered,
+            "ok": self.ok,
+            "shed": self.shed,
+            "rate_limited": self.rate_limited,
+            "budget_exceeded": self.budget_exceeded,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "throughput_qps": round(self.throughput, 2),
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p95_ms": round(self.percentile(95) * 1e3, 3),
+            "p99_ms": round(self.percentile(99) * 1e3, 3),
+        }
+
+    def records(self, prefix: str | None = None) -> list[dict]:
+        """The run in the unified bench-record schema (``repro bench``).
+
+        Latency/throughput records carry env-bound units (skipped across
+        differing environment fingerprints); the shed count is exact and
+        compares everywhere.
+        """
+        tag = f"{prefix or self.mode}"
+        recs = [
+            record(f"{tag}.p50", self.percentile(50) * 1e3, "ms",
+                   better="lower", tolerance=1.0),
+            record(f"{tag}.p99", self.percentile(99) * 1e3, "ms",
+                   better="lower", tolerance=1.0),
+            record(f"{tag}.throughput", self.throughput, "qps",
+                   better="higher", tolerance=1.0),
+            record(f"{tag}.shed", self.shed, "requests",
+                   better="lower", tolerance=0.0),
+        ]
+        return recs
+
+    def histogram(self) -> dict[str, Any]:
+        """A JSON-ready latency histogram (log-spaced ms buckets) for
+        artifact upload."""
+        bounds_ms = [
+            b * s for s in (0.1, 1.0, 10.0, 100.0, 1000.0) for b in (1, 2, 5)
+        ]
+        counts = [0] * (len(bounds_ms) + 1)
+        for sample in self.latencies:
+            ms = sample * 1e3
+            for index, bound in enumerate(bounds_ms):
+                if ms <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+        return {
+            "unit": "ms",
+            "le": bounds_ms + [None],
+            "counts": counts,
+            "samples": len(self.latencies),
+            **self.summary(),
+        }
+
+
+def _issue(
+    client: ServeClient,
+    report: LoadReport,
+    lock: threading.Lock,
+    q: str,
+    budget_ms: float | None,
+    queue_timeout_ms: float | None,
+    started: float,
+) -> None:
+    """One request: classify its outcome into the report."""
+    try:
+        result = client.query(
+            q, budget_ms=budget_ms, queue_timeout_ms=queue_timeout_ms
+        )
+        elapsed = time.perf_counter() - started
+        with lock:
+            report.ok += 1
+            report.latencies.append(elapsed)
+            if result.get("cache_hit"):
+                report.cache_hits += 1
+    except ServerOverloaded:
+        with lock:
+            report.shed += 1
+    except RateLimited:
+        with lock:
+            report.rate_limited += 1
+    except BudgetExceeded:
+        with lock:
+            report.budget_exceeded += 1
+    except ReproError:
+        with lock:
+            report.errors += 1
+
+
+def run_closed_loop(
+    host: str,
+    port: int,
+    tenant: str,
+    queries: Sequence[str],
+    workers: int = 4,
+    requests_per_worker: int = 25,
+    budget_ms: float | None = None,
+    queue_timeout_ms: float | None = None,
+) -> LoadReport:
+    """*workers* synchronous clients, each firing its next request as
+    soon as the previous one completes."""
+    if not queries:
+        raise ValueError("closed loop needs at least one query")
+    report = LoadReport(
+        mode="closed", duration=0.0,
+        offered=workers * requests_per_worker,
+    )
+    lock = threading.Lock()
+
+    def worker(index: int) -> None:
+        with ServeClient(host, port, tenant=tenant) as client:
+            for turn in range(requests_per_worker):
+                q = queries[(index + turn) % len(queries)]
+                _issue(
+                    client, report, lock, q, budget_ms, queue_timeout_ms,
+                    time.perf_counter(),
+                )
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+        for i in range(workers)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration = time.perf_counter() - started
+    return report
+
+
+def run_open_loop(
+    host: str,
+    port: int,
+    tenant: str,
+    queries: Sequence[str],
+    rate: float = 50.0,
+    duration: float = 2.0,
+    concurrency: int = 16,
+    budget_ms: float | None = None,
+    queue_timeout_ms: float | None = None,
+) -> LoadReport:
+    """Fixed-rate arrivals for *duration* seconds, served by a pool of
+    *concurrency* connections.
+
+    Latency is measured from each request's **scheduled** arrival time.
+    When every pool connection is busy the wait counts against latency
+    (that *is* the queueing delay an open-loop client observes); an
+    arrival whose turn never comes before the run drains is counted as
+    offered-but-not-completed rather than silently dropped from the
+    sample set.
+    """
+    if not queries:
+        raise ValueError("open loop needs at least one query")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    offered = max(1, int(rate * duration))
+    report = LoadReport(mode="open", duration=0.0, offered=offered)
+    lock = threading.Lock()
+    arrivals: queue.Queue[tuple[int, float] | None] = queue.Queue()
+
+    started = time.perf_counter()
+
+    def worker() -> None:
+        with ServeClient(host, port, tenant=tenant) as client:
+            while True:
+                item = arrivals.get()
+                if item is None:
+                    return
+                index, scheduled = item
+                now = time.perf_counter()
+                if now < scheduled:
+                    time.sleep(scheduled - now)
+                _issue(
+                    client, report, lock,
+                    queries[index % len(queries)],
+                    budget_ms, queue_timeout_ms,
+                    scheduled,  # latency from *scheduled* arrival
+                )
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-open-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    interarrival = 1.0 / rate
+    for index in range(offered):
+        arrivals.put((index, started + index * interarrival))
+    for _ in threads:
+        arrivals.put(None)
+    for thread in threads:
+        thread.join()
+    report.duration = time.perf_counter() - started
+    return report

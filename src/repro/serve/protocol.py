@@ -1,0 +1,240 @@
+"""Wire protocol of the ``repro.serve`` query service.
+
+Newline-delimited JSON over a byte stream (TCP).  Every line is one
+message; every message is a JSON object carrying the protocol version.
+Three message kinds flow:
+
+* **requests** (client → server): ``{"v": 1, "id": <caller token>,
+  "op": "query", ...params}``.  ``id`` is echoed verbatim on the
+  response, so a client may pipeline requests and match replies.
+* **responses** (server → client): ``{"v": 1, "id": ..., "ok": true,
+  "result": {...}}`` on success, or ``{"v": 1, "id": ..., "ok": false,
+  "error": {...}}`` on failure.
+* **pushes** (server → client, unsolicited): ``{"v": 1, "push":
+  "delta", "sub": <subscription id>, ...}`` — answer deltas streamed to
+  ``subscribe`` callers, carrying no ``id`` (nothing asked for them).
+
+Error payloads are *typed*: ``{"type": <exception class name>,
+"message": ..., "retryable": bool}`` plus ``retry_after_ms`` when the
+server can estimate when capacity returns.  The types ride the existing
+:class:`~repro._errors.EvaluationError` hierarchy — a
+``BudgetExceeded`` raised deep inside plan execution crosses the wire
+under the same name a library caller would catch — extended here with
+the service-level failure modes (rate limits, load shedding, protocol
+violations).  :func:`raise_remote` rebuilds the closest local exception
+on the client side, so ``except BudgetExceeded`` works identically
+in-process and over a socket.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .._errors import (
+    BudgetExceeded,
+    EvaluationError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+
+#: Version stamped on (and required of) every message.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one serialized message line; a client sending more is
+#: protocol-violating (guards the server against unbounded buffering).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: The operations a request may name.
+OPS = frozenset(
+    {
+        "hello",
+        "declare",
+        "load",
+        "apply",
+        "query",
+        "query_many",
+        "subscribe",
+        "unsubscribe",
+        "stats",
+        "ping",
+    }
+)
+
+
+class ServeError(EvaluationError):
+    """Base class of service-level failures (rides ``EvaluationError``
+    so one ``except`` clause covers engine and service faults alike)."""
+
+    #: Whether a client should retry the same request later.
+    retryable = False
+
+
+class ProtocolError(ServeError):
+    """The peer sent something that is not a well-formed request."""
+
+
+class UnknownTenantError(ServeError):
+    """An operation arrived before ``hello`` bound the connection."""
+
+
+class RateLimited(ServeError):
+    """The tenant's token bucket is empty; retry after the hinted delay."""
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServerOverloaded(ServeError):
+    """Admission control shed the request (queue full or queue-wait
+    timeout); retry after the hinted delay."""
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QueryRejected(ServeError):
+    """The admission cost gate refused the query outright (estimated
+    size beyond the server's ceiling) — not retryable: the same query
+    will be rejected again."""
+
+
+class SubscriptionLapsed(ServeError):
+    """A push subscriber fell too far behind and was disconnected."""
+
+
+class RemoteError(ReproError):
+    """Client-side stand-in for a server error with no local class.
+
+    Carries the typed payload so callers can still branch on
+    :attr:`kind` / :attr:`retryable` / :attr:`retry_after`.
+    """
+
+    def __init__(self, payload: Mapping[str, Any]):
+        self.kind = str(payload.get("type", "ServeError"))
+        self.retryable = bool(payload.get("retryable", False))
+        self.retry_after = float(payload.get("retry_after_ms", 0)) / 1e3
+        super().__init__(f"{self.kind}: {payload.get('message', '')}")
+
+
+#: Server-side classes a typed payload may name, for client rebuilds.
+_WIRE_TYPES: dict[str, type[ReproError]] = {
+    cls.__name__: cls
+    for cls in (
+        BudgetExceeded,
+        EvaluationError,
+        ParseError,
+        ProtocolError,
+        QueryRejected,
+        RateLimited,
+        SchemaError,
+        ServeError,
+        ServerOverloaded,
+        SubscriptionLapsed,
+        UnknownTenantError,
+    )
+}
+
+
+def error_payload(error: BaseException) -> dict[str, Any]:
+    """The typed wire form of one exception."""
+    payload: dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
+        "retryable": bool(getattr(error, "retryable", False)),
+    }
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after:
+        payload["retry_after_ms"] = round(float(retry_after) * 1e3, 3)
+    return payload
+
+
+def raise_remote(payload: Mapping[str, Any]) -> None:
+    """Re-raise a typed error payload as the closest local exception.
+
+    ``BudgetExceeded`` crossing the wire raises ``BudgetExceeded``
+    client-side; unknown types raise :class:`RemoteError` carrying the
+    payload.  (``TenantBudgetExceeded`` subclasses ``BudgetExceeded``
+    server-side and maps onto it here.)
+    """
+    kind = str(payload.get("type", ""))
+    cls = _WIRE_TYPES.get(kind)
+    if cls is None and kind.endswith("BudgetExceeded"):
+        cls = BudgetExceeded
+    if cls is None:
+        raise RemoteError(payload)
+    if cls in (RateLimited, ServerOverloaded):
+        raise cls(
+            str(payload.get("message", "")),
+            retry_after=float(payload.get("retry_after_ms", 0)) / 1e3,
+        )
+    raise cls(str(payload.get("message", "")))
+
+
+# -- envelopes -------------------------------------------------------------
+def request(op: str, request_id: Any, **params: Any) -> dict[str, Any]:
+    """A request envelope (client side)."""
+    return {"v": PROTOCOL_VERSION, "id": request_id, "op": op, **params}
+
+
+def ok_response(request_id: Any, result: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": dict(result),
+    }
+
+
+def error_response(request_id: Any, error: BaseException) -> dict[str, Any]:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error_payload(error),
+    }
+
+
+def push_message(kind: str, **fields: Any) -> dict[str, Any]:
+    return {"v": PROTOCOL_VERSION, "push": kind, **fields}
+
+
+def encode(message: Mapping[str, Any]) -> bytes:
+    """One wire line: compact JSON + newline."""
+    return (
+        json.dumps(message, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+def decode_request(line: bytes) -> dict[str, Any]:
+    """Parse and validate one request line (server side).
+
+    Raises :class:`ProtocolError` on anything other than a well-formed,
+    version-matching request naming a known op.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message is not a JSON object")
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} != {PROTOCOL_VERSION}"
+        )
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}")
+    if "id" not in message:
+        raise ProtocolError("request carries no id")
+    return message

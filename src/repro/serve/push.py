@@ -1,0 +1,197 @@
+"""Push subscriptions: answer deltas streamed to connections.
+
+A ``subscribe`` op registers the tenant's query as a
+:class:`~repro.incremental.view.MaterializedView` through the tenant's
+:class:`~repro.incremental.live.LiveEngine` (sharing the server's plan
+cache) and wires the view's answer-delta callback into the
+connection's outgoing message queue.  The delivery path crosses two
+domains:
+
+* the *callback* fires on whatever executor thread applied the delta,
+  while the ``LiveEngine`` lock is held — it must be quick and must not
+  touch asyncio objects directly;
+* the *connection* writes from its writer task on the event loop.
+
+So deliveries are staged: the callback folds the delta into a pending
+signed-row buffer under the subscription's own lock (insert-then-delete
+of the same row cancels — coalescing is exact, not lossy sampling) and
+schedules a flush onto the loop with ``call_soon_threadsafe``.  The
+flush moves one coalesced push message into the connection queue.
+
+**Backpressure.**  A subscriber that stops reading fills its connection
+queue.  Flushes then leave the pending buffer in place, where further
+deltas keep coalescing — the client eventually receives one message
+carrying the *net* change, which is semantically exactly what it
+missed.  If the pending buffer itself outgrows ``max_pending_rows``
+the subscriber is declared lapsed: the subscription detaches from the
+view and the connection is dropped with a typed
+:class:`~repro.serve.protocol.SubscriptionLapsed` error (a client that
+cannot keep up with its own subscriptions must reconnect and re-read,
+not silently miss state).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..incremental.view import AnswerDelta
+from ..obs import get_registry
+from .protocol import SubscriptionLapsed, push_message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..incremental.live import ViewHandle
+
+
+class PushSubscription:
+    """One live subscription: a view handle bridged onto a connection.
+
+    Parameters
+    ----------
+    sub_id:
+        Server-assigned identifier echoed on every push message.
+    handle:
+        The registered :class:`~repro.incremental.live.ViewHandle`.
+    loop:
+        The server's event loop (flushes are scheduled onto it).
+    send:
+        Loop-side delivery: ``send(message) -> bool``; ``False`` means
+        the connection queue is full (keep coalescing and retry).
+    drop:
+        Loop-side connection teardown for lapsed subscribers.
+    max_pending_rows:
+        Coalesced-buffer bound before the subscriber is dropped.
+    """
+
+    #: Retry delay for a flush that found the connection queue full.
+    RETRY_SECONDS = 0.05
+
+    def __init__(
+        self,
+        sub_id: int,
+        handle: "ViewHandle",
+        loop: asyncio.AbstractEventLoop,
+        send: Callable[[dict[str, Any]], bool],
+        drop: Callable[[Exception], None],
+        max_pending_rows: int = 100_000,
+    ):
+        self.sub_id = sub_id
+        self.handle = handle
+        self._loop = loop
+        self._send = send
+        self._drop = drop
+        self.max_pending_rows = max_pending_rows
+        self._lock = threading.Lock()
+        #: Net pending change: row -> +1 (to insert) / -1 (to delete).
+        self._pending: dict[tuple, int] = {}
+        self._batches = 0
+        self._lapsed = False
+        self._closed = False
+        self.delivered = 0
+        self.coalesced = 0
+        self._unsubscribe = handle.subscribe(self._on_delta)
+        self._metrics = get_registry().scoped("serve.push")
+
+    # -- view-side (any thread, LiveEngine lock held) ----------------------
+    def _on_delta(self, delta: AnswerDelta) -> None:
+        if not delta:
+            return
+        with self._lock:
+            if self._closed or self._lapsed:
+                return
+            for row in delta.inserted:
+                sign = self._pending.get(row, 0) + 1
+                if sign:
+                    self._pending[row] = sign
+                else:
+                    del self._pending[row]
+            for row in delta.deleted:
+                sign = self._pending.get(row, 0) - 1
+                if sign:
+                    self._pending[row] = sign
+                else:
+                    del self._pending[row]
+            self._batches += 1
+            lapsed = len(self._pending) > self.max_pending_rows
+            if lapsed:
+                self._lapsed = True
+        if lapsed:
+            self._metrics.counter("lapsed").inc()
+            self._loop.call_soon_threadsafe(self._drop_lapsed)
+            return
+        self._loop.call_soon_threadsafe(self._flush)
+
+    # -- loop-side ---------------------------------------------------------
+    def _flush(self) -> None:
+        with self._lock:
+            if self._closed or self._lapsed or not self._pending:
+                return
+            inserted = sorted(
+                (r for r, s in self._pending.items() if s > 0), key=repr
+            )
+            deleted = sorted(
+                (r for r, s in self._pending.items() if s < 0), key=repr
+            )
+            batches = self._batches
+        if not inserted and not deleted:
+            with self._lock:
+                self._pending.clear()
+                self._batches = 0
+            return
+        message = push_message(
+            "delta",
+            sub=self.sub_id,
+            insert=[list(r) for r in inserted],
+            delete=[list(r) for r in deleted],
+            batches=batches,
+        )
+        if self._send(message):
+            with self._lock:
+                # Only clear what this flush carried; deltas that raced
+                # in after the snapshot stay pending for the next one.
+                for row in inserted:
+                    if self._pending.get(row, 0) > 0:
+                        del self._pending[row]
+                for row in deleted:
+                    if self._pending.get(row, 0) < 0:
+                        del self._pending[row]
+                self._batches -= batches
+            self.delivered += 1
+            if batches > 1:
+                self.coalesced += batches - 1
+                self._metrics.counter("coalesced_batches").inc(batches - 1)
+            self._metrics.counter("deliveries").inc()
+        else:
+            # Connection queue full: keep coalescing, retry shortly.
+            self._metrics.counter("flush_backoff").inc()
+            self._loop.call_later(self.RETRY_SECONDS, self._flush)
+
+    def _drop_lapsed(self) -> None:
+        self.close()
+        self._drop(
+            SubscriptionLapsed(
+                f"subscription {self.sub_id} fell more than "
+                f"{self.max_pending_rows} rows behind and was dropped"
+            )
+        )
+
+    def close(self) -> None:
+        """Detach from the view (idempotent, any thread)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._pending.clear()
+        self._unsubscribe()
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "sub": self.sub_id,
+                "query": self.handle.query.name,
+                "pending_rows": len(self._pending),
+                "delivered": self.delivered,
+                "coalesced": self.coalesced,
+                "lapsed": self._lapsed,
+            }

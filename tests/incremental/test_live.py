@@ -270,6 +270,37 @@ class TestParallelFanOut:
         assert b.answers().rows == {(2, 1), (4, 3)}
         live.close()
 
+    def test_close_closes_a_privately_created_engine(self):
+        live = LiveEngine()
+        engine = live.engine
+        assert live._owns_engine
+        live.register(parse_query("ans(X, Y) :- e(X, Y)."))
+        live.close()
+        # The owned engine's backends were shut down with the LiveEngine
+        # (close is idempotent on both sides).
+        engine.close()
+
+    def test_close_leaves_a_borrowed_engine_alone(self):
+        with Engine() as engine:
+            live = LiveEngine(engine=engine)
+            assert not live._owns_engine
+            handle = live.register(parse_query("ans(X, Y) :- e(X, Y)."))
+            live.close()
+            # The caller's engine is still fully usable afterwards.
+            db = Database()
+            db.add_fact("e", 1, 2)
+            result = engine.execute(handle.query, db)
+            assert result.answer.rows == {(1, 2)}
+
+    def test_declare_registers_an_empty_predicate(self):
+        live = LiveEngine()
+        live.declare("e", 2)
+        handle = live.register(parse_query("ans(X, Y) :- e(X, Y)."))
+        assert handle.answers().rows == set()
+        live.apply(Delta.inserts("e", [(1, 2)]))
+        assert handle.answers().rows == {(1, 2)}
+        live.close()
+
     def test_untouched_views_are_not_scheduled(self):
         live = LiveEngine(parallelism=4)
         touched = live.register(parse_query("ans(X, Y) :- e(X, Y)."))

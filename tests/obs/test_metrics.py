@@ -20,6 +20,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    group_scoped,
 )
 
 
@@ -186,3 +187,49 @@ class TestRegistry:
 
     def test_global_registry_is_singleton(self):
         assert get_registry() is get_registry()
+
+
+class TestScopedRegistry:
+    def test_scoped_instruments_carry_the_prefix(self):
+        reg = MetricsRegistry()
+        scoped = reg.scoped("tenant.acme")
+        scoped.counter("requests").inc()
+        scoped.gauge("budget").set(2.5)
+        scoped.histogram("latency").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["counters"]["tenant.acme.requests"] == 1
+        assert snap["gauges"]["tenant.acme.budget"] == 2.5
+        assert "tenant.acme.latency" in snap["histograms"]
+
+    def test_scoped_shares_instruments_with_the_parent(self):
+        reg = MetricsRegistry()
+        scoped = reg.scoped("tenant.acme")
+        scoped.counter("requests").inc()
+        reg.counter("tenant.acme.requests").inc()
+        assert reg.snapshot()["counters"]["tenant.acme.requests"] == 2
+
+    def test_nested_scopes_compose(self):
+        reg = MetricsRegistry()
+        inner = reg.scoped("tenant").scoped("acme")
+        inner.counter("requests").inc()
+        assert reg.snapshot()["counters"]["tenant.acme.requests"] == 1
+
+    def test_group_scoped_folds_labels_into_structure(self):
+        reg = MetricsRegistry()
+        for tenant in ("acme", "beta"):
+            scoped = reg.scoped(f"tenant.{tenant}")
+            scoped.counter("requests").inc()
+            scoped.gauge("consumed").set(0.5)
+        reg.counter("eval.joins").inc(3)  # unscoped: not grouped
+        grouped = group_scoped(reg.snapshot())
+        assert sorted(grouped) == ["acme", "beta"]
+        assert grouped["acme"] == {"requests": 1.0, "consumed": 0.5}
+        assert "eval" not in grouped
+
+    def test_group_scoped_other_scopes(self):
+        reg = MetricsRegistry()
+        reg.scoped("shard.s1").counter("rows").inc(7)
+        assert group_scoped(reg.snapshot(), scope="shard") == {
+            "s1": {"rows": 7.0}
+        }
+        assert group_scoped(reg.snapshot(), scope="tenant") == {}

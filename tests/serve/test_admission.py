@@ -1,0 +1,134 @@
+"""Admission-controller unit tests: gates, shedding, retry hints."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.db.database import Database
+from repro.generators.families import path_query
+from repro.serve.admission import AdmissionController, estimate_cost
+from repro.serve.protocol import QueryRejected, ServerOverloaded
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_estimate_cost_sums_atom_rows():
+    db = Database()
+    for i in range(10):
+        db.add_fact("e", i, i + 1)
+    query = path_query(2)  # two e-atoms
+    assert estimate_cost(query, db) == pytest.approx(20.0)
+
+
+def test_cost_gate_rejects_expensive_queries():
+    db = Database()
+    for i in range(100):
+        db.add_fact("e", i, i + 1)
+    ctrl = AdmissionController(max_estimated_rows=50.0)
+    with pytest.raises(QueryRejected):
+        ctrl.check_cost(path_query(2), db)
+    assert ctrl.snapshot()["rejected_cost"] == 1
+    # Under the ceiling: passes and returns the estimate.
+    small = AdmissionController(max_estimated_rows=1000.0)
+    assert small.check_cost(path_query(2), db) == pytest.approx(200.0)
+
+
+def test_acquire_release_cycle():
+    async def scenario():
+        ctrl = AdmissionController(max_inflight=2, max_queue=4)
+        await ctrl.acquire()
+        await ctrl.acquire()
+        assert ctrl.snapshot()["inflight"] == 2
+        ctrl.release(0.01)
+        ctrl.release(0.02)
+        snap = ctrl.snapshot()
+        assert snap["inflight"] == 0
+        assert snap["admitted"] == 2
+        # EWMA moved off its seed toward the observed service times.
+        assert snap["ewma_service_seconds"] < 0.05
+
+    run(scenario())
+
+
+def test_full_queue_sheds_immediately_with_retry_hint():
+    async def scenario():
+        ctrl = AdmissionController(max_inflight=1, max_queue=0)
+        await ctrl.acquire()
+        with pytest.raises(ServerOverloaded) as excinfo:
+            await ctrl.acquire()
+        assert excinfo.value.retryable is True
+        assert excinfo.value.retry_after > 0.0
+        assert ctrl.shed == 1
+        assert ctrl.snapshot()["shed_queue_full"] == 1
+        ctrl.release()
+
+    run(scenario())
+
+
+def test_queue_timeout_sheds_before_execution():
+    async def scenario():
+        ctrl = AdmissionController(max_inflight=1, max_queue=4)
+        await ctrl.acquire()
+        with pytest.raises(ServerOverloaded):
+            await ctrl.acquire(queue_timeout=0.05)
+        snap = ctrl.snapshot()
+        assert snap["shed_timeout"] == 1
+        assert snap["queued"] == 0  # the waiter cleaned up after itself
+        ctrl.release()
+        # Capacity is back: the next acquire succeeds.
+        await ctrl.acquire(queue_timeout=0.05)
+        ctrl.release()
+
+    run(scenario())
+
+
+def test_queued_request_runs_when_slot_frees():
+    async def scenario():
+        ctrl = AdmissionController(max_inflight=1, max_queue=4)
+        await ctrl.acquire()
+
+        async def waiter():
+            await ctrl.acquire(queue_timeout=5.0)
+            return "ran"
+
+        task = asyncio.ensure_future(waiter())
+        await asyncio.sleep(0.02)
+        assert ctrl.snapshot()["queued"] == 1
+        ctrl.release(0.01)
+        assert await task == "ran"
+        assert ctrl.snapshot()["max_queued"] == 1
+        ctrl.release(0.01)
+
+    run(scenario())
+
+
+def test_bounded_queue_never_grows_past_max():
+    async def scenario():
+        ctrl = AdmissionController(max_inflight=1, max_queue=2)
+        await ctrl.acquire()
+        waiters = [
+            asyncio.ensure_future(ctrl.acquire(queue_timeout=5.0))
+            for _ in range(2)
+        ]
+        await asyncio.sleep(0.02)
+        # Queue full: further arrivals shed instead of queueing.
+        shed = 0
+        for _ in range(5):
+            try:
+                await ctrl.acquire()
+            except ServerOverloaded:
+                shed += 1
+        assert shed == 5
+        snap = ctrl.snapshot()
+        assert snap["queued"] <= 2
+        assert snap["max_queued"] <= 2
+        ctrl.release()
+        for waiter in waiters:
+            await waiter
+            ctrl.release()
+
+    run(scenario())

@@ -1,0 +1,130 @@
+"""Wire-protocol unit tests: envelopes, validation, typed errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro._errors import BudgetExceeded, ReproError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    QueryRejected,
+    RateLimited,
+    RemoteError,
+    ServerOverloaded,
+    decode_request,
+    encode,
+    error_payload,
+    error_response,
+    ok_response,
+    push_message,
+    raise_remote,
+    request,
+)
+from repro.serve.tenant import TenantBudgetExceeded
+
+
+def roundtrip(message: dict) -> dict:
+    line = encode(message)
+    assert line.endswith(b"\n")
+    return json.loads(line)
+
+
+class TestEnvelopes:
+    def test_request_roundtrip(self):
+        wire = roundtrip(request("query", 7, q="ans(X) :- e(X, Y)"))
+        assert wire == {
+            "v": PROTOCOL_VERSION,
+            "id": 7,
+            "op": "query",
+            "q": "ans(X) :- e(X, Y)",
+        }
+        assert decode_request(encode(wire)) == wire
+
+    def test_ok_response(self):
+        wire = roundtrip(ok_response(3, {"rows": [[1, 2]]}))
+        assert wire["ok"] is True and wire["id"] == 3
+        assert wire["result"]["rows"] == [[1, 2]]
+
+    def test_push_carries_no_id(self):
+        wire = roundtrip(push_message("delta", sub=1, insert=[[1]]))
+        assert wire["push"] == "delta" and "id" not in wire
+
+
+class TestDecodeValidation:
+    def test_rejects_bad_json(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_request(b"{nope\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_request(b"[1, 2]\n")
+
+    def test_rejects_wrong_version(self):
+        line = encode({"v": 999, "id": 1, "op": "ping"})
+        with pytest.raises(ProtocolError, match="version"):
+            decode_request(line)
+
+    def test_rejects_unknown_op(self):
+        line = encode({"v": PROTOCOL_VERSION, "id": 1, "op": "drop_tables"})
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_request(line)
+
+    def test_rejects_missing_id(self):
+        line = encode({"v": PROTOCOL_VERSION, "op": "ping"})
+        with pytest.raises(ProtocolError, match="id"):
+            decode_request(line)
+
+    def test_rejects_oversized_line(self):
+        padding = "x" * (MAX_LINE_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_request(padding.encode())
+
+
+class TestTypedErrors:
+    def test_payload_carries_retry_hint(self):
+        payload = error_payload(ServerOverloaded("busy", retry_after=0.25))
+        assert payload["type"] == "ServerOverloaded"
+        assert payload["retryable"] is True
+        assert payload["retry_after_ms"] == 250.0
+
+    def test_non_retryable_has_no_hint(self):
+        payload = error_payload(QueryRejected("too big"))
+        assert payload["retryable"] is False
+        assert "retry_after_ms" not in payload
+
+    def test_budget_exceeded_crosses_the_wire(self):
+        payload = error_payload(BudgetExceeded("out of time"))
+        with pytest.raises(BudgetExceeded, match="out of time"):
+            raise_remote(payload)
+
+    def test_tenant_budget_maps_to_budget_exceeded(self):
+        # The server-only subclass lands client-side as BudgetExceeded.
+        payload = error_payload(TenantBudgetExceeded("quota spent"))
+        assert payload["type"] == "TenantBudgetExceeded"
+        with pytest.raises(BudgetExceeded, match="quota spent"):
+            raise_remote(payload)
+
+    def test_rate_limited_rebuilds_retry_after(self):
+        payload = error_payload(RateLimited("slow down", retry_after=1.5))
+        with pytest.raises(RateLimited) as excinfo:
+            raise_remote(payload)
+        assert excinfo.value.retry_after == pytest.approx(1.5)
+
+    def test_unknown_type_raises_remote_error(self):
+        payload = {"type": "FlyingSaucerError", "message": "??",
+                   "retryable": True, "retry_after_ms": 100}
+        with pytest.raises(RemoteError) as excinfo:
+            raise_remote(payload)
+        assert excinfo.value.kind == "FlyingSaucerError"
+        assert excinfo.value.retryable is True
+        assert excinfo.value.retry_after == pytest.approx(0.1)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_error_response_shape(self):
+        wire = roundtrip(error_response(9, RateLimited("wait", 0.5)))
+        assert wire["ok"] is False and wire["id"] == 9
+        assert wire["error"]["type"] == "RateLimited"

@@ -1,0 +1,195 @@
+"""Push-subscription tests: delivery, coalescing, backpressure, lapse."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.incremental.view import AnswerDelta
+from repro.serve import ServeClient, serve_in_thread
+from repro.serve.protocol import SubscriptionLapsed
+from repro.serve.push import PushSubscription
+
+PATH2 = "ans(X, Z) :- e(X, Y), e(Y, Z)"
+
+
+class FakeHandle:
+    """Just enough ViewHandle surface for a PushSubscription."""
+
+    def __init__(self):
+        self.callback = None
+        self.unsubscribed = False
+        self.query = type("Q", (), {"name": "fake"})()
+
+    def subscribe(self, callback):
+        self.callback = callback
+
+        def cancel():
+            self.unsubscribed = True
+
+        return cancel
+
+
+def delta(inserted=(), deleted=()):
+    return AnswerDelta(
+        ("x",), frozenset(inserted), frozenset(deleted)
+    )
+
+
+def run_scenario(scenario):
+    """Run *scenario(loop, make_sub)* inside a live event loop."""
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        return await scenario(loop)
+
+    return asyncio.run(main())
+
+
+class TestCoalescing:
+    def test_insert_then_delete_cancels_exactly(self):
+        async def scenario(loop):
+            sent: list[dict] = []
+            handle = FakeHandle()
+            sub = PushSubscription(
+                1, handle, loop, lambda m: sent.append(m) or True,
+                lambda e: None,
+            )
+            # Two batches before any flush runs: +row then -row.
+            handle.callback(delta(inserted=[(1,)]))
+            handle.callback(delta(deleted=[(1,)]))
+            await asyncio.sleep(0.05)
+            # Net change is zero: nothing crosses the wire.
+            assert sent == []
+            assert sub.snapshot()["pending_rows"] == 0
+
+        run_scenario(scenario)
+
+    def test_batches_coalesce_into_one_message(self):
+        async def scenario(loop):
+            sent: list[dict] = []
+            handle = FakeHandle()
+            sub = PushSubscription(
+                2, handle, loop, lambda m: sent.append(m) or True,
+                lambda e: None,
+            )
+            handle.callback(delta(inserted=[(1,)]))
+            handle.callback(delta(inserted=[(2,)]))
+            handle.callback(delta(deleted=[(9,)]))
+            await asyncio.sleep(0.05)
+            # One coalesced message carrying the net change.
+            assert len(sent) == 1
+            assert sent[0]["insert"] == [[1], [2]]
+            assert sent[0]["delete"] == [[9]]
+            assert sent[0]["batches"] == 3
+            assert sub.delivered == 1
+            assert sub.coalesced == 2
+
+        run_scenario(scenario)
+
+    def test_full_queue_backs_off_then_delivers_net(self):
+        async def scenario(loop):
+            sent: list[dict] = []
+            accept = [False]  # connection queue "full" until flipped
+
+            def send(message):
+                if accept[0]:
+                    sent.append(message)
+                    return True
+                return False
+
+            handle = FakeHandle()
+            sub = PushSubscription(3, handle, loop, send, lambda e: None)
+            sub.RETRY_SECONDS = 0.01
+            handle.callback(delta(inserted=[(1,)]))
+            await asyncio.sleep(0.03)
+            assert sent == []  # refused so far, retrying
+            handle.callback(delta(inserted=[(2,)]))
+            accept[0] = True
+            await asyncio.sleep(0.05)
+            # The retry carried the *net* pending change in one message.
+            assert len(sent) == 1
+            assert sent[0]["insert"] == [[1], [2]]
+            assert sub.snapshot()["pending_rows"] == 0
+
+        run_scenario(scenario)
+
+
+class TestLapse:
+    def test_overflowing_subscriber_is_dropped(self):
+        async def scenario(loop):
+            dropped: list[Exception] = []
+            handle = FakeHandle()
+            sub = PushSubscription(
+                4, handle, loop, lambda m: False, dropped.append,
+                max_pending_rows=2,
+            )
+            handle.callback(delta(inserted=[(1,), (2,), (3,)]))
+            await asyncio.sleep(0.05)
+            assert len(dropped) == 1
+            assert isinstance(dropped[0], SubscriptionLapsed)
+            # The subscription detached from the view.
+            assert handle.unsubscribed
+            assert sub.snapshot()["lapsed"] is True
+            # Further deltas are ignored, not queued.
+            handle.callback(delta(inserted=[(9,)]))
+            assert sub.snapshot()["pending_rows"] == 0
+
+        run_scenario(scenario)
+
+    def test_close_is_idempotent(self):
+        async def scenario(loop):
+            handle = FakeHandle()
+            sub = PushSubscription(
+                5, handle, loop, lambda m: True, lambda e: None
+            )
+            sub.close()
+            sub.close()
+            assert handle.unsubscribed
+
+        run_scenario(scenario)
+
+
+class TestEndToEnd:
+    def test_subscribe_streams_answer_deltas(self):
+        with serve_in_thread() as st:
+            with ServeClient(st.host, st.port, tenant="sub") as client:
+                client.load("e", [(1, 2), (2, 3)])
+                out = client.subscribe(PATH2)
+                assert out["rows"] == [[1, 3]]
+                sub_id = out["sub"]
+
+                client.load("e", [(3, 4)])
+                push = client.wait_push(timeout=10.0, sub=sub_id)
+                assert push is not None
+                assert push["insert"] == [[2, 4]]
+                assert push["delete"] == []
+
+                # Deletion flows as a negative answer delta.
+                client.apply({"e": [((1, 2), -1)]})
+                push = client.wait_push(timeout=10.0, sub=sub_id)
+                assert push["delete"] == [[1, 3]]
+
+                assert client.unsubscribe(sub_id)["unsubscribed"]
+                # After unsubscribe no further pushes arrive.
+                client.load("e", [(4, 5)])
+                assert client.wait_push(timeout=0.3) is None
+
+    def test_subscription_shares_plan_cache_with_queries(self):
+        with serve_in_thread() as st:
+            with ServeClient(st.host, st.port, tenant="sub2") as client:
+                client.load("e", [(1, 2), (2, 3)])
+                client.query(PATH2)
+                out = client.subscribe(PATH2)
+                assert out["cache_hit"] is True
+            assert st.server.engine.decompositions == 1
+
+    def test_untouched_predicates_push_nothing(self):
+        with serve_in_thread() as st:
+            with ServeClient(st.host, st.port, tenant="sub3") as client:
+                client.load("e", [(1, 2), (2, 3)])
+                client.declare("unrelated", 1)
+                sub = client.subscribe(PATH2)["sub"]
+                client.load("unrelated", [(7,)])
+                assert client.wait_push(timeout=0.3, sub=sub) is None

@@ -1,0 +1,157 @@
+"""Tenant-state unit tests: token bucket, RW lock, budgets."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro._errors import BudgetExceeded
+from repro.db.database import Database
+from repro.engine import Engine
+from repro.serve.protocol import RateLimited
+from repro.serve.tenant import (
+    ReadWriteLock,
+    Tenant,
+    TenantBudgetExceeded,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait > 0.0
+        time.sleep(wait + 0.02)
+        assert bucket.try_acquire() == 0.0
+
+    def test_wait_hint_is_exact_scale(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        bucket.try_acquire()
+        wait = bucket.try_acquire()
+        # One token at 10/s is ~0.1s away.
+        assert 0.0 < wait <= 0.1 + 1e-3
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        rw = ReadWriteLock()
+        with rw.read():
+            # A second reader must not deadlock.
+            acquired = []
+            t = threading.Thread(
+                target=lambda: (rw.acquire_read(), acquired.append(1),
+                                rw.release_read())
+            )
+            t.start()
+            t.join(timeout=2.0)
+            assert acquired == [1]
+
+    def test_writer_excludes_readers(self):
+        rw = ReadWriteLock()
+        order: list[str] = []
+        rw.acquire_write()
+
+        def reader():
+            rw.acquire_read()
+            order.append("read")
+            rw.release_read()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        order.append("write-done")
+        rw.release_write()
+        t.join(timeout=2.0)
+        assert order == ["write-done", "read"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        rw = ReadWriteLock()
+        rw.acquire_read()
+        got_write = threading.Event()
+
+        def writer():
+            rw.acquire_write()
+            got_write.set()
+            rw.release_write()
+
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)
+        late_read = threading.Event()
+
+        def reader():
+            rw.acquire_read()
+            late_read.set()
+            rw.release_read()
+
+        r = threading.Thread(target=reader)
+        r.start()
+        time.sleep(0.05)
+        # Writer-preference: the late reader waits behind the writer.
+        assert not late_read.is_set()
+        rw.release_read()
+        w.join(timeout=2.0)
+        r.join(timeout=2.0)
+        assert got_write.is_set() and late_read.is_set()
+
+
+class TestTenant:
+    def test_seed_db_is_copied_not_shared(self):
+        seed = Database()
+        seed.add_fact("e", 1, 2)
+        engine = Engine()
+        tenant = Tenant("a", engine, seed_db=seed)
+        tenant.live.insert("e", (2, 3))
+        assert tenant.db.tuple_count() == 2
+        assert seed.tuple_count() == 1
+        tenant.close()
+
+    def test_cumulative_budget_rejects_after_spend(self):
+        tenant = Tenant("b", Engine(), total_budget=1.0)
+        tenant.admit()  # under budget: fine
+        tenant.charge(1.5)
+        with pytest.raises(TenantBudgetExceeded):
+            tenant.admit()
+        # The typed error is still a BudgetExceeded for generic handlers.
+        with pytest.raises(BudgetExceeded):
+            tenant.check_budget()
+
+    def test_effective_budget_is_min_of_all_bounds(self):
+        tenant = Tenant("c", Engine(), request_budget=2.0, total_budget=10.0)
+        assert tenant.effective_budget(None) == 2.0
+        assert tenant.effective_budget(0.5) == 0.5
+        tenant.charge(9.0)  # 1.0 of quota left
+        assert tenant.effective_budget(None) == pytest.approx(1.0)
+        assert tenant.effective_budget(5.0) == pytest.approx(1.0)
+
+    def test_unlimited_tenant_has_no_budget(self):
+        tenant = Tenant("d", Engine())
+        assert tenant.effective_budget(None) is None
+        tenant.admit()  # no rate, no budget: always admitted
+
+    def test_rate_limit_raises_typed_retryable(self):
+        tenant = Tenant("e", Engine(), rate=5.0, burst=1.0)
+        tenant.admit()
+        with pytest.raises(RateLimited) as excinfo:
+            tenant.admit()
+        assert excinfo.value.retryable is True
+        assert excinfo.value.retry_after > 0.0
+        assert tenant.shed == 1
+
+    def test_snapshot_shape(self):
+        tenant = Tenant("f", Engine(), total_budget=3.0)
+        tenant.charge(0.5)
+        snap = tenant.snapshot()
+        assert snap["tenant"] == "f"
+        assert snap["requests"] == 1
+        assert snap["consumed_seconds"] == pytest.approx(0.5)
+        assert snap["total_budget"] == 3.0

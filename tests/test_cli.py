@@ -453,3 +453,64 @@ class TestObservabilityCli:
         assert main(["stats", str(bad)]) == 2
         assert "neither" in capsys.readouterr().err
         assert main(["stats", str(tmp_path / "missing.json")]) == 2
+
+
+class TestServeCli:
+    """The serving surface: ``repro loadgen`` against a live server and
+    per-tenant grouping in ``repro stats --json``."""
+
+    QUERY = "ans(X, Z) :- e(X, Y), e(Y, Z)"
+
+    def test_loadgen_closed_loop_with_gates(
+        self, facts_file, tmp_path, capsys
+    ):
+        from repro.serve import serve_in_thread
+
+        histogram = tmp_path / "hist.json"
+        with serve_in_thread() as st:
+            code = main([
+                "loadgen", self.QUERY,
+                "--host", st.host, "--port", str(st.port),
+                "--tenant", "cli", "--facts", facts_file,
+                "--mode", "closed", "--workers", "2", "--requests", "4",
+                "--out", str(histogram), "--json",
+                "--assert-no-shed", "--assert-no-errors",
+            ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] == 8 and doc["shed"] == 0
+        hist = json.loads(histogram.read_text())
+        assert hist["samples"] == 8 and sum(hist["counts"]) == 8
+
+    def test_loadgen_p99_gate_fails_when_blown(self, facts_file, capsys):
+        from repro.serve import serve_in_thread
+
+        with serve_in_thread() as st:
+            code = main([
+                "loadgen", self.QUERY,
+                "--host", st.host, "--port", str(st.port),
+                "--tenant", "cli2", "--facts", facts_file,
+                "--mode", "closed", "--workers", "1", "--requests", "2",
+                "--assert-p99-ms", "0.000001",
+            ])
+        assert code == 1
+        assert "p99" in capsys.readouterr().err
+
+    def test_stats_json_groups_tenant_metrics(self, tmp_path, capsys):
+        snap = tmp_path / "m.json"
+        snap.write_text(json.dumps({
+            "counters": {
+                "tenant.acme.requests": 4,
+                "tenant.beta.requests": 1,
+                "eval.joins": 9,
+            },
+            "gauges": {"tenant.acme.consumed_seconds": 0.25},
+            "histograms": {},
+        }))
+        assert main(["stats", str(snap), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tenants"]["acme"]["requests"] == 4
+        assert doc["tenants"]["acme"]["consumed_seconds"] == 0.25
+        assert doc["tenants"]["beta"] == {"requests": 1}
+        # Unscoped instruments stay where they were.
+        assert doc["counters"]["eval.joins"] == 9
