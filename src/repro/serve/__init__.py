@@ -28,10 +28,12 @@ from .client import ServeClient
 from .loadgen import LoadReport, run_closed_loop, run_open_loop
 from .protocol import (
     PROTOCOL_VERSION,
+    InternalError,
     ProtocolError,
     QueryRejected,
     RateLimited,
     RemoteError,
+    ResponseTooLarge,
     ServeError,
     ServerOverloaded,
     SubscriptionLapsed,
@@ -43,6 +45,7 @@ from .tenant import ReadWriteLock, Tenant, TenantBudgetExceeded, TokenBucket
 
 __all__ = [
     "AdmissionController",
+    "InternalError",
     "LoadReport",
     "PROTOCOL_VERSION",
     "ProtocolError",
@@ -52,6 +55,7 @@ __all__ = [
     "RateLimited",
     "ReadWriteLock",
     "RemoteError",
+    "ResponseTooLarge",
     "ServeClient",
     "ServeError",
     "ServerOverloaded",

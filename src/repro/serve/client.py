@@ -92,6 +92,16 @@ class ServeClient:
         line = self._file.readline(MAX_LINE_BYTES + 2)
         if not line:
             raise ConnectionError("server closed the connection")
+        if not line.endswith(b"\n"):
+            # readline() hit its byte cap mid-message: the line framing
+            # is lost and every later read would start mid-JSON.  Fail
+            # clearly instead of surfacing a confusing decode error.
+            if len(line) > MAX_LINE_BYTES:
+                raise ProtocolError(
+                    f"oversized message from server (over {MAX_LINE_BYTES}"
+                    " bytes); framing lost — close this connection"
+                )
+            raise ConnectionError("server closed the connection mid-message")
         message = json.loads(line)
         if not isinstance(message, dict) or message.get("v") != PROTOCOL_VERSION:
             raise ProtocolError(f"bad message from server: {message!r}")

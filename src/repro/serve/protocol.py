@@ -110,6 +110,17 @@ class SubscriptionLapsed(ServeError):
     """A push subscriber fell too far behind and was disconnected."""
 
 
+class ResponseTooLarge(ServeError):
+    """A response or push serialized past :data:`MAX_LINE_BYTES`.  The
+    payload was withheld to preserve line framing — narrow the query, or
+    (for a push) reconnect and re-subscribe; not retryable as-is."""
+
+
+class InternalError(ServeError):
+    """An unexpected server-side failure (a bug, not a bad request).
+    The connection stays usable; the request that hit it failed."""
+
+
 class RemoteError(ReproError):
     """Client-side stand-in for a server error with no local class.
 
@@ -130,10 +141,12 @@ _WIRE_TYPES: dict[str, type[ReproError]] = {
     for cls in (
         BudgetExceeded,
         EvaluationError,
+        InternalError,
         ParseError,
         ProtocolError,
         QueryRejected,
         RateLimited,
+        ResponseTooLarge,
         SchemaError,
         ServeError,
         ServerOverloaded,

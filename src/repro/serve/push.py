@@ -19,10 +19,10 @@ schedules a flush onto the loop with ``call_soon_threadsafe``.  The
 flush moves one coalesced push message into the connection queue.
 
 **Backpressure.**  A subscriber that stops reading fills its connection
-queue.  Flushes then leave the pending buffer in place, where further
-deltas keep coalescing — the client eventually receives one message
-carrying the *net* change, which is semantically exactly what it
-missed.  If the pending buffer itself outgrows ``max_pending_rows``
+queue.  A flush that cannot enqueue merges its taken buffer back into
+the pending buffer, where further deltas keep coalescing — the client
+eventually receives one message carrying the *net* change, which is
+semantically exactly what it missed.  If the pending buffer itself outgrows ``max_pending_rows``
 the subscriber is declared lapsed: the subscription detaches from the
 view and the connection is dropped with a typed
 :class:`~repro.serve.protocol.SubscriptionLapsed` error (a client that
@@ -42,6 +42,7 @@ from .protocol import SubscriptionLapsed, push_message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..incremental.live import ViewHandle
+    from .tenant import Tenant
 
 
 class PushSubscription:
@@ -62,6 +63,13 @@ class PushSubscription:
         Loop-side connection teardown for lapsed subscribers.
     max_pending_rows:
         Coalesced-buffer bound before the subscriber is dropped.
+    owner:
+        The :class:`~repro.serve.tenant.Tenant` whose ``LiveEngine``
+        holds the view.  Unregistration (explicit ``unsubscribe`` or
+        connection teardown) must target *this* tenant — view ids are
+        per-engine counters, so unregistering against whatever tenant
+        the connection is currently bound to could remove somebody
+        else's view.
     """
 
     #: Retry delay for a flush that found the connection queue full.
@@ -75,9 +83,11 @@ class PushSubscription:
         send: Callable[[dict[str, Any]], bool],
         drop: Callable[[Exception], None],
         max_pending_rows: int = 100_000,
+        owner: "Tenant | None" = None,
     ):
         self.sub_id = sub_id
         self.handle = handle
+        self.owner = owner
         self._loop = loop
         self._send = send
         self._drop = drop
@@ -127,18 +137,16 @@ class PushSubscription:
         with self._lock:
             if self._closed or self._lapsed or not self._pending:
                 return
-            inserted = sorted(
-                (r for r, s in self._pending.items() if s > 0), key=repr
-            )
-            deleted = sorted(
-                (r for r, s in self._pending.items() if s < 0), key=repr
-            )
-            batches = self._batches
-        if not inserted and not deleted:
-            with self._lock:
-                self._pending.clear()
-                self._batches = 0
-            return
+            # Move semantics: take the whole pending buffer, so a delta
+            # racing in while the send is in flight starts a *fresh*
+            # entry that the next flush delivers.  (Clearing snapshotted
+            # rows after the send instead would let a racing cancellation
+            # coalesce against the snapshot and vanish — the subscriber
+            # would keep a phantom row forever.)
+            taken, self._pending = self._pending, {}
+            batches, self._batches = self._batches, 0
+        inserted = sorted((r for r, s in taken.items() if s > 0), key=repr)
+        deleted = sorted((r for r, s in taken.items() if s < 0), key=repr)
         message = push_message(
             "delta",
             sub=self.sub_id,
@@ -147,23 +155,31 @@ class PushSubscription:
             batches=batches,
         )
         if self._send(message):
-            with self._lock:
-                # Only clear what this flush carried; deltas that raced
-                # in after the snapshot stay pending for the next one.
-                for row in inserted:
-                    if self._pending.get(row, 0) > 0:
-                        del self._pending[row]
-                for row in deleted:
-                    if self._pending.get(row, 0) < 0:
-                        del self._pending[row]
-                self._batches -= batches
             self.delivered += 1
             if batches > 1:
                 self.coalesced += batches - 1
                 self._metrics.counter("coalesced_batches").inc(batches - 1)
             self._metrics.counter("deliveries").inc()
         else:
-            # Connection queue full: keep coalescing, retry shortly.
+            # Connection queue full: merge the taken buffer back (deltas
+            # may have raced in since the take), keep coalescing, retry.
+            with self._lock:
+                if self._closed or self._lapsed:
+                    return
+                for row, sign in taken.items():
+                    net = self._pending.get(row, 0) + sign
+                    if net:
+                        self._pending[row] = net
+                    else:
+                        del self._pending[row]
+                self._batches += batches
+                lapsed = len(self._pending) > self.max_pending_rows
+                if lapsed:
+                    self._lapsed = True
+            if lapsed:
+                self._metrics.counter("lapsed").inc()
+                self._drop_lapsed()
+                return
             self._metrics.counter("flush_backoff").inc()
             self._loop.call_later(self.RETRY_SECONDS, self._flush)
 

@@ -36,6 +36,7 @@ example embed a server in one process.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -52,7 +53,9 @@ from ..obs import get_registry
 from .admission import AdmissionController
 from .protocol import (
     MAX_LINE_BYTES,
+    InternalError,
     ProtocolError,
+    ResponseTooLarge,
     UnknownTenantError,
     decode_request,
     encode,
@@ -62,6 +65,8 @@ from .protocol import (
 )
 from .push import PushSubscription
 from .tenant import Tenant
+
+_log = logging.getLogger(__name__)
 
 
 class _Connection:
@@ -84,16 +89,48 @@ class _Connection:
 
     async def send(self, message: dict[str, Any]) -> None:
         """Enqueue a response (awaits when the queue is full — request/
-        response traffic is flow-controlled by the client's reads)."""
-        if not self.closing:
-            await self.queue.put(encode(message))
+        response traffic is flow-controlled by the client's reads).
+
+        A response that serializes past ``MAX_LINE_BYTES`` would desync
+        the client's line framing; it is replaced with a typed
+        :class:`~repro.serve.protocol.ResponseTooLarge` error carrying
+        the same request id."""
+        if self.closing:
+            return
+        data = encode(message)
+        if len(data) > MAX_LINE_BYTES:
+            data = encode(
+                error_response(
+                    message.get("id"),
+                    ResponseTooLarge(
+                        f"response serialized to {len(data)} bytes, past "
+                        f"the {MAX_LINE_BYTES}-byte line limit; narrow "
+                        "the query or load in smaller batches"
+                    ),
+                )
+            )
+        await self.queue.put(data)
 
     def try_send(self, message: dict[str, Any]) -> bool:
-        """Enqueue a push without waiting; ``False`` = queue full."""
+        """Enqueue a push without waiting; ``False`` = queue full.
+
+        A push too large for one line can never be delivered whole, so
+        the subscriber is treated like a lapsed one: dropped with a
+        typed error (returns ``True`` — the payload is consumed, the
+        connection is going down)."""
         if self.closing:
             return False
+        data = encode(message)
+        if len(data) > MAX_LINE_BYTES:
+            self.drop(
+                ResponseTooLarge(
+                    "coalesced push delta exceeds the line limit; "
+                    "reconnect and re-subscribe"
+                )
+            )
+            return True
         try:
-            self.queue.put_nowait(encode(message))
+            self.queue.put_nowait(data)
             return True
         except asyncio.QueueFull:
             return False
@@ -117,8 +154,13 @@ class _Connection:
             pass
 
     def close_subs(self) -> None:
+        """Detach every subscription AND unregister its view from the
+        owning tenant's ``LiveEngine`` — otherwise each disconnect
+        leaves a dead client's view maintained forever."""
         for sub in self.subs.values():
             sub.close()
+            if sub.owner is not None:
+                sub.owner.live.unregister(sub.handle)
         self.subs.clear()
 
     async def write_loop(self) -> None:
@@ -335,6 +377,20 @@ class QueryServer:
         except ReproError as error:
             self._metrics.counter("errors").inc()
             await conn.send(error_response(request_id, error))
+        except Exception as error:  # noqa: BLE001 - keep failures in-protocol
+            # A handler bug must fail the *request*, not the connection:
+            # answer with a typed internal error and keep reading.
+            self._metrics.counter("internal_errors").inc()
+            _log.exception("unhandled error serving request %r", request_id)
+            await conn.send(
+                error_response(
+                    request_id,
+                    InternalError(
+                        f"internal server error: "
+                        f"{type(error).__name__}: {error}"
+                    ),
+                )
+            )
 
     async def _dispatch(
         self, conn: _Connection, message: dict[str, Any]
@@ -608,6 +664,7 @@ class QueryServer:
             conn.try_send,
             conn.drop,
             max_pending_rows=self.push_max_pending,
+            owner=tenant,
         )
         conn.subs[sub.sub_id] = sub
         tenant.metrics.counter("subscriptions").inc()
@@ -629,7 +686,12 @@ class QueryServer:
         if sub is None:
             raise ProtocolError(f"unknown subscription {sub_id!r}")
         sub.close()
-        self._bound_tenant(conn).live.unregister(sub.handle)
+        # Unregister against the tenant that owned the view at subscribe
+        # time — NOT the currently bound tenant: a re-'hello' may have
+        # rebound the connection, and view ids are per-engine counters,
+        # so the wrong engine could hold an unrelated view under this id.
+        if sub.owner is not None:
+            sub.owner.live.unregister(sub.handle)
         return {"sub": sub_id, "unsubscribed": True}
 
     # -- helpers -----------------------------------------------------------

@@ -116,6 +116,62 @@ class TestCoalescing:
         run_scenario(scenario)
 
 
+class TestFlushRace:
+    def test_cancellation_racing_a_send_is_not_lost(self):
+        """A delete arriving while the flush's send is in flight must be
+        delivered by the *next* flush — it must not coalesce against the
+        already-snapshotted insert and vanish (which left the subscriber
+        with a phantom row forever)."""
+
+        async def scenario(loop):
+            sent: list[dict] = []
+            handle = FakeHandle()
+
+            def send(message):
+                sent.append(message)
+                if len(sent) == 1:
+                    # The row this very flush carries is cancelled
+                    # while the message is on its way out.
+                    handle.callback(delta(deleted=[(1,)]))
+                return True
+
+            sub = PushSubscription(6, handle, loop, send, lambda e: None)
+            handle.callback(delta(inserted=[(1,)]))
+            await asyncio.sleep(0.05)
+            assert len(sent) == 2
+            assert sent[0]["insert"] == [[1]] and sent[0]["delete"] == []
+            assert sent[1]["insert"] == [] and sent[1]["delete"] == [[1]]
+            assert sub.snapshot()["pending_rows"] == 0
+
+        run_scenario(scenario)
+
+    def test_cancellation_racing_a_failed_send_nets_to_zero(self):
+        """When the send fails, the taken buffer merges back and a
+        racing cancellation coalesces exactly: nothing is delivered."""
+
+        async def scenario(loop):
+            sent: list[dict] = []
+            attempts = [0]
+            handle = FakeHandle()
+
+            def send(message):
+                attempts[0] += 1
+                if attempts[0] == 1:
+                    handle.callback(delta(deleted=[(1,)]))
+                    return False  # connection queue "full"
+                sent.append(message)
+                return True
+
+            sub = PushSubscription(7, handle, loop, send, lambda e: None)
+            sub.RETRY_SECONDS = 0.01
+            handle.callback(delta(inserted=[(1,)]))
+            await asyncio.sleep(0.1)
+            assert sent == []
+            assert sub.snapshot()["pending_rows"] == 0
+
+        run_scenario(scenario)
+
+
 class TestLapse:
     def test_overflowing_subscriber_is_dropped(self):
         async def scenario(loop):

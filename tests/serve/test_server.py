@@ -13,6 +13,9 @@ The acceptance scenarios of the serving tier:
 
 from __future__ import annotations
 
+import asyncio
+import io
+import json
 import threading
 import time
 
@@ -21,13 +24,15 @@ import pytest
 from repro._errors import BudgetExceeded, ParseError
 from repro.db.database import Database
 from repro.serve import (
+    InternalError,
     RateLimited,
     ServeClient,
     ServerOverloaded,
     UnknownTenantError,
     serve_in_thread,
 )
-from repro.serve.protocol import ProtocolError
+from repro.serve.protocol import MAX_LINE_BYTES, ProtocolError
+from repro.serve.server import _Connection
 
 PATH2_A = "ans(X, Z) :- e(X, Y), e(Y, Z)"
 PATH2_B = "ans(A, C) :- r(A, B), r(B, C)"  # renamed-isomorphic to PATH2_A
@@ -252,6 +257,96 @@ class TestSaturation:
             # The timed-out request never executed: only the two
             # completed queries were charged to the tenant.
             assert tenant.snapshot()["requests"] == 2
+
+
+class TestSubscriptionLifecycle:
+    def test_disconnect_unregisters_views(self, server):
+        """Dropping a connection must unregister its views from the
+        owning tenant's LiveEngine — not just detach the callbacks —
+        or every disconnect leaks a forever-maintained view."""
+        with ServeClient(server.host, server.port, tenant="gone") as client:
+            client.load("e", [(1, 2), (2, 3)])
+            client.subscribe(PATH2_A)
+            tenant = server.server.tenants["gone"]
+            assert len(tenant.live) == 1
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and len(tenant.live):
+            time.sleep(0.01)
+        assert len(tenant.live) == 0
+
+    def test_unsubscribe_after_rehello_targets_owning_tenant(self, server):
+        """View ids are per-LiveEngine counters: unsubscribing after a
+        re-'hello' rebind must unregister the view of the tenant that
+        owned it at subscribe time, not a same-id view of the currently
+        bound tenant."""
+        with ServeClient(server.host, server.port, tenant="own_a") as ca, \
+                ServeClient(server.host, server.port, tenant="own_b") as cb:
+            ca.load("e", [(1, 2)])
+            cb.load("e", [(5, 6)])
+            sub_a = ca.subscribe(PATH2_A)["sub"]  # own_a's view id 0
+            cb.subscribe(PATH2_A)  # own_b's view id 0
+            ca.call("hello", tenant="own_b")  # rebind ca's connection
+            ca.unsubscribe(sub_a)
+            assert len(server.server.tenants["own_a"].live) == 0
+            assert len(server.server.tenants["own_b"].live) == 1
+
+
+class TestRobustness:
+    def test_handler_bug_stays_in_protocol(self, server):
+        """A non-ReproError escaping a handler fails the request with a
+        typed InternalError; the connection keeps serving."""
+        with ServeClient(server.host, server.port, tenant="rb") as client:
+            client.declare("e", 2)
+            # A non-iterable row raises TypeError inside the load
+            # handler — previously that killed the whole connection.
+            with pytest.raises(InternalError):
+                client.call("load", predicate="e", rows=[5])
+            assert client.ping()
+
+    def test_oversized_response_is_replaced_with_typed_error(self):
+        async def main():
+            conn = _Connection(None, 8)
+            await conn.send({
+                "id": 7,
+                "ok": True,
+                "result": {"blob": "x" * (MAX_LINE_BYTES + 1)},
+            })
+            data = conn.queue.get_nowait()
+            assert len(data) <= MAX_LINE_BYTES
+            message = json.loads(data)
+            assert message["id"] == 7
+            assert message["ok"] is False
+            assert message["error"]["type"] == "ResponseTooLarge"
+
+        asyncio.run(main())
+
+    def test_oversized_push_drops_the_subscriber(self):
+        async def main():
+            conn = _Connection(None, 8)
+            consumed = conn.try_send({
+                "push": "delta",
+                "sub": 1,
+                "blob": "x" * (MAX_LINE_BYTES + 1),
+            })
+            assert consumed is True  # not retried: connection goes down
+            assert conn.closing
+            notice = json.loads(conn.queue.get_nowait())
+            assert notice["push"] == "error"
+            assert notice["type"] == "ResponseTooLarge"
+
+        asyncio.run(main())
+
+    def test_client_detects_oversized_line(self):
+        client = ServeClient.__new__(ServeClient)
+        client._file = io.BytesIO(b"x" * (MAX_LINE_BYTES + 2))
+        with pytest.raises(ProtocolError, match="oversized"):
+            client._read_message()
+
+    def test_client_detects_mid_message_close(self):
+        client = ServeClient.__new__(ServeClient)
+        client._file = io.BytesIO(b'{"v":1')
+        with pytest.raises(ConnectionError):
+            client._read_message()
 
 
 class TestSeedDatabase:
