@@ -31,10 +31,11 @@ Commands
     ``--repeat`` re-runs the batch to demonstrate warm-cache
     amortisation, and ``--stats`` prints the merged counters plus the
     cache's hit/miss/eviction numbers.  ``--backend
-    sequential|thread|process`` selects where shard tasks run
-    (``--parallelism N`` is the deprecated thread-width alias); shard
+    sequential|thread|process`` selects where shard tasks run; shard
     counts themselves come from cardinality estimates — relations under
-    ~1k rows stay unsharded.
+    ~1k rows stay unsharded.  ``--semiring count|mincost|provenance|prob``
+    switches the batch to annotated evaluation (derivation counts,
+    cheapest witnesses, why-provenance, probabilities).
 ``explain QUERY [FACTS] [--analyze] [--backend B]``
     Render the physical plan the engine would execute: cached-or-fresh
     decomposition provenance, per-bag join order with cardinality
@@ -306,21 +307,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         mode=args.strategy,
         budget=args.budget,
         workers=args.workers,
-        parallelism=args.parallelism,
         backend=args.backend,
         slow_query_ms=args.slow_query_ms,
         flight_dump=args.flight_dump,
     )
+    semiring = getattr(args, "semiring", None)
     batch = None
     with engine, _observed(args):
         for _ in range(max(1, args.repeat)):
-            batch = engine.execute_many(queries, db=db)
+            batch = engine.execute_many(queries, db=db, semiring=semiring)
     for result in batch:
         if not result.ok:
             print(f"{result.query.name}: ERROR {result.error}")
             continue
         tag = "cached plan" if result.cache_hit else result.method
-        if result.query.is_boolean:
+        if semiring is not None:
+            total = result.answer.total()
+            if result.query.is_boolean:
+                print(
+                    f"{result.query.name}: {semiring} total {total}  [{tag}]"
+                )
+            else:
+                print(
+                    f"{result.query.name}: {len(result.answer)} answers "
+                    f"over {result.answer.attributes}, {semiring} total "
+                    f"{total}  [{tag}]"
+                )
+        elif result.query.is_boolean:
             print(f"{result.query.name}: {result.boolean}  [{tag}]")
         else:
             print(
@@ -514,14 +527,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _with_tenant_groups(snapshot: dict) -> dict:
-    """Fold ``tenant.<id>.<metric>`` instruments into a ``tenants`` group
-    for the ``--json`` view — per-tenant labels as structure, so service
-    dashboards read ``doc["tenants"]["acme"]["requests"]`` instead of
-    parsing dotted metric names."""
+    """Fold label-in-name instruments into structured groups for the
+    ``--json`` view: ``tenant.<id>.<metric>`` into ``tenants`` and
+    ``semiring.<tag>.<metric>`` into ``semirings``, so dashboards read
+    ``doc["tenants"]["acme"]["requests"]`` or
+    ``doc["semirings"]["count"]["engine.requests"]`` instead of parsing
+    dotted metric names."""
     from .obs.metrics import group_scoped
 
-    grouped = group_scoped(snapshot, scope="tenant")
-    return {**snapshot, "tenants": grouped} if grouped else snapshot
+    out = snapshot
+    tenants = group_scoped(snapshot, scope="tenant")
+    if tenants:
+        out = {**out, "tenants": tenants}
+    semirings = group_scoped(snapshot, scope="semiring")
+    if semirings:
+        out = {**out, "semirings": semirings}
+    return out
 
 
 def _suite_name(path: str, doc: dict) -> str:
@@ -842,10 +863,13 @@ def build_parser() -> argparse.ArgumentParser:
         "cardinality estimates (sub-1k-row relations stay unsharded)",
     )
     p.add_argument(
-        "--parallelism",
-        type=int,
+        "--semiring",
         default=None,
-        help="deprecated alias for --backend thread with this shard width",
+        choices=["count", "mincost", "provenance", "prob"],
+        help="annotated evaluation: 'count' (derivation counts), "
+        "'mincost' (cheapest witness per answer, fact weights as costs), "
+        "'provenance' (why-provenance witness sets), 'prob' (answer "
+        "probabilities over a tuple-independent database)",
     )
     p.add_argument(
         "--strategy", default="auto", choices=["exact", "heuristic", "auto"]

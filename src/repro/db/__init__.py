@@ -1,5 +1,6 @@
 """Relational engine and the paper's evaluation strategies."""
 
+from .annotated import AnnotatedRelation
 from .backend import (
     ExecutionContext,
     ProcessBackend,
@@ -28,18 +29,37 @@ from .parallel import (
     shard_key_for,
 )
 from .relation import Relation
+from .semiring import (
+    COUNTING,
+    INT_RING,
+    MINCOST,
+    PROB,
+    PROVENANCE,
+    SEMIRINGS,
+    Semiring,
+    get_semiring,
+    resolve_semiring,
+)
 from .sharded import ShardedRelation
 from .stats import EvalStats
 from .yannakakis import boolean_eval, enumerate_answers, full_reduce
 
 __all__ = [
+    "AnnotatedRelation",
     "BoundQuery",
+    "COUNTING",
     "Database",
     "EvalStats",
     "ExecutionContext",
+    "INT_RING",
     "Lemma46Result",
+    "MINCOST",
+    "PROB",
+    "PROVENANCE",
     "ProcessBackend",
     "Relation",
+    "SEMIRINGS",
+    "Semiring",
     "SequentialBackend",
     "ShardedRelation",
     "ThreadBackend",
@@ -51,7 +71,9 @@ __all__ = [
     "evaluate",
     "evaluate_boolean",
     "full_reduce",
+    "get_semiring",
     "lemma46_transform",
+    "resolve_semiring",
     "make_backend",
     "naive_boolean_eval",
     "naive_join_eval",

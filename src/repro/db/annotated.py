@@ -1,0 +1,556 @@
+"""Annotated relations: the semiring-generalised operator layer.
+
+An :class:`AnnotatedRelation` is a :class:`~repro.db.relation.Relation`
+whose rows each carry a value from a commutative
+:class:`~repro.db.semiring.Semiring`.  The relational operators are
+overridden with their annotated semantics:
+
+* ``semijoin`` filters rows and restricts the annotation map (pruned
+  rows contribute ``zero`` — safe for every semiring);
+* ``join`` multiplies annotations with ``times`` (natural-join output
+  rows are in bijection with matched pairs, so no ``plus`` arises);
+* ``project`` folds the annotations of collapsed rows with ``plus``,
+  stopping early on absorbing values.
+
+Because the overrides live on a subclass, every consumer that already
+dispatches through ``Relation`` methods — the Yannakakis sweeps of
+:mod:`repro.db.yannakakis`, the sharded kernel, the execution-backend
+operator registry — evaluates annotated relations unchanged.  Plain
+relations never touch this module: set semantics keeps its memoised key
+sets, specialised inner loops and ``Relation.trusted`` fast paths.
+
+The free-function entry points (:func:`bind_atom_annotated`,
+:func:`annotated_probe_join`) mirror their plain counterparts in
+:mod:`repro.db.binding` / :mod:`repro.db.relation` for the two call
+sites that take explicit build/probe assignments instead of method
+dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from .._errors import EvaluationError, SchemaError, UnknownRelationError
+from ..core.atoms import Atom, Constant, Variable
+from .database import Database
+from .relation import Relation, Row, Value, probe_join
+from .semiring import Semiring
+
+_MISSING = object()
+
+
+class AnnotationAssignmentError(EvaluationError):
+    """Raised when a decomposition admits no once-per-atom annotation
+    assignment (see :func:`assign_annotated_atoms`); callers fall back
+    to :func:`naive_annotated_eval`."""
+
+
+class AnnotatedRelation(Relation):
+    """A relation whose rows carry semiring annotations.
+
+    Instances are built with :meth:`make` (the annotated counterpart of
+    ``Relation.trusted``); ``annotations`` maps every row to its value
+    and ``semiring`` names the algebra the values live in.  Rows and
+    annotation keys are kept in lockstep by every operator.
+    """
+
+    # ``Relation`` is a frozen dataclass; the two extra attributes are
+    # installed the same way ``trusted`` installs the base three.
+    semiring: Semiring
+    annotations: dict[Row, object]
+
+    @staticmethod
+    def make(
+        attributes: tuple[str, ...],
+        rows: frozenset[Row],
+        name: str,
+        semiring: Semiring,
+        annotations: dict[Row, object],
+    ) -> "AnnotatedRelation":
+        rel = object.__new__(AnnotatedRelation)
+        object.__setattr__(rel, "attributes", attributes)
+        object.__setattr__(rel, "rows", rows)
+        object.__setattr__(rel, "name", name)
+        object.__setattr__(rel, "semiring", semiring)
+        object.__setattr__(rel, "annotations", annotations)
+        return rel
+
+    @staticmethod
+    def lift(
+        rel: Relation,
+        semiring: Semiring,
+        annotations: Mapping[Row, object] | None = None,
+    ) -> "AnnotatedRelation":
+        """Wrap a plain relation; missing annotations default to
+        ``one`` (the neutral weight of an unannotated fact)."""
+        if isinstance(rel, AnnotatedRelation):
+            return rel
+        if annotations is None:
+            ann = dict.fromkeys(rel.rows, semiring.one)
+        else:
+            ann = {row: annotations.get(row, semiring.one) for row in rel.rows}
+        return AnnotatedRelation.make(
+            rel.attributes, rel.rows, rel.name, semiring, ann
+        )
+
+    @staticmethod
+    def unit(semiring: Semiring, name: str = "unit") -> "AnnotatedRelation":
+        """The 0-ary relation holding one row annotated ``one`` — the
+        neutral start of a bag-materialisation join pipeline."""
+        return AnnotatedRelation.make(
+            (), frozenset({()}), name, semiring, {(): semiring.one}
+        )
+
+    def annotation(self, row: Row):
+        """The annotation of one row (``zero`` for absent rows)."""
+        return self.annotations.get(row, self.semiring.zero)
+
+    def total(self):
+        """``plus``-fold of every annotation (``zero`` when empty) —
+        e.g. the total derivation count under :data:`COUNTING`."""
+        plus = self.semiring.plus
+        acc = _MISSING
+        for value in self.annotations.values():
+            acc = value if acc is _MISSING else plus(acc, value)
+        return self.semiring.zero if acc is _MISSING else acc
+
+    def strip(self) -> Relation:
+        """The plain set-semantics relation underneath."""
+        return Relation.trusted(self.attributes, self.rows, self.name)
+
+    # -- relational algebra ------------------------------------------------
+    def project(
+        self, attributes: Sequence[str], name: str | None = None
+    ) -> "AnnotatedRelation":
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(
+                f"projection onto duplicate attributes {tuple(attributes)}"
+            )
+        positions = [self._position(a) for a in attributes]
+        out_name = name or self.name
+        if positions == list(range(self.arity)):
+            return AnnotatedRelation.make(
+                tuple(attributes), self.rows, out_name,
+                self.semiring, self.annotations,
+            )
+        semiring = self.semiring
+        plus = semiring.plus
+        absorbing = semiring.is_absorbing
+        ann = self.annotations
+        out: dict[Row, object] = {}
+        get = out.get
+        for row in self.rows:
+            key = tuple(row[p] for p in positions)
+            prior = get(key, _MISSING)
+            if prior is _MISSING:
+                out[key] = ann[row]
+            elif not absorbing(prior):
+                out[key] = plus(prior, ann[row])
+        return AnnotatedRelation.make(
+            tuple(attributes), frozenset(out), out_name, semiring, out
+        )
+
+    def semijoin(self, other: Relation) -> "AnnotatedRelation":
+        if not other.rows:
+            return AnnotatedRelation.make(
+                self.attributes, frozenset(), self.name, self.semiring, {}
+            )
+        if not self.rows:
+            return self
+        shared = tuple(a for a in self.attributes if a in other._index_of)
+        if not shared:
+            return self
+        return self.semijoin_with_keys(shared, other.key_set(shared))
+
+    def semijoin_with_keys(
+        self, shared: tuple[str, ...], keys: frozenset
+    ) -> "AnnotatedRelation":
+        if not self.rows:
+            return self
+        if len(shared) == 1:
+            i = self._index_of[shared[0]]
+            rows = frozenset(row for row in self.rows if row[i] in keys)
+        else:
+            pos = [self._index_of[a] for a in shared]
+            rows = frozenset(
+                row for row in self.rows
+                if tuple(row[p] for p in pos) in keys
+            )
+        if len(rows) == len(self.rows):
+            return self
+        ann = self.annotations
+        return AnnotatedRelation.make(
+            self.attributes, rows, self.name, self.semiring,
+            {row: ann[row] for row in rows},
+        )
+
+    def join(
+        self, other: Relation, name: str | None = None
+    ) -> "AnnotatedRelation":
+        shared = tuple(a for a in self.attributes if a in other._index_of)
+        extra = [a for a in other.attributes if a not in self._index_of]
+        out_attrs = self.attributes + tuple(extra)
+        out_name = name or f"({self.name}⋈{other.name})"
+        if not self.rows or not other.rows:
+            return AnnotatedRelation.make(
+                out_attrs, frozenset(), out_name, self.semiring, {}
+            )
+        extra_pos = [other._position(a) for a in extra]
+        if len(self.rows) <= len(other.rows):
+            build, probe, build_is_left = self, other, True
+        else:
+            build, probe, build_is_left = other, self, False
+        return annotated_probe_join(
+            build, probe, build_is_left, shared, extra_pos,
+            out_attrs, out_name,
+        )
+
+    def select(
+        self,
+        predicate: Callable[[dict[str, Value]], bool],
+        name: str | None = None,
+    ) -> "AnnotatedRelation":
+        attrs = self.attributes
+        ann = self.annotations
+        kept = {
+            row: ann[row]
+            for row in self.rows
+            if predicate(dict(zip(attrs, row)))
+        }
+        return AnnotatedRelation.make(
+            attrs, frozenset(kept), name or self.name, self.semiring, kept
+        )
+
+    def select_eq(self, attribute: str, value: Value) -> "AnnotatedRelation":
+        i = self._position(attribute)
+        ann = self.annotations
+        kept = {row: ann[row] for row in self.rows if row[i] == value}
+        return AnnotatedRelation.make(
+            self.attributes, frozenset(kept), self.name, self.semiring, kept
+        )
+
+    def rename(
+        self, mapping: Mapping[str, str], name: str | None = None
+    ) -> "AnnotatedRelation":
+        base = super().rename(mapping, name)  # validates the new schema
+        return AnnotatedRelation.make(
+            base.attributes, base.rows, base.name,
+            self.semiring, self.annotations,
+        )
+
+    def union(self, other: Relation) -> "AnnotatedRelation":
+        if self.attributes != other.attributes:
+            raise SchemaError(
+                f"union of incompatible schemas {self.attributes} and "
+                f"{other.attributes}"
+            )
+        semiring = self.semiring
+        plus = semiring.plus
+        merged = dict(self.annotations)
+        other_ann = getattr(other, "annotations", None)
+        for row in other.rows:
+            value = semiring.one if other_ann is None else other_ann[row]
+            prior = merged.get(row, _MISSING)
+            merged[row] = value if prior is _MISSING else plus(prior, value)
+        return AnnotatedRelation.make(
+            self.attributes, frozenset(merged), self.name, semiring, merged
+        )
+
+    def intersect(self, other: Relation) -> "AnnotatedRelation":
+        if self.attributes != other.attributes:
+            raise SchemaError(
+                f"intersection of incompatible schemas {self.attributes} "
+                f"and {other.attributes}"
+            )
+        rows = self.rows & other.rows
+        times = self.semiring.times
+        ann = self.annotations
+        other_ann = getattr(other, "annotations", None)
+        kept = {
+            row: ann[row] if other_ann is None else times(ann[row], other_ann[row])
+            for row in rows
+        }
+        return AnnotatedRelation.make(
+            self.attributes, rows, self.name, self.semiring, kept
+        )
+
+    def difference(self, other: Relation) -> "AnnotatedRelation":
+        if self.attributes != other.attributes:
+            raise SchemaError(
+                f"difference of incompatible schemas {self.attributes} and "
+                f"{other.attributes}"
+            )
+        rows = self.rows - other.rows
+        ann = self.annotations
+        return AnnotatedRelation.make(
+            self.attributes, rows, self.name, self.semiring,
+            {row: ann[row] for row in rows},
+        )
+
+    def __str__(self) -> str:
+        return f"{super().__str__()} [{self.semiring.tag}-annotated]"
+
+
+def annotated_probe_join(
+    build: Relation,
+    probe: Relation,
+    build_is_left: bool,
+    shared: tuple[str, ...],
+    extra_pos: Sequence[int],
+    out_attrs: tuple[str, ...],
+    name: str,
+) -> AnnotatedRelation:
+    """The annotated hash-join probe loop (either side may be plain;
+    a plain side contributes ``one``, i.e. its annotations are neutral).
+    Mirrors :func:`repro.db.relation.probe_join`, additionally
+    ``times``-combining the matched pair's annotations.  Output rows are
+    in bijection with matched pairs, so each is assigned exactly once.
+    """
+    build_ann = getattr(build, "annotations", None)
+    probe_ann = getattr(probe, "annotations", None)
+    semiring = getattr(build, "semiring", None) or getattr(
+        probe, "semiring", None
+    )
+    if semiring is None:
+        raise EvaluationError(
+            "annotated_probe_join requires at least one annotated side"
+        )
+    build_sr = getattr(build, "semiring", semiring)
+    probe_sr = getattr(probe, "semiring", semiring)
+    if build_sr is not probe_sr:
+        raise EvaluationError(
+            f"cannot join {build_sr.tag}-annotated and "
+            f"{probe_sr.tag}-annotated relations"
+        )
+    times = semiring.times
+    table = build.key_index(shared)
+    single = len(shared) == 1
+    probe_pos = [probe._position(a) for a in shared]
+    probe_single = probe_pos[0] if single else None
+
+    out: dict[Row, object] = {}
+    get = table.get
+    for row in probe.rows:
+        key = (
+            row[probe_single]
+            if single
+            else tuple(row[p] for p in probe_pos)
+        )
+        matches = get(key)
+        if not matches:
+            continue
+        pv = probe_ann[row] if probe_ann is not None else None
+        for match in matches:
+            left_row = match if build_is_left else row
+            right_row = row if build_is_left else match
+            out_row = left_row + tuple(right_row[p] for p in extra_pos)
+            bv = build_ann[match] if build_ann is not None else None
+            if bv is None:
+                out[out_row] = pv
+            elif pv is None:
+                out[out_row] = bv
+            else:
+                out[out_row] = times(bv, pv)
+    return AnnotatedRelation.make(
+        out_attrs, frozenset(out), name, semiring, out
+    )
+
+
+def dispatch_probe_join(
+    build: Relation,
+    probe: Relation,
+    build_is_left: bool,
+    shared: tuple[str, ...],
+    extra_pos: Sequence[int],
+    out_attrs: tuple[str, ...],
+    name: str,
+) -> Relation:
+    """Route a build/probe join to the plain or annotated loop.  The
+    plain-plain case falls straight through to the untouched fast path;
+    the ``isinstance`` checks are per join, not per row."""
+    if isinstance(build, AnnotatedRelation) or isinstance(
+        probe, AnnotatedRelation
+    ):
+        return annotated_probe_join(
+            build, probe, build_is_left, shared, extra_pos, out_attrs, name
+        )
+    return probe_join(
+        build, probe, build_is_left, shared, extra_pos, out_attrs, name
+    )
+
+
+def join_dispatch(
+    left: Relation, right: Relation, name: str | None = None
+) -> Relation:
+    """``left.join(right)`` with symmetric annotated dispatch.
+
+    ``Relation.join`` dispatches on its receiver only, so a *plain* left
+    joined with an *annotated* right would silently drop the right side's
+    annotations.  The enumerate sweeps join reduced node relations (often
+    plain) against partial results (annotated once any carrier atom sits
+    in the subtree), so they route through here.  Plain × plain falls
+    straight to the untouched fast path after one ``isinstance`` check
+    per join call.
+    """
+    if isinstance(right, AnnotatedRelation) and not isinstance(
+        left, AnnotatedRelation
+    ):
+        shared = tuple(a for a in left.attributes if a in right._index_of)
+        extra = [a for a in right.attributes if a not in left._index_of]
+        out_attrs = left.attributes + tuple(extra)
+        out_name = name or f"({left.name}⋈{right.name})"
+        if not left.rows or not right.rows:
+            return AnnotatedRelation.make(
+                out_attrs, frozenset(), out_name, right.semiring, {}
+            )
+        extra_pos = [right._position(a) for a in extra]
+        if len(left.rows) <= len(right.rows):
+            build, probe, build_is_left = left, right, True
+        else:
+            build, probe, build_is_left = right, left, False
+        return annotated_probe_join(
+            build, probe, build_is_left, shared, extra_pos,
+            out_attrs, out_name,
+        )
+    return left.join(right, name)
+
+
+def assign_annotated_atoms(
+    bags: Sequence[tuple[Sequence[Atom], frozenset]],
+    query_atoms: Sequence[Atom],
+) -> dict[Atom, int] | None:
+    """Pick, for every distinct query atom, the one decomposition node
+    that introduces its annotation.
+
+    A hypertree decomposition may mention one atom in several λ sets;
+    multiplying its annotation once per mention would over-count under
+    non-idempotent ``times`` (ℕ, costs, probabilities).  Each atom is
+    therefore *assigned* to the first node that both binds it and covers
+    all its variables with χ (so none of the atom's columns are folded
+    away before the join-tree's own variable elimination); every other
+    mention joins unannotated, contributing only its filtering power.
+
+    *bags* lists, per node, the atoms bound there and the node's χ
+    variable set.  Returns ``atom -> node index``, or ``None`` when some
+    query atom has no eligible node — the caller then falls back to
+    annotated naive evaluation, which is always correct.
+    """
+    assigned: dict[Atom, int] = {}
+    for i, (atoms, chi) in enumerate(bags):
+        for atom in sorted(atoms, key=str):
+            if atom not in assigned and atom.variables <= chi:
+                assigned[atom] = i
+    if set(query_atoms) - assigned.keys():
+        return None
+    return assigned
+
+
+def naive_annotated_eval(query, db: Database, semiring: Semiring, stats=None):
+    """Annotated evaluation by one full join — the always-correct
+    fallback when a decomposition admits no once-per-atom annotation
+    assignment.  Joins every distinct atom's annotated binding
+    (smallest first) and ``plus``-projects onto the head."""
+    head = tuple(
+        dict.fromkeys(
+            t.name for t in query.head_terms if isinstance(t, Variable)
+        )
+    )
+    atoms = list(dict.fromkeys(query.atoms))
+    bindings = sorted(
+        (bind_atom_annotated(a, db, semiring) for a in atoms), key=len
+    )
+    rel = AnnotatedRelation.unit(semiring, query.name)
+    for part in bindings:
+        rel = rel.join(part)
+        if stats is not None:
+            stats.joins += 1
+            stats.record(rel)
+    answer = rel.project(list(head), name="ans")
+    if stats is not None:
+        stats.projections += 1
+        stats.record(answer)
+    return answer
+
+
+def merge_annotated(
+    pieces: Sequence[Relation],
+    attributes: tuple[str, ...],
+    name: str,
+) -> AnnotatedRelation:
+    """``plus``-merge shard pieces into one annotated relation — the
+    gather point of the sharded kernel.  Aligned shards partition their
+    rows, so collisions normally cannot happen; when they do (broadcast
+    results, re-sharded unions) the duplicate row's values are folded
+    with ``plus``.  Plain pieces contribute ``one`` per row."""
+    semiring = None
+    for piece in pieces:
+        semiring = getattr(piece, "semiring", None)
+        if semiring is not None:
+            break
+    if semiring is None:
+        raise EvaluationError("merge_annotated requires an annotated piece")
+    plus = semiring.plus
+    one = semiring.one
+    merged: dict[Row, object] = {}
+    get = merged.get
+    for piece in pieces:
+        ann = getattr(piece, "annotations", None)
+        for row in piece.rows:
+            value = one if ann is None else ann[row]
+            prior = get(row, _MISSING)
+            merged[row] = value if prior is _MISSING else plus(prior, value)
+    return AnnotatedRelation.make(
+        attributes, frozenset(merged), name, semiring, merged
+    )
+
+
+def bind_atom_annotated(
+    atom: Atom, db: Database, semiring: Semiring
+) -> AnnotatedRelation:
+    """The annotated counterpart of :func:`repro.db.binding.bind_atom`.
+
+    The bound-row → base-row map is injective (constants and repeated
+    variables are filtered; the surviving columns determine the full
+    row), so each bound row's annotation is exactly the ``lift`` of its
+    one base fact — no ``plus`` arises during binding.
+    """
+    if not db.has_predicate(atom.predicate):
+        raise UnknownRelationError(
+            f"query atom {atom} references unknown relation "
+            f"{atom.predicate!r}"
+        )
+    if db.arity(atom.predicate) != atom.arity:
+        raise EvaluationError(
+            f"atom {atom} has arity {atom.arity} but relation "
+            f"{atom.predicate!r} has arity {db.arity(atom.predicate)}"
+        )
+    first_position: dict[Variable, int] = {}
+    order: list[Variable] = []
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Variable) and term not in first_position:
+            first_position[term] = i
+            order.append(term)
+
+    lift = semiring.lift
+    predicate = atom.predicate
+    annotations: dict[Row, object] = {}
+    for row in db.rows(predicate):
+        consistent = True
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                if row[i] != term.value:
+                    consistent = False
+                    break
+            elif row[i] != row[first_position[term]]:
+                consistent = False
+                break
+        if consistent:
+            bound = tuple(row[first_position[v]] for v in order)
+            annotations[bound] = lift(db, predicate, row)
+    return AnnotatedRelation.make(
+        tuple(v.name for v in order),
+        frozenset(annotations),
+        str(atom),
+        semiring,
+        annotations,
+    )

@@ -67,7 +67,9 @@ from ..obs import current_tracer, get_registry
 from ..obs.flight import get_flight_recorder
 from ..obs.profiler import SamplingProfiler, current_profiler
 from ..obs.tracer import span_tuple
-from .relation import Relation, Row, probe_join, semijoin_with_keys
+from .annotated import AnnotatedRelation, dispatch_probe_join, merge_annotated
+from .relation import Relation, Row
+from .semiring import get_semiring
 
 BACKEND_KINDS = ("sequential", "thread", "process")
 
@@ -95,13 +97,28 @@ def encode_relation(rel: Relation) -> RelationPayload:
     A tuple of plain builtins — attribute tuple, name, row tuples —
     deliberately excluding the instance's memoised key sets / hash
     tables, which are worker-local concerns rebuilt (and re-memoised) on
-    the other side.
+    the other side.  Annotated relations extend the triple with their
+    semiring tag and ``(row, value)`` annotation items; semirings cross
+    the boundary by tag and are resolved from the registry on arrival.
     """
+    if isinstance(rel, AnnotatedRelation):
+        return (
+            rel.attributes,
+            rel.name,
+            tuple(rel.rows),
+            rel.semiring.tag,
+            tuple(rel.annotations.items()),
+        )
     return (rel.attributes, rel.name, tuple(rel.rows))
 
 
 def decode_relation(payload: RelationPayload) -> Relation:
     """Rehydrate a relation from its payload without row re-validation."""
+    if len(payload) == 5:
+        attributes, name, rows, tag, items = payload
+        return AnnotatedRelation.make(
+            attributes, frozenset(rows), name, get_semiring(tag), dict(items)
+        )
     attributes, name, rows = payload
     return Relation.trusted(attributes, frozenset(rows), name)
 
@@ -138,7 +155,9 @@ def _op_semijoin_pair(left: Relation, right: Relation) -> Relation:
 def _op_semijoin_keys(
     shard: Relation, shared: tuple[str, ...], keys: frozenset
 ) -> Relation:
-    return semijoin_with_keys(shard, shared, keys)
+    # Method dispatch: the annotated subclass filters its annotation map
+    # alongside the rows; plain shards run the untouched probe loop.
+    return shard.semijoin_with_keys(shared, keys)
 
 
 @register_op("join_pair")
@@ -155,7 +174,9 @@ def _op_probe_join(
     out_attrs: tuple[str, ...],
     name: str,
 ) -> Relation:
-    return probe_join(partner, shard, False, shared, extra_pos, out_attrs, name)
+    return dispatch_probe_join(
+        partner, shard, False, shared, extra_pos, out_attrs, name
+    )
 
 
 @register_op("project")
@@ -292,10 +313,14 @@ class ExecutionContext:
         attributes: tuple[str, ...],
         name: str = "r",
     ) -> Relation:
-        """Coalesce shard pieces into one plain relation."""
+        """Coalesce shard pieces into one relation.  Annotated pieces
+        ``plus``-merge their annotation maps (duplicate rows across
+        pieces fold, disjoint shards concatenate)."""
         pieces = self._fetch(pieces)
         if len(pieces) == 1:
             return pieces[0]
+        if any(isinstance(piece, AnnotatedRelation) for piece in pieces):
+            return merge_annotated(pieces, attributes, name)
         merged: set[Row] = set()
         for piece in pieces:
             merged |= piece.rows

@@ -30,6 +30,7 @@ class Database:
     def __init__(self) -> None:
         self._relations: dict[str, set[tuple[Value, ...]]] = {}
         self._arities: dict[str, int] = {}
+        self._weights: dict[str, dict[tuple[Value, ...], float]] = {}
         self._version = 0
 
     # -- construction -----------------------------------------------------
@@ -48,11 +49,16 @@ class Database:
                 db.add_fact(name, *row)
         return db
 
-    def add_fact(self, predicate: str, *values: Value) -> bool:
+    def add_fact(
+        self, predicate: str, *values: Value, weight: float | None = None
+    ) -> bool:
         """Assert the ground atom ``predicate(values...)``.
 
         Returns ``True`` iff the fact was not already present (set
-        semantics: re-asserting is a no-op).
+        semantics: re-asserting is a no-op, though it still records a
+        given *weight*).  *weight* is the fact's annotation under the
+        weighted semirings — a cost for ``mincost``, a probability for
+        ``prob``; unweighted facts default to 1.0.
         """
         arity = self._arities.setdefault(predicate, len(values))
         if arity != len(values):
@@ -61,6 +67,8 @@ class Database:
             )
         rows = self._relations.setdefault(predicate, set())
         row = tuple(values)
+        if weight is not None:
+            self._weights.setdefault(predicate, {})[row] = float(weight)
         if row in rows:
             return False
         rows.add(row)
@@ -76,8 +84,31 @@ class Database:
         if row not in rows:
             return False
         rows.remove(row)
+        weights = self._weights.get(predicate)
+        if weights is not None:
+            weights.pop(row, None)
         self._version += 1
         return True
+
+    # -- fact weights ------------------------------------------------------
+    def set_weight(self, predicate: str, row: Iterable[Value], weight: float) -> None:
+        """Attach a weight to one fact (the ``lift`` value of the
+        weighted semirings).  The fact need not exist yet — workload
+        generators may assign weights before or after loading."""
+        self._weights.setdefault(predicate, {})[tuple(row)] = float(weight)
+
+    def weight(
+        self, predicate: str, row: tuple[Value, ...], default: float = 1.0
+    ) -> float:
+        """The weight of one fact (*default* when none was assigned)."""
+        weights = self._weights.get(predicate)
+        if weights is None:
+            return default
+        return weights.get(tuple(row), default)
+
+    def has_weights(self) -> bool:
+        """Whether any fact carries an explicit weight."""
+        return any(self._weights.values())
 
     def declare(self, predicate: str, arity: int) -> None:
         """Fix a relation's schema without asserting any facts.

@@ -30,10 +30,18 @@ from ..core.detkdecomp import hypertree_width
 from ..core.hypertree import HTNode, HypertreeDecomposition
 from ..core.jointree import JoinTree
 from ..core.query import ConjunctiveQuery
+from .annotated import (
+    AnnotatedRelation,
+    AnnotationAssignmentError,
+    assign_annotated_atoms,
+    bind_atom_annotated,
+    naive_annotated_eval,
+)
 from .binding import BoundQuery, bind_atom
 from .database import Database
 from .naive import backtracking_eval, naive_boolean_eval, naive_join_eval
 from .relation import Relation
+from .semiring import Semiring
 from .stats import EvalStats
 from .yannakakis import boolean_eval, enumerate_answers
 
@@ -76,8 +84,20 @@ def lemma46_transform(
     db: Database,
     hd: HypertreeDecomposition,
     stats: EvalStats | None = None,
+    semiring: Semiring | None = None,
 ) -> Lemma46Result:
-    """Construct ``⟨Q′, DB′, JT⟩`` from ``⟨Q, DB, HD⟩`` (Lemma 4.6)."""
+    """Construct ``⟨Q′, DB′, JT⟩`` from ``⟨Q, DB, HD⟩`` (Lemma 4.6).
+
+    With a *semiring*, node relations carry annotations: each distinct
+    query atom's annotation enters at exactly one node (its *carrier*,
+    picked by :func:`~repro.db.annotated.assign_annotated_atoms`; other
+    mentions join unannotated as pure filters).  Every part joined at a
+    node has attributes ⊆ χ(p) — carriers because assignment requires
+    ``var(A) ⊆ χ(p)``, the rest by pre-projection — so the bag-level
+    projection never ``plus``-folds; all variable elimination happens in
+    the enumeration pass, once per variable by χ-connectedness.  Raises
+    :class:`AnnotationAssignmentError` when no assignment exists (the
+    caller falls back to naive annotated evaluation)."""
     stats = stats if stats is not None else EvalStats()
     complete = hd if hd.is_complete else hd.complete()
 
@@ -87,14 +107,31 @@ def lemma46_transform(
     nodes = complete.nodes
     node_ids = {id(n): i for i, n in enumerate(nodes)}
 
+    assignment: dict[Atom, int] | None = None
+    if semiring is not None:
+        assignment = assign_annotated_atoms(
+            [(tuple(p.lam), p.chi) for p in nodes], query.atoms
+        )
+        if assignment is None:
+            raise AnnotationAssignmentError(
+                f"decomposition of {query.name} admits no once-per-atom "
+                "annotation assignment"
+            )
+
     for i, p in enumerate(nodes):
         chi_names = tuple(sorted(v.name for v in p.chi))
-        rel = Relation((), frozenset({()}), f"n{i}")
+        if semiring is not None:
+            rel: Relation = AnnotatedRelation.unit(semiring, f"n{i}")
+        else:
+            rel = Relation((), frozenset({()}), f"n{i}")
         for a in sorted(p.lam, key=str):
             overlap = a.variables & p.chi
             if not overlap and a.variables:
                 continue  # contributes no χ(p) bindings (Lemma 4.6 case split)
-            part = bind_atom(a, db)
+            if assignment is not None and assignment.get(a) == i:
+                part: Relation = bind_atom_annotated(a, db, semiring)
+            else:
+                part = bind_atom(a, db)
             if not a.variables <= p.chi:
                 part = part.project(
                     [v.name for v in sorted(overlap, key=lambda x: x.name)]
@@ -176,9 +213,17 @@ def evaluate(
     method: Method = "decomposition",
     hd: HypertreeDecomposition | None = None,
     stats: EvalStats | None = None,
+    semiring: Semiring | None = None,
 ) -> Relation:
     """Evaluate a (possibly non-Boolean) conjunctive query to its answer
-    relation (Theorem 4.8 for the decomposition method)."""
+    relation (Theorem 4.8 for the decomposition method).
+
+    With a *semiring* the result is an
+    :class:`~repro.db.annotated.AnnotatedRelation` whose rows carry
+    provenance-semiring values (derivation counts, minimal costs,
+    witness sets, probabilities — per the chosen algebra).  Set
+    semantics (``semiring=None``) runs the untouched plain pipeline.
+    """
     stats = stats if stats is not None else EvalStats()
     head = tuple(
         dict.fromkeys(
@@ -186,10 +231,22 @@ def evaluate(
         )
     )
     if not query.atoms:
+        if semiring is not None:
+            rows = frozenset({()} if not head else ())
+            return AnnotatedRelation.make(
+                head, rows, "ans", semiring,
+                dict.fromkeys(rows, semiring.one),
+            )
         return Relation(head, frozenset({()} if not head else ()), "ans")
     if method == "naive":
+        if semiring is not None:
+            return naive_annotated_eval(query, db, semiring, stats)
         return naive_join_eval(query, db, stats)
     if method == "backtracking":
+        if semiring is not None:
+            # Backtracking enumerates rows, not derivations; annotated
+            # semantics routes to the always-correct naive join.
+            return naive_annotated_eval(query, db, semiring, stats)
         from .naive import backtracking_answers
 
         return backtracking_answers(query, db, stats)
@@ -200,12 +257,23 @@ def evaluate(
                 "method 'yannakakis' requires an acyclic query; "
                 f"{query.name} is cyclic"
             )
+        if semiring is not None:
+            relations: dict[Atom, Relation] = {
+                a: bind_atom_annotated(a, db, semiring)
+                for a in dict.fromkeys(query.atoms)
+            }
+            return enumerate_answers(jt, relations, head, stats)
         bound = BoundQuery.bind(query, db)
         return enumerate_answers(jt, bound.relations, head, stats)
     if method == "decomposition":
         if hd is None:
             _, hd = hypertree_width(query.as_boolean())
-        transformed = lemma46_transform(query, db, hd, stats)
+        try:
+            transformed = lemma46_transform(
+                query, db, hd, stats, semiring=semiring
+            )
+        except AnnotationAssignmentError:
+            return naive_annotated_eval(query, db, semiring, stats)
         return enumerate_answers(
             transformed.jt, transformed.relations, head, stats
         )

@@ -36,8 +36,9 @@ from concurrent.futures import Executor
 from ..core.atoms import Atom
 from ..core.jointree import JoinTree
 from ..obs import current_tracer
+from .annotated import join_dispatch
 from .backend import ExecutionContext
-from .relation import Relation, semijoin_with_keys
+from .relation import Relation
 from .sharded import ShardedRelation, as_context
 from .stats import EvalStats
 
@@ -119,7 +120,8 @@ def _semijoin(left, right, ctx: ExecutionContext, stats: EvalStats):
             elif not shared or not left.rows:
                 out = left
             else:
-                out = semijoin_with_keys(left, shared, right.key_set(shared))
+                # Method dispatch keeps annotated left sides annotated.
+                out = left.semijoin_with_keys(shared, right.key_set(shared))
         else:
             out = left.semijoin(right)
         sp.set(rows=len(out))
@@ -252,7 +254,7 @@ def parallel_enumerate_answers(
                 if isinstance(rel, ShardedRelation):
                     rel = rel.join(child_part, backend=ctx)
                 else:
-                    rel = rel.join(_as_relation(child_part))
+                    rel = join_dispatch(rel, _as_relation(child_part))
                 stats.joins += 1
                 kept = [a for a in rel.attributes if a in keep]
                 if isinstance(rel, ShardedRelation):

@@ -299,6 +299,14 @@ class Relation:
             return self
         return semijoin_with_keys(self, shared, other.key_set(shared))
 
+    def semijoin_with_keys(
+        self, shared: tuple[str, ...], keys: frozenset
+    ) -> "Relation":
+        """Filter against a prebuilt key set (method form, so annotated
+        subclasses can carry their annotations through the broadcast
+        semijoin of the sharded kernel)."""
+        return semijoin_with_keys(self, shared, keys)
+
     def union(self, other: "Relation") -> "Relation":
         if self.attributes != other.attributes:
             raise SchemaError(

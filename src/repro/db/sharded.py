@@ -47,6 +47,7 @@ from typing import Iterator, Sequence
 
 from .._errors import SchemaError
 from ..obs import get_registry
+from .annotated import AnnotatedRelation
 from .backend import (
     SEQUENTIAL,
     ExecutionContext,
@@ -219,10 +220,28 @@ class ShardedRelation:
                 buckets = _spread_heavy(
                     relation.rows, i, heavy, n_shards
                 )
-        shards: tuple = tuple(
-            Relation.trusted(relation.attributes, frozenset(b), relation.name)
-            for b in buckets
-        )
+        annotations = getattr(relation, "annotations", None)
+        if annotations is not None:
+            # Annotated input: each piece carves out its rows' slice of
+            # the annotation map (rows partition, so slices are disjoint
+            # and gather's plus-merge is a plain dict union).
+            shards: tuple = tuple(
+                AnnotatedRelation.make(
+                    relation.attributes,
+                    frozenset(b),
+                    relation.name,
+                    relation.semiring,
+                    {row: annotations[row] for row in b},
+                )
+                for b in buckets
+            )
+        else:
+            shards = tuple(
+                Relation.trusted(
+                    relation.attributes, frozenset(b), relation.name
+                )
+                for b in buckets
+            )
         if backend is not None and backend.kind == "process":
             shards = tuple(
                 backend.map_shards(

@@ -22,6 +22,7 @@ from __future__ import annotations
 from ..core.atoms import Atom
 from ..core.jointree import JoinTree
 from ..obs import current_tracer
+from .annotated import join_dispatch
 from .relation import Relation
 from .stats import EvalStats
 
@@ -125,7 +126,7 @@ def enumerate_answers(
         keep = set(rel.attributes) | (attrs_below & out_set)
         for child in tree.children(node):
             with tracer.span("sweep.join", node=node.predicate) as sp:
-                rel = rel.join(partial[child])
+                rel = join_dispatch(rel, partial[child])
                 stats.joins += 1
                 rel = stats.record(
                     rel.project([a for a in rel.attributes if a in keep])

@@ -20,6 +20,15 @@ cost a cache miss but never a wrong answer.
 Because 1-WL fingerprints can (rarely) collide for non-isomorphic
 shapes, each fingerprint maps to a *bucket* of entries; lookups try each
 entry's isomorphism in turn and fall through to a miss.
+
+Buckets are keyed ``(fingerprint, semiring tag)`` — ``"set"`` for plain
+set semantics — so per-semiring hit rates stay observable and eviction
+treats each workload family independently.  Decompositions themselves
+are *semiring-independent* (they fix evaluation structure, not the
+algebra annotations are folded in), so a miss under one tag first tries
+to **promote** a sibling tag's entry at the same fingerprint: the first
+``Engine.count`` of a shape that set semantics already planned costs a
+transport, not a decomposition.
 """
 
 from __future__ import annotations
@@ -81,7 +90,8 @@ def transport_plan(
 
 
 class PlanCache:
-    """Thread-safe LRU cache: fingerprint → bucket of :class:`CachedPlan`.
+    """Thread-safe LRU cache: ``(fingerprint, semiring tag)`` → bucket of
+    :class:`CachedPlan`.
 
     ``maxsize`` bounds the number of stored plans (0 disables caching
     entirely: every lookup is a miss and stores are dropped).  Counters:
@@ -89,25 +99,41 @@ class PlanCache:
     * :attr:`hits` — lookups answered from the cache;
     * :attr:`misses` — lookups that fell through (unknown fingerprint,
       failed certification, or caching disabled);
+    * :attr:`promotions` — hits served by copying a sibling semiring
+      tag's entry at the same fingerprint (decompositions are
+      semiring-independent, so the structure is shared across tags);
     * :attr:`evictions` — plans dropped to respect ``maxsize``.
     """
 
     def __init__(self, maxsize: int = 256):
         self.maxsize = maxsize
         self._lock = threading.RLock()
-        self._buckets: OrderedDict[str, list[CachedPlan]] = OrderedDict()
+        self._buckets: OrderedDict[tuple[str, str], list[CachedPlan]] = (
+            OrderedDict()
+        )
+        # fingerprint → tags holding a bucket for it, for promotion.
+        self._tags_of: dict[str, set[str]] = {}
         self._size = 0
         self.hits = 0
         self.misses = 0
+        self.promotions = 0
         self.evictions = 0
 
-    def lookup(self, query: ConjunctiveQuery) -> CacheHit | None:
-        """Find and transport a plan for *query*'s shape (None = miss)."""
-        key = fingerprint(query)
+    def lookup(
+        self, query: ConjunctiveQuery, semiring_tag: str = "set"
+    ) -> CacheHit | None:
+        """Find and transport a plan for *query*'s shape under the given
+        semiring tag (None = miss).  A miss under this tag first tries
+        the sibling tags at the same fingerprint and promotes a match."""
+        fp = fingerprint(query)
+        key = (fp, semiring_tag)
         with self._lock:
             bucket = list(self._buckets.get(key, ()))
             if bucket:
                 self._buckets.move_to_end(key)
+            sibling_tags = [
+                t for t in self._tags_of.get(fp, ()) if t != semiring_tag
+            ]
         # The isomorphism search and transport run outside the lock: they
         # only read immutable entries, so concurrent lookups proceed in
         # parallel and the lock guards bookkeeping alone.
@@ -117,6 +143,22 @@ class PlanCache:
                 with self._lock:
                     self.hits += 1
                 return CacheHit(transported, entry.width, entry.method)
+        for tag in sibling_tags:
+            with self._lock:
+                sibling = list(self._buckets.get((fp, tag), ()))
+            for entry in sibling:
+                transported = transport_plan(entry, query)
+                if transported is not None:
+                    with self._lock:
+                        self.hits += 1
+                        self.promotions += 1
+                    # Copy the shape into this tag's bucket so the next
+                    # lookup hits directly.
+                    self.store(
+                        query, transported, entry.width, entry.method,
+                        semiring_tag=semiring_tag,
+                    )
+                    return CacheHit(transported, entry.width, entry.method)
         with self._lock:
             self.misses += 1
         return None
@@ -127,11 +169,14 @@ class PlanCache:
         decomposition: HypertreeDecomposition,
         width: int,
         method: str,
+        semiring_tag: str = "set",
     ) -> None:
-        """Insert a freshly computed plan under *query*'s fingerprint."""
+        """Insert a freshly computed plan under *query*'s fingerprint and
+        semiring tag."""
         if self.maxsize <= 0:
             return
-        key = fingerprint(query)
+        fp = fingerprint(query)
+        key = (fp, semiring_tag)
         entry = CachedPlan(query.as_boolean(), decomposition, width, method)
         with self._lock:
             # Concurrent misses of one shape race to store it; dedup
@@ -147,18 +192,27 @@ class PlanCache:
                 return
             bucket.append(entry)
             self._buckets.move_to_end(key)
+            self._tags_of.setdefault(fp, set()).add(semiring_tag)
             self._size += 1
             # Evict least-recently-used buckets, but never the one just
             # written: a single bucket of colliding shapes may therefore
             # exceed maxsize slightly rather than self-destruct.
             while self._size > self.maxsize and len(self._buckets) > 1:
-                _, evicted = self._buckets.popitem(last=False)
+                (evicted_fp, evicted_tag), evicted = self._buckets.popitem(
+                    last=False
+                )
                 self._size -= len(evicted)
                 self.evictions += len(evicted)
+                tags = self._tags_of.get(evicted_fp)
+                if tags is not None:
+                    tags.discard(evicted_tag)
+                    if not tags:
+                        del self._tags_of[evicted_fp]
 
     def clear(self) -> None:
         with self._lock:
             self._buckets.clear()
+            self._tags_of.clear()
             self._size = 0
 
     def __len__(self) -> int:
@@ -177,6 +231,7 @@ class PlanCache:
                 "maxsize": self.maxsize,
                 "hits": self.hits,
                 "misses": self.misses,
+                "promotions": self.promotions,
                 "evictions": self.evictions,
             }
 

@@ -26,10 +26,20 @@ across requests, so process workers and their scatter caches persist;
 :meth:`Engine.close` (or the context-manager exit) releases them.
 Which nodes shard at all is the cost-based policy in
 :func:`repro.engine.plan.compile_plan` — relations estimated under
-:data:`~repro.engine.plan.SHARD_MIN_ROWS` stay unsharded.  The PR-4
-``parallelism=`` knob survives as a deprecated alias for
-``backend="thread", backend_workers=n``; the ``REPRO_BACKEND``
-environment variable supplies the default kind when neither is given.
+:data:`~repro.engine.plan.SHARD_MIN_ROWS` stay unsharded.  The
+``REPRO_BACKEND`` environment variable supplies the default kind when
+none is given.
+
+**Semiring evaluation.**  ``execute(..., semiring=...)`` switches a
+request to annotated semantics (:mod:`repro.db.semiring`): the answer
+relation carries one value per row and :attr:`EvalResult.annotations`
+exposes the map.  :meth:`Engine.count`, :meth:`Engine.top_k`,
+:meth:`Engine.provenance` and :meth:`Engine.probability` are the four
+workload-family front doors built on it.  Plans are shared across
+semirings: the cache keys on ``(fingerprint, semiring tag)`` and
+promotes sibling-tag entries, so the first ``count`` of an
+already-planned shape transports the stored decomposition instead of
+searching again.
 
 Per-request time *budgets* (wall-clock seconds) bound both the
 decomposition search — via the portfolio's own budget handling, which
@@ -42,9 +52,9 @@ and keeps going.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
@@ -53,6 +63,7 @@ from .._errors import BudgetExceeded, EvaluationError, ReproError
 from ..core.atoms import Variable
 from ..core.hypertree import HypertreeDecomposition
 from ..core.query import ConjunctiveQuery
+from ..db.annotated import AnnotatedRelation
 from ..db.backend import (
     BACKEND_KINDS,
     ExecutionContext,
@@ -60,7 +71,8 @@ from ..db.backend import (
     make_backend,
 )
 from ..db.database import Database
-from ..db.relation import Relation
+from ..db.relation import Relation, Row
+from ..db.semiring import FactId, Semiring, resolve_semiring
 from ..db.stats import EvalStats
 from ..heuristics.portfolio import Mode, decompose
 from ..obs import Tracer, current_tracer, get_registry, tracing
@@ -71,15 +83,6 @@ from .plan import SHARD_MIN_ROWS, QueryPlan, compile_plan, execute_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incremental imports engine)
     from ..incremental.live import LiveEngine
-
-
-def _deprecated_parallelism() -> None:
-    warnings.warn(
-        "parallelism= is deprecated; use backend='thread'|'process' with "
-        "backend_workers=N instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass
@@ -94,11 +97,18 @@ class EvalResult:
     method: str
     elapsed: float
     error: str | None = None
+    semiring: Semiring | None = None
 
     @property
     def boolean(self) -> bool:
         """The Boolean reading of the answer (non-empty = true)."""
         return bool(self.answer)
+
+    @property
+    def annotations(self) -> dict[Row, object] | None:
+        """Row → semiring value for an annotated request; ``None`` under
+        set semantics."""
+        return getattr(self.answer, "annotations", None)
 
     @property
     def ok(self) -> bool:
@@ -159,18 +169,12 @@ class Engine:
     backend:
         Execution backend kind for intra-query shard tasks:
         ``"sequential"`` | ``"thread"`` | ``"process"``.  Defaults to
-        ``$REPRO_BACKEND`` when set, else ``"sequential"`` (or
-        ``"thread"`` when the deprecated *parallelism* knob asks for
-        width > 1).
+        ``$REPRO_BACKEND`` when set, else ``"sequential"``.
     backend_workers:
         Shard-task width for a parallel backend (default 4).
     shard_threshold:
         Minimum estimated bag cardinality for a node to be sharded;
         forwarded to :func:`~repro.engine.plan.compile_plan`.
-    parallelism:
-        Deprecated alias: ``parallelism=n > 1`` reads as
-        ``backend="thread", backend_workers=n`` (explicit *backend*
-        still wins).  Individual calls may override it.
     tracer:
         Default :class:`~repro.obs.Tracer` installed around each request
         when no ambient tracer is active (an enabled tracer installed
@@ -205,7 +209,6 @@ class Engine:
         mode: Mode = "auto",
         budget: float | None = None,
         workers: int = 4,
-        parallelism: int | None = None,
         backend: str | None = None,
         backend_workers: int | None = None,
         shard_threshold: int = SHARD_MIN_ROWS,
@@ -222,40 +225,29 @@ class Engine:
         self.mode: Mode = mode
         self.budget = budget
         self.workers = workers
-        if parallelism is not None:
-            _deprecated_parallelism()
         if backend is None:
-            backend = (
-                default_backend_kind()
-                if default_backend_kind() != "sequential"
-                else ("thread" if (parallelism or 1) > 1 else "sequential")
-            )
+            backend = default_backend_kind()
         if backend not in BACKEND_KINDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}"
             )
         self.backend = backend
         self.backend_workers = max(
-            1,
-            backend_workers
-            if backend_workers is not None
-            else (parallelism if (parallelism or 1) > 1 else 4),
+            1, backend_workers if backend_workers is not None else 4
         )
         self.shard_threshold = shard_threshold
         self.decompositions = 0  # fresh planner searches performed
         self._backends: dict[tuple[str, int], ExecutionContext] = {}
         self._backends_lock = threading.Lock()
-        # Single-flight gates: fingerprint -> Event set when the leader's
-        # search lands in the cache.  Concurrent first requests of one
-        # shape (e.g. two tenants submitting isomorphic queries at once)
-        # elect one decomposer; the rest wait and re-read the cache.
+        # Single-flight gates: (fingerprint, semiring tag) -> Event set
+        # when the leader's search lands in the cache.  Concurrent first
+        # requests of one shape (e.g. two tenants submitting isomorphic
+        # queries at once) elect one decomposer; the rest wait and
+        # re-read the cache.  Keys follow the cache's composite keys, so
+        # a count and a set request of the same shape race at most once
+        # each — the loser of either race is served by promotion.
         self._plan_gates: dict = {}
         self._plan_gates_lock = threading.Lock()
-
-    @property
-    def parallelism(self) -> int:
-        """Deprecated alias: the shard width under a parallel backend."""
-        return self.backend_workers if self.backend != "sequential" else 1
 
     @property
     def flight(self) -> FlightRecorder | None:
@@ -311,7 +303,10 @@ class Engine:
 
     # -- planning ---------------------------------------------------------
     def _decomposition_for(
-        self, query: ConjunctiveQuery, deadline: float | None
+        self,
+        query: ConjunctiveQuery,
+        deadline: float | None,
+        semiring_tag: str = "set",
     ) -> tuple[HypertreeDecomposition, bool, str, int]:
         """Cached-or-fresh decomposition: (hd, cache_hit, method, width).
 
@@ -324,13 +319,13 @@ class Engine:
         searched.
         """
         with current_tracer().span(
-            "plan.cache_lookup", query=query.name
+            "plan.cache_lookup", query=query.name, semiring=semiring_tag
         ) as sp:
-            hit = self.cache.lookup(query)
+            hit = self.cache.lookup(query, semiring_tag)
             sp.set(hit=hit is not None)
         if hit is not None:
             return hit.decomposition, True, hit.method, hit.width
-        key = fingerprint(query)
+        key = (fingerprint(query), semiring_tag)
         while True:
             with self._plan_gates_lock:
                 gate = self._plan_gates.get(key)
@@ -351,7 +346,7 @@ class Engine:
                 else None
             )
             gate.wait(timeout=remaining)
-            hit = self.cache.lookup(query)
+            hit = self.cache.lookup(query, semiring_tag)
             if hit is not None:
                 get_registry().counter("engine.singleflight_waits").inc()
                 return hit.decomposition, True, hit.method, hit.width
@@ -371,7 +366,8 @@ class Engine:
             result = decompose(query, mode=self.mode, budget=remaining)
             self.decompositions += 1
             self.cache.store(
-                query, result.decomposition, result.width, result.method
+                query, result.decomposition, result.width, result.method,
+                semiring_tag=semiring_tag,
             )
         finally:
             with self._plan_gates_lock:
@@ -379,26 +375,15 @@ class Engine:
             gate.set()
         return result.decomposition, False, result.method, result.width
 
-    def _resolve_backend(
-        self, backend: str | None, parallelism: int | None
-    ) -> tuple[str, int]:
-        """Per-call backend resolution honouring the deprecated alias:
-        an explicit ``parallelism=1`` forces sequential (the PR-4
-        meaning), ``parallelism=n>1`` forces a thread width of *n*
-        unless a backend kind is also given."""
+    def _resolve_backend(self, backend: str | None) -> tuple[str, int]:
+        """Per-call backend resolution: an explicit kind overrides the
+        engine default; the width is always the engine's."""
         if backend is not None and backend not in BACKEND_KINDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}"
             )
-        if parallelism is None:
-            kind = backend if backend is not None else self.backend
-            return kind, self.backend_workers
-        if parallelism <= 1:
-            return (backend if backend is not None else "sequential"), 1
-        kind = backend if backend is not None else (
-            self.backend if self.backend != "sequential" else "thread"
-        )
-        return kind, parallelism
+        kind = backend if backend is not None else self.backend
+        return kind, self.backend_workers
 
     def plan(
         self,
@@ -408,7 +393,7 @@ class Engine:
     ) -> QueryPlan:
         """The physical plan the engine would execute (used by explain,
         and by live views registering through the shared cache)."""
-        kind, width = self._resolve_backend(backend, None)
+        kind, width = self._resolve_backend(backend)
         hd, hit, method, width_hd = self._decomposition_for(query, None)
         return compile_plan(
             query, db, hd, provenance=method, cache_hit=hit,
@@ -421,18 +406,16 @@ class Engine:
     ) -> "LiveEngine":
         """A :class:`repro.incremental.LiveEngine` planning through this
         engine — registered views share this plan cache, so a view of an
-        already-seen shape costs a transport, not a search.  Delta
-        fan-out parallelism defaults to this engine's shard width."""
+        already-seen shape costs a transport, not a search.  The view
+        fan-out *parallelism* defaults to this engine's shard width."""
         # Imported here: the incremental layer sits above the engine.
         from ..incremental.live import LiveEngine
 
-        return LiveEngine(
-            db=db,
-            engine=self,
-            parallelism=(
-                self.parallelism if parallelism is None else parallelism
-            ),
-        )
+        if parallelism is None:
+            parallelism = (
+                self.backend_workers if self.backend != "sequential" else 1
+            )
+        return LiveEngine(db=db, engine=self, parallelism=parallelism)
 
     def explain(
         self,
@@ -476,19 +459,25 @@ class Engine:
         db: Database,
         budget: float | None = None,
         stats: EvalStats | None = None,
-        parallelism: int | None = None,
         backend: str | None = None,
+        semiring: "Semiring | str | None" = None,
     ) -> EvalResult:
         """Evaluate one query, raising :class:`BudgetExceeded` on timeout.
 
         The budget deadline is anchored to *this call*, the moment the
         request actually starts executing — never to the submission time
         of a surrounding batch (see :meth:`execute_many`).
+
+        *semiring* (a :class:`~repro.db.semiring.Semiring` or registry
+        tag such as ``"count"``) switches the request to annotated
+        semantics; the result's answer then carries one semiring value
+        per row (see :attr:`EvalResult.annotations`).
         """
         budget = budget if budget is not None else self.budget
         started = time.monotonic()
         deadline = started + budget if budget is not None else None
-        kind, width = self._resolve_backend(backend, parallelism)
+        kind, width = self._resolve_backend(backend)
+        semiring = resolve_semiring(semiring)
         stats = stats if stats is not None else EvalStats()
         flight = self.flight
         # An ambient tracer (CLI --trace, explain(analyze=True)) wins,
@@ -508,11 +497,12 @@ class Engine:
         plan_sink: list[QueryPlan] = []
         try:
             with tracing(tracer), tracer.span(
-                "engine.execute", query=query.name, backend=kind
+                "engine.execute", query=query.name, backend=kind,
+                semiring=semiring.tag if semiring is not None else "set",
             ) as request_span:
                 result = self._execute_request(
                     query, db, deadline, kind, width, stats, started,
-                    plan_sink,
+                    plan_sink, semiring,
                 )
                 request_span.set(
                     cache_hit=result.cache_hit,
@@ -534,6 +524,57 @@ class Engine:
             )
         return result
 
+    # -- workload families over semirings ----------------------------------
+    def count(self, query: ConjunctiveQuery, db: Database, **kwargs) -> int:
+        """The number of *derivations* of the query — answer multiplicity
+        under bag semantics, summed over the head (ℕ semiring).  For a
+        full-output query this equals the brute-force join's bag count;
+        a projecting head sums the multiplicities the projection folds.
+        """
+        result = self.execute(query, db, semiring="count", **kwargs)
+        return int(result.answer.total())
+
+    def top_k(
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        k: int = 1,
+        **kwargs,
+    ) -> list[tuple[Row, float, tuple[FactId, ...]]]:
+        """The *k* cheapest answers under the min-cost (tropical)
+        semiring: ``(row, cost, witness)`` triples, cost-ascending, where
+        *witness* lists the ``(predicate, fact)`` pairs achieving the
+        cost.  Fact costs come from :meth:`Database.set_weight`
+        (``add_fact(..., weight=)``), defaulting to 1.0 per fact."""
+        if k < 1:
+            raise ValueError(f"top_k needs k >= 1, got {k}")
+        result = self.execute(query, db, semiring="mincost", **kwargs)
+        best = heapq.nsmallest(
+            k,
+            result.answer.annotations.items(),
+            key=lambda item: (item[1][0], repr(item[0])),
+        )
+        return [(row, cost, witness) for row, (cost, witness) in best]
+
+    def provenance(
+        self, query: ConjunctiveQuery, db: Database, **kwargs
+    ) -> dict[Row, frozenset]:
+        """Why-provenance: row → set of witness sets, each witness a
+        frozenset of ``(predicate, fact)`` pairs that jointly derive the
+        row."""
+        result = self.execute(query, db, semiring="provenance", **kwargs)
+        return dict(result.answer.annotations)
+
+    def probability(
+        self, query: ConjunctiveQuery, db: Database, **kwargs
+    ) -> dict[Row, float]:
+        """Row probabilities over a tuple-independent database (fact
+        weights read as marginal probabilities; derivations combined by
+        noisy-or, an upper-bound approximation when derivations share
+        facts)."""
+        result = self.execute(query, db, semiring="prob", **kwargs)
+        return dict(result.answer.annotations)
+
     def _execute_request(
         self,
         query: ConjunctiveQuery,
@@ -544,7 +585,9 @@ class Engine:
         stats: EvalStats,
         started: float,
         plan_sink: list | None = None,
+        semiring: Semiring | None = None,
     ) -> EvalResult:
+        tag = semiring.tag if semiring is not None else "set"
         with stats.timed():
             if not query.atoms:
                 head = tuple(
@@ -554,14 +597,21 @@ class Engine:
                         if isinstance(t, Variable)
                     )
                 )
-                answer = Relation(
-                    head, frozenset({()} if not head else ()), "ans"
-                )
+                rows = frozenset({()} if not head else ())
+                if semiring is not None:
+                    answer: Relation = AnnotatedRelation.make(
+                        head, rows, "ans", semiring,
+                        dict.fromkeys(rows, semiring.one),
+                    )
+                else:
+                    answer = Relation(head, rows, "ans")
                 return EvalResult(
                     query, answer, stats, False, 0, "empty",
-                    time.monotonic() - started,
+                    time.monotonic() - started, semiring=semiring,
                 )
-            hd, hit, method, hd_width = self._decomposition_for(query, deadline)
+            hd, hit, method, hd_width = self._decomposition_for(
+                query, deadline, tag
+            )
             plan = compile_plan(
                 query, db, hd, provenance=method, cache_hit=hit,
                 backend=kind, workers=width,
@@ -582,10 +632,18 @@ class Engine:
             )
             answer = execute_plan(
                 plan, db, stats=stats, deadline=deadline, backend=ctx,
+                semiring=semiring,
             )
+            if semiring is not None and not isinstance(
+                answer, AnnotatedRelation
+            ):
+                # An all-plain sharded pipeline (e.g. semijoin against an
+                # empty partner) can coalesce to a plain relation; the
+                # result contract is still annotated.
+                answer = AnnotatedRelation.lift(answer, semiring)
         return EvalResult(
             query, answer, stats, hit, hd_width, method,
-            time.monotonic() - started,
+            time.monotonic() - started, semiring=semiring,
         )
 
     def _record_request(self, result: EvalResult) -> None:
@@ -594,6 +652,11 @@ class Engine:
         lock-consistent plan-cache snapshot)."""
         registry = get_registry()
         registry.counter("engine.requests").inc()
+        # Per-semiring request counters, label-in-name style (grouped by
+        # ``repro stats`` via the "semiring" scope): set semantics is the
+        # "set" family.
+        tag = result.semiring.tag if result.semiring is not None else "set"
+        registry.counter(f"semiring.{tag}.engine.requests").inc()
         registry.counter(
             "engine.cache_hits" if result.cache_hit else "engine.cache_misses"
         ).inc()
@@ -688,8 +751,8 @@ class Engine:
         db: Database | None = None,
         workers: int | None = None,
         budget: float | None = None,
-        parallelism: int | None = None,
         backend: str | None = None,
+        semiring: "Semiring | str | None" = None,
     ) -> BatchResult:
         """Evaluate a batch of requests over a worker pool.
 
@@ -699,8 +762,9 @@ class Engine:
         :class:`EvalResult` with ``error`` set instead of aborting the
         batch.  The merged :class:`EvalStats` (including summed per-query
         wall times, which exceed batch wall-clock under parallelism) ride
-        on the returned :class:`BatchResult`.  *backend*/*parallelism*
-        set the per-request shard backend (see :meth:`execute`).
+        on the returned :class:`BatchResult`.  *backend* sets the
+        per-request shard backend and *semiring* the per-request
+        annotation algebra (see :meth:`execute`).
 
         Each request's *budget* clock starts when a pool worker begins
         executing it — time spent queued behind a saturated pool does not
@@ -727,8 +791,8 @@ class Engine:
                 # deadline here, when the request starts, so a request
                 # queued behind a full pool keeps its whole budget.
                 return self.execute(
-                    query, request_db, budget=budget,
-                    parallelism=parallelism, backend=backend,
+                    query, request_db, budget=budget, backend=backend,
+                    semiring=semiring,
                 )
             except ReproError as error:
                 # Per-request fault isolation: a blown budget, a schema

@@ -35,7 +35,6 @@ shard task is never interrupted mid-flight).
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor
 from dataclasses import dataclass, field
 
 from .._errors import BudgetExceeded
@@ -43,7 +42,13 @@ from ..core.atoms import Atom, Variable
 from ..core.hypertree import HTNode, HypertreeDecomposition
 from ..core.jointree import JoinTree, join_tree_from_edges
 from ..core.query import ConjunctiveQuery
-from ..db.backend import BACKEND_KINDS, ExecutionContext, ThreadBackend, make_backend
+from ..db.annotated import (
+    AnnotatedRelation,
+    assign_annotated_atoms,
+    bind_atom_annotated,
+    naive_annotated_eval,
+)
+from ..db.backend import BACKEND_KINDS, ExecutionContext, make_backend
 from ..db.binding import bind_atom
 from ..db.database import Database
 from ..db.parallel import (
@@ -51,6 +56,7 @@ from ..db.parallel import (
     parallel_enumerate_answers,
 )
 from ..db.relation import Relation
+from ..db.semiring import Semiring
 from ..db.stats import CardinalityEstimator, EvalStats
 from ..db.yannakakis import boolean_eval, enumerate_answers
 from ..obs import Tracer, current_tracer
@@ -104,12 +110,6 @@ class QueryPlan:
     cache_hit: bool = field(default=False)
     backend: str = field(default="sequential")
     workers: int = field(default=1)
-
-    @property
-    def parallelism(self) -> int:
-        """Deprecated alias: the shard-task width under a parallel
-        backend (1 when the plan is sequential)."""
-        return self.workers if self.backend != "sequential" else 1
 
     @property
     def shard_counts(self) -> dict[Atom, int]:
@@ -261,7 +261,6 @@ def compile_plan(
     hd: HypertreeDecomposition,
     provenance: str = "exact",
     cache_hit: bool = False,
-    parallelism: int = 1,
     backend: str | None = None,
     workers: int | None = None,
     shard_threshold: int = SHARD_MIN_ROWS,
@@ -278,17 +277,16 @@ def compile_plan(
     ``"thread"``, ``"process"``) and *workers* its width; with a parallel
     backend each node whose estimated cardinality reaches
     *shard_threshold* is assigned ``workers`` shards, smaller nodes
-    none.  *parallelism* is the deprecated PR-4 alias: ``> 1`` is read
-    as ``backend="thread", workers=parallelism``.
+    none.
     """
     if backend is None:
-        backend = "thread" if parallelism > 1 else "sequential"
+        backend = "sequential"
     if backend not in BACKEND_KINDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}"
         )
     if workers is None:
-        workers = parallelism if parallelism > 1 else 4
+        workers = 4
     if backend == "sequential":
         workers = 1
     workers = max(1, workers)
@@ -390,8 +388,15 @@ def _materialise_bag(
     db: Database,
     stats: EvalStats,
     deadline: float | None,
+    semiring: Semiring | None = None,
+    carriers: frozenset[Atom] = frozenset(),
 ) -> Relation:
-    """Materialise one decomposition node's bag relation."""
+    """Materialise one decomposition node's bag relation.
+
+    Under a *semiring*, the atoms in *carriers* (this node's share of
+    the once-per-atom annotation assignment) bind annotated; the rest
+    bind plain and act as filters.  Carriers always satisfy
+    ``var(A) ⊆ χ(p)``, so they are never pre-projected."""
     _check_deadline(deadline, f"bag materialisation of {np.bag.predicate}")
     with current_tracer().span(
         "plan.bag",
@@ -399,9 +404,15 @@ def _materialise_bag(
         est=int(np.estimated_rows),
         shards=np.n_shards,
     ) as sp:
-        rel = Relation.trusted((), frozenset({()}), np.bag.predicate)
+        if semiring is not None:
+            rel: Relation = AnnotatedRelation.unit(semiring, np.bag.predicate)
+        else:
+            rel = Relation.trusted((), frozenset({()}), np.bag.predicate)
         for a in np.join_order:
-            part = bind_atom(a, db)
+            if a in carriers:
+                part: Relation = bind_atom_annotated(a, db, semiring)
+            else:
+                part = bind_atom(a, db)
             if not a.variables <= p.chi:
                 overlap = sorted(
                     (v.name for v in a.variables & p.chi)
@@ -425,9 +436,8 @@ def execute_plan(
     db: Database,
     stats: EvalStats | None = None,
     deadline: float | None = None,
-    parallelism: int | None = None,
-    pool: Executor | None = None,
     backend: ExecutionContext | None = None,
+    semiring: Semiring | None = None,
 ) -> Relation:
     """Run a compiled plan: materialise bags, then Yannakakis.
 
@@ -440,32 +450,18 @@ def execute_plan(
     run the plan's shard assignment on (typically engine-owned, so
     process workers persist across requests).  Without one, a plan
     compiled for a parallel backend creates a private context for the
-    call and closes it afterwards.  *parallelism*/*pool* are the
-    deprecated PR-4 knobs: an explicit ``parallelism=n > 1`` (or a bare
-    executor) runs a thread context with every node sharded ``n`` ways,
-    bypassing the cost-based assignment.
+    call and closes it afterwards.
+
+    *semiring* switches the run to annotated semantics: the answer is an
+    :class:`~repro.db.annotated.AnnotatedRelation` carrying one value
+    per row (Boolean plans enumerate the 0-ary answer instead of
+    short-circuiting, so the () row's annotation is the query total).
     """
     stats = stats if stats is not None else EvalStats()
     counts = plan.shard_counts
     own = False
     if backend is not None:
         ctx: ExecutionContext | None = backend
-    elif parallelism is not None and parallelism <= 1 and pool is None:
-        # The PR-4 way of forcing sequential execution: honour it
-        # without spinning up a pointless 1-worker context (and without
-        # falling through to the plan's own backend below).
-        ctx = None
-        counts = {np.bag: 1 for np in plan.node_plans}
-    elif pool is not None or parallelism is not None:
-        width = max(
-            1,
-            parallelism
-            if parallelism is not None
-            else getattr(pool, "_max_workers", plan.workers),
-        )
-        ctx = ThreadBackend(workers=width, pool=pool)
-        own = pool is None
-        counts = {np.bag: width for np in plan.node_plans}
     elif plan.backend != "sequential" and any(
         n > 1 for n in counts.values()
     ):
@@ -481,7 +477,7 @@ def execute_plan(
             nodes=len(plan.node_plans),
         ) as sp:
             answer = _execute_with_context(
-                plan, db, stats, deadline, ctx, counts
+                plan, db, stats, deadline, ctx, counts, semiring
             )
             sp.set(rows=len(answer))
         return answer
@@ -497,8 +493,21 @@ def _execute_with_context(
     deadline: float | None,
     ctx: ExecutionContext | None,
     counts: dict[Atom, int],
+    semiring: Semiring | None = None,
 ) -> Relation:
     node_pairs = list(zip(plan.node_plans, plan.decomposition.nodes))
+    carriers_of: dict[int, frozenset[Atom]] = {}
+    if semiring is not None:
+        assignment = assign_annotated_atoms(
+            [(np.join_order, p.chi) for np, p in node_pairs],
+            plan.query.atoms,
+        )
+        if assignment is None:
+            # No once-per-atom assignment over this plan's join orders;
+            # annotated naive evaluation is always correct.
+            return naive_annotated_eval(plan.query, db, semiring, stats)
+        for atom, i in assignment.items():
+            carriers_of[i] = carriers_of.get(i, frozenset()) | {atom}
     if (
         ctx is not None
         and ctx.kind == "thread"
@@ -509,24 +518,44 @@ def _execute_with_context(
         # not thread-safe) merged once the fan-out completes.  Only the
         # thread backend fans bags out: bag pipelines close over the
         # database, which must not cross a process boundary.
-        def one(pair: tuple[NodePlan, HTNode]) -> tuple[Relation, EvalStats]:
+        def one(
+            job: tuple[int, tuple[NodePlan, HTNode]],
+        ) -> tuple[Relation, EvalStats]:
+            i, (np, p) = job
             local = EvalStats()
-            return _materialise_bag(pair[0], pair[1], db, local, deadline), local
+            rel = _materialise_bag(
+                np, p, db, local, deadline, semiring,
+                carriers_of.get(i, frozenset()),
+            )
+            return rel, local
 
-        produced = ctx.map_local(one, node_pairs)
+        produced = ctx.map_local(one, list(enumerate(node_pairs)))
         relations: dict[Atom, Relation] = {}
         for (np, _), (rel, local) in zip(node_pairs, produced):
             relations[np.bag] = rel
             stats.merge(local)
     else:
         relations = {
-            np.bag: _materialise_bag(np, p, db, stats, deadline)
-            for np, p in node_pairs
+            np.bag: _materialise_bag(
+                np, p, db, stats, deadline, semiring,
+                carriers_of.get(i, frozenset()),
+            )
+            for i, (np, p) in enumerate(node_pairs)
         }
 
     _check_deadline(deadline, "Yannakakis passes")
     sharded = ctx is not None and any(counts[np.bag] > 1 for np, _ in node_pairs)
     if not plan.output:
+        if semiring is not None:
+            # Annotated Boolean queries enumerate the 0-ary answer: the
+            # () row's annotation is the semiring total; boolean_eval's
+            # short-circuit would drop it.
+            if sharded:
+                return parallel_enumerate_answers(
+                    plan.join_tree, relations, (), stats,
+                    backend=ctx, shard_counts=counts,
+                )
+            return enumerate_answers(plan.join_tree, relations, (), stats)
         if sharded:
             true = parallel_boolean_eval(
                 plan.join_tree, relations, stats,

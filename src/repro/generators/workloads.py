@@ -17,6 +17,9 @@ All generators are deterministic given a seed.  Three families matter:
   :class:`repro.incremental.Delta` batches (configurable batch size,
   delete ratio, value skew, re-insertion pressure), the streaming regime
   the incremental subsystem maintains (experiment E23).
+* :func:`assign_weights` — seeded, skew-aware per-fact weights (costs
+  for the ``mincost`` semiring, probabilities for ``prob``); also
+  reachable through ``random_database(..., weights=...)``.
 """
 
 from __future__ import annotations
@@ -33,12 +36,18 @@ def random_database(
     tuples_per_relation: int,
     seed: int = 0,
     plant_answer: bool = False,
+    weights: str | None = None,
+    weight_skew: float = 0.0,
 ) -> Database:
     """A random database matching the query's schema.
 
     Values are integers from ``range(domain_size)``.  With *plant_answer*,
     one uniformly random substitution θ is chosen and the facts
     ``{r_i(u_i θ)}`` are added, making the Boolean query true.
+
+    *weights* (``"cost"`` or ``"prob"``) attaches seeded per-fact weights
+    via :func:`assign_weights` for the min-cost/probability semiring
+    workloads; *weight_skew* is forwarded.
     """
     rng = random.Random(seed)
     db = Database()
@@ -61,6 +70,41 @@ def random_database(
                 for t in atom.terms
             ]
             db.add_fact(atom.predicate, *values)
+    if weights is not None:
+        assign_weights(db, kind=weights, skew=weight_skew, seed=seed)
+    return db
+
+
+def assign_weights(
+    db: Database,
+    kind: str = "cost",
+    skew: float = 0.0,
+    seed: int = 0,
+    low: float = 0.0,
+    high: float = 10.0,
+) -> Database:
+    """Seeded per-fact weights for the weighted semirings (in place).
+
+    ``kind="cost"`` draws costs from ``[low, high)`` for ``mincost``
+    evaluation; ``kind="prob"`` draws probabilities from ``(0, 1]`` for
+    the ``prob`` semiring.  *skew* in ``[0, 1)`` concentrates the draw —
+    towards cheap facts for costs, towards near-certain facts for
+    probabilities (``0`` = uniform) — mirroring the value skew knob of
+    :func:`update_workload`.  Deterministic given *seed*: facts are
+    visited in sorted order, so the same database gets the same weights
+    regardless of insertion order.  Returns *db* for chaining.
+    """
+    if kind not in ("cost", "prob"):
+        raise ValueError(f"unknown weight kind {kind!r}; use 'cost' or 'prob'")
+    rng = random.Random(seed)
+    for predicate in sorted(db.predicates()):
+        for row in sorted(db.rows(predicate), key=repr):
+            # skew > 0 pushes u towards 0 (same shaping as pick_value).
+            u = rng.random() ** (1.0 + 4.0 * max(0.0, skew))
+            if kind == "cost":
+                db.set_weight(predicate, row, low + (high - low) * u)
+            else:
+                db.set_weight(predicate, row, 1.0 - 0.95 * u)
     return db
 
 

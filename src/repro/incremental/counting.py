@@ -8,6 +8,14 @@ support drops to zero; every other change is invisible one level up —
 which is why propagation along a join tree touches only the paths a
 delta actually affects.
 
+Algebraically this is annotated evaluation over
+:class:`repro.db.semiring.IntegerRing` — the ℕ counting semiring of
+``Engine.count`` completed with additive inverses so deltas can
+retract: a deletion is an insertion annotated ``negate(one)``, and all
+weight folds below go through the ring's ``plus``/``times``.  The
+machinery here is therefore the incremental face of the same instance
+the batch evaluator runs, not a private arithmetic.
+
 This module provides the three machine parts, all join-tree agnostic:
 
 * :class:`SupportCounter` — a multiset of rows that folds signed weight
@@ -29,28 +37,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from ..db.semiring import INT_RING, IntegerRing
 from ..db.stats import EvalStats
 
 Row = tuple
 #: row -> non-zero signed weight (a sparse delta of a counted relation).
+#: Weights are :data:`repro.db.semiring.INT_RING` elements.
 SignedRows = dict[Row, int]
 
 
 class SupportCounter:
     """Rows with strictly positive derivation counts.
 
-    :meth:`apply` folds a signed weight update into the counts and
-    returns the *set-level* delta: ``+1`` for rows whose support rose
-    from zero (appeared), ``-1`` for rows whose support hit zero
-    (vanished).  Support never goes negative — if it would, the caller
-    fed a delta that was not effective against the maintained state,
-    which is an internal invariant violation, not a user error.
+    :meth:`apply` folds a signed weight update into the counts with the
+    ring's ``plus`` and returns the *set-level* delta: ``one`` for rows
+    whose support rose from zero (appeared), ``negate(one)`` for rows
+    whose support hit zero (vanished).  Support never goes negative — if
+    it would, the caller fed a delta that was not effective against the
+    maintained state, which is an internal invariant violation, not a
+    user error.
     """
 
-    __slots__ = ("counts",)
+    __slots__ = ("counts", "ring")
 
-    def __init__(self) -> None:
+    def __init__(self, ring: IntegerRing = INT_RING) -> None:
         self.counts: dict[Row, int] = {}
+        self.ring = ring
 
     def __len__(self) -> int:
         return len(self.counts)
@@ -67,23 +79,26 @@ class SupportCounter:
     def apply(self, signed: Mapping[Row, int]) -> SignedRows:
         out: SignedRows = {}
         counts = self.counts
+        ring = self.ring
+        zero, one = ring.zero, ring.one
+        appeared, vanished = one, ring.negate(one)
         for row, weight in signed.items():
-            if not weight:
+            if weight == zero:
                 continue
-            old = counts.get(row, 0)
-            new = old + weight
-            if new < 0:
+            old = counts.get(row, zero)
+            new = ring.plus(old, weight)
+            if new < zero:
                 raise RuntimeError(
                     f"support underflow for {row!r}: {old} + {weight} "
                     "(delta not effective against maintained state)"
                 )
-            if new == 0:
+            if new == zero:
                 del counts[row]
-                out[row] = -1
+                out[row] = vanished
             else:
                 counts[row] = new
-                if old == 0:
-                    out[row] = 1
+                if old == zero:
+                    out[row] = appeared
         return out
 
 
@@ -155,16 +170,25 @@ class DeltaJoin:
     rule: inputs are updated in index order, and the contribution of
     ``ΔI_j`` joins the *new* state of inputs before ``j`` with the *old*
     state of inputs after ``j`` — summed and projected, that is exactly
-    the delta of the projected join.  The projection's derivation counts
-    live in :attr:`result`, so only zero crossings escape to the caller.
+    the delta of the projected join.  Weights combine through the ring:
+    a joined row's weight is the delta weight ``times`` the stored
+    row's unit annotation, and the projection ``plus``-folds collapsed
+    rows.  The projection's derivation counts live in :attr:`result`,
+    so only zero crossings escape to the caller.
     """
 
-    def __init__(self, inputs: list[JoinInput], keep: tuple[str, ...]):
+    def __init__(
+        self,
+        inputs: list[JoinInput],
+        keep: tuple[str, ...],
+        ring: IntegerRing = INT_RING,
+    ):
         if not inputs:
             raise ValueError("DeltaJoin needs at least one input")
         self.inputs = inputs
         self.keep = keep
-        self.result = SupportCounter()
+        self.ring = ring
+        self.result = SupportCounter(ring)
         self._plans: list[tuple[tuple[_FoldStep, ...], tuple[int, ...]]] = [
             self._compile(j) for j in range(len(inputs))
         ]
@@ -216,6 +240,8 @@ class DeltaJoin:
         """Fold the batch of per-input set deltas; return the set-level
         delta of the projected join result."""
         signed_out: SignedRows = {}
+        ring = self.ring
+        zero, one = ring.zero, ring.one
         for j in sorted(deltas):
             delta_j = deltas[j]
             if not delta_j:
@@ -231,11 +257,13 @@ class DeltaJoin:
                 nxt: SignedRows = {}
                 for row, weight in acc.items():
                     key = tuple(row[p] for p in step.acc_key_positions)
+                    # Stored rows are set-level state, annotated ``one``.
+                    weight = ring.times(weight, one)
                     for match in index.get(key, ()):
                         joined = row + tuple(
                             match[p] for p in step.append_positions
                         )
-                        nxt[joined] = nxt.get(joined, 0) + weight
+                        nxt[joined] = ring.plus(nxt.get(joined, zero), weight)
                 acc = nxt
                 if stats is not None:
                     stats.joins += 1
@@ -244,10 +272,12 @@ class DeltaJoin:
                     if size > stats.max_intermediate:
                         stats.max_intermediate = size
             for row, weight in acc.items():
-                if not weight:
+                if weight == zero:
                     continue
                 projected = tuple(row[p] for p in project)
-                signed_out[projected] = signed_out.get(projected, 0) + weight
+                signed_out[projected] = ring.plus(
+                    signed_out.get(projected, zero), weight
+                )
             # Input j's state becomes "new" for the inputs still pending.
             self.inputs[j].apply(delta_j)
         if stats is not None:

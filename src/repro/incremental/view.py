@@ -39,6 +39,7 @@ from ..core.atoms import Atom, Constant, Variable
 from ..core.query import ConjunctiveQuery
 from ..db.database import Database
 from ..db.relation import Relation
+from ..db.semiring import INT_RING
 from ..db.stats import EvalStats
 from ..engine.plan import QueryPlan
 from ..obs import current_tracer, get_registry
@@ -119,15 +120,17 @@ class _AtomFeed:
 
     def feed(self, rows: Mapping[Row, int]) -> SignedRows:
         signed: SignedRows = {}
+        ring = INT_RING
+        zero = ring.zero
         for row, sign in rows.items():
             if any(row[i] != value for i, value in self._const_checks):
                 continue
             if any(row[i] != row[f] for i, f in self._eq_checks):
                 continue
             out = tuple(row[p] for p in self._out_positions)
-            signed[out] = signed.get(out, 0) + sign
+            signed[out] = ring.plus(signed.get(out, zero), sign)
         if self._projector is None:
-            return {row: sign for row, sign in signed.items() if sign}
+            return {row: sign for row, sign in signed.items() if sign != zero}
         return self._projector.apply(signed)
 
 
@@ -250,7 +253,7 @@ class MaterializedView:
             else None
         )
         initial = {
-            p: {row: 1 for row in rows}
+            p: {row: INT_RING.one for row in rows}
             for p, rows in initial_rows.items()
             if rows
         }
@@ -318,14 +321,15 @@ class MaterializedView:
                 continue
             shadow = self._base[predicate]
             effective: dict[Row, int] = {}
+            inserted, deleted = INT_RING.one, INT_RING.negate(INT_RING.one)
             for row, sign in rows.items():
                 if sign > 0:
                     if row not in shadow:
                         shadow.add(row)
-                        effective[row] = 1
+                        effective[row] = inserted
                 elif row in shadow:
                     shadow.remove(row)
-                    effective[row] = -1
+                    effective[row] = deleted
             if effective:
                 base[predicate] = effective
         result = self._propagate(base)
@@ -392,9 +396,12 @@ class MaterializedView:
                     slot = self._nodes[parent].child_slot[bag]
                     pending.setdefault(parent, {})[slot] = out
             signed: SignedRows = {}
+            ring = INT_RING
             for row, weight in root_delta.items():
                 projected = tuple(row[p] for p in self._project_root)
-                signed[projected] = signed.get(projected, 0) + weight
+                signed[projected] = ring.plus(
+                    signed.get(projected, ring.zero), weight
+                )
             answer_signed = self._answers.apply(signed)
             if root_delta:
                 stats.projections += 1

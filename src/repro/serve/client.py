@@ -136,12 +136,21 @@ class ServeClient:
         q: str,
         budget_ms: float | None = None,
         queue_timeout_ms: float | None = None,
+        mode: str | None = None,
+        k: int | None = None,
     ) -> dict[str, Any]:
+        """Evaluate one query; *mode* selects a semiring evaluation
+        (``count``/``top_k``/``mincost``/``provenance``/``prob``; the
+        default is plain set semantics), *k* bounds ``top_k``."""
         params: dict[str, Any] = {"q": q}
         if budget_ms is not None:
             params["budget_ms"] = budget_ms
         if queue_timeout_ms is not None:
             params["queue_timeout_ms"] = queue_timeout_ms
+        if mode is not None:
+            params["mode"] = mode
+        if k is not None:
+            params["k"] = k
         return self.call("query", **params)
 
     def query_many(
@@ -149,13 +158,29 @@ class ServeClient:
         qs: Iterable[str],
         budget_ms: float | None = None,
         queue_timeout_ms: float | None = None,
+        mode: str | None = None,
     ) -> dict[str, Any]:
         params: dict[str, Any] = {"qs": list(qs)}
         if budget_ms is not None:
             params["budget_ms"] = budget_ms
         if queue_timeout_ms is not None:
             params["queue_timeout_ms"] = queue_timeout_ms
+        if mode is not None:
+            params["mode"] = mode
         return self.call("query_many", **params)
+
+    # Semiring-mode conveniences (see repro.db.semiring for semantics).
+    def count(self, q: str, **kwargs: Any) -> int:
+        """Total number of derivations of *q* (ℕ semiring)."""
+        return int(self.query(q, mode="count", **kwargs)["total"])
+
+    def top_k(self, q: str, k: int = 1, **kwargs: Any) -> list[dict[str, Any]]:
+        """The *k* cheapest answers with their costs and witnesses."""
+        return self.query(q, mode="top_k", k=k, **kwargs)["top"]
+
+    def provenance(self, q: str, **kwargs: Any) -> list[list[Any]]:
+        """``[row, witness sets]`` pairs for every answer of *q*."""
+        return self.query(q, mode="provenance", **kwargs)["annotations"]
 
     def subscribe(self, q: str) -> dict[str, Any]:
         return self.call("subscribe", q=q)

@@ -46,6 +46,14 @@ PROTOCOL_VERSION = 1
 #: protocol-violating (guards the server against unbounded buffering).
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
+#: Evaluation modes a ``query``/``query_many`` envelope may name:
+#: ``"set"`` (the default, plain set semantics) or one of the semiring
+#: modes of :mod:`repro.db.semiring` — ``"count"`` (derivation counts),
+#: ``"top_k"``/``"mincost"`` (tropical, cheapest witnesses; ``top_k``
+#: also reads a positive-int ``k``), ``"provenance"`` (why-provenance
+#: witness sets) and ``"prob"`` (probabilities).
+MODES = frozenset({"set", "count", "top_k", "mincost", "provenance", "prob"})
+
 #: The operations a request may name.
 OPS = frozenset(
     {

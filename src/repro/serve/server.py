@@ -36,6 +36,7 @@ example embed a server in one process.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import logging
 import threading
 import time
@@ -53,6 +54,7 @@ from ..obs import get_registry
 from .admission import AdmissionController
 from .protocol import (
     MAX_LINE_BYTES,
+    MODES,
     InternalError,
     ProtocolError,
     ResponseTooLarge,
@@ -520,10 +522,50 @@ class QueryServer:
             raise ProtocolError("missing query text 'q'")
         return parse_query(text, name=name)
 
+    #: Envelope mode → engine semiring tag (``top_k`` is the tropical
+    #: semiring plus a k-smallest cut on the annotations).
+    _MODE_SEMIRING = {
+        "count": "count",
+        "top_k": "mincost",
+        "mincost": "mincost",
+        "provenance": "provenance",
+        "prob": "prob",
+    }
+
+    def _parse_mode(
+        self, message: dict[str, Any]
+    ) -> tuple[str, str | None, int]:
+        """Validate the envelope's evaluation mode; returns
+        ``(mode, semiring tag or None, k)``."""
+        mode = message.get("mode", "set")
+        if mode not in MODES:
+            raise ProtocolError(
+                f"unknown mode {mode!r}; expected one of {sorted(MODES)}"
+            )
+        k = message.get("k", 1)
+        if mode == "top_k" and (not isinstance(k, int) or k < 1):
+            raise ProtocolError("mode 'top_k' needs a positive int 'k'")
+        return mode, self._MODE_SEMIRING.get(mode), k
+
+    @staticmethod
+    def _wire_value(tag: str, value: Any) -> Any:
+        """One annotation as JSON-representable data (tuples → lists,
+        witness sets ordered deterministically)."""
+        if tag == "mincost":
+            cost, witness = value
+            return [cost, [[p, list(r)] for p, r in witness]]
+        if tag == "provenance":
+            return [
+                sorted(([p, list(r)] for p, r in ws), key=repr)
+                for ws in sorted(value, key=repr)
+            ]
+        return value
+
     async def _op_query(
         self, tenant: Tenant, message: dict[str, Any]
     ) -> dict[str, Any]:
         query = self._parse_query(message.get("q"))
+        mode, semiring, k = self._parse_mode(message)
         tenant.admit()
         self.admission.check_cost(query, tenant.db)
         budget = tenant.effective_budget(_ms(message.get("budget_ms")))
@@ -538,10 +580,10 @@ class QueryServer:
                     # Engine.execute anchors the budget deadline *here*,
                     # on the executor thread, at execution start.
                     result = self.engine.execute(
-                        query, tenant.db, budget=budget
+                        query, tenant.db, budget=budget, semiring=semiring
                     )
                 tenant.charge(result.elapsed)
-                return {
+                payload = {
                     "rows": [list(r) for r in sorted(
                         result.answer.rows, key=repr
                     )],
@@ -550,8 +592,36 @@ class QueryServer:
                     "cache_hit": result.cache_hit,
                     "width": result.width,
                     "method": result.method,
+                    "mode": mode,
                     "elapsed_ms": round(result.elapsed * 1e3, 3),
                 }
+                if semiring is not None:
+                    annotations = result.annotations or {}
+                    if mode == "top_k":
+                        top = heapq.nsmallest(
+                            k,
+                            annotations.items(),
+                            key=lambda item: (item[1][0], repr(item[0])),
+                        )
+                        payload["top"] = [
+                            {
+                                "row": list(row),
+                                "cost": cost,
+                                "witness": [[p, list(r)] for p, r in witness],
+                            }
+                            for row, (cost, witness) in top
+                        ]
+                    else:
+                        payload["annotations"] = [
+                            [list(row), self._wire_value(semiring, value)]
+                            for row, value in sorted(
+                                annotations.items(), key=lambda kv: repr(kv[0])
+                            )
+                        ]
+                        payload["total"] = self._wire_value(
+                            semiring, result.answer.total()
+                        )
+                return payload
 
             try:
                 response = await self._run(work)
@@ -575,6 +645,12 @@ class QueryServer:
             self._parse_query(text, name=f"Q{i}")
             for i, text in enumerate(texts)
         ]
+        mode, semiring, _ = self._parse_mode(message)
+        if mode == "top_k":
+            raise ProtocolError(
+                "query_many does not support mode 'top_k'; "
+                "use 'query' (or mode 'mincost')"
+            )
         tenant.admit()
         for query in queries:
             self.admission.check_cost(query, tenant.db)
@@ -590,6 +666,7 @@ class QueryServer:
                     batch = self.engine.execute_many(
                         queries, db=tenant.db, budget=budget,
                         workers=1,  # the batch already owns one slot
+                        semiring=semiring,
                     )
                 tenant.charge(
                     sum(r.elapsed for r in batch),
@@ -598,19 +675,22 @@ class QueryServer:
                 results = []
                 for item in batch:
                     if item.ok:
-                        results.append(
-                            {
-                                "ok": True,
-                                "rows": [
-                                    list(r)
-                                    for r in sorted(
-                                        item.answer.rows, key=repr
-                                    )
-                                ],
-                                "cache_hit": item.cache_hit,
-                                "elapsed_ms": round(item.elapsed * 1e3, 3),
-                            }
-                        )
+                        entry = {
+                            "ok": True,
+                            "rows": [
+                                list(r)
+                                for r in sorted(
+                                    item.answer.rows, key=repr
+                                )
+                            ],
+                            "cache_hit": item.cache_hit,
+                            "elapsed_ms": round(item.elapsed * 1e3, 3),
+                        }
+                        if semiring is not None:
+                            entry["total"] = self._wire_value(
+                                semiring, item.answer.total()
+                            )
+                        results.append(entry)
                     else:
                         results.append(
                             {
@@ -630,6 +710,7 @@ class QueryServer:
                     "results": results,
                     "cache_hits": batch.cache_hits,
                     "failures": batch.failures,
+                    "mode": mode,
                     "elapsed_ms": round(batch.elapsed * 1e3, 3),
                 }
 

@@ -281,11 +281,14 @@ class TestEngineEquivalence:
     def test_cycle_engine_parallel_equivalence(self, seed, domain, tuples):
         query = _with_head(cycle_query(4))
         db = random_database(query, domain, tuples, seed=seed)
-        seq = Engine(mode="heuristic", parallelism=1).execute(query, db)
+        seq = Engine(mode="heuristic", backend="sequential").execute(query, db)
         for shards in (2, 7):
-            par = Engine(mode="heuristic", parallelism=shards).execute(
-                query, db
-            )
+            par = Engine(
+                mode="heuristic",
+                backend="thread",
+                backend_workers=shards,
+                shard_threshold=0,
+            ).execute(query, db)
             assert par.answer.rows == seq.answer.rows
             assert par.answer.attributes == seq.answer.attributes
 
@@ -298,18 +301,24 @@ class TestEngineEquivalence:
     def test_path_engine_parallel_equivalence(self, seed, domain, tuples):
         query = _with_head(path_query(3))
         db = random_database(query, domain, tuples, seed=seed)
-        seq = Engine(mode="heuristic", parallelism=1).execute(query, db)
+        seq = Engine(mode="heuristic", backend="sequential").execute(query, db)
         for shards in (2, 7):
-            par = Engine(mode="heuristic", parallelism=shards).execute(
-                query, db
-            )
+            par = Engine(
+                mode="heuristic",
+                backend="thread",
+                backend_workers=shards,
+                shard_threshold=0,
+            ).execute(query, db)
             assert par.answer.rows == seq.answer.rows
 
     def test_boolean_cycle_parallel(self):
         query = cycle_query(4)
         db = random_database(query, 6, 40, seed=5, plant_answer=True)
         for shards in (2, 7):
-            result = Engine(mode="heuristic", parallelism=shards).execute(
-                query, db
-            )
+            result = Engine(
+                mode="heuristic",
+                backend="thread",
+                backend_workers=shards,
+                shard_threshold=0,
+            ).execute(query, db)
             assert result.boolean is True

@@ -192,24 +192,28 @@ class TestParallelism:
         query = query.with_head(
             tuple(sorted(query.variables, key=lambda v: v.name)[:2])
         )
-        seq = Engine(parallelism=1).execute(query, db)
-        par = Engine(parallelism=4).execute(query, db)
+        seq = Engine(backend="sequential").execute(query, db)
+        par = Engine(
+            backend="thread", backend_workers=4, shard_threshold=0
+        ).execute(query, db)
         assert par.answer.rows == seq.answer.rows
         assert par.answer.attributes == seq.answer.attributes
 
     def test_per_call_override(self):
         db = Database.from_relations({"e": [(1, 2), (2, 3), (3, 1)]})
-        engine = Engine(parallelism=1)
+        engine = Engine(backend="sequential")
         result = engine.execute(
-            parse_query("e(X,Y), e(Y,Z), e(Z,X)"), db, parallelism=4
+            parse_query("e(X,Y), e(Y,Z), e(Z,X)"), db, backend="thread"
         )
         assert result.boolean
 
-    def test_execute_many_forwards_parallelism(self):
+    def test_execute_many_forwards_backend(self):
         db = Database.from_relations({"e": [(1, 2), (2, 3), (3, 1)]})
         engine = Engine()
         queries = [cycle_query(3, "e"), cycle_query(4, "e")]
-        batch = engine.execute_many(queries, db=db, workers=2, parallelism=3)
+        batch = engine.execute_many(
+            queries, db=db, workers=2, backend="thread"
+        )
         assert all(r.ok for r in batch)
         assert batch.results[0].boolean
 

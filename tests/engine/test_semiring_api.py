@@ -1,0 +1,117 @@
+"""Engine-level semiring API: count/top_k/provenance/probability, the
+(fingerprint, semiring)-keyed plan cache with cross-tag promotion, and
+the per-semiring request counters."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.db import Database
+from repro.engine import Engine
+from repro.obs import get_registry
+
+PATH2 = "ans(X, Z) :- e(X, Y), e(Y, Z)."
+EDGES = [(1, 2), (2, 3), (2, 4), (4, 5), (3, 5)]
+
+
+@pytest.fixture
+def db():
+    base = Database.from_relations({"e": EDGES})
+    return base
+
+
+@pytest.fixture
+def engine():
+    made = Engine(backend="sequential")
+    yield made
+    made.close()
+
+
+class TestConvenienceMethods:
+    def test_count(self, engine, db):
+        # (1,3), (1,4), (2,5)×2 derivations.
+        assert engine.count(parse_query(PATH2), db) == 4
+
+    def test_count_boolean_query(self, engine, db):
+        q = parse_query("ans() :- e(X, Y), e(Y, Z).")
+        assert engine.count(q, db) == 4
+
+    def test_top_k_orders_by_cost_and_witnesses_are_real(self, engine, db):
+        weighted = Database()
+        for u, v in EDGES:
+            weighted.add_fact("e", u, v, weight=float(u + v))
+        top = engine.top_k(parse_query(PATH2), weighted, k=2)
+        assert len(top) == 2
+        costs = [cost for _, cost, _ in top]
+        assert costs == sorted(costs)
+        for row, cost, witness in top:
+            assert cost == pytest.approx(
+                sum(weighted.weight(p, r) for p, r in witness)
+            )
+
+    def test_top_k_rejects_nonpositive_k(self, engine, db):
+        with pytest.raises(ValueError):
+            engine.top_k(parse_query(PATH2), db, k=0)
+
+    def test_provenance_maps_rows_to_witness_sets(self, engine, db):
+        prov = engine.provenance(parse_query(PATH2), db)
+        assert set(prov) == {(1, 3), (1, 4), (2, 5)}
+        assert len(prov[(2, 5)]) == 2  # via 3 and via 4
+
+    def test_probability_certain_facts(self, engine, db):
+        probs = engine.probability(parse_query(PATH2), db)
+        assert all(v == pytest.approx(1.0) for v in probs.values())
+
+    def test_process_backend_end_to_end(self, db):
+        engine = Engine(
+            backend="process", backend_workers=2, shard_threshold=0
+        )
+        try:
+            assert engine.count(parse_query(PATH2), db) == 4
+            prov = engine.provenance(parse_query(PATH2), db)
+            assert len(prov[(2, 5)]) == 2
+        finally:
+            engine.close()
+
+    def test_set_semantics_result_has_no_annotations(self, engine, db):
+        result = engine.execute(parse_query(PATH2), db)
+        assert result.semiring is None
+        assert result.annotations is None
+
+
+class TestPlanCacheSharing:
+    def test_semiring_switch_promotes_instead_of_replanning(self, engine, db):
+        query = parse_query(PATH2)
+        engine.execute(query, db)
+        decompositions = engine.decompositions
+        before = engine.cache.snapshot()
+        result = engine.execute(query, db, semiring="count")
+        assert result.answer.total() == 4
+        after = engine.cache.snapshot()
+        # The count-tagged miss was served by transporting the set-tagged
+        # entry: no new decomposition search ran.
+        assert engine.decompositions == decompositions
+        assert after["promotions"] > before["promotions"]
+        # A second count execution hits its own bucket directly.
+        promoted = after["promotions"]
+        engine.execute(query, db, semiring="count")
+        assert engine.cache.snapshot()["promotions"] == promoted
+
+    def test_requests_counted_per_semiring(self, db):
+        engine = Engine(backend="sequential")
+        try:
+            registry = get_registry()
+            query = parse_query(PATH2)
+
+            def reading(tag):
+                return registry.counter(
+                    f"semiring.{tag}.engine.requests"
+                ).value
+
+            base_set, base_count = reading("set"), reading("count")
+            engine.execute(query, db)
+            engine.execute(query, db, semiring="count")
+            engine.execute(query, db, semiring="count")
+            assert reading("set") == base_set + 1
+            assert reading("count") == base_count + 2
+        finally:
+            engine.close()

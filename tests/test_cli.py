@@ -200,16 +200,34 @@ class TestRun:
         assert code == 1
         assert "ERROR" in capsys.readouterr().out
 
-    def test_parallelism_flag_matches_sequential(self, facts_file, capsys):
+    def test_backend_flag_matches_sequential(self, facts_file, capsys):
         assert main(["run", facts_file, "ans(X) :- e(X, Y)."]) == 0
         sequential = capsys.readouterr().out
         code = main(
-            ["run", facts_file, "ans(X) :- e(X, Y).", "--parallelism", "4"]
+            ["run", facts_file, "ans(X) :- e(X, Y).", "--backend", "thread"]
         )
         assert code == 0
         parallel = capsys.readouterr().out
         assert "3 answers" in sequential
         assert "3 answers" in parallel
+
+    def test_semiring_flag_reports_count_total(self, facts_file, capsys):
+        # Triangle: each X has exactly one two-hop path, so 3 derivations.
+        code = main(
+            ["run", facts_file, "ans(X) :- e(X, Y), e(Y, Z).",
+             "--semiring", "count"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count total 3" in out
+
+    def test_semiring_flag_boolean_query(self, facts_file, capsys):
+        code = main(
+            ["run", facts_file, "e(X,Y), e(Y,Z), e(Z,X)",
+             "--semiring", "count"]
+        )
+        assert code == 0
+        assert "count total" in capsys.readouterr().out
 
     def test_unknown_relation_exits_one_readably(self, facts_file, capsys):
         code = main(["run", facts_file, "ans(X) :- nosuch(X, Y)."])
@@ -513,4 +531,21 @@ class TestServeCli:
         assert doc["tenants"]["acme"]["consumed_seconds"] == 0.25
         assert doc["tenants"]["beta"] == {"requests": 1}
         # Unscoped instruments stay where they were.
+        assert doc["counters"]["eval.joins"] == 9
+
+    def test_stats_json_groups_semiring_counters(self, tmp_path, capsys):
+        snap = tmp_path / "m.json"
+        snap.write_text(json.dumps({
+            "counters": {
+                "semiring.count.engine.requests": 2,
+                "semiring.mincost.engine.requests": 1,
+                "eval.joins": 9,
+            },
+            "gauges": {},
+            "histograms": {},
+        }))
+        assert main(["stats", str(snap), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["semirings"]["count"]["engine.requests"] == 2
+        assert doc["semirings"]["mincost"]["engine.requests"] == 1
         assert doc["counters"]["eval.joins"] == 9
