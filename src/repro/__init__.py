@@ -56,7 +56,7 @@ from .obs import (
     write_chrome_trace,
     write_speedscope,
 )
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 # After __version__: the server advertises it in the hello handshake.
 from .serve import (  # noqa: E402

@@ -33,10 +33,12 @@ Commands
     cache's hit/miss/eviction numbers.  ``--backend
     sequential|thread|process`` selects where shard tasks run; shard
     counts themselves come from cardinality estimates — relations under
-    ~1k rows stay unsharded.  ``--semiring count|mincost|provenance|prob``
+    ~1k rows stay unsharded.  ``--layout row|columnar|auto`` picks the
+    bag storage layout (columnar = vectorised kernels + shared-memory
+    scatter).  ``--semiring count|mincost|provenance|prob``
     switches the batch to annotated evaluation (derivation counts,
     cheapest witnesses, why-provenance, probabilities).
-``explain QUERY [FACTS] [--analyze] [--backend B]``
+``explain QUERY [FACTS] [--analyze] [--backend B] [--layout L]``
     Render the physical plan the engine would execute: cached-or-fresh
     decomposition provenance, per-bag join order with cardinality
     estimates (when FACTS is given), and the rooted join tree.  With
@@ -308,6 +310,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         budget=args.budget,
         workers=args.workers,
         backend=args.backend,
+        layout=args.layout,
         slow_query_ms=args.slow_query_ms,
         flight_dump=args.flight_dump,
     )
@@ -354,7 +357,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     query = _load_query(args.query)
     db = _load_facts(args.facts) if args.facts else None
-    engine = Engine(mode=args.strategy, backend=args.backend)
+    engine = Engine(
+        mode=args.strategy, backend=args.backend, layout=args.layout
+    )
     if args.analyze and db is None:
         print(
             "error: --analyze executes the query and needs a FACTS file",
@@ -863,6 +868,15 @@ def build_parser() -> argparse.ArgumentParser:
         "cardinality estimates (sub-1k-row relations stay unsharded)",
     )
     p.add_argument(
+        "--layout",
+        default=None,
+        choices=["row", "columnar", "auto"],
+        help="bag storage layout: 'columnar' (contiguous buffers + "
+        "vectorised kernels + shared-memory scatter), 'row' "
+        "(frozenset-of-tuples), or 'auto' (columnar for nodes estimated "
+        "at 1k+ rows); default: $REPRO_LAYOUT or auto",
+    )
+    p.add_argument(
         "--semiring",
         default=None,
         choices=["count", "mincost", "provenance", "prob"],
@@ -903,6 +917,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["sequential", "thread", "process"],
         help="execution backend for the plan (and the --analyze run); "
         "default: $REPRO_BACKEND or sequential",
+    )
+    p.add_argument(
+        "--layout",
+        default=None,
+        choices=["row", "columnar", "auto"],
+        help="bag storage layout for the plan; default: $REPRO_LAYOUT "
+        "or auto",
     )
     _add_observability_options(p)
     p.set_defaults(fn=_cmd_explain)

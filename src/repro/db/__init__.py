@@ -9,6 +9,14 @@ from .backend import (
     make_backend,
 )
 from .binding import BoundQuery, bind_atom
+from .columnar import (
+    COLUMNAR_MIN_ROWS,
+    LAYOUTS,
+    ColumnarRelation,
+    default_layout,
+    from_columns,
+    to_columnar,
+)
 from .database import Database
 from .evaluate import (
     Lemma46Result,
@@ -47,11 +55,14 @@ from .yannakakis import boolean_eval, enumerate_answers, full_reduce
 __all__ = [
     "AnnotatedRelation",
     "BoundQuery",
+    "COLUMNAR_MIN_ROWS",
     "COUNTING",
+    "ColumnarRelation",
     "Database",
     "EvalStats",
     "ExecutionContext",
     "INT_RING",
+    "LAYOUTS",
     "Lemma46Result",
     "MINCOST",
     "PROB",
@@ -67,7 +78,9 @@ __all__ = [
     "backtracking_eval",
     "bind_atom",
     "boolean_eval",
+    "default_layout",
     "enumerate_answers",
+    "from_columns",
     "evaluate",
     "evaluate_boolean",
     "full_reduce",
@@ -81,4 +94,5 @@ __all__ = [
     "parallel_enumerate_answers",
     "parallel_full_reduce",
     "shard_key_for",
+    "to_columnar",
 ]

@@ -481,7 +481,13 @@ def merge_annotated(
     gather point of the sharded kernel.  Aligned shards partition their
     rows, so collisions normally cannot happen; when they do (broadcast
     results, re-sharded unions) the duplicate row's values are folded
-    with ``plus``.  Plain pieces contribute ``one`` per row."""
+    with ``plus``.  Plain pieces contribute ``one`` per row.
+
+    Each per-shard map merges in one pass: collisions are found with a
+    C-speed key-set intersection and only those few rows take the
+    Python-level ``plus`` detour — the common disjoint-shard case is a
+    plain bulk ``dict.update`` instead of a per-row get/store loop
+    (profiled hotspot under ``semiring=count`` with 8 shards)."""
     semiring = None
     for piece in pieces:
         semiring = getattr(piece, "semiring", None)
@@ -492,13 +498,21 @@ def merge_annotated(
     plus = semiring.plus
     one = semiring.one
     merged: dict[Row, object] = {}
-    get = merged.get
     for piece in pieces:
         ann = getattr(piece, "annotations", None)
-        for row in piece.rows:
-            value = one if ann is None else ann[row]
-            prior = get(row, _MISSING)
-            merged[row] = value if prior is _MISSING else plus(prior, value)
+        if ann is None:
+            ann = dict.fromkeys(piece.rows, one)
+        if not merged:
+            merged.update(ann)
+            continue
+        collisions = merged.keys() & ann.keys()
+        if not collisions:
+            merged.update(ann)
+        else:
+            saved = [(row, merged[row]) for row in collisions]
+            merged.update(ann)
+            for row, prior in saved:
+                merged[row] = plus(prior, merged[row])
     return AnnotatedRelation.make(
         attributes, frozenset(merged), name, semiring, merged
     )

@@ -68,10 +68,23 @@ from ..obs.flight import get_flight_recorder
 from ..obs.profiler import SamplingProfiler, current_profiler
 from ..obs.tracer import span_tuple
 from .annotated import AnnotatedRelation, dispatch_probe_join, merge_annotated
+from .columnar import (
+    ColumnarRelation,
+    column_from_payload,
+    columnar_probe_join,
+    concat_columnar,
+)
 from .relation import Relation, Row
 from .semiring import get_semiring
+from .shm import attach_columnar, export_columnar, shm_available
 
 BACKEND_KINDS = ("sequential", "thread", "process")
+
+#: Columnar relations at or above this many rows cross the process
+#: boundary through a shared-memory segment (tiny descriptor on the
+#: queue, zero-copy attach in the worker) instead of the byte codec.
+#: Below it the segment setup costs more than the pickle it saves.
+SHM_MIN_ROWS = 2048
 
 #: Environment variable selecting the default backend kind (CI runs the
 #: tier-1 suite once with ``REPRO_BACKEND=process`` to exercise the
@@ -100,6 +113,9 @@ def encode_relation(rel: Relation) -> RelationPayload:
     the other side.  Annotated relations extend the triple with their
     semiring tag and ``(row, value)`` annotation items; semirings cross
     the boundary by tag and are resolved from the registry on arrival.
+    Columnar relations ship their raw column buffers (``tobytes`` plus
+    dictionary pools) as a length-4 payload — no row tuples are ever
+    built on either side.
     """
     if isinstance(rel, AnnotatedRelation):
         return (
@@ -108,6 +124,13 @@ def encode_relation(rel: Relation) -> RelationPayload:
             tuple(rel.rows),
             rel.semiring.tag,
             tuple(rel.annotations.items()),
+        )
+    if isinstance(rel, ColumnarRelation):
+        return (
+            rel.attributes,
+            rel.name,
+            rel.length,
+            tuple(col.payload() for col in rel.columns),
         )
     return (rel.attributes, rel.name, tuple(rel.rows))
 
@@ -118,6 +141,14 @@ def decode_relation(payload: RelationPayload) -> Relation:
         attributes, name, rows, tag, items = payload
         return AnnotatedRelation.make(
             attributes, frozenset(rows), name, get_semiring(tag), dict(items)
+        )
+    if len(payload) == 4:
+        attributes, name, length, cols = payload
+        return ColumnarRelation.make(
+            attributes,
+            tuple(column_from_payload(c) for c in cols),
+            name,
+            length,
         )
     attributes, name, rows = payload
     return Relation.trusted(attributes, frozenset(rows), name)
@@ -174,6 +205,14 @@ def _op_probe_join(
     out_attrs: tuple[str, ...],
     name: str,
 ) -> Relation:
+    if isinstance(partner, ColumnarRelation) and isinstance(
+        shard, ColumnarRelation
+    ):
+        # Both sides columnar (e.g. an shm-attached broadcast partner
+        # probing a columnar resident shard): batch kernel, no tuples.
+        return columnar_probe_join(
+            partner, shard, False, shared, extra_pos, out_attrs, name
+        )
     return dispatch_probe_join(
         partner, shard, False, shared, extra_pos, out_attrs, name
     )
@@ -321,10 +360,21 @@ class ExecutionContext:
             return pieces[0]
         if any(isinstance(piece, AnnotatedRelation) for piece in pieces):
             return merge_annotated(pieces, attributes, name)
+        if all(isinstance(piece, ColumnarRelation) for piece in pieces):
+            # Keep the merge columnar so downstream operators stay on
+            # the batch kernels.
+            return concat_columnar(pieces, attributes, name)
         merged: set[Row] = set()
         for piece in pieces:
             merged |= piece.rows
         return Relation.trusted(attributes, frozenset(merged), name)
+
+    def prefers_relation_scatter(self, rel) -> bool:
+        """True when scattering *rel* itself beats scattering derived
+        structures (key sets): the process backend answers yes for
+        shm-eligible columnar relations, whose buffers cross for free
+        while a pickled key set would not."""
+        return False
 
     def _fetch(self, pieces: Sequence) -> list[Relation]:
         return list(pieces)
@@ -459,8 +509,10 @@ class ThreadBackend(ExecutionContext):
 #                      ("err", tid, traceback_text, (), ())
 #
 # Argument/result encodings: ("r", attrs, name, rows) for relations via
-# the compact codec, ("t", token) for worker-resident objects, and
-# ("v", obj) for plain picklable values.  With ``trace`` set the worker
+# the compact codec, ("t", token) for worker-resident objects,
+# ("s", descriptor) for columnar relations riding a shared-memory
+# segment (the worker attaches by name, zero-copy), and ("v", obj) for
+# plain picklable values.  With ``trace`` set the worker
 # times each operator on the shared monotonic clock and ships the span
 # tuples (:func:`repro.obs.tracer.span_tuple`) back in the reply; the
 # parent ingests them into the current tracer labelled with the owning
@@ -486,8 +538,11 @@ def _encode_arg(arg) -> tuple:
 
 
 def _decode_value(payload: tuple):
-    if payload[0] == "r":
+    tag = payload[0]
+    if tag == "r":
         return decode_relation(payload[1:])
+    if tag == "s":
+        return attach_columnar(payload[1])
     return payload[1]
 
 
@@ -497,6 +552,8 @@ def _worker_decode(payload: tuple, store: dict):
         return decode_relation(payload[1:])
     if tag == "t":
         return store[payload[1]]
+    if tag == "s":
+        return attach_columnar(payload[1])
     return payload[1]
 
 
@@ -637,12 +694,26 @@ class ProcessBackend(ExecutionContext):
         self._lock = threading.RLock()
         self._closed = False
         self._counter = itertools.count()
-        # Broadcast registry: id(obj) -> (obj, token).  The strong
-        # reference pins the id, so the identity-keyed LRU is sound.
-        self._scattered: OrderedDict[int, tuple[object, str]] = OrderedDict()
+        # Broadcast registry: (identity, version) -> (obj, token).  The
+        # strong reference pins the id, so the identity-keyed LRU is
+        # sound; the version component (for objects that expose one,
+        # e.g. databases) keys out stale payloads after mutation.
+        self._scattered: OrderedDict[tuple, tuple[object, str]] = OrderedDict()
         self._scatter_limit = max(8, scatter_cache)
         self._sent: set[str] = set()
         self._dead: deque[tuple[int, str]] = deque()
+        # Pickled-payload cache, independent of the scatter registry's
+        # eviction: a build side scattered again after LRU churn — or
+        # re-referenced by a later plan node — reuses its serialised
+        # blob instead of re-pickling.  Strong references pin ids.
+        self._blob_lru: OrderedDict[tuple, tuple[object, bytes]] = OrderedDict()
+        self._blob_limit = 16
+        # Shared-memory lifecycle: token -> live segment for broadcast
+        # payloads, plus retired segments whose unlink is deferred to
+        # close/abort (eviction must not unlink a segment a worker has
+        # queued-but-not-processed a "cache" message for).
+        self._shm_segments: dict[str, object] = {}
+        self._shm_retired: list = []
 
     # -- lifecycle --------------------------------------------------------
     def close(self) -> None:
@@ -653,6 +724,10 @@ class ProcessBackend(ExecutionContext):
             self._dead.clear()
             self._scattered.clear()
             self._sent.clear()
+            self._blob_lru.clear()
+            segments = [*self._shm_segments.values(), *self._shm_retired]
+            self._shm_segments.clear()
+            self._shm_retired.clear()
         for task_queue in self._task_queues:
             try:
                 task_queue.put(None)
@@ -664,6 +739,10 @@ class ProcessBackend(ExecutionContext):
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=1.0)
+        # Unlink after the workers are gone: every queued "cache"
+        # attach has either run or can never run.
+        for segment in segments:
+            segment.release()
         for q in (*self._task_queues, self._result_queue):
             q.cancel_join_thread()
             q.close()
@@ -720,11 +799,12 @@ class ProcessBackend(ExecutionContext):
         the first ``map_shards`` dispatch that references it — and
         dropped everywhere when the LRU evicts it.  Repeated scatters of
         the same object (e.g. a semijoin filter reused across both sweep
-        directions) return the same token without re-serialising.
+        directions, or a build side referenced by several plan nodes)
+        return the same token without re-serialising.
         """
         with self._lock:
             self._ensure_open()
-            key = id(obj)
+            key = self._scatter_key(obj)
             entry = self._scattered.get(key)
             if entry is not None and entry[0] is obj:
                 self._scattered.move_to_end(key)
@@ -734,12 +814,33 @@ class ProcessBackend(ExecutionContext):
             self._evict_overflow_locked()
             return _BroadcastRef(token, obj)
 
+    @staticmethod
+    def _scatter_key(obj) -> tuple:
+        """LRU key: object identity plus (when exposed) its version, so
+        a mutated-and-rescattered container cannot alias a stale
+        worker-resident payload through id reuse."""
+        return (id(obj), getattr(obj, "version", None))
+
+    def prefers_relation_scatter(self, rel) -> bool:
+        return (
+            isinstance(rel, ColumnarRelation)
+            and rel.length >= SHM_MIN_ROWS
+            and shm_available()
+        )
+
     def _evict_overflow_locked(self) -> None:
         while len(self._scattered) > self._scatter_limit:
             _, (_, old_token) = self._scattered.popitem(last=False)
             self._uncache_broadcast_locked(old_token)
 
     def _uncache_broadcast_locked(self, token: str) -> None:
+        segment = self._shm_segments.pop(token, None)
+        if segment is not None:
+            # Deferred unlink: a worker may still have the "cache"
+            # message for this token queued ahead of the uncache; close
+            # or abort performs the actual release once no attach can
+            # still be in flight.
+            self._shm_retired.append(segment)
         if token in self._sent:
             self._sent.discard(token)
             for task_queue in self._task_queues:
@@ -748,7 +849,7 @@ class ProcessBackend(ExecutionContext):
     def _broadcast_locked(self, ref: _BroadcastRef) -> None:
         if ref.token in self._sent:
             return
-        key = id(ref.value)
+        key = self._scatter_key(ref.value)
         entry = self._scattered.get(key)
         if entry is None or entry[1] != ref.token:
             # The LRU evicted (or re-tokened) this payload between
@@ -761,15 +862,36 @@ class ProcessBackend(ExecutionContext):
             self._scattered[key] = (ref.value, ref.token)
             self._scattered.move_to_end(key)
             self._evict_overflow_locked()
-        # Pre-pickle once: each queue would otherwise re-serialise the
-        # same payload per worker (workers x the codec cost).
-        blob = pickle.dumps(
-            _encode_value(ref.value), protocol=pickle.HIGHEST_PROTOCOL
-        )
+        registry = get_registry()
+        if self.prefers_relation_scatter(ref.value):
+            # Zero-copy broadcast: the column buffers go into a shared
+            # memory segment; only the tiny descriptor rides the queues.
+            descriptor, segment = export_columnar(ref.value)
+            self._shm_segments[ref.token] = segment
+            blob = pickle.dumps(
+                ("s", descriptor), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            registry.counter("backend.shm_segments").inc()
+            registry.counter("backend.shm_bytes").inc(segment.size)
+        else:
+            cached = self._blob_lru.get(key)
+            if cached is not None and cached[0] is ref.value:
+                # Already pickled for a previous node/token: reuse.
+                self._blob_lru.move_to_end(key)
+                blob = cached[1]
+                registry.counter("backend.scatter_blob_reuse").inc()
+            else:
+                # Pre-pickle once: each queue would otherwise
+                # re-serialise the same payload per worker.
+                blob = pickle.dumps(
+                    _encode_value(ref.value), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                self._blob_lru[key] = (ref.value, blob)
+                while len(self._blob_lru) > self._blob_limit:
+                    self._blob_lru.popitem(last=False)
         for task_queue in self._task_queues:
             task_queue.put(("cache", ref.token, blob))
         self._sent.add(ref.token)
-        registry = get_registry()
         registry.counter("backend.scatter_casts").inc()
         registry.counter("backend.scatter_bytes").inc(
             len(blob) * len(self._task_queues)
@@ -805,60 +927,91 @@ class ProcessBackend(ExecutionContext):
                         )
                     ]
                 return [fn(*_resolve_local(tasks[0]))]
+            # Per-call shared-memory shipments: big columnar arguments
+            # cross via a segment + descriptor instead of the codec.
+            # Released in the ``finally`` — by then every task that
+            # references a segment has been executed by its worker (the
+            # reply arrived), so the worker holds a live mapping and
+            # the parent-side unlink only removes the name.
+            call_segments: dict[int, tuple] = {}
+
+            def encode_arg(a):
+                if (
+                    isinstance(a, ColumnarRelation)
+                    and a.length >= SHM_MIN_ROWS
+                    and shm_available()
+                ):
+                    cached = call_segments.get(id(a))
+                    if cached is None:
+                        cached = export_columnar(a)
+                        call_segments[id(a)] = cached
+                        registry = get_registry()
+                        registry.counter("backend.shm_segments").inc()
+                        registry.counter("backend.shm_bytes").inc(
+                            cached[1].size
+                        )
+                    return ("s", cached[0])
+                return _encode_arg(a)
+
             pending: dict[int, tuple[int, str | None, int]] = {}
-            for i, args in enumerate(tasks):
-                owners = {
-                    a.owner for a in args if isinstance(a, RemoteShard)
-                }
-                if len(owners) > 1:
-                    raise ProcessBackendError(
-                        f"operator {op!r} mixes shards resident on workers "
-                        f"{sorted(owners)}; partition-wise tasks must align"
+            try:
+                for i, args in enumerate(tasks):
+                    owners = {
+                        a.owner for a in args if isinstance(a, RemoteShard)
+                    }
+                    if len(owners) > 1:
+                        raise ProcessBackendError(
+                            f"operator {op!r} mixes shards resident on "
+                            f"workers {sorted(owners)}; partition-wise "
+                            f"tasks must align"
+                        )
+                    owner = owners.pop() if owners else i % self.workers
+                    for arg in args:
+                        if isinstance(arg, _BroadcastRef):
+                            self._broadcast_locked(arg)
+                    tid = next(self._counter)
+                    out_token = f"t{next(self._counter)}" if keep else None
+                    self._task_queues[owner].put(
+                        ("task", tid, op, out_token,
+                         tuple(encode_arg(a) for a in args),
+                         tracer.enabled, profile_hz)
                     )
-                owner = owners.pop() if owners else i % self.workers
-                for arg in args:
-                    if isinstance(arg, _BroadcastRef):
-                        self._broadcast_locked(arg)
-                tid = next(self._counter)
-                out_token = f"t{next(self._counter)}" if keep else None
-                self._task_queues[owner].put(
-                    ("task", tid, op, out_token,
-                     tuple(_encode_arg(a) for a in args),
-                     tracer.enabled, profile_hz)
-                )
-                pending[tid] = (i, out_token, owner)
-            results: list = [None] * len(tasks)
-            failure: str | None = None
-            while pending:
-                status, tid, payload, spans, samples = (
-                    self._next_result_locked()
-                )
-                entry = pending.pop(tid, None)
-                if entry is None:
-                    continue  # stale reply from an earlier aborted call
-                i, out_token, owner = entry
-                if spans:
-                    # Worker-resident spans: same monotonic timeline,
-                    # laid out on the owning worker's track.
-                    tracer.ingest(spans, tid=f"worker-{owner}")
-                if samples:
-                    # Worker-side profile samples, rooted per worker pid
-                    # so one flamegraph covers driver and workers.
-                    profiler.ingest(
-                        samples, label=f"worker-{self._procs[owner].pid}"
+                    pending[tid] = (i, out_token, owner)
+                results: list = [None] * len(tasks)
+                failure: str | None = None
+                while pending:
+                    status, tid, payload, spans, samples = (
+                        self._next_result_locked()
                     )
-                if status == "err":
-                    failure = failure or payload
-                elif out_token is not None:
-                    results[i] = self._remote(
-                        out_token,
-                        out_attributes or (),
-                        out_name or "r",
-                        payload,
-                        owner,
-                    )
-                else:
-                    results[i] = _decode_value(payload)
+                    entry = pending.pop(tid, None)
+                    if entry is None:
+                        continue  # stale reply from an earlier aborted call
+                    i, out_token, owner = entry
+                    if spans:
+                        # Worker-resident spans: same monotonic timeline,
+                        # laid out on the owning worker's track.
+                        tracer.ingest(spans, tid=f"worker-{owner}")
+                    if samples:
+                        # Worker-side profile samples, rooted per worker
+                        # pid so one flamegraph covers driver and workers.
+                        profiler.ingest(
+                            samples, label=f"worker-{self._procs[owner].pid}"
+                        )
+                    if status == "err":
+                        failure = failure or payload
+                    elif out_token is not None:
+                        results[i] = self._remote(
+                            out_token,
+                            out_attributes or (),
+                            out_name or "r",
+                            payload,
+                            owner,
+                        )
+                    else:
+                        results[i] = _decode_value(payload)
+            finally:
+                for _, segment in call_segments.values():
+                    segment.release()
             if failure is not None:
                 raise ProcessBackendError(
                     f"shard operator {op!r} failed in a worker:\n{failure}"
@@ -902,11 +1055,18 @@ class ProcessBackend(ExecutionContext):
         self._dead.clear()
         self._scattered.clear()
         self._sent.clear()
+        self._blob_lru.clear()
+        segments = [*self._shm_segments.values(), *self._shm_retired]
+        self._shm_segments.clear()
+        self._shm_retired.clear()
         for proc in self._procs:
             if proc.is_alive():
                 proc.terminate()
         for proc in self._procs:
             proc.join(timeout=1.0)
+        # The workers are dead: no attach can be in flight, unlink now.
+        for segment in segments:
+            segment.release()
         for q in (*self._task_queues, self._result_queue):
             q.cancel_join_thread()
             q.close()

@@ -1,0 +1,903 @@
+"""Columnar relations: contiguous column buffers + vectorised kernels.
+
+The row engine in :mod:`repro.db.relation` stores a relation as a
+``frozenset`` of Python tuples.  That representation is ideal for
+set-semantics correctness but pays interpreter overhead per *row* in
+every hot loop: a semijoin touches one tuple at a time, a projection
+allocates one output tuple per input row, and the process backend's
+codec re-serialises the tuples at every scatter.
+
+:class:`ColumnarRelation` keeps the same logical contract — an immutable
+named set of tuples, substitutable anywhere a
+:class:`~repro.db.relation.Relation` is accepted — but stores each
+column as one contiguous buffer:
+
+* pure-``int`` columns as ``array('q')`` (machine int64),
+* pure-``float`` columns as ``array('d')``,
+* everything else dictionary-encoded: an ``array('q')`` of codes plus a
+  tuple *pool* of the distinct values (the pool is shared, never
+  re-encoded, across every derived relation).
+
+The relational operators are rewritten as batch kernels over those
+buffers: key sets build in one pass over a column, semijoins produce a
+*selection vector* of surviving positions and gather each output column
+in a single ``array(map(...))`` sweep, joins collect matched position
+pairs and materialise output columns without ever allocating per-row
+tuples, and dictionary columns get a pool-level fast path (membership
+is decided once per *distinct* value, then rows are selected by integer
+code).  Because the buffers support the buffer protocol they also ship
+zero-copy through ``multiprocessing.shared_memory`` — see
+:mod:`repro.db.shm` — so process-backend workers attach partitions by
+name instead of decoding row tuples.
+
+Row materialisation stays available (the :attr:`ColumnarRelation.rows`
+property decodes lazily, once) so inherited operations, equality and
+every existing consumer keep working; annotated semiring relations stay
+on the row path entirely (their per-row annotation maps defeat columnar
+batching by construction).
+"""
+
+from __future__ import annotations
+
+from array import array
+from functools import partial
+from itertools import compress, repeat
+from operator import is_not
+from typing import Iterable, Iterator, Sequence
+
+from .._errors import SchemaError
+from .annotated import AnnotatedRelation, join_dispatch
+from .relation import Relation, Row, Value
+
+try:  # Optional acceleration: zero-copy numpy views over the buffers.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the standard image
+    _np = None
+
+#: C-level "is not None" predicate for mask building.
+_NOT_NONE = partial(is_not, None)
+
+#: Valid layout policies for engines / plans.  ``row`` is the historical
+#: tuple engine, ``columnar`` forces conversion of every plain relation,
+#: ``auto`` converts per plan node when the cost model predicts enough
+#: rows for the batch kernels to amortise the conversion.
+LAYOUTS = ("row", "columnar", "auto")
+
+#: Environment variable selecting the default layout (CI runs the tier-1
+#: suite once with ``REPRO_LAYOUT=columnar`` to exercise the columnar
+#: kernels end to end).
+LAYOUT_ENV_VAR = "REPRO_LAYOUT"
+
+#: Under ``layout="auto"`` a plan-node relation converts to columnar
+#: only at or above this many rows — below it the O(n) conversion can
+#: cost more than the per-row savings of one sweep.  Deliberately equal
+#: to the shard policy's ``SHARD_MIN_ROWS``: both thresholds answer "is
+#: this relation big enough for batch execution to win".
+COLUMNAR_MIN_ROWS = 1000
+
+
+def default_layout() -> str:
+    """The layout engines use when none is chosen explicitly:
+    ``$REPRO_LAYOUT`` when it names a valid layout, else ``auto``."""
+    import os
+
+    layout = os.environ.get(LAYOUT_ENV_VAR, "").strip().lower()
+    return layout if layout in LAYOUTS else "auto"
+
+
+_TYPECODE = {"i": "q", "f": "d", "o": "q"}
+_NP_DTYPE = {"i": "int64", "f": "float64", "o": "int64"}
+
+
+def _np_view(col: "Column"):
+    """Zero-copy numpy view of a column buffer (works for both local
+    ``array`` storage and shared-memory ``memoryview`` columns)."""
+    return _np.frombuffer(
+        memoryview(col.data).cast("B"), dtype=_NP_DTYPE[col.kind]
+    )
+
+
+def _np_keys(keys, kind: str):
+    """The key set as a numpy array matching the column dtype, or
+    ``None`` when the keys are not homogeneously typed to match the
+    column (heterogeneous sets keep Python equality semantics, so those
+    fall back to the interpreter membership path)."""
+    key_types = set(map(type, keys))
+    if kind == "i" and key_types == {int}:
+        try:
+            return _np.fromiter(keys, dtype=_np.int64, count=len(keys))
+        except OverflowError:
+            return None  # a key beyond int64 cannot use the int64 path
+    if kind == "f" and key_types == {float}:
+        return _np.fromiter(keys, dtype=_np.float64, count=len(keys))
+    return None
+
+
+def _np_unique(view):
+    """Sorted distinct values of an int64/float64 view.  Rolled by hand
+    because ``numpy.unique`` pays an order of magnitude over a plain
+    sort-and-diff on large integer buffers."""
+    if view.size < 2:
+        return view
+    ordered = _np.sort(view)
+    keep = _np.empty(ordered.size, dtype=bool)
+    keep[0] = True
+    _np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+def _np_used_codes(col: "Column"):
+    """Distinct codes of a dictionary column — codes are dense in
+    ``[0, len(pool))``, so one ``bincount`` beats any sort."""
+    view = _np_view(col)
+    if not view.size:
+        return view
+    counts = _np.bincount(view, minlength=len(col.pool))
+    return _np.flatnonzero(counts)
+
+
+def _np_member_mask(view, karr):
+    """Boolean membership mask of *view* against key array *karr*.
+
+    Integer keys spanning a modest range get a direct-address table
+    (one boolean gather per row, no sorting); everything else uses the
+    sort-based ``numpy.isin``."""
+    if karr.size and karr.dtype == _np.int64 and view.size:
+        lo = int(karr.min())
+        hi = int(karr.max())
+        span = hi - lo + 1
+        if span <= max(4 * (karr.size + view.size), 1 << 16):
+            table = _np.zeros(span, dtype=bool)
+            table[karr - lo] = True
+            in_range = (view >= lo) & (view <= hi)
+            offsets = _np.where(in_range, view - lo, 0)
+            return in_range & table[offsets]
+    return _np.isin(view, karr)
+
+
+def _np_select(col: "Column", mask) -> "Column":
+    """Filter by a numpy boolean mask — one vectorised gather, then a
+    memcpy back into ``array`` storage (pools stay shared)."""
+    out = array(_TYPECODE[col.kind])
+    out.frombytes(_np_view(col)[mask].tobytes())
+    return Column(col.kind, out, col.pool)
+
+
+def _np_take(col: "Column", sel) -> "Column":
+    """Gather by a numpy integer selection vector."""
+    out = array(_TYPECODE[col.kind])
+    out.frombytes(_np_view(col)[sel].tobytes())
+    return Column(col.kind, out, col.pool)
+
+
+class Column:
+    """One relation column as a contiguous buffer.
+
+    ``kind`` is ``"i"`` (int64 values in ``data``), ``"f"`` (float64
+    values in ``data``), or ``"o"`` (dictionary-encoded: ``data`` holds
+    int64 *codes* into ``pool``, a tuple of distinct values).  ``data``
+    is an ``array`` locally, or a typed ``memoryview`` into a shared
+    memory segment when the column was attached zero-copy by a worker.
+    The code→value mapping of a pool is injective, so code-level
+    equality coincides with value-level equality — which is what lets
+    the kernels deduplicate and select on raw int codes.
+    """
+
+    __slots__ = ("kind", "data", "pool")
+
+    def __init__(self, kind: str, data, pool: tuple | None = None):
+        self.kind = kind
+        self.data = data
+        self.pool = pool
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data) * 8  # 'q' and 'd' are both 8-byte items
+
+    def values(self) -> Iterator[Value]:
+        """Decoded values in row order."""
+        if self.kind == "o":
+            return map(self.pool.__getitem__, self.data)
+        return iter(self.data)
+
+    def distinct(self) -> set:
+        """The set of decoded values appearing in this column."""
+        if self.kind == "o":
+            return set(map(self.pool.__getitem__, set(self.data)))
+        return set(self.data)
+
+    def take(self, sel: Sequence[int]) -> "Column":
+        """Gather the positions in *sel* into a fresh column (one batch
+        ``map`` sweep, no per-row tuples; dictionary pools are shared)."""
+        data = array(_TYPECODE[self.kind], map(self.data.__getitem__, sel))
+        return Column(self.kind, data, self.pool)
+
+    def select(self, mask: bytes) -> "Column":
+        """Filter by a 0/1 byte *mask* — ``itertools.compress`` runs the
+        whole sweep in C, no Python bytecode per row."""
+        data = array(_TYPECODE[self.kind], compress(self.data, mask))
+        return Column(self.kind, data, self.pool)
+
+    def payload(self) -> tuple:
+        """Cheaply-picklable form for the process-backend codec."""
+        return (self.kind, self.data.tobytes(), self.pool)
+
+
+def column_from_payload(payload: tuple) -> Column:
+    kind, raw, pool = payload
+    data = array(_TYPECODE[kind])
+    data.frombytes(raw)
+    return Column(kind, data, pool)
+
+
+def encode_column(values: Sequence[Value]) -> Column:
+    """Pack one column of values into the tightest column kind."""
+    kinds = set(map(type, values))
+    if kinds == {int}:
+        try:
+            return Column("i", array("q", values))
+        except OverflowError:
+            pass  # beyond int64: dictionary-encode below
+    elif kinds == {float}:
+        # NaN would lose the row engine's identity-based set membership
+        # when re-boxed from a buffer, so NaN columns dictionary-encode
+        # (the pool keeps the original float objects).
+        if all(v == v for v in values):
+            return Column("f", array("d", values))
+    index: dict[Value, int] = {}
+    codes = array("q")
+    append = codes.append
+    for v in values:
+        code = index.get(v, -1)
+        if code < 0:
+            code = index[v] = len(index)
+        append(code)
+    return Column("o", codes, tuple(index))
+
+
+def _empty_columns(arity: int) -> tuple[Column, ...]:
+    return tuple(Column("i", array("q")) for _ in range(arity))
+
+
+class ColumnarRelation(Relation):
+    """A relation stored column-wise; same contract as ``Relation``.
+
+    Instances are built with :meth:`make` (the columnar counterpart of
+    ``Relation.trusted``).  ``columns`` holds one :class:`Column` per
+    attribute and ``length`` the row count; the inherited ``rows``
+    field becomes a lazy property that decodes the buffers into the
+    usual ``frozenset`` of tuples on first touch (inherited operations,
+    equality and rendering all keep working, they just pay the decode).
+    Construction invariant: the column buffers never contain duplicate
+    rows, so ``length == len(rows)`` always holds.
+    """
+
+    # Relation is a frozen dataclass; extra attributes are installed the
+    # way ``trusted`` installs the base three.
+    columns: tuple[Column, ...]
+    length: int
+
+    @staticmethod
+    def make(
+        attributes: tuple[str, ...],
+        columns: tuple[Column, ...],
+        name: str,
+        length: int,
+    ) -> "ColumnarRelation":
+        rel = object.__new__(ColumnarRelation)
+        object.__setattr__(rel, "attributes", attributes)
+        object.__setattr__(rel, "name", name)
+        object.__setattr__(rel, "columns", columns)
+        object.__setattr__(rel, "length", length)
+        return rel
+
+    # ``rows`` is a dataclass *field* on the base; here it is a lazy
+    # decoding property (a data descriptor, so it wins over the instance
+    # dict and the frozen-dataclass machinery never sees an assignment).
+    @property
+    def rows(self) -> frozenset[Row]:
+        cached = self.__dict__.get("_rows")
+        if cached is None:
+            if not self.length:
+                cached = frozenset()
+            else:
+                cached = frozenset(zip(*(c.values() for c in self.columns)))
+            self.__dict__["_rows"] = cached
+        return cached
+
+    # -- views ------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.length
+
+    def __bool__(self) -> bool:
+        return self.length > 0
+
+    def __iter__(self) -> Iterator[Row]:
+        if not self.length:
+            return iter(())
+        return zip(*(c.values() for c in self.columns))
+
+    def column(self, attribute: str) -> set[Value]:
+        return self.columns[self._position(attribute)].distinct()
+
+    # Class-mismatch equality: the generated dataclass ``__eq__`` only
+    # compares same-class instances, but a columnar relation must equal
+    # the row relation it encodes.
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Relation):
+            return (
+                self.attributes == other.attributes
+                and self.name == other.name
+                and self.rows == other.rows
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, self.rows, self.name))
+
+    def to_relation(self) -> Relation:
+        """The plain row relation this encodes (decodes the buffers)."""
+        return Relation.trusted(self.attributes, self.rows, self.name)
+
+    # -- internal kernels -------------------------------------------------
+    def _key_positions(self, shared: tuple[str, ...]) -> list[int]:
+        return [self._position(a) for a in shared]
+
+    def _key_values(self, shared: tuple[str, ...]):
+        """Row-ordered iterable of key values over *shared* (bare value
+        for one attribute, value tuple otherwise — matching the
+        ``key_set``/``key_index`` convention of the row engine)."""
+        cols = [self.columns[p] for p in self._key_positions(shared)]
+        if len(cols) == 1:
+            return cols[0].values()
+        if not cols:
+            # ``zip()`` of no columns is empty, but the key of every row
+            # under zero shared attributes is the empty tuple (the
+            # cross-product case of the row engine's key convention).
+            return repeat((), self.length)
+        return zip(*(c.values() for c in cols))
+
+    def _take_rows(self, sel: Sequence[int], name: str | None = None) -> "ColumnarRelation":
+        """Gather a selection vector into a fresh columnar relation."""
+        if not sel:
+            return ColumnarRelation.make(
+                self.attributes, _empty_columns(self.arity), name or self.name, 0
+            )
+        cols = tuple(c.take(sel) for c in self.columns)
+        return ColumnarRelation.make(
+            self.attributes, cols, name or self.name, len(sel)
+        )
+
+    # -- memoised hash structures -----------------------------------------
+    def key_set(self, attributes: tuple[str, ...]) -> frozenset:
+        cached = self._key_sets.get(attributes)
+        if cached is None:
+            if len(attributes) == 1:
+                col = self.columns[self._position(attributes[0])]
+                if _np is not None:
+                    if col.kind == "o":
+                        cached = frozenset(
+                            map(col.pool.__getitem__, _np_used_codes(col).tolist())
+                        )
+                    else:
+                        cached = frozenset(_np_unique(_np_view(col)).tolist())
+                elif col.kind == "o":
+                    cached = frozenset(
+                        map(col.pool.__getitem__, set(col.data))
+                    )
+                else:
+                    cached = frozenset(col.data)
+            else:
+                cached = frozenset(self._key_values(attributes))
+            self._key_sets[attributes] = cached
+        return cached
+
+    # -- relational algebra -----------------------------------------------
+    def semijoin(self, other: Relation) -> Relation:
+        if not other:
+            return Relation.trusted(self.attributes, frozenset(), self.name)
+        if not self.length:
+            return self
+        shared = tuple(a for a in self.attributes if a in other._index_of)
+        if not shared:
+            return self
+        return self.semijoin_with_keys(shared, other.key_set(shared))
+
+    def semijoin_with_keys(
+        self, shared: tuple[str, ...], keys: frozenset
+    ) -> Relation:
+        """The vectorised semijoin probe: one batch pass over the key
+        column builds a selection mask (``numpy.isin`` on the buffer
+        view when available, else a C ``map``/``bytes`` chain), then
+        each output column is one vectorised gather — no Python
+        bytecode runs per row.  A dictionary column resolves membership
+        once per *distinct* value (``pool[code] in keys``) and masks on
+        the raw int codes."""
+        if not self.length:
+            return self
+        positions = self._key_positions(shared)
+        if len(positions) == 1:
+            col = self.columns[positions[0]]
+            data = col.data
+            if _np is not None:
+                mask = None
+                if col.kind == "o":
+                    view = _np_view(col)
+                    used = _np_used_codes(col)
+                    pool = col.pool
+                    ok = [c for c in used.tolist() if pool[c] in keys]
+                    if len(ok) == used.size:
+                        return self
+                    if not ok:
+                        return self._take_rows(())
+                    mask = _np_member_mask(
+                        view, _np.fromiter(ok, _np.int64, count=len(ok))
+                    )
+                else:
+                    karr = _np_keys(keys, col.kind)
+                    if karr is not None:
+                        mask = _np_member_mask(_np_view(col), karr)
+                if mask is not None:
+                    survivors = int(mask.sum())
+                    if survivors == self.length:
+                        return self
+                    if not survivors:
+                        return self._take_rows(())
+                    cols = tuple(_np_select(c, mask) for c in self.columns)
+                    return ColumnarRelation.make(
+                        self.attributes, cols, self.name, survivors
+                    )
+            if col.kind == "o":
+                used = set(data)
+                pool = col.pool
+                ok = {c for c in used if pool[c] in keys}
+                if len(ok) == len(used):
+                    return self
+                if not ok:
+                    return self._take_rows(())
+                mask = bytes(map(ok.__contains__, data))
+            else:
+                mask = bytes(map(keys.__contains__, data))
+        else:
+            mask = bytes(map(keys.__contains__, self._key_values(shared)))
+        survivors = mask.count(1)
+        if survivors == self.length:
+            return self
+        if not survivors:
+            return self._take_rows(())
+        cols = tuple(c.select(mask) for c in self.columns)
+        return ColumnarRelation.make(
+            self.attributes, cols, self.name, survivors
+        )
+
+    def join(self, other: Relation, name: str | None = None) -> Relation:
+        out_name = name or f"({self.name}⋈{other.name})"
+        if isinstance(other, AnnotatedRelation):
+            # Annotated partners stay on the row path (their per-row
+            # annotation maps are the point); join_dispatch routes the
+            # plain-left × annotated-right case correctly.
+            return join_dispatch(self, other, name)
+        shared = tuple(a for a in self.attributes if a in other._index_of)
+        extra = [a for a in other.attributes if a not in self._index_of]
+        out_attrs = self.attributes + tuple(extra)
+        if not self.length or not other:
+            return Relation.trusted(out_attrs, frozenset(), out_name)
+        right = to_columnar(other)
+        extra_pos = tuple(right._position(a) for a in extra)
+        if self.length <= right.length:
+            build, probe, build_is_left = self, right, True
+        else:
+            build, probe, build_is_left = right, self, False
+        return columnar_probe_join(
+            build, probe, build_is_left, shared, extra_pos, out_attrs, out_name
+        )
+
+    def project(
+        self, attributes: Sequence[str], name: str | None = None
+    ) -> Relation:
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(
+                f"projection onto duplicate attributes {tuple(attributes)}"
+            )
+        positions = [self._position(a) for a in attributes]
+        out_name = name or self.name
+        attrs = tuple(attributes)
+        if positions == list(range(self.arity)):
+            # Identity projection: share the buffers.
+            return ColumnarRelation.make(
+                attrs, self.columns, out_name, self.length
+            )
+        if not positions:
+            rows = frozenset({()}) if self.length else frozenset()
+            return Relation.trusted((), rows, out_name)
+        cols = [self.columns[p] for p in positions]
+        if len(cols) == 1:
+            # Distinct over raw codes/values — no per-row tuples at all.
+            col = cols[0]
+            if _np is not None:
+                if col.kind == "o":
+                    uniq = _np_used_codes(col)
+                else:
+                    uniq = _np_unique(_np_view(col))
+                if uniq.size == self.length:
+                    return ColumnarRelation.make(
+                        attrs, (col,), out_name, self.length
+                    )
+                data = array(_TYPECODE[col.kind])
+                data.frombytes(uniq.tobytes())
+            else:
+                distinct = set(col.data)
+                if len(distinct) == self.length:
+                    return ColumnarRelation.make(
+                        attrs, (col,), out_name, self.length
+                    )
+                data = array(_TYPECODE[col.kind], distinct)
+            return ColumnarRelation.make(
+                attrs, (Column(col.kind, data, col.pool),), out_name, len(data)
+            )
+        # Multi-column: dedup on raw tuples (codes are injective per
+        # pool, so code-level equality is value-level equality), then
+        # rebuild each output column from the deduped transpose.
+        deduped = set(zip(*(c.data for c in cols)))
+        if len(deduped) == self.length:
+            return ColumnarRelation.make(
+                attrs, tuple(cols), out_name, self.length
+            )
+        out_cols: list[Column] = []
+        transposed = tuple(zip(*deduped)) if deduped else ((),) * len(cols)
+        for col, raw in zip(cols, transposed):
+            out_cols.append(
+                Column(col.kind, array(_TYPECODE[col.kind], raw), col.pool)
+            )
+        return ColumnarRelation.make(
+            attrs, tuple(out_cols), out_name, len(deduped)
+        )
+
+
+def columnar_probe_join(
+    build: ColumnarRelation,
+    probe: ColumnarRelation,
+    build_is_left: bool,
+    shared: tuple[str, ...],
+    extra_pos: Sequence[int],
+    out_attrs: tuple[str, ...],
+    name: str,
+) -> ColumnarRelation:
+    """The vectorised hash-join: same build/probe contract as
+    :func:`repro.db.relation.probe_join` (``out_attrs`` = left
+    attributes + right extras, ``extra_pos`` indexing the right side).
+    When the build side's keys are unique (foreign-key joins, reduced
+    nodes) the whole probe runs as C sweeps: one ``map(index.get, …)``
+    pass yields per-row matches, a mask selects the hits, and every
+    output column is a ``compress``/gather batch — no Python bytecode
+    per row.  Duplicate build keys fall back to an expansion loop that
+    only iterates the *matched* probe rows (the probe is pre-filtered
+    with a C membership mask first).  Natural join of sets is
+    duplicate-free (output rows are in bijection with matched pairs
+    agreeing on the shared columns), so no output dedup is needed."""
+    n_build = build.length
+    if not n_build or not probe.length:
+        return ColumnarRelation.make(
+            out_attrs, _empty_columns(len(out_attrs)), name, 0
+        )
+    if _np is not None and len(shared) == 1:
+        result = _np_probe_join(
+            build, probe, build_is_left, shared[0], extra_pos, out_attrs, name
+        )
+        if result is not None:
+            return result
+    index = dict(zip(build._key_values(shared), range(n_build)))
+    if len(index) == n_build:
+        # Unique build keys: ≤ 1 match per probe row, fully C.
+        matches = list(map(index.get, probe._key_values(shared)))
+        mask = bytes(map(_NOT_NONE, matches))
+        hits = mask.count(1)
+        if not hits:
+            return ColumnarRelation.make(
+                out_attrs, _empty_columns(len(out_attrs)), name, 0
+            )
+        bsel = list(compress(matches, mask))
+        if build_is_left:
+            out_cols = [c.take(bsel) for c in build.columns]
+            out_cols.extend(
+                probe.columns[p].select(mask) for p in extra_pos
+            )
+        else:
+            out_cols = [c.select(mask) for c in probe.columns]
+            out_cols.extend(
+                build.columns[p].take(bsel) for p in extra_pos
+            )
+        return ColumnarRelation.make(out_attrs, tuple(out_cols), name, hits)
+    # Duplicate build keys: full position-list index, then expand only
+    # the probe rows that match at all (C-masked prefilter).
+    index = {}
+    for pos, key in enumerate(build._key_values(shared)):
+        entry = index.get(key)
+        if entry is None:
+            index[key] = [pos]
+        else:
+            entry.append(pos)
+    pkeys = list(probe._key_values(shared))
+    mask = bytes(map(index.__contains__, pkeys))
+    ppos: list[int] = []
+    bpos: list[int] = []
+    padd = ppos.append
+    badd = bpos.append
+    get = index.get
+    for j, key in zip(compress(range(len(pkeys)), mask), compress(pkeys, mask)):
+        for p in get(key):
+            padd(j)
+            badd(p)
+    if not ppos:
+        return ColumnarRelation.make(
+            out_attrs, _empty_columns(len(out_attrs)), name, 0
+        )
+    if build_is_left:
+        left, lsel = build, bpos
+        right, rsel = probe, ppos
+    else:
+        left, lsel = probe, ppos
+        right, rsel = build, bpos
+    out_cols = [c.take(lsel) for c in left.columns]
+    out_cols.extend(right.columns[p].take(rsel) for p in extra_pos)
+    return ColumnarRelation.make(out_attrs, tuple(out_cols), name, len(ppos))
+
+
+def _np_probe_join(
+    build: ColumnarRelation,
+    probe: ColumnarRelation,
+    build_is_left: bool,
+    key: str,
+    extra_pos: Sequence[int],
+    out_attrs: tuple[str, ...],
+    name: str,
+):
+    """Vectorised single-key probe: sort the build keys once, binary
+    search every probe key for its match *range* (so duplicate build
+    keys expand without a Python loop: the flattened ranges come from
+    ``repeat``/``cumsum`` arithmetic), and gather every output column
+    with numpy fancy indexing.  Dictionary key columns first translate
+    probe codes into the build pool's code space (one small pass over
+    the *pools*, never the rows).  Returns ``None`` when the key kinds
+    don't line up — the caller's generic path keeps Python equality
+    semantics for those."""
+    bcol = build.columns[build._position(key)]
+    pcol = probe.columns[probe._position(key)]
+    if bcol.kind == "o" and pcol.kind == "o":
+        bk = _np_view(bcol)
+        code_of = {v: c for c, v in enumerate(bcol.pool)}
+        # -1 never appears as a build code, so untranslatable probe
+        # values simply never match.
+        trans = _np.fromiter(
+            (code_of.get(v, -1) for v in pcol.pool),
+            _np.int64,
+            count=len(pcol.pool),
+        )
+        pk = trans[_np_view(pcol)]
+    elif bcol.kind == pcol.kind and bcol.kind != "o":
+        bk = _np_view(bcol)
+        pk = _np_view(pcol)
+    else:
+        return None
+    order = _np.argsort(bk)
+    direct = False
+    if bk.dtype == _np.int64:
+        kmin = int(bk.min())
+        kmax = int(bk.max())
+        span = kmax - kmin + 1
+        direct = span <= max(4 * (bk.size + pk.size), 1 << 16)
+    if direct:
+        # Direct-address CSR: ``order`` groups build rows by key value
+        # and ``starts[v]`` is the group boundary, so each probe key
+        # resolves its match range with two gathers — no binary search.
+        group_counts = _np.bincount(bk - kmin, minlength=span)
+        starts = _np.zeros(span + 1, dtype=_np.int64)
+        _np.cumsum(group_counts, out=starts[1:])
+        in_range = (pk >= kmin) & (pk <= kmax)
+        slot = _np.where(in_range, pk - kmin, 0)
+        lo = _np.where(in_range, starts[slot], 0)
+        hi = _np.where(in_range, starts[slot + 1], 0)
+    else:
+        sbk = bk[order]
+        lo = _np.searchsorted(sbk, pk, side="left")
+        hi = _np.searchsorted(sbk, pk, side="right")
+    matches = hi - lo
+    total = int(matches.sum())
+    if not total:
+        return ColumnarRelation.make(
+            out_attrs, _empty_columns(len(out_attrs)), name, 0
+        )
+    # Flatten the per-probe match ranges: probe row j repeats once per
+    # partner, and the partner positions are lo[j], lo[j]+1, … hi[j)-1
+    # (arange minus each range's running start).
+    ppos = _np.repeat(_np.arange(pk.size), matches)
+    ends = _np.cumsum(matches)
+    offsets = _np.arange(total) - _np.repeat(ends - matches, matches)
+    bsel = order[_np.repeat(lo, matches) + offsets]
+    if build_is_left:
+        out_cols = [_np_take(c, bsel) for c in build.columns]
+        out_cols.extend(_np_take(probe.columns[p], ppos) for p in extra_pos)
+    else:
+        out_cols = [_np_take(c, ppos) for c in probe.columns]
+        out_cols.extend(_np_take(build.columns[p], bsel) for p in extra_pos)
+    return ColumnarRelation.make(out_attrs, tuple(out_cols), name, total)
+
+
+def to_columnar(rel: Relation, min_rows: int = 0) -> Relation:
+    """Convert a plain relation to columnar storage.
+
+    Already-columnar input returns unchanged; annotated relations stay
+    on the row path (returned as-is); 0-ary relations stay row (there
+    is nothing to pack).  With *min_rows* > 0 relations below the
+    threshold are returned unchanged — the ``layout="auto"`` gate."""
+    if isinstance(rel, (ColumnarRelation, AnnotatedRelation)):
+        return rel
+    if not rel.attributes:
+        return rel
+    rows = rel.rows
+    n = len(rows)
+    if n < min_rows:
+        return rel
+    if not n:
+        columns = _empty_columns(len(rel.attributes))
+    else:
+        columns = tuple(encode_column(vals) for vals in zip(*rows))
+    return ColumnarRelation.make(rel.attributes, columns, rel.name, n)
+
+
+def from_columns(
+    attributes: Sequence[str],
+    columns: Iterable[Sequence[Value]],
+    name: str = "r",
+) -> ColumnarRelation:
+    """Build a columnar relation straight from column value sequences
+    (deduplicating rows, preserving the set contract)."""
+    cols = [tuple(c) for c in columns]
+    attrs = tuple(attributes)
+    if len(set(attrs)) != len(attrs):
+        raise SchemaError(f"duplicate attributes {attrs}")
+    lengths = {len(c) for c in cols}
+    if len(lengths) > 1:
+        raise SchemaError(
+            f"columns of relation {name!r} have differing lengths {lengths}"
+        )
+    if len(cols) != len(attrs):
+        raise SchemaError(
+            f"{len(cols)} columns for {len(attrs)} attributes in {name!r}"
+        )
+    rows = frozenset(zip(*cols)) if cols and cols[0] else frozenset()
+    return to_columnar(Relation.trusted(attrs, rows, name))
+
+
+def concat_columnar(
+    pieces: Sequence[ColumnarRelation],
+    attributes: tuple[str, ...],
+    name: str,
+) -> Relation:
+    """Gather-side merge of columnar shard pieces: union the decoded
+    rows (cross-shard dedup) and re-encode, keeping the result columnar
+    for downstream operators."""
+    merged: set[Row] = set()
+    for piece in pieces:
+        merged |= piece.rows
+    return to_columnar(Relation.trusted(attributes, frozenset(merged), name))
+
+
+def partition_columnar(
+    rel: ColumnarRelation,
+    key_pos: int,
+    n_shards: int,
+    hash_fn,
+    skew_factor: float,
+) -> tuple[tuple[ColumnarRelation, ...], frozenset]:
+    """Hash-partition a columnar relation on the column at *key_pos*.
+
+    The columnar counterpart of the row bucketing in
+    :meth:`repro.db.sharded.ShardedRelation.shard`: shard ids come from
+    *hash_fn* (the process-stable hash), a dictionary key column hashes
+    once per *pool entry* instead of once per row, and each shard is
+    carved out with a selection vector (pools stay shared).  Returns the
+    shard pieces plus the heavy-hitter values that were spread
+    round-robin (empty for a clean partition) — same skew-guard
+    semantics as the row path."""
+    col = rel.columns[key_pos]
+    data = col.data
+    sids_np = None
+    if _np is not None:
+        view = _np_view(col)
+        if col.kind == "o":
+            # Hash once per *pool entry*, then map codes → shard ids
+            # with one fancy-index gather.
+            shard_of_code = _np.fromiter(
+                (hash_fn(v) % n_shards for v in col.pool),
+                _np.int64,
+                count=len(col.pool),
+            )
+            sids_np = shard_of_code[view] if view.size else view
+        elif col.kind == "i" and view.size:
+            # CPython's int hash is the identity inside ±(2**61 - 1)
+            # except hash(-1) == -2, so the whole shard-id pass
+            # vectorises; values outside that range take the hash chain
+            # below.
+            modulus = (1 << 61) - 1
+            if -modulus < int(view.min()) and int(view.max()) < modulus:
+                sids_np = _np.where(view == -1, -2, view) % n_shards
+        elif col.kind == "i":
+            sids_np = view
+    if sids_np is not None:
+        counts = _np.bincount(sids_np, minlength=n_shards)
+        sids = None
+    else:
+        if col.kind == "o":
+            shard_of_code = [hash_fn(v) % n_shards for v in col.pool]
+            sids = list(map(shard_of_code.__getitem__, data))
+        else:
+            # stable_hash agrees with builtin hash for numeric scalars,
+            # so the shard-id pass is a C map chain.
+            sids = list(map(n_shards.__rmod__, map(hash, data)))
+        counts = [0] * n_shards
+        for s in sids:
+            counts[s] += 1
+    heavy: frozenset = frozenset()
+    threshold = skew_factor * rel.length / n_shards
+    if rel.length and max(counts) > threshold:
+        # Count key values only inside oversized shards (a value's rows
+        # all share a shard before spreading, so none can hide).
+        if sids is None:
+            sids = sids_np.tolist()
+        heavy_values: set = set()
+        for s in range(n_shards):
+            if counts[s] <= threshold:
+                continue
+            mask = bytes(map(s.__eq__, sids))
+            value_counts: dict = {}
+            for c in compress(data, mask):
+                value_counts[c] = value_counts.get(c, 0) + 1
+            if col.kind == "o":
+                heavy_values.update(
+                    col.pool[c]
+                    for c, k in value_counts.items()
+                    if k > threshold
+                )
+            else:
+                heavy_values.update(
+                    v for v, k in value_counts.items() if k > threshold
+                )
+        heavy = frozenset(heavy_values)
+        if heavy:
+            sels: list[list[int]] = [[] for _ in range(n_shards)]
+            appends = [s.append for s in sels]
+            spread = 0
+            for j, v in enumerate(col.values()):
+                if v in heavy:
+                    appends[spread % n_shards](j)
+                    spread += 1
+                else:
+                    appends[sids[j]](j)
+            pieces = tuple(rel._take_rows(sel) for sel in sels)
+            return pieces, heavy
+    if sids_np is not None:
+        pieces = tuple(
+            ColumnarRelation.make(
+                rel.attributes,
+                tuple(_np_select(c, sids_np == s) for c in rel.columns),
+                rel.name,
+                int(counts[s]),
+            )
+            for s in range(n_shards)
+        )
+    else:
+        masks = [bytes(map(s.__eq__, sids)) for s in range(n_shards)]
+        pieces = tuple(
+            ColumnarRelation.make(
+                rel.attributes,
+                tuple(c.select(mask) for c in rel.columns),
+                rel.name,
+                mask.count(1),
+            )
+            for mask, s in zip(masks, range(n_shards))
+        )
+    return pieces, heavy

@@ -38,6 +38,7 @@ from ..core.jointree import JoinTree
 from ..obs import current_tracer
 from .annotated import join_dispatch
 from .backend import ExecutionContext
+from .columnar import COLUMNAR_MIN_ROWS, LAYOUTS, to_columnar
 from .relation import Relation
 from .sharded import ShardedRelation, as_context
 from .stats import EvalStats
@@ -73,6 +74,29 @@ def shard_key_for(
         if shared:
             return shared[0]
     return attrs[0]
+
+
+def _with_layout(
+    relations: dict[Atom, Relation], layout: str | None
+) -> dict[Atom, Relation]:
+    """Apply a storage-layout policy to the node relations before
+    sharding: ``"columnar"`` converts every plain relation, ``"auto"``
+    only those with :data:`~repro.db.columnar.COLUMNAR_MIN_ROWS` rows or
+    more, ``"row"``/``None`` converts nothing.  Annotated and 0-ary
+    relations pass through unchanged (``to_columnar`` is a no-op on
+    them), as do relations already columnar — engine callers convert at
+    bag materialisation and hit that path."""
+    if layout in (None, "row"):
+        return relations
+    if layout not in LAYOUTS:
+        raise ValueError(
+            f"unknown layout {layout!r}; expected one of {LAYOUTS}"
+        )
+    min_rows = COLUMNAR_MIN_ROWS if layout == "auto" else 0
+    return {
+        node: to_columnar(rel, min_rows=min_rows)
+        for node, rel in relations.items()
+    }
 
 
 def _shard_all(
@@ -171,12 +195,14 @@ def parallel_boolean_eval(
     pool: Executor | None = None,
     backend: ExecutionContext | None = None,
     shard_counts: dict[Atom, int] | None = None,
+    layout: str | None = None,
 ) -> bool:
     """Sharded Boolean Yannakakis: one bottom-up semijoin sweep."""
     stats = stats if stats is not None else EvalStats()
     if any(not relations[node] for node in tree.nodes):
         return False
     ctx = as_context(backend, pool)
+    relations = _with_layout(relations, layout)
     sharded = _shard_all(tree, relations, n_shards, ctx, shard_counts)
     reduced = _reduced_bottom_up_sharded(tree, sharded, stats, ctx)
     return bool(reduced[tree.root])
@@ -190,11 +216,13 @@ def parallel_full_reduce(
     pool: Executor | None = None,
     backend: ExecutionContext | None = None,
     shard_counts: dict[Atom, int] | None = None,
+    layout: str | None = None,
 ) -> dict[Atom, Relation]:
     """Sharded full reducer; returns plain relations (coalesced), so the
     result is drop-in comparable with :func:`repro.db.yannakakis.full_reduce`."""
     stats = stats if stats is not None else EvalStats()
     ctx = as_context(backend, pool)
+    relations = _with_layout(relations, layout)
     sharded = _shard_all(tree, relations, n_shards, ctx, shard_counts)
     reduced = _full_reduce_sharded(tree, sharded, stats, ctx)
     return {node: _as_relation(rel) for node, rel in reduced.items()}
@@ -209,6 +237,7 @@ def parallel_enumerate_answers(
     pool: Executor | None = None,
     backend: ExecutionContext | None = None,
     shard_counts: dict[Atom, int] | None = None,
+    layout: str | None = None,
 ) -> Relation:
     """Sharded output-polynomial enumeration.
 
@@ -222,6 +251,7 @@ def parallel_enumerate_answers(
     """
     stats = stats if stats is not None else EvalStats()
     ctx = as_context(backend, pool)
+    relations = _with_layout(relations, layout)
     sharded = _shard_all(tree, relations, n_shards, ctx, shard_counts)
     reduced = _full_reduce_sharded(tree, sharded, stats, ctx)
 

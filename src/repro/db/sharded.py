@@ -54,6 +54,7 @@ from .backend import (
     RemoteShard,
     ThreadBackend,
 )
+from .columnar import ColumnarRelation, partition_columnar
 from .relation import Relation, Row, Value
 
 
@@ -200,6 +201,34 @@ class ShardedRelation:
             # hash structures alive.
             return ShardedRelation(
                 relation.attributes, key, (relation,), relation.name
+            )
+        if isinstance(relation, ColumnarRelation):
+            # Columnar partition kernel: selection vectors per shard,
+            # dictionary keys hashed once per pool entry, buffers
+            # carved without materialising row tuples.
+            pieces, heavy = partition_columnar(
+                relation, i, n_shards, stable_hash, skew_factor
+            )
+            if heavy:
+                registry = get_registry()
+                registry.counter("shard.skew_guard_activations").inc()
+                registry.counter("shard.heavy_hitters").inc(len(heavy))
+            if backend is not None and backend.kind == "process":
+                pieces = tuple(
+                    backend.map_shards(
+                        "identity",
+                        [(s,) for s in pieces],
+                        keep=True,
+                        out_attributes=relation.attributes,
+                        out_name=relation.name,
+                    )
+                )
+                return ShardedRelation(
+                    relation.attributes, key, pieces, relation.name,
+                    heavy=heavy, context=backend,
+                )
+            return ShardedRelation(
+                relation.attributes, key, pieces, relation.name, heavy=heavy
             )
         buckets: list[list[Row]] = [[] for _ in range(n_shards)]
         appends = [b.append for b in buckets]
@@ -373,6 +402,20 @@ class ShardedRelation:
             pairs = list(zip(self.shards, other.shards))
             shards = ctx.map_shards(
                 "semijoin_pair", pairs, keep=keep,
+                out_attributes=self.attributes, out_name=self.name,
+            )
+            return self._rebuild(shards, ctx)
+        if not isinstance(other, ShardedRelation) and (
+            ctx.prefers_relation_scatter(other)
+        ):
+            # Shm-eligible columnar partner: ship the relation itself
+            # (zero-copy segment) and let each worker build — and
+            # memoise — the key set locally, instead of pickling the
+            # key set through the queues.
+            ref = ctx.scatter(other)
+            tasks = [(shard, ref) for shard in self.shards]
+            shards = ctx.map_shards(
+                "semijoin_pair", tasks, keep=keep,
                 out_attributes=self.attributes, out_name=self.name,
             )
             return self._rebuild(shards, ctx)

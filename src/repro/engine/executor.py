@@ -70,6 +70,7 @@ from ..db.backend import (
     default_backend_kind,
     make_backend,
 )
+from ..db.columnar import LAYOUTS, default_layout
 from ..db.database import Database
 from ..db.relation import Relation, Row
 from ..db.semiring import FactId, Semiring, resolve_semiring
@@ -175,6 +176,14 @@ class Engine:
     shard_threshold:
         Minimum estimated bag cardinality for a node to be sharded;
         forwarded to :func:`~repro.engine.plan.compile_plan`.
+    layout:
+        Storage layout for materialised bags: ``"row"`` |
+        ``"columnar"`` | ``"auto"`` (columnar for nodes estimated at
+        :data:`~repro.db.columnar.COLUMNAR_MIN_ROWS` rows or more).
+        Columnar bags run the vectorised semijoin/join kernels and
+        cross the process-backend boundary over shared memory.
+        Defaults to ``$REPRO_LAYOUT`` when set, else ``"auto"``.
+        Annotated (semiring) requests always execute on the row path.
     tracer:
         Default :class:`~repro.obs.Tracer` installed around each request
         when no ambient tracer is active (an enabled tracer installed
@@ -212,6 +221,7 @@ class Engine:
         backend: str | None = None,
         backend_workers: int | None = None,
         shard_threshold: int = SHARD_MIN_ROWS,
+        layout: str | None = None,
         tracer: Tracer | None = None,
         slow_query_ms: float | None = None,
         flight: "FlightRecorder | bool | None" = None,
@@ -236,6 +246,13 @@ class Engine:
             1, backend_workers if backend_workers is not None else 4
         )
         self.shard_threshold = shard_threshold
+        if layout is None:
+            layout = default_layout()
+        if layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown layout {layout!r}; expected one of {LAYOUTS}"
+            )
+        self.layout = layout
         self.decompositions = 0  # fresh planner searches performed
         self._backends: dict[tuple[str, int], ExecutionContext] = {}
         self._backends_lock = threading.Lock()
@@ -399,6 +416,7 @@ class Engine:
             query, db, hd, provenance=method, cache_hit=hit,
             backend=kind, workers=width,
             shard_threshold=self.shard_threshold,
+            layout=self.layout,
         )
 
     def live(
@@ -616,6 +634,11 @@ class Engine:
                 query, db, hd, provenance=method, cache_hit=hit,
                 backend=kind, workers=width,
                 shard_threshold=self.shard_threshold,
+                # Annotated bags carry per-row value maps the columnar
+                # buffers cannot represent — semiring requests compile
+                # (and render) as row plans rather than silently falling
+                # back node by node.
+                layout="row" if semiring is not None else self.layout,
             )
             if plan_sink is not None:
                 # Threaded out so the flight recorder can attach the

@@ -22,6 +22,14 @@ Lemma 4.6 pipeline:
   dominates any shard-task win).  This replaces the PR-4 global
   ``parallelism`` knob: the shard decision is per relation, from the
   same cardinality estimates that order the joins.
+* **per-node layout** — ``layout="columnar"`` materialises every bag as
+  a :class:`~repro.db.columnar.ColumnarRelation` (contiguous buffers,
+  vectorised semijoin/join kernels, shared-memory scatter under the
+  process backend); ``"auto"`` flips only the nodes whose estimated
+  cardinality reaches :data:`~repro.db.columnar.COLUMNAR_MIN_ROWS`,
+  reusing the shard policy's estimates — small bags keep the row path,
+  whose per-call overhead is lower.  Annotated (semiring) requests
+  always stay row: the per-row annotation maps are the point.
 
 Execution materialises the bags in plan order, then runs the Yannakakis
 passes — sequentially, or over the selected execution backend
@@ -50,6 +58,12 @@ from ..db.annotated import (
 )
 from ..db.backend import BACKEND_KINDS, ExecutionContext, make_backend
 from ..db.binding import bind_atom
+from ..db.columnar import (
+    COLUMNAR_MIN_ROWS,
+    LAYOUTS,
+    ColumnarRelation,
+    to_columnar,
+)
 from ..db.database import Database
 from ..db.parallel import (
     parallel_boolean_eval,
@@ -59,7 +73,7 @@ from ..db.relation import Relation
 from ..db.semiring import Semiring
 from ..db.stats import CardinalityEstimator, EvalStats
 from ..db.yannakakis import boolean_eval, enumerate_answers
-from ..obs import Tracer, current_tracer
+from ..obs import Tracer, current_tracer, get_registry
 
 #: Estimated bag cardinality below which a node is never sharded: the
 #: ROADMAP's "partition overhead dominates below ~1k rows" observation,
@@ -82,6 +96,7 @@ class NodePlan:
     estimated_rows: float
     atom_estimates: tuple[float, ...]
     n_shards: int = 1
+    layout: str = "row"
 
     def describe(self) -> str:
         steps = " ⋈ ".join(
@@ -90,9 +105,10 @@ class NodePlan:
         )
         chi = ", ".join(self.chi_names)
         shards = f" ×{self.n_shards} shards" if self.n_shards > 1 else ""
+        layout = " [columnar]" if self.layout == "columnar" else ""
         return (
             f"{self.bag.predicate}: π[{chi}]({steps or 'unit'}) "
-            f"≈{int(self.estimated_rows)} rows{shards}"
+            f"≈{int(self.estimated_rows)} rows{shards}{layout}"
         )
 
 
@@ -110,6 +126,7 @@ class QueryPlan:
     cache_hit: bool = field(default=False)
     backend: str = field(default="sequential")
     workers: int = field(default=1)
+    layout: str = field(default="row")
 
     @property
     def shard_counts(self) -> dict[Atom, int]:
@@ -129,6 +146,7 @@ class QueryPlan:
                 self.provenance,
                 str(self.width),
                 f"{self.backend}x{self.workers}",
+                self.layout,
                 ",".join(self.output),
                 *(np.describe() for np in self.node_plans),
                 self.join_tree.render(),
@@ -146,10 +164,18 @@ class QueryPlan:
             if self.backend != "sequential"
             else ""
         )
+        columnar = sum(1 for np in self.node_plans if np.layout == "columnar")
+        layout_tag = (
+            f", layout {self.layout} "
+            f"({columnar}/{len(self.node_plans)} nodes columnar)"
+            if self.layout != "row"
+            else ""
+        )
         lines = [
             f"plan for {self.query.name}: width {self.width} "
             f"[{self.provenance}{', cached' if self.cache_hit else ''}"
             + backend_tag
+            + layout_tag
             + "]",
             f"output: ({', '.join(self.output)})" if self.output else "output: boolean",
             "bag materialisation (cardinality-ascending joins):",
@@ -264,6 +290,7 @@ def compile_plan(
     backend: str | None = None,
     workers: int | None = None,
     shard_threshold: int = SHARD_MIN_ROWS,
+    layout: str = "row",
 ) -> QueryPlan:
     """Compile *hd* into a physical plan against *db*.
 
@@ -278,12 +305,21 @@ def compile_plan(
     backend each node whose estimated cardinality reaches
     *shard_threshold* is assigned ``workers`` shards, smaller nodes
     none.
+
+    *layout* is the storage policy for materialised bags:
+    ``"row"`` (frozenset-of-tuples, the default), ``"columnar"``
+    (every node), or ``"auto"`` (nodes whose estimated cardinality
+    reaches :data:`~repro.db.columnar.COLUMNAR_MIN_ROWS`).
     """
     if backend is None:
         backend = "sequential"
     if backend not in BACKEND_KINDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}"
+        )
+    if layout not in LAYOUTS:
+        raise ValueError(
+            f"unknown layout {layout!r}; expected one of {LAYOUTS}"
         )
     if workers is None:
         workers = 4
@@ -292,15 +328,19 @@ def compile_plan(
     workers = max(1, workers)
 
     with current_tracer().span(
-        "plan.compile", query=query.name, backend=backend, workers=workers
+        "plan.compile", query=query.name, backend=backend, workers=workers,
+        layout=layout,
     ) as compile_span:
         plan = _compile_plan_traced(
             query, db, hd, provenance, cache_hit, backend, workers,
-            shard_threshold,
+            shard_threshold, layout,
         )
         compile_span.set(
             nodes=len(plan.node_plans),
             sharded=sum(1 for np in plan.node_plans if np.n_shards > 1),
+            columnar=sum(
+                1 for np in plan.node_plans if np.layout == "columnar"
+            ),
             width=plan.width,
         )
     return plan
@@ -315,6 +355,7 @@ def _compile_plan_traced(
     backend: str,
     workers: int,
     shard_threshold: int,
+    layout: str,
 ) -> QueryPlan:
     complete = hd if hd.is_complete else hd.complete()
     estimator = CardinalityEstimator(db)
@@ -348,10 +389,16 @@ def _compile_plan_traced(
             and bag_rows >= shard_threshold
             else 1
         )
+        node_layout = (
+            "columnar"
+            if layout == "columnar"
+            or (layout == "auto" and bag_rows >= COLUMNAR_MIN_ROWS)
+            else "row"
+        )
         plans.append(
             NodePlan(
                 bag, chi_names, tuple(order), bag_rows, tuple(estimates),
-                n_shards=n_shards,
+                n_shards=n_shards, layout=node_layout,
             )
         )
 
@@ -379,6 +426,7 @@ def _compile_plan_traced(
         cache_hit=cache_hit,
         backend=backend,
         workers=workers,
+        layout=layout,
     )
 
 
@@ -396,7 +444,15 @@ def _materialise_bag(
     Under a *semiring*, the atoms in *carriers* (this node's share of
     the once-per-atom annotation assignment) bind annotated; the rest
     bind plain and act as filters.  Carriers always satisfy
-    ``var(A) ⊆ χ(p)``, so they are never pre-projected."""
+    ``var(A) ⊆ χ(p)``, so they are never pre-projected.
+
+    A node compiled with ``layout="columnar"`` converts the finished
+    bag to :class:`~repro.db.columnar.ColumnarRelation` — the Yannakakis
+    sweeps then dispatch into the vectorised kernels, and the process
+    backend ships the bag over shared memory instead of the pickle
+    codec.  Annotated bags are never converted (``to_columnar`` returns
+    them unchanged); the ``plan.layout_columnar`` / ``plan.layout_row``
+    counters record which path each bag actually took."""
     _check_deadline(deadline, f"bag materialisation of {np.bag.predicate}")
     with current_tracer().span(
         "plan.bag",
@@ -427,7 +483,16 @@ def _materialise_bag(
             rel.project(list(np.chi_names), name=np.bag.predicate)
         )
         stats.projections += 1
-        sp.set(rows=len(rel))
+        if np.layout == "columnar" and semiring is None:
+            rel = to_columnar(rel)
+        registry = get_registry()
+        if isinstance(rel, ColumnarRelation):
+            registry.counter("plan.layout_columnar").inc()
+        else:
+            registry.counter("plan.layout_row").inc()
+        sp.set(rows=len(rel), layout=(
+            "columnar" if isinstance(rel, ColumnarRelation) else "row"
+        ))
     return rel
 
 

@@ -1,0 +1,369 @@
+"""Unit tests for the columnar storage layer.
+
+The row engine is the oracle throughout: a ColumnarRelation is an
+indistinguishable drop-in for the Relation it was converted from —
+same rows, same equality, same operator results — while storing each
+column as one contiguous buffer.
+"""
+
+import math
+
+import pytest
+
+from repro.db import Database, Relation
+from repro.db.annotated import AnnotatedRelation
+from repro.db.columnar import (
+    COLUMNAR_MIN_ROWS,
+    LAYOUTS,
+    Column,
+    ColumnarRelation,
+    column_from_payload,
+    concat_columnar,
+    default_layout,
+    encode_column,
+    from_columns,
+    partition_columnar,
+    to_columnar,
+)
+from repro.db.semiring import COUNTING
+from repro.db.sharded import stable_hash
+from repro._errors import SchemaError
+
+
+def rel(attrs, rows, name="r"):
+    return Relation.from_rows(attrs, rows, name)
+
+
+class TestEncodeColumn:
+    def test_pure_int_packs_as_i(self):
+        col = encode_column((3, -7, 3, 0))
+        assert col.kind == "i"
+        assert list(col.values()) == [3, -7, 3, 0]
+
+    def test_pure_float_packs_as_f(self):
+        col = encode_column((1.5, -2.25))
+        assert col.kind == "f"
+        assert list(col.values()) == [1.5, -2.25]
+
+    def test_strings_dictionary_encode(self):
+        col = encode_column(("a", "b", "a"))
+        assert col.kind == "o"
+        assert list(col.values()) == ["a", "b", "a"]
+        assert set(col.pool) == {"a", "b"}
+
+    def test_mixed_types_dictionary_encode(self):
+        col = encode_column((1, "x", 2.0))
+        assert col.kind == "o"
+        assert list(col.values()) == [1, "x", 2.0]
+
+    def test_bool_is_not_int(self):
+        # bool ⊂ int numerically, but identity-sensitive consumers must
+        # get the original objects back, so bools dictionary-encode.
+        col = encode_column((True, False, True))
+        assert col.kind == "o"
+        assert list(col.values()) == [True, False, True]
+
+    def test_nan_floats_dictionary_encode(self):
+        # NaN != NaN under float64 compare, but row-set membership is
+        # identity-based; the dict pool preserves that.
+        nan = float("nan")
+        col = encode_column((nan, 1.0))
+        assert col.kind == "o"
+        decoded = list(col.values())
+        assert decoded[0] is nan
+        assert decoded[1] == 1.0
+
+    def test_beyond_int64_dictionary_encodes(self):
+        big = 2**80
+        col = encode_column((big, 1))
+        assert col.kind == "o"
+        assert list(col.values()) == [big, 1]
+
+    def test_int64_extremes_stay_packed(self):
+        lo, hi = -(2**63), 2**63 - 1
+        col = encode_column((lo, hi, -1))
+        assert col.kind == "i"
+        assert list(col.values()) == [lo, hi, -1]
+
+    def test_payload_round_trip(self):
+        col = encode_column(("a", 1, "a"))
+        back = column_from_payload(col.payload())
+        assert list(back.values()) == ["a", 1, "a"]
+        assert back.kind == col.kind
+
+
+class TestColumn:
+    def test_take_and_select(self):
+        col = encode_column((10, 20, 30, 40))
+        assert list(col.take([3, 0]).values()) == [40, 10]
+        assert list(col.select(bytes([1, 0, 0, 1])).values()) == [10, 40]
+
+    def test_distinct(self):
+        assert encode_column(("a", "b", "a")).distinct() == {"a", "b"}
+        assert encode_column((1, 1, 2)).distinct() == {1, 2}
+
+
+class TestConversion:
+    def test_round_trip_preserves_rows(self):
+        r = rel(("a", "b"), [(1, "x"), (2, "y"), (1, "y")])
+        c = to_columnar(r)
+        assert isinstance(c, ColumnarRelation)
+        assert c.rows == r.rows
+        assert c.attributes == r.attributes
+        assert len(c) == len(r)
+        assert c.to_relation().rows == r.rows
+
+    def test_equality_and_hash_cross_representation(self):
+        r = rel(("a", "b"), [(1, 2), (3, 4)])
+        c = to_columnar(r)
+        assert c == r
+        assert r == c
+        assert hash(c) == hash(r)
+
+    def test_already_columnar_is_identity(self):
+        c = to_columnar(rel(("a",), [(1,)]))
+        assert to_columnar(c) is c
+
+    def test_annotated_passes_through(self):
+        ann = AnnotatedRelation.make(
+            ("a",), frozenset({(1,)}), "r", COUNTING, {(1,): 2}
+        )
+        assert to_columnar(ann) is ann
+
+    def test_zero_ary_stays_row(self):
+        unit = Relation.trusted((), frozenset({()}), "unit")
+        assert to_columnar(unit) is unit
+
+    def test_min_rows_gate(self):
+        r = rel(("a",), [(i,) for i in range(10)])
+        assert to_columnar(r, min_rows=100) is r
+        assert isinstance(to_columnar(r, min_rows=10), ColumnarRelation)
+
+    def test_empty_relation(self):
+        r = rel(("a", "b"), [])
+        c = to_columnar(r)
+        assert isinstance(c, ColumnarRelation)
+        assert len(c) == 0
+        assert c.rows == frozenset()
+
+    def test_from_columns(self):
+        c = from_columns(("a", "b"), [(1, 2, 1), ("x", "y", "x")])
+        assert c.rows == {(1, "x"), (2, "y")}
+
+    def test_from_columns_validates(self):
+        with pytest.raises(SchemaError):
+            from_columns(("a", "a"), [(1,), (2,)])
+        with pytest.raises(SchemaError):
+            from_columns(("a", "b"), [(1, 2), (3,)])
+
+    def test_concat_deduplicates_across_pieces(self):
+        a = to_columnar(rel(("a",), [(1,), (2,)]))
+        b = to_columnar(rel(("a",), [(2,), (3,)]))
+        merged = concat_columnar([a, b], ("a",), "m")
+        assert merged.rows == {(1,), (2,), (3,)}
+
+
+class TestOperators:
+    """Each operator against the row oracle on targeted shapes."""
+
+    def test_semijoin_int_keys(self):
+        left = rel(("a", "b"), [(i, i * 2) for i in range(50)])
+        right = rel(("b", "c"), [(i * 2, i) for i in range(0, 50, 3)])
+        expect = left.semijoin(right)
+        got = to_columnar(left).semijoin(to_columnar(right))
+        assert got.rows == expect.rows
+        # ... and against a row-side partner too.
+        assert to_columnar(left).semijoin(right).rows == expect.rows
+
+    def test_semijoin_dict_keys(self):
+        left = rel(("a", "b"), [(f"k{i}", i) for i in range(40)])
+        right = rel(("a",), [(f"k{i}",) for i in range(0, 40, 4)])
+        expect = left.semijoin(right)
+        assert to_columnar(left).semijoin(to_columnar(right)).rows == expect.rows
+
+    def test_semijoin_heterogeneous_keys(self):
+        left = rel(("a",), [(1,), (2.0,), ("3",), (4,)])
+        right = rel(("a",), [(1,), ("3",)])
+        expect = left.semijoin(right)
+        assert to_columnar(left).semijoin(to_columnar(right)).rows == expect.rows
+
+    def test_semijoin_all_and_none_survive(self):
+        left = to_columnar(rel(("a",), [(1,), (2,)]))
+        everything = to_columnar(rel(("a",), [(1,), (2,), (3,)]))
+        nothing = to_columnar(rel(("a",), [(9,)]))
+        assert left.semijoin(everything) is left
+        assert left.semijoin(nothing).rows == frozenset()
+
+    def test_semijoin_extreme_ints(self):
+        lo, hi = -(2**63), 2**63 - 1
+        left = rel(("a",), [(lo,), (hi,), (-1,), (0,)])
+        right = rel(("a",), [(lo,), (-1,)])
+        expect = left.semijoin(right)
+        assert to_columnar(left).semijoin(to_columnar(right)).rows == expect.rows
+
+    def test_semijoin_multi_column_key(self):
+        left = rel(("a", "b", "c"), [(i % 5, i % 3, i) for i in range(60)])
+        right = rel(("a", "b"), [(i % 5, i % 4) for i in range(20)])
+        expect = left.semijoin(right)
+        assert to_columnar(left).semijoin(to_columnar(right)).rows == expect.rows
+
+    def test_join_unique_and_duplicate_build_keys(self):
+        left = rel(("a", "b"), [(i, i % 7) for i in range(40)])
+        right = rel(("b", "c"), [(i % 7, i) for i in range(25)])
+        from repro.db.annotated import join_dispatch
+
+        expect = join_dispatch(left, right)
+        got = to_columnar(left).join(to_columnar(right))
+        assert got.rows == expect.rows
+        assert got.attributes == expect.attributes
+
+    def test_join_dict_by_dict(self):
+        left = rel(("a", "b"), [(f"u{i%6}", f"v{i}") for i in range(30)])
+        right = rel(("a", "c"), [(f"u{i%9}", i) for i in range(20)])
+        from repro.db.annotated import join_dispatch
+
+        expect = join_dispatch(left, right)
+        assert (
+            to_columnar(left).join(to_columnar(right)).rows == expect.rows
+        )
+
+    def test_join_mixed_kind_shared_column(self):
+        # int column joined against a dict-encoded column of ints.
+        left = rel(("a", "b"), [(i, i) for i in range(20)])
+        right = rel(("a", "c"), [(i if i % 2 else f"s{i}", i) for i in range(20)])
+        from repro.db.annotated import join_dispatch
+
+        expect = join_dispatch(left, right)
+        assert (
+            to_columnar(left).join(to_columnar(right)).rows == expect.rows
+        )
+
+    def test_cross_product(self):
+        left = rel(("a",), [(i,) for i in range(5)])
+        right = rel(("b",), [(i,) for i in range(4)])
+        from repro.db.annotated import join_dispatch
+
+        expect = join_dispatch(left, right)
+        got = to_columnar(left).join(to_columnar(right))
+        assert got.rows == expect.rows
+        assert len(got) == 20
+
+    def test_join_annotated_partner_stays_annotated(self):
+        left = to_columnar(rel(("a", "b"), [(1, 2), (3, 4)]))
+        ann = AnnotatedRelation.make(
+            ("b", "c"), frozenset({(2, 9), (4, 8)}), "s", COUNTING,
+            {(2, 9): 2, (4, 8): 3},
+        )
+        out = left.join(ann)
+        assert isinstance(out, AnnotatedRelation)
+        assert out.rows == {(1, 2, 9), (3, 4, 8)}
+
+    def test_project_single_column(self):
+        r = rel(("a", "b"), [(i % 7, i) for i in range(50)])
+        c = to_columnar(r)
+        assert c.project(["a"]).rows == r.project(["a"]).rows
+        assert c.project(["b"]).rows == r.project(["b"]).rows
+
+    def test_project_identity_and_permutation(self):
+        r = rel(("a", "b"), [(1, 2), (3, 4)])
+        c = to_columnar(r)
+        assert c.project(["a", "b"]).rows == r.rows
+        assert c.project(["b", "a"]).rows == r.project(["b", "a"]).rows
+
+    def test_project_to_empty_schema(self):
+        c = to_columnar(rel(("a",), [(1,)]))
+        out = c.project([])
+        assert out.rows == {()}
+        empty = to_columnar(rel(("a",), []))
+        assert empty.project([]).rows == frozenset()
+
+    def test_project_rejects_duplicates(self):
+        c = to_columnar(rel(("a", "b"), [(1, 2)]))
+        with pytest.raises(SchemaError):
+            c.project(["a", "a"])
+
+    def test_key_set_matches_row(self):
+        r = rel(("a", "b"), [(i % 9, f"s{i % 4}") for i in range(40)])
+        c = to_columnar(r)
+        for attrs in (("a",), ("b",), ("a", "b")):
+            assert c.key_set(attrs) == r.key_set(attrs)
+
+    def test_nan_column_operations(self):
+        nan = float("nan")
+        r = rel(("a", "b"), [(nan, 1), (2.0, 2)])
+        c = to_columnar(r)
+        assert c.rows == r.rows
+        filt = rel(("a",), [(nan,)])
+        assert c.semijoin(to_columnar(filt)).rows == r.semijoin(filt).rows
+
+
+class TestPartition:
+    @pytest.mark.parametrize("n_shards", [1, 2, 7])
+    def test_partition_matches_row_shard_ids(self, n_shards):
+        r = rel(("a", "b"), [(i * 13 % 101, f"v{i}") for i in range(200)])
+        c = to_columnar(r)
+        pieces, heavy = partition_columnar(c, 0, n_shards, stable_hash, 2.0)
+        assert len(pieces) == n_shards
+        union = set()
+        for s, piece in enumerate(pieces):
+            for row in piece.rows:
+                if row[0] not in heavy:
+                    assert stable_hash(row[0]) % n_shards == s
+            union |= piece.rows
+        assert union == r.rows
+
+    def test_partition_string_key(self):
+        r = rel(("a",), [(f"key{i % 23}",) for i in range(100)])
+        pieces, heavy = partition_columnar(
+            to_columnar(r), 0, 4, stable_hash, 2.0
+        )
+        union = set()
+        for s, piece in enumerate(pieces):
+            for row in piece.rows:
+                if row[0] not in heavy:
+                    assert stable_hash(row[0]) % 4 == s
+            union |= piece.rows
+        assert union == r.rows
+
+    def test_partition_extreme_and_negative_ints(self):
+        values = [-(2**63), 2**63 - 1, -1, -2, 0, 1, 2**62, -(2**62)]
+        r = rel(("a", "b"), [(v, i) for i, v in enumerate(values)])
+        pieces, heavy = partition_columnar(
+            to_columnar(r), 0, 3, stable_hash, 2.0
+        )
+        union = set()
+        for s, piece in enumerate(pieces):
+            for row in piece.rows:
+                if row[0] not in heavy:
+                    assert stable_hash(row[0]) % 3 == s
+            union |= piece.rows
+        assert union == r.rows
+
+    def test_partition_skew_detection(self):
+        # 90% of rows share one key: the heavy set must flag it and the
+        # union must still be exact.
+        rows = [(1, i) for i in range(180)] + [(i, i) for i in range(2, 22)]
+        r = rel(("a", "b"), rows)
+        pieces, heavy = partition_columnar(
+            to_columnar(r), 0, 4, stable_hash, 2.0
+        )
+        assert 1 in heavy
+        union = set()
+        for piece in pieces:
+            union |= piece.rows
+        assert union == r.rows
+
+
+class TestLayoutPolicy:
+    def test_layout_constants(self):
+        assert LAYOUTS == ("row", "columnar", "auto")
+        assert default_layout() in LAYOUTS
+        assert COLUMNAR_MIN_ROWS >= 1
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LAYOUT", "columnar")
+        assert default_layout() == "columnar"
+        monkeypatch.setenv("REPRO_LAYOUT", "bogus")
+        assert default_layout() == "auto"
+        monkeypatch.delenv("REPRO_LAYOUT")
+        assert default_layout() == "auto"

@@ -1,0 +1,139 @@
+"""Engine / plan layout policy: row | columnar | auto.
+
+The plan compiler resolves a per-node layout from the same cardinality
+estimates that drive the shard policy; bag materialisation converts
+accordingly and records which path each bag took in the
+``plan.layout_*`` counters.  Annotated (semiring) requests always
+compile row plans.
+"""
+
+import random
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.db import Database
+from repro.db.columnar import COLUMNAR_MIN_ROWS
+from repro.engine import Engine
+from repro.engine.plan import compile_plan
+from repro.obs import get_registry
+
+
+@pytest.fixture()
+def big_db():
+    rng = random.Random(5)
+    db = Database()
+    for _ in range(4000):
+        db.add_fact("e", rng.randrange(500), rng.randrange(500))
+    for _ in range(2500):
+        db.add_fact("f", rng.randrange(500), rng.randrange(500))
+    return db
+
+
+@pytest.fixture()
+def small_db():
+    db = Database()
+    for i in range(20):
+        db.add_fact("e", i, i + 1)
+        db.add_fact("f", i + 1, i)
+    return db
+
+
+QUERY = "ans(X,Z) :- e(X,Y), f(Y,Z)."
+
+
+class TestEngineLayout:
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError, match="layout"):
+            Engine(layout="bogus")
+
+    def test_default_follows_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LAYOUT", "columnar")
+        assert Engine().layout == "columnar"
+        monkeypatch.delenv("REPRO_LAYOUT")
+        assert Engine().layout == "auto"
+
+    def test_layouts_agree(self, big_db):
+        query = parse_query(QUERY)
+        base = Engine(layout="row").execute(query, big_db)
+        for layout in ("columnar", "auto"):
+            got = Engine(layout=layout).execute(query, big_db)
+            assert got.answer.rows == base.answer.rows
+
+    def test_explain_renders_layout(self, big_db):
+        query = parse_query(QUERY)
+        text = Engine(layout="columnar").explain(query, big_db)
+        assert "layout columnar" in text
+        assert "[columnar]" in text
+        row_text = Engine(layout="row").explain(query, big_db)
+        assert "layout" not in row_text.splitlines()[0]
+
+    def test_auto_flips_only_large_nodes(self, big_db, small_db):
+        query = parse_query(QUERY)
+        engine = Engine(layout="auto")
+        large_plan = engine.plan(query, big_db)
+        assert all(np.layout == "columnar" for np in large_plan.node_plans)
+        small_plan = engine.plan(query, small_db)
+        assert all(np.layout == "row" for np in small_plan.node_plans)
+        assert all(
+            np.estimated_rows < COLUMNAR_MIN_ROWS
+            for np in small_plan.node_plans
+        )
+
+    def test_forced_columnar_flips_small_nodes_too(self, small_db):
+        query = parse_query(QUERY)
+        plan = Engine(layout="columnar").plan(query, small_db)
+        assert all(np.layout == "columnar" for np in plan.node_plans)
+
+    def test_digest_distinguishes_layouts(self, big_db):
+        query = parse_query(QUERY)
+        digests = {
+            Engine(layout=layout).plan(query, big_db).digest()
+            for layout in ("row", "columnar")
+        }
+        assert len(digests) == 2
+
+    def test_layout_counters_recorded(self, big_db):
+        query = parse_query(QUERY)
+        registry = get_registry()
+
+        def counter(name):
+            return registry.snapshot()["counters"].get(name, 0)
+
+        before_col = counter("plan.layout_columnar")
+        Engine(layout="columnar").execute(query, big_db)
+        assert counter("plan.layout_columnar") > before_col
+
+        before_row = counter("plan.layout_row")
+        Engine(layout="row").execute(query, big_db)
+        assert counter("plan.layout_row") > before_row
+
+    def test_semiring_compiles_row_plan(self, big_db):
+        query = parse_query(QUERY)
+        engine = Engine(layout="columnar")
+        row_total = Engine(layout="row").count(query, big_db)
+        assert engine.count(query, big_db) == row_total
+        # The set-semantics plan for the same engine is still columnar.
+        assert any(
+            np.layout == "columnar"
+            for np in engine.plan(query, big_db).node_plans
+        )
+
+
+class TestCompilePlanLayout:
+    def test_compile_plan_validates_layout(self, small_db):
+        from repro.heuristics.portfolio import decompose
+
+        query = parse_query(QUERY)
+        hd = decompose(query).decomposition
+        with pytest.raises(ValueError, match="layout"):
+            compile_plan(query, small_db, hd, layout="wide")
+
+    def test_compile_plan_defaults_to_row(self, small_db):
+        from repro.heuristics.portfolio import decompose
+
+        query = parse_query(QUERY)
+        hd = decompose(query).decomposition
+        plan = compile_plan(query, small_db, hd)
+        assert plan.layout == "row"
+        assert all(np.layout == "row" for np in plan.node_plans)
